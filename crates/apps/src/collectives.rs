@@ -1,0 +1,194 @@
+//! Collective operations: the "global sums" of BQCD's CG and the
+//! allreduces closing every NEMO/SPECFEM time step.
+//!
+//! Two layers: *executable* collectives over in-memory rank buffers
+//! (validating the algorithms bit-for-bit), and *time models* for ring
+//! versus tree allreduce on the EDR fabric — the crossover between them
+//! is the classic latency/bandwidth tradeoff the §IV apps live with.
+
+use davide_core::interconnect::FatTree;
+use davide_core::units::{Bytes, Seconds};
+use rayon::prelude::*;
+
+/// Reduce-then-broadcast (naive) allreduce over rank buffers: every
+/// rank ends with the element-wise sum.
+pub fn allreduce_naive(ranks: &mut [Vec<f64>]) {
+    let p = ranks.len();
+    if p <= 1 {
+        return;
+    }
+    let n = ranks[0].len();
+    assert!(ranks.iter().all(|r| r.len() == n), "equal buffer sizes");
+    let mut total = vec![0.0; n];
+    for r in ranks.iter() {
+        for (t, v) in total.iter_mut().zip(r) {
+            *t += v;
+        }
+    }
+    ranks.par_iter_mut().for_each(|r| r.copy_from_slice(&total));
+}
+
+/// Recursive-doubling (butterfly) allreduce: `log₂ p` exchange rounds,
+/// each rank pairing with `rank ^ 2^k`. Requires a power-of-two rank
+/// count (pad in practice).
+pub fn allreduce_butterfly(ranks: &mut [Vec<f64>]) {
+    let p = ranks.len();
+    if p <= 1 {
+        return;
+    }
+    assert!(p.is_power_of_two(), "butterfly needs 2^k ranks");
+    let n = ranks[0].len();
+    assert!(ranks.iter().all(|r| r.len() == n), "equal buffer sizes");
+    let mut dist = 1;
+    while dist < p {
+        // Each pair (r, r^dist) exchanges and adds; do the sums into a
+        // scratch to keep the exchange symmetric.
+        let snapshot: Vec<Vec<f64>> = ranks.to_vec();
+        ranks.par_iter_mut().enumerate().for_each(|(r, buf)| {
+            let peer = r ^ dist;
+            for (b, v) in buf.iter_mut().zip(&snapshot[peer]) {
+                *b += v;
+            }
+        });
+        dist <<= 1;
+    }
+}
+
+/// Ring-allreduce time model: `2(p−1)` steps moving `bytes/p` each, on
+/// links of the node bandwidth — bandwidth-optimal, latency-heavy.
+pub fn ring_allreduce_time(fabric: &FatTree, ranks: u32, bytes: Bytes) -> Seconds {
+    if ranks <= 1 {
+        return Seconds(0.0);
+    }
+    let p = ranks as f64;
+    let steps = 2.0 * (p - 1.0);
+    let chunk = bytes.0 / p;
+    let per_step =
+        fabric.port.latency.0 + 2.0 * fabric.hop_latency.0 + chunk / (fabric.node_bandwidth().0 * 1e9);
+    Seconds(steps * per_step)
+}
+
+/// Tree (recursive-doubling) allreduce time model: `2·log₂ p` rounds
+/// moving the full buffer — latency-optimal, bandwidth-heavy.
+pub fn tree_allreduce_time(fabric: &FatTree, ranks: u32, bytes: Bytes) -> Seconds {
+    if ranks <= 1 {
+        return Seconds(0.0);
+    }
+    let rounds = (ranks as f64).log2().ceil();
+    let per_round = fabric.port.latency.0
+        + 2.0 * fabric.hop_latency.0
+        + bytes.0 / (fabric.node_bandwidth().0 * 1e9);
+    Seconds(2.0 * rounds * per_round)
+}
+
+/// Message size at which ring starts beating tree for `ranks` ranks
+/// (bisection search over the two models).
+pub fn ring_tree_crossover_bytes(fabric: &FatTree, ranks: u32) -> f64 {
+    let mut lo = 1.0_f64;
+    let mut hi = 1e12;
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        let ring = ring_allreduce_time(fabric, ranks, Bytes(mid)).0;
+        let tree = tree_allreduce_time(fabric, ranks, Bytes(mid)).0;
+        if ring < tree {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_ranks(p: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..p)
+            .map(|r| (0..n).map(|i| (r * n + i) as f64).collect())
+            .collect()
+    }
+
+    fn expected_sum(p: usize, n: usize) -> Vec<f64> {
+        let mut total = vec![0.0; n];
+        for r in 0..p {
+            for (i, t) in total.iter_mut().enumerate() {
+                *t += (r * n + i) as f64;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn naive_allreduce_correct() {
+        let mut ranks = make_ranks(6, 50);
+        allreduce_naive(&mut ranks);
+        let want = expected_sum(6, 50);
+        for r in &ranks {
+            assert_eq!(r, &want);
+        }
+    }
+
+    #[test]
+    fn butterfly_matches_naive() {
+        let mut a = make_ranks(8, 33);
+        let mut b = a.clone();
+        allreduce_naive(&mut a);
+        allreduce_butterfly(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k ranks")]
+    fn butterfly_rejects_non_power_of_two() {
+        let mut ranks = make_ranks(6, 4);
+        allreduce_butterfly(&mut ranks);
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let mut ranks = make_ranks(1, 10);
+        let orig = ranks.clone();
+        allreduce_naive(&mut ranks);
+        assert_eq!(ranks, orig);
+    }
+
+    #[test]
+    fn small_messages_favour_tree_large_favour_ring() {
+        let fabric = FatTree::davide(32);
+        // An 8-byte scalar (the CG dot product): tree wins.
+        let tiny = Bytes(8.0);
+        assert!(
+            tree_allreduce_time(&fabric, 32, tiny) < ring_allreduce_time(&fabric, 32, tiny)
+        );
+        // A 100 MB gradient-sized buffer: ring wins.
+        let big = Bytes(100e6);
+        assert!(
+            ring_allreduce_time(&fabric, 32, big) < tree_allreduce_time(&fabric, 32, big)
+        );
+    }
+
+    #[test]
+    fn crossover_is_between_the_extremes() {
+        let fabric = FatTree::davide(32);
+        let x = ring_tree_crossover_bytes(&fabric, 32);
+        assert!(x > 8.0 && x < 100e6, "crossover at {x} bytes");
+        // More ranks push the crossover up (ring pays more latency).
+        let x64 = ring_tree_crossover_bytes(&FatTree::davide(64), 64);
+        assert!(x64 > x, "{x64} vs {x}");
+    }
+
+    #[test]
+    fn allreduce_time_scales_sanely() {
+        let fabric = FatTree::davide(16);
+        let b = Bytes(1e6);
+        let t4 = ring_allreduce_time(&fabric, 4, b);
+        let t16 = ring_allreduce_time(&fabric, 16, b);
+        assert!(t16 > t4, "more ranks, more steps");
+        assert_eq!(ring_allreduce_time(&fabric, 1, b), Seconds(0.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-node execution model: time-to-solution versus
+//! energy-to-solution.
+//!
+//! §IV: "by iterating multiple times coding and experiments, application
+//! developers can compare time-to-solution versus energy-to-solution and
+//! identify the right tradeoff between each application". This module
+//! runs a workload model across N nodes of the EDR fat-tree and returns
+//! both metrics, exposing the tradeoff (TTS keeps improving past the
+//! point where ETS starts rising).
+
+use crate::workload::AppModel;
+use davide_core::interconnect::FatTree;
+use davide_core::node::{ComputeNode, NodeLoad};
+use davide_core::units::{Bytes, Joules, Seconds, Watts};
+
+/// A planned distributed run of one application.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// The application model.
+    pub app: AppModel,
+    /// Nodes allocated.
+    pub nodes: u32,
+    /// The inter-node fabric.
+    pub fabric: FatTree,
+    /// Outer iterations to execute.
+    pub iterations: u32,
+}
+
+impl DistributedRun {
+    /// Plan a run on the D.A.V.I.D.E. fabric.
+    pub fn new(app: AppModel, nodes: u32, iterations: u32) -> Self {
+        assert!(nodes >= 1 && iterations >= 1);
+        DistributedRun {
+            app,
+            nodes,
+            fabric: FatTree::davide(nodes.max(2)),
+            iterations,
+        }
+    }
+
+    /// Communication time per iteration: each node moves its comm bytes
+    /// through its injection bandwidth, plus a log-depth latency term
+    /// for the collective phases.
+    pub fn comm_time_per_iteration(&self) -> Seconds {
+        if self.nodes <= 1 {
+            return Seconds(0.0);
+        }
+        let bytes = Bytes(self.app.comm_bytes_per_iteration());
+        let serial = bytes / self.fabric.node_bandwidth();
+        let depth = (self.nodes as f64).log2().ceil().max(1.0);
+        // ~100 latency-bound messages per iteration through the tree.
+        let latency = 100.0 * depth * (self.fabric.port.latency.0 + 2.0 * self.fabric.hop_latency.0);
+        Seconds(serial.0 + latency)
+    }
+
+    /// Wall time of one iteration (Amdahl + communication).
+    pub fn iteration_time(&self) -> Seconds {
+        let t1 = self.app.iteration_time.0;
+        let serial = t1 * self.app.serial_frac;
+        let parallel = t1 * (1.0 - self.app.serial_frac) / self.nodes as f64;
+        Seconds(serial + parallel + self.comm_time_per_iteration().0)
+    }
+
+    /// Time-to-solution for the whole run.
+    pub fn time_to_solution(&self) -> Seconds {
+        Seconds(self.iteration_time().0 * self.iterations as f64)
+    }
+
+    /// Aggregate power of the allocation (nodes shaped to the job).
+    pub fn allocation_power(&self) -> Watts {
+        let mut node = ComputeNode::davide(0);
+        node.apply_shape(self.app.shape).expect("app shape is legal");
+        // Communication phases idle the compute engines; weight the
+        // node power by the compute fraction of the iteration.
+        let t_iter = self.iteration_time().0;
+        let compute_frac = (t_iter - self.comm_time_per_iteration().0) / t_iter;
+        let p_compute = self.app.mean_node_power(&node);
+        let p_comm = node.power(NodeLoad {
+            cpu: 0.2,
+            gpu: 0.1,
+            mem: 0.2,
+            net: 1.0,
+        });
+        (p_compute * compute_frac + p_comm * (1.0 - compute_frac)) * self.nodes as f64
+    }
+
+    /// Energy-to-solution for the whole run.
+    pub fn energy_to_solution(&self) -> Joules {
+        self.allocation_power() * self.time_to_solution()
+    }
+
+    /// Speed-up versus the single-node run.
+    pub fn speedup(&self) -> f64 {
+        let single = DistributedRun {
+            nodes: 1,
+            fabric: self.fabric.clone(),
+            app: self.app.clone(),
+            iterations: self.iterations,
+        };
+        single.time_to_solution().0 / self.time_to_solution().0
+    }
+
+    /// Parallel efficiency.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.nodes as f64
+    }
+}
+
+/// Sweep node counts and return `(nodes, tts_s, ets_j)` rows.
+pub fn tts_ets_sweep(app: &AppModel, iterations: u32, node_counts: &[u32]) -> Vec<(u32, f64, f64)> {
+    node_counts
+        .iter()
+        .map(|&n| {
+            let run = DistributedRun::new(app.clone(), n, iterations);
+            (n, run.time_to_solution().0, run.energy_to_solution().0)
+        })
+        .collect()
+}
+
+/// The node count minimising time-to-solution within `max_nodes`.
+pub fn tts_optimal_nodes(app: &AppModel, max_nodes: u32) -> u32 {
+    (1..=max_nodes)
+        .min_by(|&a, &b| {
+            let ta = DistributedRun::new(app.clone(), a, 1).time_to_solution().0;
+            let tb = DistributedRun::new(app.clone(), b, 1).time_to_solution().0;
+            ta.total_cmp(&tb)
+        })
+        .expect("non-empty range")
+}
+
+/// The node count minimising energy-to-solution within `max_nodes`.
+pub fn ets_optimal_nodes(app: &AppModel, max_nodes: u32) -> u32 {
+    (1..=max_nodes)
+        .min_by(|&a, &b| {
+            let ea = DistributedRun::new(app.clone(), a, 1).energy_to_solution().0;
+            let eb = DistributedRun::new(app.clone(), b, 1).energy_to_solution().0;
+            ea.total_cmp(&eb)
+        })
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::AppKind;
+
+    #[test]
+    fn single_node_has_no_comm() {
+        let run = DistributedRun::new(AppModel::bqcd(), 1, 10);
+        assert_eq!(run.comm_time_per_iteration(), Seconds(0.0));
+        assert!((run.speedup() - 1.0).abs() < 1e-12);
+        assert!((run.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tts_improves_then_saturates() {
+        let app = AppModel::quantum_espresso();
+        let rows = tts_ets_sweep(&app, 10, &[1, 2, 4, 8, 16, 32]);
+        // Monotone improvement early.
+        assert!(rows[1].1 < rows[0].1, "2 nodes beat 1");
+        assert!(rows[2].1 < rows[1].1, "4 beat 2");
+        // Diminishing returns: the last doubling gains less than 1.5×.
+        let gain_last = rows[4].1 / rows[5].1;
+        let gain_first = rows[0].1 / rows[1].1;
+        assert!(gain_last < gain_first, "{gain_last} vs {gain_first}");
+    }
+
+    #[test]
+    fn ets_optimum_below_tts_optimum() {
+        // The §IV tradeoff: energy keeps growing once efficiency falls,
+        // so the ETS-optimal allocation is no larger than TTS-optimal.
+        for kind in AppKind::ALL {
+            let app = AppModel::for_kind(kind);
+            let tts_n = tts_optimal_nodes(&app, 32);
+            let ets_n = ets_optimal_nodes(&app, 32);
+            assert!(
+                ets_n <= tts_n,
+                "{}: ets {} > tts {}",
+                kind.name(),
+                ets_n,
+                tts_n
+            );
+            assert!(ets_n >= 1);
+        }
+    }
+
+    #[test]
+    fn nemo_scales_worse_than_bqcd() {
+        // Higher serial fraction + flat profile: NEMO's efficiency at 16
+        // nodes is below BQCD's.
+        let nemo = DistributedRun::new(AppModel::nemo(), 16, 1);
+        let bqcd = DistributedRun::new(AppModel::bqcd(), 16, 1);
+        assert!(nemo.efficiency() < bqcd.efficiency());
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let run = DistributedRun::new(AppModel::specfem3d(), 8, 5);
+        let e = run.energy_to_solution().0;
+        let p = run.allocation_power().0;
+        let t = run.time_to_solution().0;
+        assert!((e - p * t).abs() < 1e-6);
+        assert!(p > 8.0 * 800.0, "eight busy nodes draw kWs: {p}");
+    }
+
+    #[test]
+    fn allocation_power_scales_with_nodes() {
+        let small = DistributedRun::new(AppModel::bqcd(), 2, 1);
+        let large = DistributedRun::new(AppModel::bqcd(), 8, 1);
+        let ratio = large.allocation_power().0 / small.allocation_power().0;
+        assert!((3.0..5.0).contains(&ratio), "≈4×: {ratio}");
+    }
+}

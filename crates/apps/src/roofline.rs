@@ -1,0 +1,119 @@
+//! Roofline placement of the proxy kernels on the D.A.V.I.D.E. node.
+//!
+//! §IV motivates co-design by where each application sits relative to the
+//! machine balance: QE's GEMM phases are compute-bound, NEMO's stencils
+//! are memory-bandwidth-bound, SEM and the lattice CG sit in between.
+
+use davide_core::units::{GBps, Gflops};
+
+/// A compute device's roofline: peak flops and peak memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak double-precision throughput.
+    pub peak: Gflops,
+    /// Peak memory bandwidth.
+    pub bandwidth: GBps,
+}
+
+impl Roofline {
+    /// One Tesla P100: 5.3 TFlops DP, 732 GB/s HBM2.
+    pub fn p100() -> Self {
+        Roofline {
+            peak: Gflops::from_tflops(5.3),
+            bandwidth: GBps(732.0),
+        }
+    }
+
+    /// One POWER8+ socket: ≈209 GFlops (nominal), 115 GB/s sustained.
+    pub fn power8_socket() -> Self {
+        Roofline {
+            peak: Gflops(208.6),
+            bandwidth: GBps(115.0),
+        }
+    }
+
+    /// Arithmetic intensity at the ridge point (flops/byte where the
+    /// device transitions from memory- to compute-bound).
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak.0 / self.bandwidth.0
+    }
+
+    /// Attainable throughput for a kernel of arithmetic intensity
+    /// `flops_per_byte`: `min(peak, I × BW)`.
+    pub fn attainable(&self, flops_per_byte: f64) -> Gflops {
+        Gflops((flops_per_byte * self.bandwidth.0).min(self.peak.0))
+    }
+
+    /// True when the kernel is memory-bound on this device.
+    pub fn memory_bound(&self, flops_per_byte: f64) -> bool {
+        flops_per_byte < self.ridge_intensity()
+    }
+}
+
+/// Named kernel intensities used by the E14–E17 reports.
+pub fn kernel_intensities() -> Vec<(&'static str, f64)> {
+    vec![
+        ("stencil-5pt (NEMO)", crate::stencil::sweep_intensity()),
+        ("lattice-cg matvec (BQCD)", 17.0 / (10.0 * 8.0)),
+        ("sem matvec (SPECFEM3D)", {
+            let mesh = crate::sem::SemMesh::new(64, 4, 1.0);
+            mesh.matvec_flops() / mesh.matvec_bytes()
+        }),
+        ("fft-1024 (QE)", {
+            // 5 n log n flops over ~2 passes of complex data.
+            crate::fft::fft_flops(1024) / (2.0 * 1024.0 * 16.0)
+        }),
+        ("gemm-2048 (QE)", crate::gemm::gemm_intensity(2048)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_ridge_point() {
+        let r = Roofline::p100();
+        // 5300/732 ≈ 7.2 flops/byte.
+        assert!((r.ridge_intensity() - 7.24).abs() < 0.05);
+    }
+
+    #[test]
+    fn attainable_saturates_at_peak() {
+        let r = Roofline::p100();
+        assert_eq!(r.attainable(1000.0), r.peak);
+        // At intensity 1 the P100 gives 732 GFlops.
+        assert!((r.attainable(1.0).0 - 732.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_classification_matches_paper() {
+        let gpu = Roofline::p100();
+        let ints = kernel_intensities();
+        let find = |name: &str| {
+            ints.iter()
+                .find(|(n, _)| n.starts_with(name))
+                .map(|&(_, i)| i)
+                .expect("kernel present")
+        };
+        // NEMO stencil: deeply memory-bound (§IV-B).
+        assert!(gpu.memory_bound(find("stencil")));
+        // Lattice matvec: memory-bound on GPU (why QUDA chases bandwidth).
+        assert!(gpu.memory_bound(find("lattice")));
+        // Large GEMM: compute-bound.
+        assert!(!gpu.memory_bound(find("gemm")));
+        // Intensities are ordered stencil < lattice < gemm.
+        assert!(find("stencil") < find("lattice"));
+        assert!(find("lattice") < find("gemm"));
+    }
+
+    #[test]
+    fn cpu_socket_is_more_balanced_than_gpu() {
+        // POWER8's ridge (≈1.8) is far left of P100's (≈7.2): the CPU
+        // feeds low-intensity kernels relatively better — the reason
+        // NEMO's GPU benefit is modest.
+        let cpu = Roofline::power8_socket();
+        let gpu = Roofline::p100();
+        assert!(cpu.ridge_intensity() < gpu.ridge_intensity() / 3.0);
+    }
+}

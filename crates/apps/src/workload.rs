@@ -1,0 +1,401 @@
+//! Application workload models for the four co-design applications
+//! (§IV): phase structure, component demands and scaling behaviour.
+//!
+//! Each model describes one outer iteration (SCF step, time step, HMC
+//! trajectory…) as a sequence of phases with per-component utilisation.
+//! The proxies in [`crate::fft`], [`crate::stencil`], [`crate::sem`] and
+//! [`crate::lattice`] execute the real arithmetic; these models carry
+//! the *shape* of the run into the power/scheduling simulations.
+
+use davide_core::node::{ComputeNode, JobShape, NodeLoad};
+use davide_core::units::{Seconds, Watts};
+
+/// The four applications of European interest (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Quantum ESPRESSO: plane-wave DFT, FFT-dominated.
+    QuantumEspresso,
+    /// NEMO: ocean modelling, memory-bound stencils, flat profile.
+    Nemo,
+    /// SPECFEM3D: spectral-element seismic wave propagation.
+    Specfem3d,
+    /// BQCD: lattice QCD, even/odd-preconditioned CG.
+    Bqcd,
+}
+
+impl AppKind {
+    /// All four, in paper order.
+    pub const ALL: [AppKind; 4] = [
+        AppKind::QuantumEspresso,
+        AppKind::Nemo,
+        AppKind::Specfem3d,
+        AppKind::Bqcd,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::QuantumEspresso => "Quantum ESPRESSO",
+            AppKind::Nemo => "NEMO",
+            AppKind::Specfem3d => "SPECFEM3D",
+            AppKind::Bqcd => "BQCD",
+        }
+    }
+}
+
+/// One phase of an application iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase label (routine group).
+    pub name: &'static str,
+    /// Fraction of the iteration spent here (phases sum to 1).
+    pub duration_frac: f64,
+    /// Component utilisation during the phase.
+    pub load: NodeLoad,
+    /// Inter-node traffic issued during the phase, bytes per node per
+    /// iteration.
+    pub comm_bytes: f64,
+}
+
+/// A workload model: phases plus placement preferences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    /// Which application this models.
+    pub kind: AppKind,
+    /// Phases of one iteration (duration fractions sum to 1).
+    pub phases: Vec<Phase>,
+    /// Wall time of one iteration on one node at nominal clocks.
+    pub iteration_time: Seconds,
+    /// Resource shape the job requests per node (energy-proportionality
+    /// target of §IV).
+    pub shape: JobShape,
+    /// Serial (non-scalable) fraction for the strong-scaling model.
+    pub serial_frac: f64,
+}
+
+impl AppModel {
+    /// Quantum ESPRESSO (§IV-A): FFT-heavy SCF iterations with dense
+    /// linear algebra; GPUs do the heavy lifting, communication is cut
+    /// by keeping FFTs within NVLink GPU pairs.
+    pub fn quantum_espresso() -> Self {
+        AppModel {
+            kind: AppKind::QuantumEspresso,
+            phases: vec![
+                Phase {
+                    name: "fft",
+                    duration_frac: 0.45,
+                    load: NodeLoad { cpu: 0.35, gpu: 0.95, mem: 0.80, net: 0.15 },
+                    comm_bytes: 0.4e9,
+                },
+                Phase {
+                    name: "dense-linalg",
+                    duration_frac: 0.30,
+                    load: NodeLoad { cpu: 0.40, gpu: 0.98, mem: 0.45, net: 0.05 },
+                    comm_bytes: 0.1e9,
+                },
+                Phase {
+                    name: "potentials",
+                    duration_frac: 0.15,
+                    load: NodeLoad { cpu: 0.70, gpu: 0.50, mem: 0.55, net: 0.05 },
+                    comm_bytes: 0.05e9,
+                },
+                Phase {
+                    name: "mpi-exchange",
+                    duration_frac: 0.10,
+                    load: NodeLoad { cpu: 0.25, gpu: 0.10, mem: 0.30, net: 0.90 },
+                    comm_bytes: 1.2e9,
+                },
+            ],
+            iteration_time: Seconds(18.0),
+            shape: JobShape::FULL_NODE,
+            serial_frac: 0.04,
+        }
+    }
+
+    /// NEMO (§IV-B): flat profile (no routine above 15–20 %),
+    /// memory-bandwidth-bound, frequent halo exchanges, modest GPU
+    /// benefit (OpenACC port).
+    pub fn nemo() -> Self {
+        AppModel {
+            kind: AppKind::Nemo,
+            phases: vec![
+                Phase {
+                    name: "tracer-advection",
+                    duration_frac: 0.18,
+                    load: NodeLoad { cpu: 0.75, gpu: 0.40, mem: 0.95, net: 0.10 },
+                    comm_bytes: 0.15e9,
+                },
+                Phase {
+                    name: "momentum",
+                    duration_frac: 0.17,
+                    load: NodeLoad { cpu: 0.72, gpu: 0.38, mem: 0.92, net: 0.10 },
+                    comm_bytes: 0.15e9,
+                },
+                Phase {
+                    name: "vertical-physics",
+                    duration_frac: 0.16,
+                    load: NodeLoad { cpu: 0.70, gpu: 0.35, mem: 0.90, net: 0.05 },
+                    comm_bytes: 0.05e9,
+                },
+                Phase {
+                    name: "sea-ice",
+                    duration_frac: 0.15,
+                    load: NodeLoad { cpu: 0.68, gpu: 0.30, mem: 0.85, net: 0.08 },
+                    comm_bytes: 0.08e9,
+                },
+                Phase {
+                    name: "free-surface",
+                    duration_frac: 0.14,
+                    load: NodeLoad { cpu: 0.66, gpu: 0.32, mem: 0.88, net: 0.12 },
+                    comm_bytes: 0.12e9,
+                },
+                Phase {
+                    name: "halo-exchange",
+                    duration_frac: 0.12,
+                    load: NodeLoad { cpu: 0.30, gpu: 0.05, mem: 0.40, net: 0.85 },
+                    comm_bytes: 0.6e9,
+                },
+                Phase {
+                    name: "diagnostics",
+                    duration_frac: 0.08,
+                    load: NodeLoad { cpu: 0.55, gpu: 0.10, mem: 0.60, net: 0.20 },
+                    comm_bytes: 0.1e9,
+                },
+            ],
+            iteration_time: Seconds(6.0),
+            // NEMO cannot use all four GPUs productively: 2 GPUs, all
+            // memory channels (bandwidth-bound).
+            shape: JobShape { cores_per_socket: 8, gpus: 2, centaurs_per_socket: 4 },
+            serial_frac: 0.08,
+        }
+    }
+
+    /// SPECFEM3D (§IV-C): SEM assembly kernels on GPU with overlapped
+    /// boundary exchange; scales while work per GPU is sufficient.
+    pub fn specfem3d() -> Self {
+        AppModel {
+            kind: AppKind::Specfem3d,
+            phases: vec![
+                Phase {
+                    name: "element-kernels",
+                    duration_frac: 0.62,
+                    load: NodeLoad { cpu: 0.30, gpu: 0.97, mem: 0.70, net: 0.10 },
+                    comm_bytes: 0.2e9,
+                },
+                Phase {
+                    name: "boundary-exchange",
+                    duration_frac: 0.10,
+                    load: NodeLoad { cpu: 0.25, gpu: 0.60, mem: 0.35, net: 0.80 },
+                    comm_bytes: 0.9e9,
+                },
+                Phase {
+                    name: "time-update",
+                    duration_frac: 0.20,
+                    load: NodeLoad { cpu: 0.35, gpu: 0.90, mem: 0.75, net: 0.05 },
+                    comm_bytes: 0.05e9,
+                },
+                Phase {
+                    name: "seismogram-io",
+                    duration_frac: 0.08,
+                    load: NodeLoad { cpu: 0.45, gpu: 0.15, mem: 0.40, net: 0.30 },
+                    comm_bytes: 0.1e9,
+                },
+            ],
+            iteration_time: Seconds(9.0),
+            shape: JobShape::FULL_NODE,
+            serial_frac: 0.03,
+        }
+    }
+
+    /// BQCD (§IV-D): even/odd-preconditioned CG; QUDA peer-to-peer makes
+    /// intra-node scaling nearly perfect.
+    pub fn bqcd() -> Self {
+        AppModel {
+            kind: AppKind::Bqcd,
+            phases: vec![
+                Phase {
+                    name: "cg-matvec",
+                    duration_frac: 0.58,
+                    load: NodeLoad { cpu: 0.25, gpu: 0.96, mem: 0.85, net: 0.20 },
+                    comm_bytes: 0.7e9,
+                },
+                Phase {
+                    name: "cg-blas1",
+                    duration_frac: 0.17,
+                    load: NodeLoad { cpu: 0.20, gpu: 0.85, mem: 0.90, net: 0.05 },
+                    comm_bytes: 0.05e9,
+                },
+                Phase {
+                    name: "gauge-force",
+                    duration_frac: 0.15,
+                    load: NodeLoad { cpu: 0.30, gpu: 0.92, mem: 0.60, net: 0.05 },
+                    comm_bytes: 0.1e9,
+                },
+                Phase {
+                    name: "global-sums",
+                    duration_frac: 0.10,
+                    load: NodeLoad { cpu: 0.20, gpu: 0.30, mem: 0.25, net: 0.75 },
+                    comm_bytes: 0.3e9,
+                },
+            ],
+            iteration_time: Seconds(12.0),
+            shape: JobShape::FULL_NODE,
+            serial_frac: 0.02,
+        }
+    }
+
+    /// Model for a given application kind.
+    pub fn for_kind(kind: AppKind) -> Self {
+        match kind {
+            AppKind::QuantumEspresso => Self::quantum_espresso(),
+            AppKind::Nemo => Self::nemo(),
+            AppKind::Specfem3d => Self::specfem3d(),
+            AppKind::Bqcd => Self::bqcd(),
+        }
+    }
+
+    /// Time-weighted mean node load over one iteration.
+    pub fn mean_load(&self) -> NodeLoad {
+        let mut acc = NodeLoad::IDLE;
+        for p in &self.phases {
+            acc.cpu += p.load.cpu * p.duration_frac;
+            acc.gpu += p.load.gpu * p.duration_frac;
+            acc.mem += p.load.mem * p.duration_frac;
+            acc.net += p.load.net * p.duration_frac;
+        }
+        acc
+    }
+
+    /// Mean node power drawn by this workload on `node` (in the node's
+    /// current gating/DVFS configuration).
+    pub fn mean_node_power(&self, node: &ComputeNode) -> Watts {
+        self.phases
+            .iter()
+            .map(|p| node.power(p.load) * p.duration_frac)
+            .sum()
+    }
+
+    /// Peak phase power on `node`.
+    pub fn peak_node_power(&self, node: &ComputeNode) -> Watts {
+        self.phases
+            .iter()
+            .map(|p| node.power(p.load))
+            .fold(Watts::ZERO, Watts::max)
+    }
+
+    /// Total inter-node bytes per node per iteration.
+    pub fn comm_bytes_per_iteration(&self) -> f64 {
+        self.phases.iter().map(|p| p.comm_bytes).sum()
+    }
+
+    /// The largest single phase's share of the iteration (NEMO's "flat
+    /// profile" check: no routine above 15–20 %).
+    pub fn max_phase_fraction(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.duration_frac)
+            .fold(0.0, f64::max)
+    }
+
+    /// Amdahl strong-scaling speed-up on `nodes` nodes with the
+    /// communication surcharge of `comm_overhead(nodes)` seconds per
+    /// iteration.
+    pub fn strong_scaling_speedup(&self, nodes: u32, comm_overhead_s: f64) -> f64 {
+        let t1 = self.iteration_time.0;
+        let parallel = t1 * (1.0 - self.serial_frac) / nodes as f64;
+        let tn = t1 * self.serial_frac + parallel + comm_overhead_s;
+        t1 / tn
+    }
+
+    /// Check phase fractions sum to one (model sanity).
+    pub fn is_normalised(&self) -> bool {
+        (self.phases.iter().map(|p| p.duration_frac).sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_normalised() {
+        for kind in AppKind::ALL {
+            let m = AppModel::for_kind(kind);
+            assert!(m.is_normalised(), "{} phases don't sum to 1", kind.name());
+            assert!(m.iteration_time.0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn nemo_profile_is_flat() {
+        // §IV-B: "not a single routine consume more than 15% - 20% of
+        // the runtime".
+        let nemo = AppModel::nemo();
+        assert!(
+            nemo.max_phase_fraction() <= 0.20,
+            "max phase {}",
+            nemo.max_phase_fraction()
+        );
+        // Others are dominated by a kernel.
+        assert!(AppModel::quantum_espresso().max_phase_fraction() > 0.35);
+        assert!(AppModel::specfem3d().max_phase_fraction() > 0.5);
+        assert!(AppModel::bqcd().max_phase_fraction() > 0.5);
+    }
+
+    #[test]
+    fn nemo_is_memory_bound_qe_is_gpu_bound() {
+        let nemo = AppModel::nemo().mean_load();
+        let qe = AppModel::quantum_espresso().mean_load();
+        assert!(nemo.mem > qe.mem, "NEMO stresses memory bandwidth");
+        assert!(qe.gpu > nemo.gpu, "QE rides the accelerators");
+    }
+
+    #[test]
+    fn mean_power_between_idle_and_full() {
+        let node = ComputeNode::davide(0);
+        for kind in AppKind::ALL {
+            let m = AppModel::for_kind(kind);
+            let p = m.mean_node_power(&node);
+            assert!(p > node.power(NodeLoad::IDLE), "{}", kind.name());
+            assert!(p <= node.power(NodeLoad::FULL) * 1.05, "{}", kind.name());
+            assert!(m.peak_node_power(&node) >= p);
+        }
+    }
+
+    #[test]
+    fn gpu_heavy_apps_draw_more_than_nemo() {
+        let node = ComputeNode::davide(0);
+        let p_qe = AppModel::quantum_espresso().mean_node_power(&node);
+        let p_nemo = AppModel::nemo().mean_node_power(&node);
+        assert!(p_qe > p_nemo, "QE {p_qe} vs NEMO {p_nemo}");
+    }
+
+    #[test]
+    fn nemo_shape_gates_two_gpus() {
+        let mut node = ComputeNode::davide(0);
+        let m = AppModel::nemo();
+        let before = m.mean_node_power(&node);
+        node.apply_shape(m.shape).unwrap();
+        let after = m.mean_node_power(&node);
+        assert!(after < before, "gating unused GPUs saves energy");
+    }
+
+    #[test]
+    fn strong_scaling_monotone_until_comm_dominates() {
+        let bqcd = AppModel::bqcd();
+        let s2 = bqcd.strong_scaling_speedup(2, 0.2);
+        let s8 = bqcd.strong_scaling_speedup(8, 0.8);
+        let s64 = bqcd.strong_scaling_speedup(64, 6.0);
+        assert!(s2 > 1.5);
+        assert!(s8 > s2);
+        // With 6 s of comm per 12 s iteration, 64 nodes is past the knee.
+        assert!(s64 < s8);
+    }
+
+    #[test]
+    fn comm_volume_positive_everywhere() {
+        for kind in AppKind::ALL {
+            assert!(AppModel::for_kind(kind).comm_bytes_per_iteration() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness — regenerates every table/figure-level claim of
+//! the paper (DESIGN.md §3, EXPERIMENTS.md).
+//!
+//! Usage:
+//!   cargo run -p davide-bench --release --bin experiments          # all
+//!   cargo run -p davide-bench --release --bin experiments e3 e11   # some
+//!   cargo run -p davide-bench --release --bin experiments --list
+
+use davide_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+
+    if args.iter().any(|a| a == "--list") {
+        for e in &experiments {
+            println!("{:<5} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut ran = 0;
+    for e in &experiments {
+        if selected.is_empty() || selected.contains(&e.id) {
+            (e.run)();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {selected:?}; try --list");
+        std::process::exit(1);
+    }
+    println!("\n{ran} experiment(s) completed.");
+}

@@ -1,0 +1,7 @@
+//! Experiment implementations, grouped by the paper section they
+//! reproduce.
+
+pub mod applications;
+pub mod management;
+pub mod monitoring;
+pub mod system;

@@ -1,0 +1,219 @@
+//! System-level experiments: E1 (envelope), E2 (Top500/Green500
+//! context), E7 (PSU consolidation), E8 (cooling), F1 (cooling loop).
+
+use crate::header;
+use davide_core::cooling::{CoolingLoop, ThermalNode};
+use davide_core::efficiency::{efficiency_ratio, estimated_rmax, reference_machines};
+use davide_core::node::{ComputeNode, NodeLoad};
+use davide_core::psu::{rack_conversion_comparison, PsuBank};
+use davide_core::units::{Celsius, Seconds, Watts};
+use davide_core::Cluster;
+
+/// E1 — node and pilot-system envelope versus the paper's numbers.
+pub fn e1() {
+    header("e1", "Node & pilot-system envelope");
+    let node = ComputeNode::davide(0);
+    let cluster = Cluster::davide();
+    println!("paper claim                      | paper       | model");
+    println!("---------------------------------+-------------+------------");
+    println!(
+        "node peak (DP)                   | 22 TFlops   | {:.1} TFlops",
+        node.architectural_peak().tflops()
+    );
+    println!(
+        "node power (est.)                | ~2 kW       | {:.2} kW",
+        node.power(NodeLoad::FULL).kw()
+    );
+    println!(
+        "system peak                      | 1 PFlops    | {:.2} PFlops",
+        cluster.peak().pflops()
+    );
+    println!(
+        "system power                     | <100 kW     | {:.1} kW",
+        cluster.facility_power(NodeLoad::FULL).kw()
+    );
+    println!(
+        "rack feed                        | 32 kW       | worst rack {:.1} kW",
+        cluster
+            .compute_racks()
+            .map(|r| r.facility_power(NodeLoad::FULL).kw())
+            .fold(0.0, f64::max)
+    );
+    println!(
+        "HPL-estimated Rmax (80% of peak) |             | {:.0} TFlops",
+        estimated_rmax(cluster.peak(), 0.8).tflops()
+    );
+    println!(
+        "efficiency at the meter          |             | {:.1} GFlops/W",
+        cluster.gflops_per_watt()
+    );
+    cluster.validate().expect("configuration legal");
+    println!("validation: all racks within budget, cooling loops legal ✓");
+}
+
+/// E2 — the Top500/Green500 machines the paper cites.
+pub fn e2() {
+    header("e2", "Top500/Green500 context (Nov 2016 lists)");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>7}",
+        "machine", "Rmax", "power", "GFlops/W", "accel"
+    );
+    let machines = reference_machines();
+    for m in &machines {
+        println!(
+            "{:<22} {:>7.1} PF {:>8.1} MW {:>12.2} {:>7}",
+            m.name,
+            m.rmax.pflops(),
+            m.power.mw(),
+            m.efficiency(),
+            if m.heterogeneous { "yes" } else { "no" }
+        );
+    }
+    let taihu = &machines[0];
+    let tianhe = &machines[1];
+    println!(
+        "\nTaihuLight vs Tianhe-2 efficiency ratio: {:.1}× (paper: \"3x\")",
+        efficiency_ratio(taihu, tianhe)
+    );
+    // Where the simulated DAVIDE would land.
+    let cluster = Cluster::davide();
+    let rmax = estimated_rmax(cluster.peak(), 0.8);
+    let eff = rmax.0 / cluster.facility_power(NodeLoad::FULL).0;
+    println!(
+        "simulated D.A.V.I.D.E. (Rmax-based): {eff:.2} GFlops/W — {} SaturnV's 9.5",
+        if eff > 9.5 { "above" } else { "near" }
+    );
+}
+
+/// E7 — rack-level AC/DC consolidation versus per-server PSUs.
+pub fn e7() {
+    header("e7", "OpenRack PSU consolidation");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9} {:>12} {:>12}",
+        "node load", "2/server AC", "OpenRack AC", "saving", "pair η", "bank η"
+    );
+    for per_node in [600.0, 1000.0, 1400.0, 1800.0, 2000.0] {
+        let (conv, or, saving) = rack_conversion_comparison(15, Watts(per_node));
+        let pair = PsuBank::per_server_pair();
+        let bank = PsuBank::openrack_32kw();
+        println!(
+            "{:>10.0} W {:>12.1} kW {:>12.1} kW {:>8.1} % {:>11.1} % {:>11.1} %",
+            per_node,
+            conv.kw(),
+            or.kw(),
+            saving * 100.0,
+            pair.efficiency(Watts(per_node)) * 100.0,
+            bank.efficiency(Watts(per_node * 15.0)) * 100.0
+        );
+    }
+    let pair = PsuBank::per_server_pair();
+    let bank = PsuBank::openrack_32kw();
+    println!(
+        "\nPSU count per 15-node rack: {} → {} units",
+        15 * pair.units,
+        bank.units
+    );
+    println!(
+        "expected PSU failures/year: {:.2} → {:.2}",
+        15.0 * pair.expected_failures_per_year(),
+        bank.expected_failures_per_year()
+    );
+    let node_load = Watts(1500.0);
+    let pair_noise = pair.output_noise_rms(node_load);
+    let rack_per_node = bank.output_noise_rms(node_load * 15.0) / 15.0;
+    println!(
+        "per-node supply noise (RMS): {:.1} W → {:.1} W ({:.1}× cleaner; enables >1 kHz sampling)",
+        pair_noise.0,
+        rack_per_node.0,
+        pair_noise.0 / rack_per_node.0
+    );
+    println!("paper claim: \"reduction of up to 5% of the total power consumption\" ✓");
+}
+
+/// E8 — direct liquid vs air cooling: throttling and performance.
+pub fn e8() {
+    header("e8", "Hybrid liquid cooling vs air");
+    // 10-minute full-load run on both node variants.
+    let dt = Seconds(1.0);
+    let mut liquid = ComputeNode::davide(0);
+    let mut air = ComputeNode::davide_air_cooled(1);
+    let mut liquid_throttles = 0usize;
+    let mut air_throttles = 0usize;
+    for _ in 0..600 {
+        liquid_throttles += liquid.thermal_step(NodeLoad::FULL, Celsius(37.0), dt);
+        air_throttles += air.thermal_step(NodeLoad::FULL, Celsius(30.0), dt);
+    }
+    let perf = |n: &ComputeNode| n.peak_gflops().tflops();
+    println!("10-minute full-load run:");
+    println!(
+        "  liquid (37 °C hot water): {} throttle events, max die {:.1} °C, perf {:.1} TF",
+        liquid_throttles,
+        liquid.max_die_temperature().0,
+        perf(&liquid)
+    );
+    println!(
+        "  air   (30 °C intake):     {} throttle events, max die {:.1} °C, perf {:.1} TF",
+        air_throttles,
+        air.max_die_temperature().0,
+        perf(&air)
+    );
+    println!(
+        "  air-cooled performance degradation: {:.1} %",
+        100.0 * (1.0 - perf(&air) / perf(&liquid))
+    );
+
+    // Inlet-temperature sweep for the liquid loop (hot-water range).
+    println!("\nliquid-loop inlet sweep (steady-state hottest die, GPU @300 W):");
+    for inlet in [15.0, 25.0, 35.0, 40.0, 45.0] {
+        let die = ThermalNode::liquid_gpu();
+        let ss = die.steady_state(Watts(300.0), Celsius(inlet + 2.0));
+        let ok = ss < die.t_throttle;
+        println!(
+            "  inlet {:>4.0} °C → die {:>5.1} °C  {}",
+            inlet,
+            ss.0,
+            if ok { "OK" } else { "THROTTLES" }
+        );
+    }
+    let l = CoolingLoop::davide_nominal();
+    let it = Watts::from_kw(30.0);
+    println!(
+        "\nheat split at 30 kW IT: liquid {:.1} kW ({:.0} %), air {:.1} kW — paper: 75–80 % liquid",
+        l.liquid_heat(it).kw(),
+        100.0 * l.liquid_capture_fraction,
+        l.air_heat(it).kw()
+    );
+    println!(
+        "rack PUE contribution: {:.3} (fans {:.0} W + pumps 120 W on {:.0} kW IT)",
+        l.rack_pue(it, Watts::from_kw(32.0)),
+        l.fan_power(it, Watts::from_kw(32.0)).0,
+        it.kw()
+    );
+}
+
+/// F1 — the Fig. 1 liquid-liquid heat-exchanger, as a state table.
+pub fn f1() {
+    header("f1", "Cooling-loop state table (Fig. 1)");
+    let l = CoolingLoop::davide_nominal();
+    l.validate().expect("legal loop");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16} {:>16}",
+        "IT load", "coolant out", "coolant back", "facility in", "facility back"
+    );
+    for kw in [8.0, 16.0, 24.0, 30.0] {
+        let it = Watts::from_kw(kw);
+        println!(
+            "{:>8.0}kW {:>12.1} °C {:>12.1} °C {:>14.1} °C {:>14.1} °C",
+            kw,
+            l.coolant_supply.0,
+            l.coolant_return(it).0,
+            l.facility_inlet.0,
+            l.facility_return(it).0
+        );
+        assert!(l.facility_return_ok(it));
+    }
+    println!(
+        "\nconstraints: inlet ∈ [2, 45] °C ✓, coolant ≥ dew point + 5 °C ✓, facility return ≤ 55 °C ✓"
+    );
+    println!("flow: 30 L/min per rack at 35 °C facility water (paper §II-I)");
+}

@@ -1,0 +1,337 @@
+//! Node-level reactive power capping (§III-A2).
+//!
+//! When a cap is armed, "local feedback controllers tune the operating
+//! points of the internal components in the compute node to track the
+//! maximum power set point". Two mechanisms are modelled:
+//!
+//! * [`PiCapController`] — a DVFS-ladder PI controller, the
+//!   frequency-scaling style of capping;
+//! * [`RaplWindow`] — a RAPL-style running-average power limit that
+//!   enforces the cap over a sliding time window rather than instant by
+//!   instant.
+
+use crate::node::{ComputeNode, NodeLoad};
+use crate::units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one controller step, for logging/metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapStep {
+    /// Node power after actuation.
+    pub power: Watts,
+    /// Cap in force.
+    pub cap: Watts,
+    /// Ladder movement applied this step (-1 throttle, 0 hold, +1 raise).
+    pub action: i32,
+    /// Achieved fraction of nominal performance (DVFS perf factor).
+    pub perf_factor: f64,
+}
+
+/// A proportional-integral controller that walks the node's DVFS ladders
+/// to keep measured power at or below a set point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiCapController {
+    /// Power set point.
+    pub cap: Watts,
+    /// Proportional gain (ladder steps per watt of error).
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Hysteresis band: no action while within `±band` of the cap.
+    pub band: Watts,
+    integral: f64,
+}
+
+impl PiCapController {
+    /// Controller with gains tuned for the ~9-step POWER8 ladder: a
+    /// 100 W overshoot commands roughly one ladder step.
+    pub fn new(cap: Watts) -> Self {
+        PiCapController {
+            cap,
+            kp: 0.01,
+            ki: 0.002,
+            band: Watts(25.0),
+            integral: 0.0,
+        }
+    }
+
+    /// Retarget the set point (e.g. rack manager reallocates budget).
+    pub fn set_cap(&mut self, cap: Watts) {
+        self.cap = cap;
+        self.integral = 0.0;
+    }
+
+    /// Run one control period: measure `node` power under `load`,
+    /// actuate the DVFS ladders, and report what happened.
+    ///
+    /// Over-cap the controller throttles one ladder step per period;
+    /// under-cap it raises performance only when its internal power model
+    /// predicts the higher operating point still fits below
+    /// `cap − band` — the guard that prevents limit-cycling around the
+    /// set point (real RAPL firmware uses the same trick).
+    pub fn step(&mut self, node: &mut ComputeNode, load: NodeLoad, dt: Seconds) -> CapStep {
+        let measured = node.power(load);
+        let error = measured.0 - self.cap.0; // positive ⇒ over cap
+        self.integral = (self.integral + error * dt.0).clamp(-1e4, 1e4);
+
+        let action = if error > 0.0 {
+            node.throttle_all();
+            -1
+        } else {
+            // Below the cap: probe one step up against the power model
+            // and keep it only when it leaves the hysteresis margin.
+            let changed = node.unthrottle_all();
+            if changed && node.power(load).0 > self.cap.0 - self.band.0 {
+                node.throttle_all();
+                0
+            } else if changed {
+                1
+            } else {
+                0
+            }
+        };
+
+        let power = node.power(load);
+        let perf_factor = node
+            .cpus
+            .first()
+            .map(|c| c.spec.dvfs.perf_factor(c.pstate()))
+            .unwrap_or(1.0);
+        CapStep {
+            power,
+            cap: self.cap,
+            action,
+            perf_factor,
+        }
+    }
+
+    /// Drive the controller for `steps` periods of `dt` under a constant
+    /// load; returns the trajectory.
+    pub fn run(
+        &mut self,
+        node: &mut ComputeNode,
+        load: NodeLoad,
+        dt: Seconds,
+        steps: usize,
+    ) -> Vec<CapStep> {
+        (0..steps).map(|_| self.step(node, load, dt)).collect()
+    }
+}
+
+/// RAPL-style running-average power limit: the constraint is
+/// `mean(P over window) ≤ cap`, allowing short excursions above the cap
+/// as long as the window average holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RaplWindow {
+    /// Average-power limit.
+    pub cap: Watts,
+    /// Averaging window length.
+    pub window: Seconds,
+    samples: Vec<(f64, f64)>, // (t, watts)
+    now: f64,
+}
+
+impl RaplWindow {
+    /// New window-average limiter.
+    pub fn new(cap: Watts, window: Seconds) -> Self {
+        assert!(window.0 > 0.0);
+        RaplWindow {
+            cap,
+            window,
+            samples: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Record a power observation `dt` after the previous one.
+    pub fn observe(&mut self, power: Watts, dt: Seconds) {
+        self.now += dt.0;
+        self.samples.push((self.now, power.0));
+        let horizon = self.now - self.window.0;
+        self.samples.retain(|&(t, _)| t > horizon);
+    }
+
+    /// Current window-average power.
+    pub fn average(&self) -> Watts {
+        if self.samples.is_empty() {
+            return Watts::ZERO;
+        }
+        Watts(self.samples.iter().map(|&(_, p)| p).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Is the running average within the limit?
+    pub fn compliant(&self) -> bool {
+        self.average() <= self.cap
+    }
+
+    /// Headroom left in the window: how much instantaneous power could be
+    /// drawn next period while keeping the average at the cap.
+    pub fn headroom(&self) -> Watts {
+        let n = self.samples.len().max(1) as f64;
+        // avg' = (sum + p)/(n+1) ≤ cap  ⇒  p ≤ cap·(n+1) − sum
+        let sum: f64 = self.samples.iter().map(|&(_, p)| p).sum();
+        Watts((self.cap.0 * (n + 1.0) - sum).max(0.0))
+    }
+}
+
+/// Quality summary of a capping run: used by E9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapQuality {
+    /// Fraction of steps over the cap.
+    pub violation_fraction: f64,
+    /// Worst overshoot above the cap.
+    pub max_overshoot: Watts,
+    /// Steps until the trajectory first came within the band and stayed.
+    pub settle_steps: usize,
+    /// Mean performance factor after settling (the QoS cost of the cap).
+    pub mean_perf_after_settle: f64,
+}
+
+/// Evaluate a capping trajectory.
+pub fn evaluate(trajectory: &[CapStep], band: Watts) -> CapQuality {
+    let n = trajectory.len().max(1);
+    let violations = trajectory.iter().filter(|s| s.power > s.cap + band).count();
+    let max_overshoot = trajectory
+        .iter()
+        .map(|s| Watts((s.power.0 - s.cap.0).max(0.0)))
+        .fold(Watts::ZERO, Watts::max);
+    // Settle point: first index after which power never exceeds cap+band.
+    let mut settle = trajectory.len();
+    for i in (0..trajectory.len()).rev() {
+        if trajectory[i].power > trajectory[i].cap + band {
+            break;
+        }
+        settle = i;
+    }
+    let after: Vec<f64> = trajectory[settle..].iter().map(|s| s.perf_factor).collect();
+    let mean_perf = if after.is_empty() {
+        0.0
+    } else {
+        after.iter().sum::<f64>() / after.len() as f64
+    };
+    CapQuality {
+        violation_fraction: violations as f64 / n as f64,
+        max_overshoot,
+        settle_steps: settle,
+        mean_perf_after_settle: mean_perf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ComputeNode;
+
+    fn capped_run(cap_w: f64, steps: usize) -> (Vec<CapStep>, ComputeNode) {
+        let mut node = ComputeNode::davide(0);
+        let mut ctl = PiCapController::new(Watts(cap_w));
+        let traj = ctl.run(&mut node, NodeLoad::FULL, Seconds(0.1), steps);
+        (traj, node)
+    }
+
+    #[test]
+    fn controller_brings_node_under_cap() {
+        let (traj, _) = capped_run(1500.0, 200);
+        let last = traj.last().unwrap();
+        assert!(
+            last.power <= Watts(1500.0) + Watts(25.0),
+            "settled power {} must respect 1.5 kW cap",
+            last.power
+        );
+        let q = evaluate(&traj, Watts(25.0));
+        assert!(q.settle_steps < 50, "settles quickly: {}", q.settle_steps);
+        assert!(q.mean_perf_after_settle < 1.0, "capping costs performance");
+        assert!(q.mean_perf_after_settle > 0.5, "but not catastrophically");
+    }
+
+    #[test]
+    fn loose_cap_costs_nothing() {
+        let (traj, node) = capped_run(2500.0, 100);
+        let q = evaluate(&traj, Watts(25.0));
+        assert_eq!(q.violation_fraction, 0.0);
+        assert!(
+            (q.mean_perf_after_settle - node.cpus[0].spec.dvfs.perf_factor(
+                node.cpus[0].pstate()
+            ))
+            .abs()
+            < 0.2
+        );
+        assert!(q.mean_perf_after_settle >= 1.0, "no throttling needed");
+    }
+
+    #[test]
+    fn tighter_cap_costs_more_performance() {
+        let (t_loose, _) = capped_run(1800.0, 300);
+        let (t_tight, _) = capped_run(1300.0, 300);
+        let q_loose = evaluate(&t_loose, Watts(25.0));
+        let q_tight = evaluate(&t_tight, Watts(25.0));
+        assert!(
+            q_tight.mean_perf_after_settle < q_loose.mean_perf_after_settle,
+            "tight {} !< loose {}",
+            q_tight.mean_perf_after_settle,
+            q_loose.mean_perf_after_settle
+        );
+    }
+
+    #[test]
+    fn controller_recovers_when_cap_relaxes() {
+        let mut node = ComputeNode::davide(0);
+        let mut ctl = PiCapController::new(Watts(1300.0));
+        ctl.run(&mut node, NodeLoad::FULL, Seconds(0.1), 200);
+        let throttled_perf = node.cpus[0].spec.dvfs.perf_factor(node.cpus[0].pstate());
+        ctl.set_cap(Watts(2400.0));
+        ctl.run(&mut node, NodeLoad::FULL, Seconds(0.1), 200);
+        let relaxed_perf = node.cpus[0].spec.dvfs.perf_factor(node.cpus[0].pstate());
+        assert!(relaxed_perf > throttled_perf, "unthrottles after relax");
+    }
+
+    #[test]
+    fn rapl_window_average_and_headroom() {
+        let mut rapl = RaplWindow::new(Watts(1000.0), Seconds(10.0));
+        for _ in 0..5 {
+            rapl.observe(Watts(800.0), Seconds(1.0));
+        }
+        assert!(rapl.compliant());
+        assert!((rapl.average().0 - 800.0).abs() < 1e-9);
+        // Headroom allows a burst above the cap.
+        assert!(rapl.headroom() > Watts(1000.0));
+        // A long burst eventually violates.
+        for _ in 0..20 {
+            rapl.observe(Watts(1400.0), Seconds(1.0));
+        }
+        assert!(!rapl.compliant());
+    }
+
+    #[test]
+    fn rapl_allows_short_excursions_pi_does_not() {
+        // The defining RAPL property: transient spikes are fine if the
+        // window average holds.
+        let mut rapl = RaplWindow::new(Watts(1000.0), Seconds(10.0));
+        for i in 0..10 {
+            let p = if i % 2 == 0 { 1300.0 } else { 650.0 };
+            rapl.observe(Watts(p), Seconds(1.0));
+        }
+        assert!(rapl.compliant(), "975 W average under 1 kW cap");
+    }
+
+    #[test]
+    fn rapl_window_slides() {
+        let mut rapl = RaplWindow::new(Watts(1000.0), Seconds(5.0));
+        for _ in 0..10 {
+            rapl.observe(Watts(2000.0), Seconds(1.0));
+        }
+        for _ in 0..10 {
+            rapl.observe(Watts(100.0), Seconds(1.0));
+        }
+        // Old hot samples have slid out of the 5 s window.
+        assert!((rapl.average().0 - 100.0).abs() < 1e-9);
+        assert!(rapl.compliant());
+    }
+
+    #[test]
+    fn evaluate_on_empty_is_sane() {
+        let q = evaluate(&[], Watts(10.0));
+        assert_eq!(q.violation_fraction, 0.0);
+        assert_eq!(q.settle_steps, 0);
+    }
+}

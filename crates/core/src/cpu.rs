@@ -1,0 +1,242 @@
+//! IBM POWER8+ (with NVLink) socket model.
+//!
+//! Performance and power envelopes follow §II-A of the paper: the
+//! D.A.V.I.D.E. part is the 8-core POWER8+, 8-way SMT (64 hardware
+//! threads/socket), four DP FP pipelines per core (8 DP flops/cycle with
+//! FMA), 64 kB L1D / 32 kB L1I per core.
+
+use crate::dvfs::{power8_table, DvfsTable};
+use crate::error::{CoreError, Result};
+use crate::units::{Gflops, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a POWER8-class socket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Marketing/model name.
+    pub name: String,
+    /// Physical cores per socket.
+    pub cores: u32,
+    /// SMT ways per core (POWER8: 8).
+    pub smt: u32,
+    /// Double-precision flops per core per cycle (4 DP pipes × FMA = 8).
+    pub dp_flops_per_cycle: u32,
+    /// Socket idle (uncore + leakage) power.
+    pub idle_power: Watts,
+    /// Socket thermal design power at the nominal operating point.
+    pub tdp: Watts,
+    /// DVFS ladder.
+    pub dvfs: DvfsTable,
+}
+
+impl CpuSpec {
+    /// The POWER8+ 8-core part used in the D.A.V.I.D.E. compute node.
+    pub fn power8plus() -> Self {
+        CpuSpec {
+            name: "IBM POWER8+ w/ NVLink (8-core)".to_string(),
+            cores: 8,
+            smt: 8,
+            dp_flops_per_cycle: 8,
+            idle_power: Watts(45.0),
+            tdp: Watts(190.0),
+            dvfs: power8_table(),
+        }
+    }
+
+    /// Hardware threads exposed by the socket.
+    pub fn hw_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Peak DP throughput at a given ladder index with all cores active.
+    pub fn peak_gflops_at(&self, pstate_idx: usize) -> Gflops {
+        let f = self.dvfs.state(pstate_idx).freq;
+        Gflops(self.cores as f64 * self.dp_flops_per_cycle as f64 * f.ghz())
+    }
+
+    /// Peak DP throughput at the nominal operating point.
+    pub fn peak_gflops(&self) -> Gflops {
+        self.peak_gflops_at(self.dvfs.nominal_index())
+    }
+}
+
+/// Runtime state of one socket: its operating point, how many cores are
+/// powered, and the load it is running.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Immutable hardware description.
+    pub spec: CpuSpec,
+    pstate: usize,
+    active_cores: u32,
+}
+
+impl CpuModel {
+    /// New socket at its nominal operating point with all cores active.
+    pub fn new(spec: CpuSpec) -> Self {
+        let pstate = spec.dvfs.nominal_index();
+        let active_cores = spec.cores;
+        CpuModel {
+            spec,
+            pstate,
+            active_cores,
+        }
+    }
+
+    /// Current ladder index.
+    #[inline]
+    pub fn pstate(&self) -> usize {
+        self.pstate
+    }
+
+    /// Set the operating point.
+    pub fn set_pstate(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.spec.dvfs.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "p-state {idx} out of range (table has {})",
+                self.spec.dvfs.len()
+            )));
+        }
+        self.pstate = idx;
+        Ok(())
+    }
+
+    /// Step one operating point down (throttle). Returns the new index.
+    pub fn throttle(&mut self) -> usize {
+        self.pstate = self.spec.dvfs.step_down(self.pstate);
+        self.pstate
+    }
+
+    /// Step one operating point up (unthrottle). Returns the new index.
+    pub fn unthrottle(&mut self) -> usize {
+        self.pstate = self.spec.dvfs.step_up(self.pstate);
+        self.pstate
+    }
+
+    /// Currently powered cores.
+    #[inline]
+    pub fn active_cores(&self) -> u32 {
+        self.active_cores
+    }
+
+    /// Energy-proportionality API (§IV): power down unused cores.
+    /// At least one core must stay on.
+    pub fn set_active_cores(&mut self, n: u32) -> Result<()> {
+        if n == 0 || n > self.spec.cores {
+            return Err(CoreError::InvalidConfig(format!(
+                "active cores must be in 1..={}, got {n}",
+                self.spec.cores
+            )));
+        }
+        self.active_cores = n;
+        Ok(())
+    }
+
+    /// Instantaneous socket power at utilisation `util ∈ [0,1]` of the
+    /// active cores.
+    ///
+    /// Model: `P = P_idle·g + (TDP − P_idle)·(cores_on/cores)·util·k_dvfs`
+    /// where `g` scales a third of the idle power with the gated-core
+    /// fraction (uncore stays on) and `k_dvfs` is the CMOS `V²f` factor.
+    pub fn power(&self, util: f64) -> Watts {
+        let util = util.clamp(0.0, 1.0);
+        let core_frac = self.active_cores as f64 / self.spec.cores as f64;
+        let idle = self.spec.idle_power * (2.0 / 3.0 + core_frac / 3.0);
+        let dynamic_span = self.spec.tdp - self.spec.idle_power;
+        let k = self.spec.dvfs.dynamic_power_factor(self.pstate);
+        idle + dynamic_span * (core_frac * util * k)
+    }
+
+    /// Achievable DP throughput at utilisation `util` — linear in active
+    /// cores, frequency and utilisation (compute-bound limit).
+    pub fn gflops(&self, util: f64) -> Gflops {
+        let util = util.clamp(0.0, 1.0);
+        let f = self.spec.dvfs.state(self.pstate).freq;
+        Gflops(
+            self.active_cores as f64 * self.spec.dp_flops_per_cycle as f64 * f.ghz() * util,
+        )
+    }
+
+    /// Peak throughput in the current configuration.
+    pub fn peak_gflops(&self) -> Gflops {
+        self.gflops(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power8_published_envelope() {
+        let spec = CpuSpec::power8plus();
+        assert_eq!(spec.hw_threads(), 64);
+        // 8 cores × 8 flops/cycle × 3.26 GHz ≈ 209 GFlops/socket nominal.
+        let peak = spec.peak_gflops();
+        assert!((peak.0 - 208.6).abs() < 1.0, "peak={peak}");
+        // Two sockets contribute ≈ 0.42 TF of the node's 22 TF.
+        assert!(2.0 * peak.tflops() < 0.5);
+    }
+
+    #[test]
+    fn power_monotone_in_util_and_pstate() {
+        let mut cpu = CpuModel::new(CpuSpec::power8plus());
+        let p_idle = cpu.power(0.0);
+        let p_half = cpu.power(0.5);
+        let p_full = cpu.power(1.0);
+        assert!(p_idle < p_half && p_half < p_full);
+        // Full power at nominal equals TDP.
+        assert!((p_full.0 - 190.0).abs() < 1e-9, "p_full={p_full}");
+        cpu.throttle();
+        assert!(cpu.power(1.0) < p_full);
+    }
+
+    #[test]
+    fn throttle_walks_ladder_and_clamps() {
+        let mut cpu = CpuModel::new(CpuSpec::power8plus());
+        let start = cpu.pstate();
+        for _ in 0..100 {
+            cpu.throttle();
+        }
+        assert_eq!(cpu.pstate(), 0);
+        for _ in 0..100 {
+            cpu.unthrottle();
+        }
+        assert_eq!(cpu.pstate(), cpu.spec.dvfs.len() - 1);
+        cpu.set_pstate(start).unwrap();
+        assert_eq!(cpu.pstate(), start);
+        assert!(cpu.set_pstate(99).is_err());
+    }
+
+    #[test]
+    fn core_gating_saves_power_and_perf() {
+        let mut cpu = CpuModel::new(CpuSpec::power8plus());
+        let p8 = cpu.power(1.0);
+        let g8 = cpu.gflops(1.0);
+        cpu.set_active_cores(4).unwrap();
+        let p4 = cpu.power(1.0);
+        let g4 = cpu.gflops(1.0);
+        assert!(p4 < p8);
+        assert!((g4.0 - g8.0 / 2.0).abs() < 1e-9);
+        assert!(cpu.set_active_cores(0).is_err());
+        assert!(cpu.set_active_cores(9).is_err());
+    }
+
+    #[test]
+    fn utilisation_is_clamped() {
+        let cpu = CpuModel::new(CpuSpec::power8plus());
+        assert_eq!(cpu.power(1.5), cpu.power(1.0));
+        assert_eq!(cpu.power(-0.5), cpu.power(0.0));
+        assert_eq!(cpu.gflops(2.0), cpu.gflops(1.0));
+    }
+
+    #[test]
+    fn idle_power_dominated_by_uncore() {
+        let mut cpu = CpuModel::new(CpuSpec::power8plus());
+        let idle_all = cpu.power(0.0);
+        cpu.set_active_cores(1).unwrap();
+        let idle_one = cpu.power(0.0);
+        // Gating cores saves some idle power but uncore remains.
+        assert!(idle_one < idle_all);
+        assert!(idle_one > idle_all * 0.6);
+    }
+}

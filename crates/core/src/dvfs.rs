@@ -1,0 +1,236 @@
+//! Dynamic voltage and frequency scaling (DVFS) support.
+//!
+//! Both the POWER8 sockets and the P100 accelerators expose a ladder of
+//! operating points. Reactive power capping ([`crate::capping`]) walks this
+//! ladder; the energy-proportionality APIs (§IV of the paper) pin it.
+
+use crate::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// A single DVFS operating point: a frequency/voltage pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Core clock.
+    pub freq: Hertz,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+/// An ordered ladder of operating points (ascending frequency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    states: Vec<PState>,
+    /// Index of the nominal (default) state.
+    nominal: usize,
+}
+
+impl DvfsTable {
+    /// Build a table from `(ghz, volts)` pairs; `nominal` indexes the
+    /// default operating point.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, unsorted in frequency, or `nominal`
+    /// is out of range.
+    pub fn new(points: &[(f64, f64)], nominal: usize) -> Self {
+        assert!(!points.is_empty(), "DVFS table cannot be empty");
+        assert!(nominal < points.len(), "nominal index out of range");
+        let states: Vec<PState> = points
+            .iter()
+            .map(|&(ghz, v)| PState {
+                freq: Hertz::from_ghz(ghz),
+                voltage: v,
+            })
+            .collect();
+        assert!(
+            states.windows(2).all(|w| w[0].freq < w[1].freq),
+            "DVFS table must be sorted by ascending frequency"
+        );
+        DvfsTable { states, nominal }
+    }
+
+    /// Linearly-spaced ladder from `(f_min, v_min)` to `(f_max, v_max)`
+    /// with `n` steps — a good model of vendor tables.
+    pub fn linear(f_min_ghz: f64, v_min: f64, f_max_ghz: f64, v_max: f64, n: usize) -> Self {
+        assert!(n >= 2, "need at least two operating points");
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = i as f64 / (n - 1) as f64;
+                (
+                    f_min_ghz + a * (f_max_ghz - f_min_ghz),
+                    v_min + a * (v_max - v_min),
+                )
+            })
+            .collect();
+        DvfsTable::new(&pts, n - 1)
+    }
+
+    /// Number of operating points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false: construction rejects empty tables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Operating point at `idx`.
+    #[inline]
+    pub fn state(&self, idx: usize) -> PState {
+        self.states[idx]
+    }
+
+    /// Index of the nominal operating point.
+    #[inline]
+    pub fn nominal_index(&self) -> usize {
+        self.nominal
+    }
+
+    /// The nominal operating point.
+    #[inline]
+    pub fn nominal(&self) -> PState {
+        self.states[self.nominal]
+    }
+
+    /// Highest operating point.
+    #[inline]
+    pub fn max(&self) -> PState {
+        *self.states.last().expect("non-empty by construction")
+    }
+
+    /// Lowest operating point.
+    #[inline]
+    pub fn min(&self) -> PState {
+        self.states[0]
+    }
+
+    /// One step down the ladder from `idx` (clamped at the bottom).
+    #[inline]
+    pub fn step_down(&self, idx: usize) -> usize {
+        idx.saturating_sub(1)
+    }
+
+    /// One step up the ladder from `idx` (clamped at the top).
+    #[inline]
+    pub fn step_up(&self, idx: usize) -> usize {
+        (idx + 1).min(self.states.len() - 1)
+    }
+
+    /// Dynamic-power scaling factor of state `idx` relative to the nominal
+    /// point: `(V/Vn)² · (f/fn)` — the classic CMOS model.
+    pub fn dynamic_power_factor(&self, idx: usize) -> f64 {
+        let s = self.states[idx];
+        let n = self.nominal();
+        (s.voltage / n.voltage).powi(2) * (s.freq / n.freq)
+    }
+
+    /// Compute-bound performance scaling factor relative to nominal
+    /// (linear in frequency).
+    pub fn perf_factor(&self, idx: usize) -> f64 {
+        self.states[idx].freq / self.nominal().freq
+    }
+}
+
+/// The POWER8+ socket ladder used in D.A.V.I.D.E. (8-core part, turbo
+/// ≈ 4.0 GHz, nominal 3.26 GHz, p-safe 2.06 GHz).
+pub fn power8_table() -> DvfsTable {
+    DvfsTable::new(
+        &[
+            (2.06, 0.85),
+            (2.30, 0.89),
+            (2.56, 0.93),
+            (2.80, 0.97),
+            (3.06, 1.01),
+            (3.26, 1.05), // nominal
+            (3.50, 1.09),
+            (3.76, 1.13),
+            (4.02, 1.17), // turbo
+        ],
+        5,
+    )
+}
+
+/// The Tesla P100 (SXM2) graphics-clock ladder: 544 MHz floor to 1480 MHz
+/// boost, nominal at the 1328 MHz base clock.
+pub fn p100_table() -> DvfsTable {
+    DvfsTable::new(
+        &[
+            (0.544, 0.70),
+            (0.696, 0.74),
+            (0.848, 0.78),
+            (1.000, 0.83),
+            (1.152, 0.88),
+            (1.328, 0.95), // base/nominal
+            (1.480, 1.00), // boost
+        ],
+        5,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_ordered_and_nominal_valid() {
+        for table in [power8_table(), p100_table()] {
+            assert!(table.len() >= 5);
+            for i in 1..table.len() {
+                assert!(table.state(i).freq > table.state(i - 1).freq);
+                assert!(table.state(i).voltage >= table.state(i - 1).voltage);
+            }
+            assert!(table.nominal_index() < table.len());
+        }
+    }
+
+    #[test]
+    fn stepping_clamps() {
+        let t = power8_table();
+        assert_eq!(t.step_down(0), 0);
+        assert_eq!(t.step_up(t.len() - 1), t.len() - 1);
+        assert_eq!(t.step_down(3), 2);
+        assert_eq!(t.step_up(3), 4);
+    }
+
+    #[test]
+    fn nominal_factors_are_unity() {
+        let t = power8_table();
+        let n = t.nominal_index();
+        assert!((t.dynamic_power_factor(n) - 1.0).abs() < 1e-12);
+        assert!((t.perf_factor(n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_factor_superlinear_in_frequency() {
+        // V scales with f, so dynamic power should fall faster than perf
+        // as we step down — the whole point of DVFS energy savings.
+        let t = power8_table();
+        let n = t.nominal_index();
+        let p = t.dynamic_power_factor(n - 2);
+        let s = t.perf_factor(n - 2);
+        assert!(p < s, "power factor {p} must drop below perf factor {s}");
+    }
+
+    #[test]
+    fn linear_builder() {
+        let t = DvfsTable::linear(1.0, 0.8, 2.0, 1.0, 5);
+        assert_eq!(t.len(), 5);
+        assert!((t.state(2).freq.ghz() - 1.5).abs() < 1e-12);
+        assert!((t.state(2).voltage - 0.9).abs() < 1e-12);
+        assert_eq!(t.nominal_index(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_table_rejected() {
+        DvfsTable::new(&[(2.0, 0.9), (1.0, 0.8)], 0);
+    }
+
+    #[test]
+    fn p100_turbo_reaches_1480() {
+        let t = p100_table();
+        assert!((t.max().freq.ghz() - 1.48).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Top500/Green500 context data and efficiency arithmetic (§I, §V-A).
+//!
+//! The paper motivates the design with the November-2016 lists: the power
+//! wall at Tianhe-2, TaihuLight's 3× efficiency jump, and the P100-based
+//! DGX SaturnV / Piz Daint topping the Green500. These published numbers
+//! are reproduced here as a static table so E2 can regenerate the
+//! comparison against the simulated D.A.V.I.D.E.
+
+use crate::units::{gflops_per_watt, Gflops, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A supercomputer as it appears on the lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineEntry {
+    /// List name.
+    pub name: &'static str,
+    /// Linpack Rmax.
+    pub rmax: Gflops,
+    /// Measured IT power during the run.
+    pub power: Watts,
+    /// Whether the design couples CPUs with accelerators.
+    pub heterogeneous: bool,
+    /// Year of the listed configuration.
+    pub year: u32,
+}
+
+impl MachineEntry {
+    /// Green500 metric for this entry.
+    pub fn efficiency(&self) -> f64 {
+        gflops_per_watt(self.rmax, self.power)
+    }
+}
+
+/// The machines the paper cites, with their published Rmax/power.
+pub fn reference_machines() -> Vec<MachineEntry> {
+    vec![
+        MachineEntry {
+            name: "Sunway TaihuLight",
+            rmax: Gflops(93.0e6),
+            power: Watts(15.4e6),
+            heterogeneous: false,
+            year: 2016,
+        },
+        MachineEntry {
+            name: "Tianhe-2",
+            rmax: Gflops(33.8e6),
+            power: Watts(17.8e6),
+            heterogeneous: true,
+            year: 2013,
+        },
+        MachineEntry {
+            name: "DGX SaturnV",
+            rmax: Gflops(3_307.0e3),
+            power: Watts(349.5e3),
+            heterogeneous: true,
+            year: 2016,
+        },
+        MachineEntry {
+            name: "Piz Daint",
+            rmax: Gflops(9_779.0e3),
+            power: Watts(1_312.0e3),
+            heterogeneous: true,
+            year: 2016,
+        },
+    ]
+}
+
+/// Ratio of two machines' efficiencies (`a` relative to `b`).
+pub fn efficiency_ratio(a: &MachineEntry, b: &MachineEntry) -> f64 {
+    a.efficiency() / b.efficiency()
+}
+
+/// Estimate a Linpack Rmax from an architectural peak: GPU-dense systems
+/// of the P100 era sustained ~75–85 % of Rpeak on HPL.
+pub fn estimated_rmax(rpeak: Gflops, hpl_efficiency: f64) -> Gflops {
+    assert!((0.0..=1.0).contains(&hpl_efficiency));
+    rpeak * hpl_efficiency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_efficiencies() {
+        let machines = reference_machines();
+        let taihu = &machines[0];
+        let tianhe = &machines[1];
+        let saturnv = &machines[2];
+        let daint = &machines[3];
+        // §I: TaihuLight ≈ 6 GFlops/W, Tianhe-2 ≈ 2 GFlops/W.
+        assert!((taihu.efficiency() - 6.0).abs() < 0.1);
+        assert!((tianhe.efficiency() - 1.9).abs() < 0.1);
+        // §I: "energy efficiency increment of 3x w.r.t. Tianhe-2".
+        let ratio = efficiency_ratio(taihu, tianhe);
+        assert!((ratio - 3.2).abs() < 0.2, "ratio={ratio}");
+        // §I: SaturnV 9.5 and Piz Daint 7.5 GFlops/W.
+        assert!((saturnv.efficiency() - 9.5).abs() < 0.2);
+        assert!((daint.efficiency() - 7.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn p100_machines_top_the_ranking() {
+        let mut machines = reference_machines();
+        machines.sort_by(|a, b| b.efficiency().partial_cmp(&a.efficiency()).unwrap());
+        assert_eq!(machines[0].name, "DGX SaturnV");
+        assert_eq!(machines[1].name, "Piz Daint");
+    }
+
+    #[test]
+    fn rmax_estimation() {
+        let rpeak = Gflops::from_tflops(990.0);
+        let rmax = estimated_rmax(rpeak, 0.8);
+        assert!((rmax.tflops() - 792.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmax_estimation_rejects_bad_fraction() {
+        estimated_rmax(Gflops(1.0), 1.5);
+    }
+}

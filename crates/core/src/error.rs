@@ -1,0 +1,69 @@
+//! Error types for the core hardware models.
+
+use std::fmt;
+
+/// Errors raised by cluster/hardware model configuration and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was out of its physical range.
+    InvalidConfig(String),
+    /// A requested resource (node, GPU, core…) does not exist.
+    NoSuchResource(String),
+    /// An operation would exceed a hard budget (rack power, node count…).
+    BudgetExceeded {
+        /// What budget was violated.
+        what: String,
+        /// Requested amount.
+        requested: f64,
+        /// Available amount.
+        available: f64,
+    },
+    /// Thermal or electrical safety constraint violated.
+    SafetyViolation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::NoSuchResource(msg) => write!(f, "no such resource: {msg}"),
+            CoreError::BudgetExceeded {
+                what,
+                requested,
+                available,
+            } => write!(
+                f,
+                "budget exceeded for {what}: requested {requested}, available {available}"
+            ),
+            CoreError::SafetyViolation(msg) => write!(f, "safety violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BudgetExceeded {
+            what: "rack power".into(),
+            requested: 40_000.0,
+            available: 32_000.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rack power") && s.contains("32000"));
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::SafetyViolation("too hot".into()));
+    }
+}

@@ -1,0 +1,296 @@
+//! Node-internal and cluster-level interconnect models.
+//!
+//! §II-B/D/H of the paper: inside a node, each POWER8+ socket talks to its
+//! two P100s over NVLink (two ganged links per peer pair → 80 GB/s
+//! bidirectional), while PCIe gen3 carries power/management traffic; a
+//! 16× PCIe gen3 slot per socket hosts an EDR InfiniBand HCA (dual-plane,
+//! 2 × 100 Gb/s per node) into a non-oversubscribed fat-tree.
+
+use crate::units::{Bytes, GBps, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Classes of point-to-point links present in a D.A.V.I.D.E. node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// NVIDIA NVLink 1.0 (per-link 40 GB/s bidirectional).
+    NvLink,
+    /// PCI Express generation 3.
+    PcieGen3,
+    /// Mellanox EDR InfiniBand (100 Gb/s per port).
+    EdrInfiniband,
+    /// POWER8 SMP interconnect between the two sockets.
+    SmpBus,
+}
+
+/// A point-to-point transfer channel with latency and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Link technology.
+    pub kind: LinkKind,
+    /// Unidirectional data bandwidth.
+    pub bandwidth: GBps,
+    /// One-way latency.
+    pub latency: Seconds,
+    /// Active-link power draw.
+    pub power: Watts,
+}
+
+impl Link {
+    /// An NVLink *gang* of `links` links (D.A.V.I.D.E. uses gangs of 2 for
+    /// 80 GB/s bidirectional = 40 GB/s per direction ganged ×2).
+    pub fn nvlink_gang(links: u32) -> Self {
+        assert!((1..=4).contains(&links), "P100 supports gangs of 1..=4");
+        Link {
+            kind: LinkKind::NvLink,
+            // 20 GB/s per direction per link (NVHS 8 lanes @ 20 Gb/s).
+            bandwidth: GBps(20.0 * links as f64),
+            latency: Seconds(1.3e-6),
+            power: Watts(4.0 * links as f64),
+        }
+    }
+
+    /// PCIe gen3 with `lanes` lanes (~0.985 GB/s per lane effective).
+    pub fn pcie_gen3(lanes: u32) -> Self {
+        Link {
+            kind: LinkKind::PcieGen3,
+            bandwidth: GBps(0.985 * lanes as f64),
+            latency: Seconds(1.0e-6),
+            power: Watts(0.4 * lanes as f64),
+        }
+    }
+
+    /// One EDR InfiniBand port: 100 Gb/s ≈ 12.1 GB/s effective after
+    /// 64b/66b encoding and transport overhead.
+    pub fn edr_port() -> Self {
+        Link {
+            kind: LinkKind::EdrInfiniband,
+            bandwidth: GBps(12.1),
+            latency: Seconds(0.6e-6),
+            power: Watts(14.0),
+        }
+    }
+
+    /// The POWER8 SMP bus between sockets.
+    pub fn smp_bus() -> Self {
+        Link {
+            kind: LinkKind::SmpBus,
+            bandwidth: GBps(38.4),
+            latency: Seconds(0.15e-6),
+            power: Watts(6.0),
+        }
+    }
+
+    /// Time to move `size` bytes one way: latency + size/bandwidth.
+    pub fn transfer_time(&self, size: Bytes) -> Seconds {
+        Seconds(self.latency.0 + size.0 / (self.bandwidth.0 * 1e9))
+    }
+
+    /// Effective bandwidth achieved for a message of `size` bytes
+    /// (latency-degraded; approaches line rate for large messages).
+    pub fn effective_bandwidth(&self, size: Bytes) -> GBps {
+        GBps(size.0 / 1e9 / self.transfer_time(size).0)
+    }
+}
+
+/// The intra-node wiring of a D.A.V.I.D.E. compute node: which link class
+/// connects each pair of endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodePath {
+    /// CPU socket to one of its two local GPUs.
+    CpuToLocalGpu,
+    /// The two GPUs attached to the same socket.
+    GpuToGpuSameSocket,
+    /// GPUs attached to different sockets (must cross the SMP bus).
+    GpuToGpuCrossSocket,
+    /// CPU socket to the other socket.
+    CpuToCpu,
+    /// CPU socket to its InfiniBand HCA.
+    CpuToHca,
+    /// Management/bulk path CPU↔GPU over PCIe (pre-NVLink baseline).
+    CpuToGpuPcie,
+}
+
+/// Resolve the link used for an intra-node path in the D.A.V.I.D.E.
+/// wiring (§II-D): NVLink gangs of 2 between CPU↔GPU and GPU↔GPU on the
+/// same socket; PCIe for management; SMP for cross-socket.
+pub fn davide_node_link(path: NodePath) -> Link {
+    match path {
+        NodePath::CpuToLocalGpu | NodePath::GpuToGpuSameSocket => Link::nvlink_gang(2),
+        NodePath::GpuToGpuCrossSocket | NodePath::CpuToCpu => Link::smp_bus(),
+        NodePath::CpuToHca => Link::pcie_gen3(16),
+        NodePath::CpuToGpuPcie => Link::pcie_gen3(16),
+    }
+}
+
+/// A non-oversubscribed fat-tree EDR fabric (§II-H: dual-plane, fat-tree,
+/// no oversubscription).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FatTree {
+    /// Number of end nodes.
+    pub nodes: u32,
+    /// Independent rails/planes (D.A.V.I.D.E.: 2).
+    pub planes: u32,
+    /// Switch radix (EDR: typically 36).
+    pub radix: u32,
+    /// Per-hop switch latency.
+    pub hop_latency: Seconds,
+    /// Per-port link model.
+    pub port: Link,
+}
+
+impl FatTree {
+    /// The D.A.V.I.D.E. fabric: dual-plane EDR fat-tree for `nodes` nodes.
+    pub fn davide(nodes: u32) -> Self {
+        FatTree {
+            nodes,
+            planes: 2,
+            radix: 36,
+            hop_latency: Seconds(0.09e-6),
+            port: Link::edr_port(),
+        }
+    }
+
+    /// Number of tree levels needed (radix/2 down-ports per switch).
+    pub fn levels(&self) -> u32 {
+        let down = (self.radix / 2).max(1) as u64;
+        let mut cap = down;
+        let mut levels = 1;
+        while cap < self.nodes as u64 {
+            cap *= down;
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Switch hops between two distinct nodes (up to the common ancestor
+    /// and down; worst case `2·levels`, best case 2 under one leaf).
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let down = (self.radix / 2).max(1);
+        let mut ga = a / down;
+        let mut gb = b / down;
+        let mut h = 2;
+        while ga != gb {
+            ga /= down;
+            gb /= down;
+            h += 2;
+        }
+        h
+    }
+
+    /// Aggregate injection bandwidth per node across all planes.
+    pub fn node_bandwidth(&self) -> GBps {
+        self.port.bandwidth * self.planes as f64
+    }
+
+    /// End-to-end time for a message of `size` bytes between nodes `a`
+    /// and `b`, striped across the planes.
+    pub fn message_time(&self, a: u32, b: u32, size: Bytes) -> Seconds {
+        if a == b {
+            return Seconds(0.0);
+        }
+        let hops = self.hops(a, b) as f64;
+        let wire = self.port.latency.0 + hops * self.hop_latency.0;
+        let serialisation = size.0 / (self.node_bandwidth().0 * 1e9);
+        Seconds(wire + serialisation)
+    }
+
+    /// Full-bisection check: a non-oversubscribed fat-tree's bisection
+    /// bandwidth equals half the aggregate injection bandwidth.
+    pub fn bisection_bandwidth(&self) -> GBps {
+        self.node_bandwidth() * (self.nodes as f64 / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_gang_bandwidths() {
+        // Single link: 40 GB/s bidirectional = 20 GB/s per direction.
+        assert_eq!(Link::nvlink_gang(1).bandwidth, GBps(20.0));
+        // D.A.V.I.D.E. gang of two: 80 GB/s bidirectional.
+        assert_eq!(Link::nvlink_gang(2).bandwidth, GBps(40.0));
+        // Max gang of 4: 160 GB/s bidirectional aggregate.
+        assert_eq!(Link::nvlink_gang(4).bandwidth, GBps(80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gangs of 1..=4")]
+    fn nvlink_gang_bounds() {
+        Link::nvlink_gang(5);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_for_bulk() {
+        let nv = davide_node_link(NodePath::CpuToLocalGpu);
+        let pcie = davide_node_link(NodePath::CpuToGpuPcie);
+        let msg = Bytes::from_gb(1.0);
+        assert!(nv.transfer_time(msg) < pcie.transfer_time(msg));
+        let speedup = pcie.transfer_time(msg).0 / nv.transfer_time(msg).0;
+        assert!(speedup > 2.0, "NVLink ≥2.5× PCIe x16, got {speedup:.2}×");
+    }
+
+    #[test]
+    fn small_messages_latency_bound() {
+        let nv = Link::nvlink_gang(2);
+        let tiny = Bytes(64.0);
+        let eff = nv.effective_bandwidth(tiny);
+        assert!(eff.0 < 1.0, "64-byte messages nowhere near line rate");
+        let big = Bytes::from_gb(1.0);
+        assert!(nv.effective_bandwidth(big).0 > 39.0);
+    }
+
+    #[test]
+    fn edr_dual_plane_node_bandwidth() {
+        let ft = FatTree::davide(45);
+        // 2 × 100 Gb/s ≈ 24.2 GB/s effective per node (paper: 200 Gb/s).
+        assert!((ft.node_bandwidth().0 - 24.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn fat_tree_levels_and_hops() {
+        let ft = FatTree::davide(45);
+        // 45 nodes fit under 18-port leaves in two levels.
+        assert_eq!(ft.levels(), 2);
+        assert_eq!(ft.hops(0, 0), 0);
+        assert_eq!(ft.hops(0, 1), 2, "same leaf");
+        assert_eq!(ft.hops(0, 20), 4, "different leaves");
+        // Symmetry.
+        assert_eq!(ft.hops(3, 40), ft.hops(40, 3));
+    }
+
+    #[test]
+    fn message_time_scales_with_size_and_distance() {
+        let ft = FatTree::davide(45);
+        let small = ft.message_time(0, 1, Bytes(1024.0));
+        let large = ft.message_time(0, 1, Bytes::from_gb(1.0));
+        assert!(large > small);
+        let near = ft.message_time(0, 1, Bytes(1024.0));
+        let far = ft.message_time(0, 44, Bytes(1024.0));
+        assert!(far > near, "more hops add latency");
+        assert_eq!(ft.message_time(7, 7, Bytes(1e6)), Seconds(0.0));
+    }
+
+    #[test]
+    fn bisection_is_full() {
+        let ft = FatTree::davide(45);
+        let per_node = ft.node_bandwidth();
+        assert!((ft.bisection_bandwidth().0 - per_node.0 * 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn davide_wiring_matches_paper() {
+        assert_eq!(davide_node_link(NodePath::CpuToLocalGpu).kind, LinkKind::NvLink);
+        assert_eq!(
+            davide_node_link(NodePath::GpuToGpuCrossSocket).kind,
+            LinkKind::SmpBus
+        );
+        assert_eq!(davide_node_link(NodePath::CpuToHca).kind, LinkKind::PcieGen3);
+        // The 16× PCIe gen3 slot gives ~15.8 GB/s.
+        assert!((davide_node_link(NodePath::CpuToHca).bandwidth.0 - 15.76).abs() < 0.01);
+    }
+}

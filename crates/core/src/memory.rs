@@ -1,0 +1,200 @@
+//! POWER8 Centaur-buffered memory subsystem model.
+//!
+//! §II-A of the paper: each memory module hosts a Centaur chip with 16 MB
+//! of eDRAM acting as an L4 cache; each Centaur connects to the socket via
+//! three 9.6 GB/s links (28.8 GB/s per Centaur, 2:1 read:write), up to
+//! eight Centaurs per socket for 1 TB capacity, 128 MB aggregate L4, and
+//! 230 GB/s sustained bandwidth in and out of the processor.
+
+use crate::error::{CoreError, Result};
+use crate::units::{Bytes, GBps, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one socket's memory subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Centaur buffer chips attached to the socket.
+    pub centaurs: u32,
+    /// High-speed links per Centaur (POWER8: 3).
+    pub links_per_centaur: u32,
+    /// Bandwidth of each link.
+    pub link_bandwidth: GBps,
+    /// eDRAM L4 per Centaur.
+    pub l4_per_centaur: Bytes,
+    /// DRAM capacity per Centaur.
+    pub capacity_per_centaur: Bytes,
+    /// Sustained-fraction of raw bandwidth achievable by the core
+    /// (calibrated so 8 Centaurs sustain 230 GB/s).
+    pub sustained_fraction: f64,
+    /// Static power per Centaur (buffer + eDRAM refresh).
+    pub centaur_static_power: Watts,
+    /// DRAM background power per Centaur's DIMMs.
+    pub dram_static_power: Watts,
+    /// Dynamic power per GB/s actually moved.
+    pub dynamic_power_per_gbps: Watts,
+}
+
+impl MemorySpec {
+    /// D.A.V.I.D.E. node configuration: 4 Centaurs per socket (the
+    /// Garrison planar), 32 GB per Centaur → 128 GB/socket.
+    pub fn davide_socket() -> Self {
+        MemorySpec {
+            centaurs: 4,
+            links_per_centaur: 3,
+            link_bandwidth: GBps(9.6),
+            l4_per_centaur: Bytes(16.0 * 1024.0 * 1024.0),
+            capacity_per_centaur: Bytes::from_gb(32.0),
+            sustained_fraction: 230.0 / (8.0 * 3.0 * 9.6),
+            centaur_static_power: Watts(12.0),
+            dram_static_power: Watts(10.0),
+            dynamic_power_per_gbps: Watts(0.15),
+        }
+    }
+
+    /// A fully-populated socket (8 Centaurs, 1 TB) — the architectural
+    /// maximum quoted by the paper.
+    pub fn power8_max() -> Self {
+        let mut s = Self::davide_socket();
+        s.centaurs = 8;
+        s.capacity_per_centaur = Bytes::from_gb(128.0);
+        s
+    }
+
+    /// Raw aggregate link bandwidth.
+    pub fn raw_bandwidth(&self) -> GBps {
+        GBps(self.centaurs as f64 * self.links_per_centaur as f64 * self.link_bandwidth.0)
+    }
+
+    /// Sustained bandwidth visible to the cores.
+    pub fn sustained_bandwidth(&self) -> GBps {
+        self.raw_bandwidth() * self.sustained_fraction
+    }
+
+    /// Total DRAM capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity_per_centaur * self.centaurs as f64
+    }
+
+    /// Aggregate L4 (eDRAM) capacity.
+    pub fn l4_capacity(&self) -> Bytes {
+        self.l4_per_centaur * self.centaurs as f64
+    }
+}
+
+/// Runtime state: how many Centaur groups are active (memory gating for
+/// energy proportionality) and the achieved bandwidth utilisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Immutable hardware description.
+    pub spec: MemorySpec,
+    active_centaurs: u32,
+}
+
+impl MemoryModel {
+    /// All Centaurs active.
+    pub fn new(spec: MemorySpec) -> Self {
+        let active_centaurs = spec.centaurs;
+        MemoryModel {
+            spec,
+            active_centaurs,
+        }
+    }
+
+    /// Currently powered Centaurs.
+    #[inline]
+    pub fn active_centaurs(&self) -> u32 {
+        self.active_centaurs
+    }
+
+    /// Energy-proportionality API: power down memory channels the job does
+    /// not need. At least one Centaur must stay on.
+    pub fn set_active_centaurs(&mut self, n: u32) -> Result<()> {
+        if n == 0 || n > self.spec.centaurs {
+            return Err(CoreError::InvalidConfig(format!(
+                "active Centaurs must be in 1..={}, got {n}",
+                self.spec.centaurs
+            )));
+        }
+        self.active_centaurs = n;
+        Ok(())
+    }
+
+    /// Sustained bandwidth available in the current configuration.
+    pub fn bandwidth(&self) -> GBps {
+        GBps(
+            self.active_centaurs as f64
+                * self.spec.links_per_centaur as f64
+                * self.spec.link_bandwidth.0
+                * self.spec.sustained_fraction,
+        )
+    }
+
+    /// Usable capacity in the current configuration.
+    pub fn capacity(&self) -> Bytes {
+        self.spec.capacity_per_centaur * self.active_centaurs as f64
+    }
+
+    /// Instantaneous power when moving data at `bw_util ∈ [0,1]` of the
+    /// available sustained bandwidth.
+    pub fn power(&self, bw_util: f64) -> Watts {
+        let bw_util = bw_util.clamp(0.0, 1.0);
+        let static_p = (self.spec.centaur_static_power + self.spec.dram_static_power)
+            * self.active_centaurs as f64;
+        let moved = self.bandwidth().0 * bw_util;
+        static_p + self.spec.dynamic_power_per_gbps * moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_bandwidth_and_capacity() {
+        let max = MemorySpec::power8_max();
+        // 8 Centaurs × 3 links × 9.6 GB/s = 230.4 GB/s raw; paper quotes
+        // 230 GB/s sustained and 28.8 GB/s per Centaur.
+        assert!((max.raw_bandwidth().0 - 230.4).abs() < 0.01);
+        assert!((max.sustained_bandwidth().0 - 230.0).abs() < 1.0);
+        assert!((max.capacity().gb() - 1024.0).abs() < 1.0, "1 TB/socket");
+        // 128 MB aggregate L4.
+        assert!((max.l4_capacity().0 - 128.0 * 1024.0 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn davide_socket_is_quarter_terabyte_node() {
+        let s = MemorySpec::davide_socket();
+        assert!((s.capacity().gb() - 128.0).abs() < 0.1);
+        let per_centaur = GBps(s.links_per_centaur as f64 * s.link_bandwidth.0);
+        assert!((per_centaur.0 - 28.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gating_scales_bandwidth_capacity_power() {
+        let mut m = MemoryModel::new(MemorySpec::davide_socket());
+        let bw4 = m.bandwidth();
+        let p4 = m.power(0.5);
+        m.set_active_centaurs(2).unwrap();
+        assert!((m.bandwidth().0 - bw4.0 / 2.0).abs() < 1e-9);
+        assert!((m.capacity().gb() - 64.0).abs() < 0.1);
+        assert!(m.power(0.5) < p4);
+        assert!(m.set_active_centaurs(0).is_err());
+        assert!(m.set_active_centaurs(5).is_err());
+    }
+
+    #[test]
+    fn power_monotone_in_traffic() {
+        let m = MemoryModel::new(MemorySpec::davide_socket());
+        assert!(m.power(0.0) < m.power(0.5));
+        assert!(m.power(0.5) < m.power(1.0));
+        assert_eq!(m.power(2.0), m.power(1.0), "clamped");
+    }
+
+    #[test]
+    fn idle_memory_power_reasonable() {
+        // A populated socket's memory should idle in the tens of watts.
+        let m = MemoryModel::new(MemorySpec::davide_socket());
+        let p = m.power(0.0);
+        assert!(p > Watts(40.0) && p < Watts(150.0), "p={p}");
+    }
+}

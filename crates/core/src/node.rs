@@ -1,0 +1,433 @@
+//! The D.A.V.I.D.E. compute node (OpenPOWER "Garrison" derivative).
+//!
+//! §II-E: two POWER8+ sockets with NVLink, four Tesla P100s (two per
+//! socket), 22 TFlops DP peak, ≈ 2 kW estimated draw, direct liquid
+//! cooling on CPUs and GPUs. The node exposes the energy-proportionality
+//! knobs of §IV: core gating, GPU power-off, memory-channel gating and
+//! DVFS pinning.
+
+use crate::cooling::ThermalNode;
+use crate::cpu::{CpuModel, CpuSpec};
+use crate::error::{CoreError, Result};
+use crate::gpu::{GpuModel, GpuSpec, Precision};
+use crate::memory::{MemoryModel, MemorySpec};
+use crate::units::{Celsius, Gflops, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Utilisation of each node subsystem, all in `[0,1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// CPU core utilisation.
+    pub cpu: f64,
+    /// GPU SM utilisation.
+    pub gpu: f64,
+    /// Memory-bandwidth utilisation.
+    pub mem: f64,
+    /// Network (HCA) utilisation.
+    pub net: f64,
+}
+
+impl NodeLoad {
+    /// Everything flat out — the Linpack-like load.
+    pub const FULL: NodeLoad = NodeLoad {
+        cpu: 1.0,
+        gpu: 1.0,
+        mem: 0.7,
+        net: 0.3,
+    };
+
+    /// Idle node.
+    pub const IDLE: NodeLoad = NodeLoad {
+        cpu: 0.0,
+        gpu: 0.0,
+        mem: 0.0,
+        net: 0.0,
+    };
+
+    /// Clamp all components into `[0,1]`.
+    pub fn clamped(self) -> Self {
+        NodeLoad {
+            cpu: self.cpu.clamp(0.0, 1.0),
+            gpu: self.gpu.clamp(0.0, 1.0),
+            mem: self.mem.clamp(0.0, 1.0),
+            net: self.net.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Resource shape a job asks of a node (energy-proportionality target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobShape {
+    /// Cores per socket the job will use (1..=8).
+    pub cores_per_socket: u32,
+    /// GPUs the job will use (0..=4).
+    pub gpus: u32,
+    /// Memory channels (Centaurs) per socket the job needs (1..=4).
+    pub centaurs_per_socket: u32,
+}
+
+impl JobShape {
+    /// The whole node.
+    pub const FULL_NODE: JobShape = JobShape {
+        cores_per_socket: 8,
+        gpus: 4,
+        centaurs_per_socket: 4,
+    };
+}
+
+/// One compute node: sockets, accelerators, memory, NIC and board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeNode {
+    /// Node identifier within the cluster.
+    pub id: u32,
+    /// The two POWER8+ sockets.
+    pub cpus: Vec<CpuModel>,
+    /// The four P100s (GPUs `2k` and `2k+1` attach to socket `k`).
+    pub gpus: Vec<GpuModel>,
+    /// Per-socket memory subsystems.
+    pub mem: Vec<MemoryModel>,
+    /// Per-die thermal models (index-aligned: CPUs then GPUs).
+    pub thermals: Vec<ThermalNode>,
+    /// Board, VRM, BMC, storage: constant floor.
+    pub misc_power: Watts,
+    /// Dual EDR HCA power at full traffic.
+    pub nic_power_max: Watts,
+}
+
+impl ComputeNode {
+    /// Build the standard D.A.V.I.D.E. node (liquid-cooled dies).
+    pub fn davide(id: u32) -> Self {
+        let cpus = vec![
+            CpuModel::new(CpuSpec::power8plus()),
+            CpuModel::new(CpuSpec::power8plus()),
+        ];
+        let gpus = (0..4).map(|_| GpuModel::new(GpuSpec::p100())).collect();
+        let mem = vec![
+            MemoryModel::new(MemorySpec::davide_socket()),
+            MemoryModel::new(MemorySpec::davide_socket()),
+        ];
+        let thermals = vec![
+            ThermalNode::liquid_cpu(),
+            ThermalNode::liquid_cpu(),
+            ThermalNode::liquid_gpu(),
+            ThermalNode::liquid_gpu(),
+            ThermalNode::liquid_gpu(),
+            ThermalNode::liquid_gpu(),
+        ];
+        ComputeNode {
+            id,
+            cpus,
+            gpus,
+            mem,
+            thermals,
+            misc_power: Watts(90.0),
+            nic_power_max: Watts(28.0),
+        }
+    }
+
+    /// A node with per-unit manufacturing variation: silicon leakage and
+    /// VRM efficiency differ part to part, so identically-configured
+    /// nodes draw measurably different power (~±3 % in practice). The
+    /// draw is deterministic in `rng`, so fleets are reproducible.
+    pub fn davide_varied(id: u32, rng: &mut crate::rng::Rng) -> Self {
+        let mut node = Self::davide(id);
+        for cpu in &mut node.cpus {
+            let k = 1.0 + rng.normal(0.0, 0.03);
+            cpu.spec.idle_power = cpu.spec.idle_power * k;
+            cpu.spec.tdp = cpu.spec.tdp * k;
+        }
+        for gpu in &mut node.gpus {
+            let k = 1.0 + rng.normal(0.0, 0.03);
+            gpu.spec.idle_power = gpu.spec.idle_power * k;
+            gpu.spec.tdp = gpu.spec.tdp * k;
+        }
+        node.misc_power = node.misc_power * (1.0 + rng.normal(0.0, 0.05));
+        node
+    }
+
+    /// An air-cooled variant of the same node (the original Garrison
+    /// design) — used for the cooling comparison of E8.
+    pub fn davide_air_cooled(id: u32) -> Self {
+        let mut node = Self::davide(id);
+        node.thermals = vec![
+            ThermalNode::air_cpu(),
+            ThermalNode::air_cpu(),
+            ThermalNode::air_gpu(),
+            ThermalNode::air_gpu(),
+            ThermalNode::air_gpu(),
+            ThermalNode::air_gpu(),
+        ];
+        node
+    }
+
+    /// Peak DP performance in the current gating/DVFS configuration.
+    pub fn peak_gflops(&self) -> Gflops {
+        let cpu: Gflops = self.cpus.iter().map(|c| c.peak_gflops()).sum();
+        let gpu: Gflops = self.gpus.iter().map(|g| g.gflops(1.0)).sum();
+        cpu + gpu
+    }
+
+    /// Architectural peak with everything on at boost clocks (§II-E's
+    /// "22 TFlops").
+    pub fn architectural_peak(&self) -> Gflops {
+        let cpu: Gflops = self
+            .cpus
+            .iter()
+            .map(|c| c.spec.peak_gflops_at(c.spec.dvfs.len() - 1))
+            .sum();
+        let gpu: Gflops = self
+            .gpus
+            .iter()
+            .map(|g| g.spec.peak_gflops(Precision::Fp64))
+            .sum();
+        cpu + gpu
+    }
+
+    /// Instantaneous node power under `load`.
+    pub fn power(&self, load: NodeLoad) -> Watts {
+        let load = load.clamped();
+        let cpu: Watts = self.cpus.iter().map(|c| c.power(load.cpu)).sum();
+        let gpu: Watts = self.gpus.iter().map(|g| g.power(load.gpu)).sum();
+        let mem: Watts = self.mem.iter().map(|m| m.power(load.mem)).sum();
+        let nic = self.nic_power_max * (0.4 + 0.6 * load.net);
+        cpu + gpu + mem + nic + self.misc_power
+    }
+
+    /// Per-component power breakdown `(cpu, gpu, mem, other)` — what the
+    /// energy gateway's per-component sensors observe.
+    pub fn power_breakdown(&self, load: NodeLoad) -> (Watts, Watts, Watts, Watts) {
+        let load = load.clamped();
+        let cpu: Watts = self.cpus.iter().map(|c| c.power(load.cpu)).sum();
+        let gpu: Watts = self.gpus.iter().map(|g| g.power(load.gpu)).sum();
+        let mem: Watts = self.mem.iter().map(|m| m.power(load.mem)).sum();
+        let other = self.nic_power_max * (0.4 + 0.6 * load.net) + self.misc_power;
+        (cpu, gpu, mem, other)
+    }
+
+    /// Apply a job shape: gate cores, GPUs and memory channels to fit the
+    /// job (§IV energy-proportionality APIs).
+    pub fn apply_shape(&mut self, shape: JobShape) -> Result<()> {
+        if shape.gpus > self.gpus.len() as u32 {
+            return Err(CoreError::InvalidConfig(format!(
+                "node has {} GPUs, shape wants {}",
+                self.gpus.len(),
+                shape.gpus
+            )));
+        }
+        for cpu in &mut self.cpus {
+            cpu.set_active_cores(shape.cores_per_socket)?;
+        }
+        for (i, gpu) in self.gpus.iter_mut().enumerate() {
+            gpu.set_enabled((i as u32) < shape.gpus);
+        }
+        for m in &mut self.mem {
+            m.set_active_centaurs(shape.centaurs_per_socket)?;
+        }
+        Ok(())
+    }
+
+    /// Pin every die to DVFS ladder index `idx` (clamped per device).
+    pub fn set_pstate_all(&mut self, idx: usize) {
+        for cpu in &mut self.cpus {
+            let i = idx.min(cpu.spec.dvfs.len() - 1);
+            cpu.set_pstate(i).expect("clamped index is valid");
+        }
+        for gpu in &mut self.gpus {
+            let i = idx.min(gpu.spec.dvfs.len() - 1);
+            gpu.set_pstate(i).expect("clamped index is valid");
+        }
+    }
+
+    /// Throttle every die one step; returns true if anything changed.
+    pub fn throttle_all(&mut self) -> bool {
+        let mut changed = false;
+        for cpu in &mut self.cpus {
+            changed |= cpu.pstate() != cpu.throttle();
+        }
+        for gpu in &mut self.gpus {
+            changed |= gpu.pstate() != gpu.throttle();
+        }
+        changed
+    }
+
+    /// Unthrottle every die one step; returns true if anything changed.
+    pub fn unthrottle_all(&mut self) -> bool {
+        let mut changed = false;
+        for cpu in &mut self.cpus {
+            changed |= cpu.pstate() != cpu.unthrottle();
+        }
+        for gpu in &mut self.gpus {
+            changed |= gpu.pstate() != gpu.unthrottle();
+        }
+        changed
+    }
+
+    /// Advance the per-die thermal state by `dt` under `load` with the
+    /// given coolant/air sink temperature; throttles any die that trips
+    /// its thermal limit. Returns the number of dies throttled this step.
+    pub fn thermal_step(&mut self, load: NodeLoad, sink: Celsius, dt: Seconds) -> usize {
+        let load = load.clamped();
+        let n_cpu = self.cpus.len();
+        let mut throttled = 0;
+        // Compute per-die powers first to avoid aliasing borrows.
+        let cpu_p: Vec<Watts> = self.cpus.iter().map(|c| c.power(load.cpu)).collect();
+        let gpu_p: Vec<Watts> = self.gpus.iter().map(|g| g.power(load.gpu)).collect();
+        for (i, die) in self.thermals.iter_mut().enumerate() {
+            let p = if i < n_cpu {
+                cpu_p[i]
+            } else {
+                gpu_p[i - n_cpu]
+            };
+            die.step(p, sink, dt);
+        }
+        for i in 0..self.thermals.len() {
+            if self.thermals[i].must_throttle() {
+                if i < n_cpu {
+                    self.cpus[i].throttle();
+                } else {
+                    self.gpus[i - n_cpu].throttle();
+                }
+                throttled += 1;
+            }
+        }
+        throttled
+    }
+
+    /// Hottest die temperature.
+    pub fn max_die_temperature(&self) -> Celsius {
+        self.thermals
+            .iter()
+            .map(|t| t.temperature)
+            .fold(Celsius(f64::NEG_INFINITY), Celsius::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_matches_published_envelope() {
+        let node = ComputeNode::davide(0);
+        // §II-E: 22 TFlops DP peak per node.
+        let peak = node.architectural_peak();
+        assert!(
+            (peak.tflops() - 22.0).abs() < 0.8,
+            "architectural peak {peak} should be ≈22 TF"
+        );
+        // §II-E: ≈2 kW estimated node power under full load.
+        let p = node.power(NodeLoad::FULL);
+        assert!(
+            (1.7..=2.2).contains(&p.kw()),
+            "full-load node power {p} should be ≈2 kW"
+        );
+    }
+
+    #[test]
+    fn idle_node_draws_a_few_hundred_watts() {
+        let node = ComputeNode::davide(0);
+        let p = node.power(NodeLoad::IDLE);
+        assert!((250.0..500.0).contains(&p.0), "idle={p}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let node = ComputeNode::davide(0);
+        for load in [NodeLoad::IDLE, NodeLoad::FULL] {
+            let (c, g, m, o) = node.power_breakdown(load);
+            let total = node.power(load);
+            assert!((c.0 + g.0 + m.0 + o.0 - total.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gpus_dominate_full_load_power() {
+        let node = ComputeNode::davide(0);
+        let (c, g, _, _) = node.power_breakdown(NodeLoad::FULL);
+        assert!(g > c * 2.0, "4×P100 ≫ 2×POWER8: gpu={g} cpu={c}");
+    }
+
+    #[test]
+    fn shape_gating_cuts_power() {
+        let mut node = ComputeNode::davide(0);
+        let full = node.power(NodeLoad::FULL);
+        node.apply_shape(JobShape {
+            cores_per_socket: 4,
+            gpus: 1,
+            centaurs_per_socket: 2,
+        })
+        .unwrap();
+        let shaped = node.power(NodeLoad::FULL);
+        assert!(
+            shaped < full * 0.55,
+            "1-GPU shape should cut well below half: {shaped} vs {full}"
+        );
+        let bad = node.apply_shape(JobShape {
+            cores_per_socket: 9,
+            gpus: 1,
+            centaurs_per_socket: 1,
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn pstate_pinning_and_throttling() {
+        let mut node = ComputeNode::davide(0);
+        let p_full = node.power(NodeLoad::FULL);
+        node.set_pstate_all(0);
+        let p_min = node.power(NodeLoad::FULL);
+        assert!(p_min < p_full * 0.8);
+        assert!(node.unthrottle_all());
+        let mut node2 = ComputeNode::davide(1);
+        node2.set_pstate_all(0);
+        assert!(!node2.throttle_all(), "already at the floor");
+    }
+
+    #[test]
+    fn liquid_node_never_throttles_air_node_does() {
+        let dt = Seconds(1.0);
+        let mut liquid = ComputeNode::davide(0);
+        let mut air = ComputeNode::davide_air_cooled(1);
+        let mut liquid_throttles = 0;
+        let mut air_throttles = 0;
+        for _ in 0..600 {
+            liquid_throttles += liquid.thermal_step(NodeLoad::FULL, Celsius(37.0), dt);
+            air_throttles += air.thermal_step(NodeLoad::FULL, Celsius(30.0), dt);
+        }
+        assert_eq!(liquid_throttles, 0, "liquid cooling holds 37 °C water");
+        assert!(air_throttles > 0, "air cooling trips thermal limits");
+        assert!(air.max_die_temperature() > liquid.max_die_temperature());
+    }
+
+    #[test]
+    fn varied_nodes_spread_around_nominal() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed_from(11);
+        let nominal = ComputeNode::davide(0).power(NodeLoad::FULL).0;
+        let powers: Vec<f64> = (0..100)
+            .map(|i| {
+                ComputeNode::davide_varied(i, &mut rng)
+                    .power(NodeLoad::FULL)
+                    .0
+            })
+            .collect();
+        let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+        let spread = powers.iter().fold(0.0_f64, |m, &p| m.max((p - nominal).abs()));
+        assert!((mean - nominal).abs() < nominal * 0.01, "mean near nominal");
+        assert!(spread > nominal * 0.02, "visible part-to-part spread");
+        assert!(spread < nominal * 0.15, "but bounded");
+        // Determinism.
+        let a = ComputeNode::davide_varied(5, &mut Rng::seed_from(3));
+        let b = ComputeNode::davide_varied(5, &mut Rng::seed_from(3));
+        assert_eq!(a.power(NodeLoad::FULL), b.power(NodeLoad::FULL));
+    }
+
+    #[test]
+    fn gflops_per_watt_band() {
+        // ~22 TF at ~2 kW ⇒ ≈ 11 GF/W architectural — the design point
+        // that put P100 systems at the top of Green500.
+        let node = ComputeNode::davide(0);
+        let eff = node.architectural_peak().0 / node.power(NodeLoad::FULL).0;
+        assert!((9.0..13.0).contains(&eff), "GF/W = {eff}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Power traces: uniformly-sampled power-vs-time series and the numerics
+//! used to turn them into energy figures.
+//!
+//! A [`PowerTrace`] is the lingua franca between the hardware models (which
+//! produce them), the telemetry chain (which samples, decimates and
+//! re-integrates them) and the scheduler (which accounts energy per job).
+
+use crate::time::SimTime;
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A uniformly-sampled power time series.
+///
+/// ```
+/// use davide_core::power::PowerTrace;
+/// use davide_core::time::SimTime;
+///
+/// // One second of a 1.5 kW draw sampled at 1 kHz.
+/// let trace = PowerTrace::from_fn(SimTime::ZERO, 1e-3, 1000, |_| 1500.0);
+/// assert_eq!(trace.mean().0, 1500.0);
+/// // Trapezoidal energy over the covered span: ~1498.5 J (999 intervals).
+/// assert!((trace.energy().0 - 1500.0 * 0.999).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// Time of the first sample.
+    pub t0: SimTime,
+    /// Sample spacing in seconds.
+    pub dt: f64,
+    /// Power samples in watts.
+    pub samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Create a trace from raw watt samples.
+    pub fn new(t0: SimTime, dt: f64, samples: Vec<f64>) -> Self {
+        assert!(dt > 0.0, "sample spacing must be positive");
+        PowerTrace { t0, dt, samples }
+    }
+
+    /// An empty trace starting at `t0` with spacing `dt`.
+    pub fn empty(t0: SimTime, dt: f64) -> Self {
+        Self::new(t0, dt, Vec::new())
+    }
+
+    /// Synthesize a trace by evaluating `f(t_seconds)` at each sample point.
+    pub fn from_fn(t0: SimTime, dt: f64, n: usize, mut f: impl FnMut(f64) -> f64) -> Self {
+        let base = t0.as_secs_f64();
+        let samples = (0..n).map(|i| f(base + i as f64 * dt)).collect();
+        Self::new(t0, dt, samples)
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sampling rate in Hz.
+    #[inline]
+    pub fn sample_rate(&self) -> f64 {
+        1.0 / self.dt
+    }
+
+    /// Total covered duration (`len * dt`).
+    #[inline]
+    pub fn duration(&self) -> Seconds {
+        Seconds(self.samples.len() as f64 * self.dt)
+    }
+
+    /// Timestamp of sample `i`.
+    #[inline]
+    pub fn time_of(&self, i: usize) -> f64 {
+        self.t0.as_secs_f64() + i as f64 * self.dt
+    }
+
+    /// Mean power over the trace.
+    pub fn mean(&self) -> Watts {
+        if self.samples.is_empty() {
+            return Watts::ZERO;
+        }
+        Watts(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Watts {
+        Watts(self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Watts {
+        Watts(self.samples.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Energy by trapezoidal integration.
+    ///
+    /// For a trace with fewer than two samples this is zero; callers
+    /// integrating telemetry should prefer traces covering whole phases.
+    pub fn energy(&self) -> Joules {
+        if self.samples.len() < 2 {
+            return Joules::ZERO;
+        }
+        let mut acc = 0.0;
+        for w in self.samples.windows(2) {
+            acc += 0.5 * (w[0] + w[1]) * self.dt;
+        }
+        Joules(acc)
+    }
+
+    /// Energy by left-rectangle integration — what a naive monitoring
+    /// client does with instantaneous readings; used in the E3 error study.
+    pub fn energy_rect(&self) -> Joules {
+        Joules(self.samples.iter().sum::<f64>() * self.dt)
+    }
+
+    /// Point-wise sum of two traces with identical geometry.
+    ///
+    /// # Panics
+    /// Panics when `t0`, `dt` or length differ.
+    pub fn add(&self, other: &PowerTrace) -> PowerTrace {
+        assert_eq!(self.t0, other.t0, "trace origins differ");
+        assert!(
+            (self.dt - other.dt).abs() < 1e-15,
+            "trace sample spacings differ"
+        );
+        assert_eq!(self.len(), other.len(), "trace lengths differ");
+        let samples = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| a + b)
+            .collect();
+        PowerTrace::new(self.t0, self.dt, samples)
+    }
+
+    /// Scale every sample by `k` (e.g. PSU conversion loss).
+    pub fn scale(&self, k: f64) -> PowerTrace {
+        PowerTrace::new(self.t0, self.dt, self.samples.iter().map(|s| s * k).collect())
+    }
+
+    /// Extract the sub-trace covering `[from, to)` in seconds relative to
+    /// the trace origin. Clamped to the available range.
+    pub fn window(&self, from: f64, to: f64) -> PowerTrace {
+        let i0 = ((from / self.dt).floor().max(0.0) as usize).min(self.samples.len());
+        let i1 = ((to / self.dt).ceil().max(0.0) as usize).min(self.samples.len());
+        let t0 = SimTime::from_secs_f64(self.t0.as_secs_f64() + i0 as f64 * self.dt);
+        PowerTrace::new(t0, self.dt, self.samples[i0..i1].to_vec())
+    }
+
+    /// Resample to a lower rate by picking the nearest-in-time sample —
+    /// models *instantaneous* polling (IPMI-style), which aliases.
+    pub fn subsample_instantaneous(&self, new_rate_hz: f64) -> PowerTrace {
+        assert!(new_rate_hz > 0.0);
+        let new_dt = 1.0 / new_rate_hz;
+        let n = (self.duration().0 / new_dt).floor() as usize;
+        let samples = (0..n)
+            .map(|i| {
+                let idx = ((i as f64 * new_dt) / self.dt).round() as usize;
+                self.samples[idx.min(self.samples.len() - 1)]
+            })
+            .collect();
+        PowerTrace::new(self.t0, new_dt, samples)
+    }
+
+    /// Resample to a lower rate by averaging each window — models hardware
+    /// accumulation (the BBB's HW decimation), which does not alias energy.
+    pub fn subsample_averaged(&self, new_rate_hz: f64) -> PowerTrace {
+        assert!(new_rate_hz > 0.0);
+        let ratio = (1.0 / new_rate_hz) / self.dt;
+        assert!(
+            ratio >= 1.0,
+            "cannot average-upsample: target rate above source rate"
+        );
+        let ratio = ratio.round() as usize;
+        let n = self.samples.len() / ratio;
+        let samples = (0..n)
+            .map(|i| {
+                let w = &self.samples[i * ratio..(i + 1) * ratio];
+                w.iter().sum::<f64>() / ratio as f64
+            })
+            .collect();
+        PowerTrace::new(self.t0, self.dt * ratio as f64, samples)
+    }
+
+    /// Root-mean-square error against a reference trace of identical
+    /// geometry (used to quantify sensor-chain distortion).
+    pub fn rmse(&self, reference: &PowerTrace) -> f64 {
+        assert_eq!(self.len(), reference.len());
+        if self.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = self
+            .samples
+            .iter()
+            .zip(&reference.samples)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        (sse / self.len() as f64).sqrt()
+    }
+}
+
+/// Relative error of a measured energy versus ground truth, in percent.
+#[inline]
+pub fn energy_error_pct(measured: Joules, truth: Joules) -> f64 {
+    if truth.0 == 0.0 {
+        return 0.0;
+    }
+    100.0 * (measured.0 - truth.0).abs() / truth.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PowerTrace {
+        PowerTrace::from_fn(SimTime::ZERO, 0.1, 11, |t| 100.0 * t)
+    }
+
+    #[test]
+    fn statistics() {
+        let tr = ramp();
+        assert_eq!(tr.len(), 11);
+        assert!((tr.mean().0 - 50.0).abs() < 1e-9);
+        assert_eq!(tr.max(), Watts(100.0));
+        assert_eq!(tr.min(), Watts(0.0));
+        assert!((tr.duration().0 - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_is_exact_for_linear() {
+        // ∫0→1 100 t dt = 50 J over the covered [0, 1.0] span.
+        let e = ramp().energy();
+        assert!((e.0 - 50.0).abs() < 1e-9, "energy={e}");
+    }
+
+    #[test]
+    fn rect_overestimates_decreasing_signal() {
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 0.01, 100, |t| 100.0 - 50.0 * t);
+        assert!(tr.energy_rect() > tr.energy());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = ramp();
+        let b = ramp();
+        let s = a.add(&b);
+        assert_eq!(s.max(), Watts(200.0));
+        let h = s.scale(0.5);
+        assert_eq!(h.samples, a.samples);
+    }
+
+    #[test]
+    fn window_extracts_correct_span() {
+        let tr = ramp();
+        let w = tr.window(0.2, 0.5);
+        assert_eq!(w.len(), 3);
+        assert!((w.samples[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaged_subsampling_preserves_mean() {
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 1e-4, 10_000, |t| {
+            500.0 + 100.0 * (2.0 * std::f64::consts::PI * 50.0 * t).sin()
+        });
+        let down = tr.subsample_averaged(100.0);
+        // 50 Hz tone averages out over 10 ms windows; DC is preserved.
+        assert!((down.mean().0 - tr.mean().0).abs() < 1.0);
+        assert_eq!(down.sample_rate().round() as u64, 100);
+    }
+
+    #[test]
+    fn instantaneous_subsampling_aliases() {
+        // A 9 Hz tone sampled at 10 Hz aliases to 1 Hz and badly distorts
+        // the apparent energy of the AC component.
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 1e-4, 100_000, |t| {
+            500.0 + 200.0 * (2.0 * std::f64::consts::PI * 9.0 * t).sin()
+        });
+        let inst = tr.subsample_instantaneous(10.0);
+        let avg = tr.subsample_averaged(10.0);
+        let truth = tr.energy();
+        let err_inst = energy_error_pct(inst.energy_rect(), truth);
+        let err_avg = energy_error_pct(avg.energy_rect(), truth);
+        assert!(
+            err_avg < err_inst,
+            "averaged ({err_avg:.3}%) must beat instantaneous ({err_inst:.3}%)"
+        );
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let tr = ramp();
+        assert_eq!(tr.rmse(&tr), 0.0);
+    }
+
+    #[test]
+    fn energy_error_pct_basics() {
+        assert_eq!(energy_error_pct(Joules(110.0), Joules(100.0)), 10.0);
+        assert_eq!(energy_error_pct(Joules(90.0), Joules(100.0)), 10.0);
+        assert_eq!(energy_error_pct(Joules(5.0), Joules(0.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace lengths differ")]
+    fn add_rejects_mismatched() {
+        let a = ramp();
+        let b = PowerTrace::from_fn(SimTime::ZERO, 0.1, 5, |_| 1.0);
+        let _ = a.add(&b);
+    }
+}

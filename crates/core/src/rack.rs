@@ -1,0 +1,172 @@
+//! OpenRack-form-factor rack model (§II-F, §III).
+//!
+//! A D.A.V.I.D.E. rack consolidates: a shared PSU power bank (≤ 32 kW), a
+//! rear wall of heavy-duty 5U fans, a redundant management controller, and
+//! fanless 21-inch compute sleds fed from a copper busbar.
+
+use crate::cooling::CoolingLoop;
+use crate::error::{CoreError, Result};
+use crate::node::{ComputeNode, NodeLoad};
+use crate::psu::PsuBank;
+use crate::units::{Celsius, Watts};
+use serde::{Deserialize, Serialize};
+
+/// What a rack slot is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RackRole {
+    /// Compute sleds.
+    Compute,
+    /// Storage, management and login nodes.
+    Service,
+}
+
+/// One OpenRack cabinet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    /// Rack identifier.
+    pub id: u32,
+    /// Role of this rack in the pilot system.
+    pub role: RackRole,
+    /// Compute sleds installed.
+    pub nodes: Vec<ComputeNode>,
+    /// Consolidated AC/DC power bank.
+    pub psu: PsuBank,
+    /// Hybrid cooling loop.
+    pub cooling: CoolingLoop,
+    /// Power feed limit per rack (§II-I: 32 kW line).
+    pub power_budget: Watts,
+    /// Rack weight in kg (§II-I: 800 kg).
+    pub weight_kg: f64,
+}
+
+impl Rack {
+    /// A D.A.V.I.D.E. compute rack holding `n` nodes.
+    pub fn davide_compute(id: u32, n: u32) -> Self {
+        let nodes = (0..n).map(|i| ComputeNode::davide(id * 100 + i)).collect();
+        Rack {
+            id,
+            role: RackRole::Compute,
+            nodes,
+            psu: PsuBank::openrack_32kw(),
+            cooling: CoolingLoop::davide_nominal(),
+            power_budget: Watts::from_kw(32.0),
+            weight_kg: 800.0,
+        }
+    }
+
+    /// The storage/management/login rack.
+    pub fn davide_service(id: u32) -> Self {
+        Rack {
+            id,
+            role: RackRole::Service,
+            nodes: Vec::new(),
+            psu: PsuBank::openrack_32kw(),
+            cooling: CoolingLoop::davide_nominal(),
+            power_budget: Watts::from_kw(32.0),
+            weight_kg: 800.0,
+        }
+    }
+
+    /// DC power drawn by the IT equipment at a uniform `load`.
+    pub fn it_power(&self, load: NodeLoad) -> Watts {
+        let compute: Watts = self.nodes.iter().map(|n| n.power(load)).sum();
+        let service = if self.role == RackRole::Service {
+            // Storage arrays, management and login nodes.
+            Watts::from_kw(6.0)
+        } else {
+            Watts::ZERO
+        };
+        compute + service
+    }
+
+    /// Facility-side AC power: IT through the PSU bank, plus fans and
+    /// pumps for the air-side heat.
+    pub fn facility_power(&self, load: NodeLoad) -> Watts {
+        let it = self.it_power(load);
+        let ac_in = self.psu.input_power(it);
+        let fans = self.cooling.fan_power(it, self.power_budget);
+        let pumps = Watts(120.0);
+        ac_in + fans + pumps
+    }
+
+    /// Check the 32 kW feed can carry the load.
+    pub fn check_budget(&self, load: NodeLoad) -> Result<()> {
+        let f = self.facility_power(load);
+        if f > self.power_budget {
+            return Err(CoreError::BudgetExceeded {
+                what: format!("rack {} power feed", self.id),
+                requested: f.0,
+                available: self.power_budget.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Coolant return temperature at a given load.
+    pub fn coolant_return(&self, load: NodeLoad) -> Celsius {
+        self.cooling.coolant_return(self.it_power(load))
+    }
+
+    /// Expected PSU-unit failures per year (reliability claim of §II-F).
+    pub fn psu_failures_per_year(&self) -> f64 {
+        self.psu.expected_failures_per_year()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_node_rack_fits_32kw() {
+        let rack = Rack::davide_compute(0, 15);
+        // 15 × ~2 kW ≈ 30 kW IT; with conversion losses and fans it must
+        // still fit the 32 kW feed (the design constraint of §II-I).
+        let f = rack.facility_power(NodeLoad::FULL);
+        assert!(
+            f <= Watts::from_kw(32.0),
+            "facility power {f} exceeds the rack feed"
+        );
+        assert!(rack.check_budget(NodeLoad::FULL).is_ok());
+    }
+
+    #[test]
+    fn overfull_rack_trips_budget() {
+        let rack = Rack::davide_compute(0, 18);
+        assert!(rack.check_budget(NodeLoad::FULL).is_err());
+    }
+
+    #[test]
+    fn idle_rack_power_is_modest() {
+        let rack = Rack::davide_compute(0, 15);
+        let idle = rack.facility_power(NodeLoad::IDLE);
+        let full = rack.facility_power(NodeLoad::FULL);
+        assert!(idle < full * 0.35, "idle={idle} full={full}");
+    }
+
+    #[test]
+    fn coolant_return_within_facility_limits() {
+        let rack = Rack::davide_compute(0, 15);
+        let ret = rack.coolant_return(NodeLoad::FULL);
+        assert!(ret < Celsius(55.0), "return={ret}");
+        assert!(rack
+            .cooling
+            .facility_return_ok(rack.it_power(NodeLoad::FULL)));
+    }
+
+    #[test]
+    fn service_rack_has_no_compute() {
+        let rack = Rack::davide_service(3);
+        assert!(rack.nodes.is_empty());
+        assert!(rack.it_power(NodeLoad::FULL) > Watts::ZERO);
+        assert_eq!(rack.role, RackRole::Service);
+    }
+
+    #[test]
+    fn consolidated_psu_failures_below_per_server() {
+        let rack = Rack::davide_compute(0, 15);
+        let per_server_units = 2.0 * 15.0;
+        let per_server_failures = per_server_units * 0.04;
+        assert!(rack.psu_failures_per_year() < per_server_failures);
+    }
+}

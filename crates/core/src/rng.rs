@@ -1,0 +1,349 @@
+//! Deterministic pseudo-random number generation and distributions.
+//!
+//! Every stochastic element of the simulation (sensor noise, workload
+//! generation, oscillator drift) draws from this module so that experiment
+//! outputs are bit-reproducible across runs and platforms. The generator is
+//! `xoshiro256**` seeded through SplitMix64 — the standard, well-analysed
+//! combination.
+
+/// SplitMix64 stream, used to expand a single `u64` seed into generator
+/// state. Also usable stand-alone for cheap hashing-style randomness.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `xoshiro256**` generator with distribution helpers.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Seed deterministically from a single `u64`.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child generator (for per-component streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift (unbiased
+    /// enough for simulation purposes; rejection step included).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = (x as u128) * (n as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal variate (Box–Muller, with cached spare).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid u == 0 so ln() stays finite.
+        let u = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with mean `mu` and standard deviation `sigma`.
+    #[inline]
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.gauss()
+    }
+
+    /// Log-normal variate parameterised by the mean/σ of the underlying
+    /// normal (the standard parameterisation for job-runtime models).
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential variate with rate `lambda` (mean `1/lambda`).
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Weibull variate with shape `k` and scale `lambda` — used for job
+    /// interarrival burstiness (k < 1 gives heavy-tailed gaps).
+    #[inline]
+    pub fn weibull(&mut self, k: f64, lambda: f64) -> f64 {
+        debug_assert!(k > 0.0 && lambda > 0.0);
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        lambda * (-u.ln()).powf(1.0 / k)
+    }
+
+    /// Poisson variate (Knuth's method; fine for small means).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return 0;
+        }
+        // For large means fall back to a rounded normal approximation.
+        if mean > 64.0 {
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Sample an index from unnormalised non-negative weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(mut f: impl FnMut(&mut Rng) -> f64, n: usize) -> (f64, f64) {
+        let mut rng = Rng::seed_from(42);
+        let xs: Vec<f64> = (0..n).map(|_| f(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_bounds_and_moments() {
+        let (mean, var) = sample_stats(|r| r.uniform(), 100_000);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "var={var}");
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut rng = Rng::seed_from(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.range(5, 15);
+            assert!((5..15).contains(&x));
+            seen[(x - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range reachable");
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let (mean, var) = sample_stats(|r| r.gauss(), 200_000);
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let (mean, _) = sample_stats(|r| r.exponential(0.25), 100_000);
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = Rng::seed_from(5);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| rng.lognormal(2.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[25_000];
+        // Median of log-normal is exp(mu).
+        assert!((median - 2.0f64.exp()).abs() < 0.3, "median={median}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let (mean, _) = sample_stats(|r| r.weibull(1.0, 3.0), 100_000);
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let (mean, _) = sample_stats(|r| r.poisson(3.5) as f64, 50_000);
+        assert!((mean - 3.5).abs() < 0.1, "mean={mean}");
+        let (mean, _) = sample_stats(|r| r.poisson(200.0) as f64, 20_000);
+        assert!((mean - 200.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::seed_from(9);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio={ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from(21);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

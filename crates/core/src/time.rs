@@ -1,0 +1,227 @@
+//! Simulated time.
+//!
+//! The discrete-event engine counts time in integer nanoseconds so that
+//! event ordering is exact and runs are bit-reproducible; conversions to
+//! [`Seconds`](crate::units::Seconds) are provided at the edges.
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulation clock, in nanoseconds since t=0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest ns).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "SimTime cannot be negative");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Value in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value as a [`Seconds`] quantity.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.as_secs_f64())
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[inline]
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest ns).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "SimDuration cannot be negative");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Value in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value as a [`Seconds`] quantity.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.as_secs_f64())
+    }
+
+    /// Scale by a dimensionless factor (rounded to the nearest ns).
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Self {
+        debug_assert!(k >= 0.0);
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2_000_000_000));
+        assert_eq!(SimTime::from_millis(1), SimTime(1_000_000));
+        assert_eq!(SimTime::from_micros(1), SimTime(1_000));
+        assert_eq!(SimTime::from_secs_f64(1.5).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(
+            SimDuration::from_secs(1) + SimDuration::from_millis(500),
+            SimDuration::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(5);
+        let late = SimTime::from_secs(8);
+        assert_eq!(late.since(early), SimDuration::from_secs(3));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(0.5),
+            SimDuration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_secs(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Broker-to-broker bridging.
+//!
+//! In a deployment like D.A.V.I.D.E.'s, each rack's management network
+//! runs its own broker close to the gateways; a *bridge* forwards
+//! selected topics upstream to the site broker where the job scheduler
+//! and accounting subscribe. This is the standard MQTT bridging pattern
+//! (mosquitto's `connection` blocks), reimplemented over the in-process
+//! broker: filter-based forwarding, optional topic prefixing, and
+//! loop-safe one-directional pumps.
+
+use crate::broker::{Broker, BrokerError};
+use crate::client::Client;
+use crate::codec::QoS;
+use crate::topic::validate_filter;
+
+/// A one-directional bridge pumping matching messages from a source
+/// broker to a destination broker.
+pub struct Bridge {
+    source: Client,
+    destination: Client,
+    /// Prefix prepended to forwarded topics (e.g. `rack0`).
+    pub prefix: Option<String>,
+    forwarded: u64,
+}
+
+impl Bridge {
+    /// Create a bridge subscribing to `filters` on `source` and
+    /// republishing (optionally under `prefix/...`) on `destination`.
+    pub fn connect(
+        source: &Broker,
+        destination: &Broker,
+        name: &str,
+        filters: &[&str],
+        prefix: Option<&str>,
+    ) -> Result<Bridge, BrokerError> {
+        for f in filters {
+            validate_filter(f)?;
+        }
+        let mut src_client = source.connect(format!("bridge-{name}-in"));
+        for f in filters {
+            src_client.subscribe(f, QoS::AtLeastOnce)?;
+        }
+        let dst_client = destination.connect(format!("bridge-{name}-out"));
+        Ok(Bridge {
+            source: src_client,
+            destination: dst_client,
+            prefix: prefix.map(str::to_string),
+            forwarded: 0,
+        })
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Drain everything queued on the source side and republish it
+    /// downstream. Returns the number of messages forwarded.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(msg) = self.source.try_recv() {
+            // Never re-forward retained replays of our own destination
+            // side: a one-directional bridge cannot loop, but retained
+            // replays at subscribe time would double-deliver old state.
+            let topic = match &self.prefix {
+                Some(p) => format!("{p}/{}", msg.topic),
+                None => msg.topic.clone(),
+            };
+            // Forward retained flag so site-side late subscribers get
+            // status values (e.g. power caps).
+            let _ = self
+                .destination
+                .publish(&topic, msg.payload, msg.qos, msg.retain);
+            n += 1;
+        }
+        self.forwarded += n as u64;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn forwards_matching_topics_with_prefix() {
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge =
+            Bridge::connect(&rack, &site, "rack0", &["davide/+/power/#"], Some("rack0")).unwrap();
+
+        let mut site_agent = site.connect("site-accounting");
+        site_agent
+            .subscribe("rack0/davide/+/power/#", QoS::AtMostOnce)
+            .unwrap();
+
+        let gw = rack.connect("eg");
+        gw.publish("davide/node03/power/node", payload("1700"), QoS::AtMostOnce, false)
+            .unwrap();
+        gw.publish("davide/node03/temp/cpu0", payload("55"), QoS::AtMostOnce, false)
+            .unwrap(); // not bridged
+
+        assert_eq!(bridge.pump(), 1);
+        let m = site_agent.try_recv().unwrap();
+        assert_eq!(m.topic, "rack0/davide/node03/power/node");
+        assert_eq!(&m.payload[..], b"1700");
+        assert!(site_agent.try_recv().is_none());
+        assert_eq!(bridge.forwarded(), 1);
+    }
+
+    #[test]
+    fn pump_on_empty_source_is_zero() {
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge = Bridge::connect(&rack, &site, "b", &["#"], None).unwrap();
+        assert_eq!(bridge.pump(), 0);
+    }
+
+    #[test]
+    fn retained_status_survives_the_bridge() {
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge =
+            Bridge::connect(&rack, &site, "r0", &["davide/+/status/#"], None).unwrap();
+        let gw = rack.connect("eg");
+        gw.publish(
+            "davide/node00/status/powercap",
+            payload("1500"),
+            QoS::AtLeastOnce,
+            true,
+        )
+        .unwrap();
+        bridge.pump();
+        // A late site-side subscriber still sees the value: the bridge
+        // preserved the retain flag.
+        let mut late = site.connect("late");
+        late.subscribe("davide/+/status/#", QoS::AtMostOnce).unwrap();
+        let m = late.try_recv().expect("retained replay downstream");
+        assert!(m.retain);
+        assert_eq!(&m.payload[..], b"1500");
+    }
+
+    #[test]
+    fn three_racks_fan_into_one_site_broker() {
+        let site = Broker::default();
+        let mut site_agent = site.connect("sched-plugin");
+        site_agent
+            .subscribe("+/davide/+/power/node", QoS::AtMostOnce)
+            .unwrap();
+        let mut bridges = Vec::new();
+        let racks: Vec<Broker> = (0..3).map(|_| Broker::default()).collect();
+        for (i, rack) in racks.iter().enumerate() {
+            bridges.push(
+                Bridge::connect(
+                    rack,
+                    &site,
+                    &format!("rack{i}"),
+                    &["davide/+/power/#"],
+                    Some(&format!("rack{i}")),
+                )
+                .unwrap(),
+            );
+        }
+        for (i, rack) in racks.iter().enumerate() {
+            let gw = rack.connect("eg");
+            gw.publish(
+                &format!("davide/node{i:02}/power/node"),
+                payload("1650"),
+                QoS::AtMostOnce,
+                false,
+            )
+            .unwrap();
+        }
+        let total: usize = bridges.iter_mut().map(|b| b.pump()).sum();
+        assert_eq!(total, 3);
+        let topics: Vec<String> = site_agent.drain().into_iter().map(|m| m.topic).collect();
+        assert_eq!(topics.len(), 3);
+        assert!(topics.contains(&"rack1/davide/node01/power/node".to_string()));
+    }
+
+    #[test]
+    fn invalid_filter_rejected_at_connect() {
+        let a = Broker::default();
+        let b = Broker::default();
+        assert!(Bridge::connect(&a, &b, "x", &["bad/#/filter"], None).is_err());
+    }
+}

@@ -1,0 +1,583 @@
+//! The in-process MQTT broker.
+//!
+//! D.A.V.I.D.E.'s energy gateways publish power samples over MQTT so that
+//! *multiple agents* — in-node control agents, per-job aggregators,
+//! profilers and accounting — can consume the same stream with low
+//! latency (§III-A1). This broker provides those semantics in-process:
+//! a topic-trie subscription store with `+`/`#` wildcards, retained
+//! messages, QoS 0/1 and per-subscriber bounded queues with drop
+//! accounting (a slow profiler must not stall the control agents).
+
+use crate::codec::QoS;
+use crate::topic::{filter_matches, validate_filter, validate_topic, TopicError};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An application message as delivered to subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Topic it was published on.
+    pub topic: String,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Delivery QoS (min of publish and subscription QoS).
+    pub qos: QoS,
+    /// True when replayed from the retained store.
+    pub retain: bool,
+}
+
+/// Broker-side errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerError {
+    /// Invalid topic or filter string.
+    Topic(TopicError),
+    /// Operation on a client id the broker does not know.
+    UnknownClient(u64),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::Topic(e) => write!(f, "{e}"),
+            BrokerError::UnknownClient(id) => write!(f, "unknown client {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+impl From<TopicError> for BrokerError {
+    fn from(e: TopicError) -> Self {
+        BrokerError::Topic(e)
+    }
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    client: u64,
+    qos: QoS,
+}
+
+/// Subscription trie node: one level of the topic hierarchy.
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<String, TrieNode>,
+    plus: Option<Box<TrieNode>>,
+    /// Subscriptions whose filter ends exactly at this node.
+    subs: Vec<SubEntry>,
+    /// Subscriptions whose filter is `<this node>/#`.
+    hash_subs: Vec<SubEntry>,
+}
+
+impl TrieNode {
+    fn insert(&mut self, levels: &[&str], entry: SubEntry) {
+        match levels.split_first() {
+            None => self.subs.push(entry),
+            Some((&"#", _)) => self.hash_subs.push(entry),
+            Some((&"+", rest)) => self
+                .plus
+                .get_or_insert_with(Default::default)
+                .insert(rest, entry),
+            Some((&level, rest)) => self
+                .children
+                .entry(level.to_string())
+                .or_default()
+                .insert(rest, entry),
+        }
+    }
+
+    fn remove(&mut self, levels: &[&str], client: u64) {
+        match levels.split_first() {
+            None => self.subs.retain(|s| s.client != client),
+            Some((&"#", _)) => self.hash_subs.retain(|s| s.client != client),
+            Some((&"+", rest)) => {
+                if let Some(p) = &mut self.plus {
+                    p.remove(rest, client);
+                }
+            }
+            Some((&level, rest)) => {
+                if let Some(c) = self.children.get_mut(level) {
+                    c.remove(rest, client);
+                }
+            }
+        }
+    }
+
+    fn remove_client(&mut self, client: u64) {
+        self.subs.retain(|s| s.client != client);
+        self.hash_subs.retain(|s| s.client != client);
+        if let Some(p) = &mut self.plus {
+            p.remove_client(client);
+        }
+        for c in self.children.values_mut() {
+            c.remove_client(client);
+        }
+    }
+
+    /// Collect `(client, qos)` matches for the topic levels.
+    fn collect(&self, levels: &[&str], skip_wildcards: bool, out: &mut Vec<(u64, QoS)>) {
+        // A `parent/#` filter also matches `parent` itself.
+        if !skip_wildcards {
+            for s in &self.hash_subs {
+                out.push((s.client, s.qos));
+            }
+        }
+        match levels.split_first() {
+            None => {
+                for s in &self.subs {
+                    out.push((s.client, s.qos));
+                }
+            }
+            Some((&level, rest)) => {
+                if let Some(c) = self.children.get(level) {
+                    c.collect(rest, false, out);
+                }
+                if !skip_wildcards {
+                    if let Some(p) = &self.plus {
+                        p.collect(rest, false, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    sender: Sender<Message>,
+    client_id: String,
+}
+
+#[derive(Debug, Default)]
+struct BrokerState {
+    trie: TrieNode,
+    clients: HashMap<u64, ClientState>,
+    retained: HashMap<String, Message>,
+}
+
+/// Delivery statistics, exposed on the `$SYS` topics of a real broker.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    /// PUBLISH packets accepted.
+    pub published: AtomicU64,
+    /// Messages enqueued to subscribers.
+    pub delivered: AtomicU64,
+    /// Messages dropped because a subscriber queue was full.
+    pub dropped: AtomicU64,
+    /// QoS 1 PUBLISHes acknowledged.
+    pub acked: AtomicU64,
+}
+
+/// The broker: cheaply cloneable handle, safe to share across threads.
+///
+/// ```
+/// use davide_mqtt::{Broker, QoS};
+/// use bytes::Bytes;
+///
+/// let broker = Broker::default();
+/// let mut agent = broker.connect("accounting");
+/// agent.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
+/// let gw = broker.connect("eg-node00");
+/// let reached = gw
+///     .publish("davide/node00/power/node", Bytes::from_static(b"1700"), QoS::AtMostOnce, false)
+///     .unwrap();
+/// assert_eq!(reached, 1);
+/// assert_eq!(&agent.try_recv().unwrap().payload[..], b"1700");
+/// ```
+#[derive(Clone)]
+pub struct Broker {
+    state: Arc<Mutex<BrokerState>>,
+    stats: Arc<BrokerStats>,
+    next_client: Arc<AtomicU64>,
+    queue_depth: usize,
+}
+
+/// Default per-subscriber queue depth: sized for one second of decimated
+/// EG samples (50 kS/s) so a briefly-stalled agent loses nothing.
+pub const DEFAULT_QUEUE_DEPTH: usize = 65_536;
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new(DEFAULT_QUEUE_DEPTH)
+    }
+}
+
+impl Broker {
+    /// New broker with the given per-subscriber queue depth.
+    pub fn new(queue_depth: usize) -> Self {
+        assert!(queue_depth > 0);
+        Broker {
+            state: Arc::new(Mutex::new(BrokerState::default())),
+            stats: Arc::new(BrokerStats::default()),
+            next_client: Arc::new(AtomicU64::new(1)),
+            queue_depth,
+        }
+    }
+
+    /// Connect a client; returns its handle.
+    pub fn connect(&self, client_id: impl Into<String>) -> super::client::Client {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(self.queue_depth);
+        let client_id = client_id.into();
+        self.state.lock().clients.insert(
+            id,
+            ClientState {
+                sender: tx,
+                client_id: client_id.clone(),
+            },
+        );
+        super::client::Client::new(self.clone(), id, client_id, rx)
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    /// Number of connected clients.
+    pub fn client_count(&self) -> usize {
+        self.state.lock().clients.len()
+    }
+
+    /// Number of retained messages held.
+    pub fn retained_count(&self) -> usize {
+        self.state.lock().retained.len()
+    }
+
+    pub(crate) fn disconnect(&self, client: u64) {
+        let mut st = self.state.lock();
+        st.clients.remove(&client);
+        st.trie.remove_client(client);
+    }
+
+    pub(crate) fn subscribe(
+        &self,
+        client: u64,
+        filter: &str,
+        qos: QoS,
+    ) -> Result<(), BrokerError> {
+        validate_filter(filter)?;
+        let mut st = self.state.lock();
+        if !st.clients.contains_key(&client) {
+            return Err(BrokerError::UnknownClient(client));
+        }
+        let levels: Vec<&str> = filter.split('/').collect();
+        // Replace any existing subscription by this client on the filter.
+        st.trie.remove(&levels, client);
+        st.trie.insert(&levels, SubEntry { client, qos });
+
+        // Replay retained messages matching the new filter.
+        let matches: Vec<Message> = st
+            .retained
+            .values()
+            .filter(|m| filter_matches(filter, &m.topic))
+            .cloned()
+            .collect();
+        if let Some(cs) = st.clients.get(&client) {
+            for mut m in matches {
+                m.retain = true;
+                m.qos = m.qos.min(qos);
+                match cs.sender.try_send(m) {
+                    Ok(()) => {
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn unsubscribe(&self, client: u64, filter: &str) -> Result<(), BrokerError> {
+        validate_filter(filter)?;
+        let levels: Vec<&str> = filter.split('/').collect();
+        self.state.lock().trie.remove(&levels, client);
+        Ok(())
+    }
+
+    /// Publish a message; returns the number of subscribers it reached.
+    ///
+    /// For QoS 1 the broker "acknowledges" by bumping the `acked`
+    /// counter once the message is safely fanned out — the in-process
+    /// equivalent of PUBACK.
+    pub(crate) fn publish(
+        &self,
+        topic: &str,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+    ) -> Result<usize, BrokerError> {
+        validate_topic(topic)?;
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+
+        let mut st = self.state.lock();
+        if retain {
+            if payload.is_empty() {
+                // Empty retained payload clears the retained message.
+                st.retained.remove(topic);
+            } else {
+                st.retained.insert(
+                    topic.to_string(),
+                    Message {
+                        topic: topic.to_string(),
+                        payload: payload.clone(),
+                        qos,
+                        retain: true,
+                    },
+                );
+            }
+        }
+
+        let levels: Vec<&str> = topic.split('/').collect();
+        let mut targets = Vec::new();
+        // $-topics suppress wildcards at the root level only.
+        let skip_wild_at_root = topic.starts_with('$');
+        st.trie.collect(&levels, skip_wild_at_root, &mut targets);
+        let mut reached = 0;
+        for (client, sub_qos) in targets {
+            if let Some(cs) = st.clients.get(&client) {
+                // "Retain as published" (the MQTT 5 RAP behaviour):
+                // live deliveries carry the publisher's retain flag so
+                // bridges can preserve retained state downstream.
+                let m = Message {
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    qos: qos.min(sub_qos),
+                    retain,
+                };
+                match cs.sender.try_send(m) {
+                    Ok(()) => {
+                        reached += 1;
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if qos == QoS::AtLeastOnce {
+            self.stats.acked.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(reached)
+    }
+
+    /// Look up a client's chosen id string (diagnostics).
+    pub fn client_name(&self, client: u64) -> Option<String> {
+        self.state
+            .lock()
+            .clients
+            .get(&client)
+            .map(|c| c.client_id.clone())
+    }
+}
+
+/// A receiving endpoint handed to subscribers (re-export of the
+/// crossbeam receiver so callers can `recv`, `try_recv`, iterate…).
+pub type MessageReceiver = Receiver<Message>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn publish_subscribe_roundtrip() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("davide/+/power", QoS::AtMostOnce).unwrap();
+        let n = publ
+            .publish("davide/node03/power", payload("1720"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(n, 1);
+        let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.topic, "davide/node03/power");
+        assert_eq!(&m.payload[..], b"1720");
+    }
+
+    #[test]
+    fn fan_out_to_multiple_agents() {
+        let broker = Broker::default();
+        let publ = broker.connect("gateway");
+        let mut subs: Vec<_> = (0..8)
+            .map(|i| {
+                let mut c = broker.connect(format!("agent{i}"));
+                c.subscribe("davide/#", QoS::AtMostOnce).unwrap();
+                c
+            })
+            .collect();
+        let n = publ
+            .publish("davide/node00/power", payload("p"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(n, 8);
+        for s in &mut subs {
+            assert!(s.try_recv().is_some());
+        }
+    }
+
+    #[test]
+    fn no_delivery_without_match() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("davide/+/temp", QoS::AtMostOnce).unwrap();
+        let n = publ
+            .publish("davide/node03/power", payload("x"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn retained_message_replayed_on_subscribe() {
+        let broker = Broker::default();
+        let publ = broker.connect("gateway");
+        publ.publish("davide/node03/cap", payload("1500"), QoS::AtLeastOnce, true)
+            .unwrap();
+        assert_eq!(broker.retained_count(), 1);
+        // Late subscriber still sees the value.
+        let mut sub = broker.connect("late-agent");
+        sub.subscribe("davide/+/cap", QoS::AtLeastOnce).unwrap();
+        let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(m.retain);
+        assert_eq!(&m.payload[..], b"1500");
+        // Clearing: empty retained payload.
+        publ.publish("davide/node03/cap", Bytes::new(), QoS::AtMostOnce, true)
+            .unwrap();
+        assert_eq!(broker.retained_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("a/b", QoS::AtMostOnce).unwrap();
+        publ.publish("a/b", payload("1"), QoS::AtMostOnce, false)
+            .unwrap();
+        sub.unsubscribe("a/b").unwrap();
+        publ.publish("a/b", payload("2"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(&sub.try_recv().unwrap().payload[..], b"1");
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn disconnect_cleans_up() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        sub.subscribe("a/#", QoS::AtMostOnce).unwrap();
+        assert_eq!(broker.client_count(), 1);
+        sub.disconnect();
+        assert_eq!(broker.client_count(), 0);
+        let publ = broker.connect("gateway");
+        let n = publ
+            .publish("a/b", payload("x"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(n, 0, "no stale subscriptions");
+    }
+
+    #[test]
+    fn slow_subscriber_drops_do_not_block_publisher() {
+        let broker = Broker::new(4); // tiny queue
+        let mut sub = broker.connect("slow-agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("t", QoS::AtMostOnce).unwrap();
+        for i in 0..10 {
+            publ.publish("t", payload(&i.to_string()), QoS::AtMostOnce, false)
+                .unwrap();
+        }
+        let delivered = broker.stats().delivered.load(Ordering::Relaxed);
+        let dropped = broker.stats().dropped.load(Ordering::Relaxed);
+        assert_eq!(delivered, 4);
+        assert_eq!(dropped, 6);
+        // The slow consumer still gets the first 4.
+        let got: Vec<_> = std::iter::from_fn(|| sub.try_recv()).collect();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn qos_downgraded_to_subscription_qos() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("t", QoS::AtMostOnce).unwrap();
+        publ.publish("t", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        let m = sub.try_recv().unwrap();
+        assert_eq!(m.qos, QoS::AtMostOnce, "min(pub, sub)");
+        assert_eq!(broker.stats().acked.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sys_topics_hidden_from_hash() {
+        let broker = Broker::default();
+        let mut wild = broker.connect("wild");
+        let mut explicit = broker.connect("explicit");
+        wild.subscribe("#", QoS::AtMostOnce).unwrap();
+        explicit.subscribe("$SYS/#", QoS::AtMostOnce).unwrap();
+        let publ = broker.connect("broker-self");
+        publ.publish("$SYS/broker/load", payload("0.5"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert!(wild.try_recv().is_none(), "# must not see $SYS");
+        assert!(explicit.try_recv().is_some());
+    }
+
+    #[test]
+    fn resubscribe_does_not_duplicate() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("t", QoS::AtMostOnce).unwrap();
+        sub.subscribe("t", QoS::AtLeastOnce).unwrap(); // replace
+        let n = publ
+            .publish("t", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        assert_eq!(n, 1, "single delivery after re-subscribe");
+        assert_eq!(sub.try_recv().unwrap().qos, QoS::AtLeastOnce);
+    }
+
+    #[test]
+    fn concurrent_publishers() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        sub.subscribe("davide/#", QoS::AtMostOnce).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let b = broker.clone();
+                std::thread::spawn(move || {
+                    let c = b.connect(format!("gw{t}"));
+                    for i in 0..250 {
+                        c.publish(
+                            &format!("davide/node{t}/s{i}"),
+                            Bytes::new(),
+                            QoS::AtMostOnce,
+                            false,
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut count = 0;
+        while sub.try_recv().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+}

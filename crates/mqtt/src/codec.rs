@@ -1,0 +1,551 @@
+//! MQTT 3.1.1 wire codec.
+//!
+//! The in-process broker exchanges [`Packet`] values directly, but the
+//! codec is what makes the implementation protocol-true: every packet can
+//! round-trip through the real wire format (fixed header, variable-length
+//! remaining-length field, UTF-8 strings with 16-bit lengths).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Quality-of-service level (QoS 2 is not used by the DAVIDE stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QoS {
+    /// Fire and forget.
+    AtMostOnce = 0,
+    /// Acknowledged delivery.
+    AtLeastOnce = 1,
+}
+
+impl QoS {
+    /// Decode from the 2-bit wire field.
+    pub fn from_bits(bits: u8) -> Result<QoS, CodecError> {
+        match bits {
+            0 => Ok(QoS::AtMostOnce),
+            1 => Ok(QoS::AtLeastOnce),
+            _ => Err(CodecError::UnsupportedQoS(bits)),
+        }
+    }
+}
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Unknown packet type nibble.
+    UnknownPacketType(u8),
+    /// Remaining-length field exceeded 4 bytes.
+    MalformedRemainingLength,
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// The payload ended before the declared length.
+    Truncated,
+    /// QoS 2 or a reserved QoS value.
+    UnsupportedQoS(u8),
+    /// Reserved flag bits were set incorrectly.
+    BadFlags,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnknownPacketType(t) => write!(f, "unknown packet type {t:#x}"),
+            CodecError::MalformedRemainingLength => write!(f, "malformed remaining length"),
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            CodecError::Truncated => write!(f, "packet truncated"),
+            CodecError::UnsupportedQoS(q) => write!(f, "unsupported QoS {q}"),
+            CodecError::BadFlags => write!(f, "reserved flag bits set"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An MQTT control packet (the 3.1.1 subset the stack uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Client connection request.
+    Connect {
+        /// Client identifier.
+        client_id: String,
+        /// Keep-alive interval in seconds.
+        keep_alive: u16,
+        /// Discard any previous session state.
+        clean_session: bool,
+    },
+    /// Broker's connection acknowledgement.
+    ConnAck {
+        /// Whether stored session state exists.
+        session_present: bool,
+        /// Return code (0 = accepted).
+        code: u8,
+    },
+    /// Application message.
+    Publish {
+        /// Topic name (no wildcards).
+        topic: String,
+        /// Application payload.
+        payload: Bytes,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Retain flag.
+        retain: bool,
+        /// Duplicate-delivery flag.
+        dup: bool,
+        /// Packet identifier (present iff QoS > 0).
+        packet_id: Option<u16>,
+    },
+    /// QoS 1 acknowledgement.
+    PubAck {
+        /// Identifier of the acknowledged PUBLISH.
+        packet_id: u16,
+    },
+    /// Subscription request.
+    Subscribe {
+        /// Packet identifier.
+        packet_id: u16,
+        /// `(filter, max_qos)` pairs.
+        filters: Vec<(String, QoS)>,
+    },
+    /// Subscription acknowledgement.
+    SubAck {
+        /// Identifier of the acknowledged SUBSCRIBE.
+        packet_id: u16,
+        /// Granted QoS per filter (0x80 = failure).
+        return_codes: Vec<u8>,
+    },
+    /// Unsubscription request.
+    Unsubscribe {
+        /// Packet identifier.
+        packet_id: u16,
+        /// Filters to remove.
+        filters: Vec<String>,
+    },
+    /// Unsubscription acknowledgement.
+    UnsubAck {
+        /// Identifier of the acknowledged UNSUBSCRIBE.
+        packet_id: u16,
+    },
+    /// Keep-alive probe.
+    PingReq,
+    /// Keep-alive response.
+    PingResp,
+    /// Clean disconnect.
+    Disconnect,
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_remaining_length(buf: &mut BytesMut, mut len: usize) {
+    loop {
+        let mut byte = (len % 128) as u8;
+        len /= 128;
+        if len > 0 {
+            byte |= 0x80;
+        }
+        buf.put_u8(byte);
+        if len == 0 {
+            break;
+        }
+    }
+}
+
+fn get_remaining_length(buf: &mut impl Buf) -> Result<Option<usize>, CodecError> {
+    let mut multiplier = 1usize;
+    let mut value = 0usize;
+    for i in 0..4 {
+        if !buf.has_remaining() {
+            return Ok(None);
+        }
+        let byte = buf.get_u8();
+        value += (byte & 0x7F) as usize * multiplier;
+        if byte & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        multiplier *= 128;
+        if i == 3 {
+            return Err(CodecError::MalformedRemainingLength);
+        }
+    }
+    Err(CodecError::MalformedRemainingLength)
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+}
+
+/// Encode a packet onto `buf` in wire format.
+pub fn encode(packet: &Packet, buf: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    let first_byte: u8;
+    match packet {
+        Packet::Connect {
+            client_id,
+            keep_alive,
+            clean_session,
+        } => {
+            first_byte = 0x10;
+            put_string(&mut body, "MQTT");
+            body.put_u8(4); // protocol level 3.1.1
+            body.put_u8(if *clean_session { 0x02 } else { 0x00 });
+            body.put_u16(*keep_alive);
+            put_string(&mut body, client_id);
+        }
+        Packet::ConnAck {
+            session_present,
+            code,
+        } => {
+            first_byte = 0x20;
+            body.put_u8(u8::from(*session_present));
+            body.put_u8(*code);
+        }
+        Packet::Publish {
+            topic,
+            payload,
+            qos,
+            retain,
+            dup,
+            packet_id,
+        } => {
+            first_byte = 0x30
+                | (u8::from(*dup) << 3)
+                | ((*qos as u8) << 1)
+                | u8::from(*retain);
+            put_string(&mut body, topic);
+            if *qos != QoS::AtMostOnce {
+                body.put_u16(packet_id.expect("QoS>0 PUBLISH must carry a packet id"));
+            }
+            body.put_slice(payload);
+        }
+        Packet::PubAck { packet_id } => {
+            first_byte = 0x40;
+            body.put_u16(*packet_id);
+        }
+        Packet::Subscribe { packet_id, filters } => {
+            first_byte = 0x82;
+            body.put_u16(*packet_id);
+            for (f, q) in filters {
+                put_string(&mut body, f);
+                body.put_u8(*q as u8);
+            }
+        }
+        Packet::SubAck {
+            packet_id,
+            return_codes,
+        } => {
+            first_byte = 0x90;
+            body.put_u16(*packet_id);
+            for c in return_codes {
+                body.put_u8(*c);
+            }
+        }
+        Packet::Unsubscribe { packet_id, filters } => {
+            first_byte = 0xA2;
+            body.put_u16(*packet_id);
+            for f in filters {
+                put_string(&mut body, f);
+            }
+        }
+        Packet::UnsubAck { packet_id } => {
+            first_byte = 0xB0;
+            body.put_u16(*packet_id);
+        }
+        Packet::PingReq => first_byte = 0xC0,
+        Packet::PingResp => first_byte = 0xD0,
+        Packet::Disconnect => first_byte = 0xE0,
+    }
+    buf.put_u8(first_byte);
+    put_remaining_length(buf, body.len());
+    buf.put_slice(&body);
+}
+
+/// Decode one packet from `buf`, consuming its bytes.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete
+/// packet (stream decoding); the buffer is left untouched in that case.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Packet>, CodecError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    // Peek the header without consuming, in case the body is incomplete.
+    let mut peek = &buf[..];
+    let first = peek.get_u8();
+    let remaining = match get_remaining_length(&mut peek)? {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    if peek.remaining() < remaining {
+        return Ok(None);
+    }
+    let header_len = buf.len() - peek.remaining();
+    buf.advance(header_len);
+    let mut body: Bytes = buf.split_to(remaining).freeze();
+
+    let packet_type = first >> 4;
+    let flags = first & 0x0F;
+    let packet = match packet_type {
+        1 => {
+            let _proto = get_string(&mut body)?;
+            if body.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let _level = body.get_u8();
+            let connect_flags = body.get_u8();
+            let keep_alive = body.get_u16();
+            let client_id = get_string(&mut body)?;
+            Packet::Connect {
+                client_id,
+                keep_alive,
+                clean_session: connect_flags & 0x02 != 0,
+            }
+        }
+        2 => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            Packet::ConnAck {
+                session_present: body.get_u8() & 0x01 != 0,
+                code: body.get_u8(),
+            }
+        }
+        3 => {
+            let dup = flags & 0x08 != 0;
+            let qos = QoS::from_bits((flags >> 1) & 0x03)?;
+            let retain = flags & 0x01 != 0;
+            let topic = get_string(&mut body)?;
+            let packet_id = if qos != QoS::AtMostOnce {
+                if body.remaining() < 2 {
+                    return Err(CodecError::Truncated);
+                }
+                Some(body.get_u16())
+            } else {
+                None
+            };
+            Packet::Publish {
+                topic,
+                payload: body,
+                qos,
+                retain,
+                dup,
+                packet_id,
+            }
+        }
+        4 => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            Packet::PubAck {
+                packet_id: body.get_u16(),
+            }
+        }
+        8 => {
+            if flags != 0x02 {
+                return Err(CodecError::BadFlags);
+            }
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let packet_id = body.get_u16();
+            let mut filters = Vec::new();
+            while body.has_remaining() {
+                let f = get_string(&mut body)?;
+                if !body.has_remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                let q = QoS::from_bits(body.get_u8())?;
+                filters.push((f, q));
+            }
+            Packet::Subscribe { packet_id, filters }
+        }
+        9 => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let packet_id = body.get_u16();
+            let return_codes = body.to_vec();
+            Packet::SubAck {
+                packet_id,
+                return_codes,
+            }
+        }
+        10 => {
+            if flags != 0x02 {
+                return Err(CodecError::BadFlags);
+            }
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let packet_id = body.get_u16();
+            let mut filters = Vec::new();
+            while body.has_remaining() {
+                filters.push(get_string(&mut body)?);
+            }
+            Packet::Unsubscribe { packet_id, filters }
+        }
+        11 => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            Packet::UnsubAck {
+                packet_id: body.get_u16(),
+            }
+        }
+        12 => Packet::PingReq,
+        13 => Packet::PingResp,
+        14 => Packet::Disconnect,
+        t => return Err(CodecError::UnknownPacketType(t)),
+    };
+    Ok(Some(packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Packet) {
+        let mut buf = BytesMut::new();
+        encode(&p, &mut buf);
+        let decoded = decode(&mut buf).expect("decode").expect("complete");
+        assert_eq!(decoded, p);
+        assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn roundtrip_all_packet_types() {
+        roundtrip(Packet::Connect {
+            client_id: "eg-node03".into(),
+            keep_alive: 60,
+            clean_session: true,
+        });
+        roundtrip(Packet::ConnAck {
+            session_present: false,
+            code: 0,
+        });
+        roundtrip(Packet::Publish {
+            topic: "davide/node03/power".into(),
+            payload: Bytes::from_static(b"1723.5"),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+            packet_id: None,
+        });
+        roundtrip(Packet::Publish {
+            topic: "davide/node03/power".into(),
+            payload: Bytes::from_static(&[0u8; 128]),
+            qos: QoS::AtLeastOnce,
+            retain: true,
+            dup: true,
+            packet_id: Some(7),
+        });
+        roundtrip(Packet::PubAck { packet_id: 7 });
+        roundtrip(Packet::Subscribe {
+            packet_id: 11,
+            filters: vec![
+                ("davide/+/power".into(), QoS::AtLeastOnce),
+                ("davide/#".into(), QoS::AtMostOnce),
+            ],
+        });
+        roundtrip(Packet::SubAck {
+            packet_id: 11,
+            return_codes: vec![1, 0],
+        });
+        roundtrip(Packet::Unsubscribe {
+            packet_id: 12,
+            filters: vec!["davide/+/power".into()],
+        });
+        roundtrip(Packet::UnsubAck { packet_id: 12 });
+        roundtrip(Packet::PingReq);
+        roundtrip(Packet::PingResp);
+        roundtrip(Packet::Disconnect);
+    }
+
+    #[test]
+    fn incremental_decode_waits_for_full_packet() {
+        let p = Packet::Publish {
+            topic: "t".into(),
+            payload: Bytes::from(vec![42u8; 300]),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+            packet_id: None,
+        };
+        let mut full = BytesMut::new();
+        encode(&p, &mut full);
+        // Feed the stream byte by byte; decode must return None until
+        // the packet completes, then produce it exactly once.
+        let mut stream = BytesMut::new();
+        let mut out = None;
+        for (i, b) in full.iter().enumerate() {
+            stream.put_u8(*b);
+            match decode(&mut stream).unwrap() {
+                Some(got) => {
+                    assert_eq!(i, full.len() - 1, "completed only at final byte");
+                    out = Some(got);
+                }
+                None => assert!(i < full.len() - 1),
+            }
+        }
+        assert_eq!(out.unwrap(), p);
+    }
+
+    #[test]
+    fn remaining_length_multi_byte() {
+        // 300-byte body needs a 2-byte remaining-length field.
+        let mut buf = BytesMut::new();
+        put_remaining_length(&mut buf, 300);
+        assert_eq!(&buf[..], &[0xAC, 0x02]);
+        let mut b = &buf[..];
+        assert_eq!(get_remaining_length(&mut b).unwrap(), Some(300));
+        // Largest legal value: 268 435 455.
+        let mut buf = BytesMut::new();
+        put_remaining_length(&mut buf, 268_435_455);
+        assert_eq!(buf.len(), 4);
+        let mut b = &buf[..];
+        assert_eq!(get_remaining_length(&mut b).unwrap(), Some(268_435_455));
+    }
+
+    #[test]
+    fn malformed_remaining_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0x30, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+        assert_eq!(
+            decode(&mut buf).unwrap_err(),
+            CodecError::MalformedRemainingLength
+        );
+    }
+
+    #[test]
+    fn qos2_rejected() {
+        let mut buf = BytesMut::new();
+        // PUBLISH with QoS bits = 2.
+        buf.put_slice(&[0x34, 0x03, 0x00, 0x01, b't']);
+        assert_eq!(decode(&mut buf).unwrap_err(), CodecError::UnsupportedQoS(2));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0x30, 0x04, 0x00, 0x02, 0xFF, 0xFE]);
+        assert_eq!(decode(&mut buf).unwrap_err(), CodecError::InvalidUtf8);
+    }
+
+    #[test]
+    fn decode_two_back_to_back_packets() {
+        let mut buf = BytesMut::new();
+        encode(&Packet::PingReq, &mut buf);
+        encode(&Packet::PingResp, &mut buf);
+        assert_eq!(decode(&mut buf).unwrap(), Some(Packet::PingReq));
+        assert_eq!(decode(&mut buf).unwrap(), Some(Packet::PingResp));
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+}

@@ -1,0 +1,487 @@
+//! Protocol-level client session: the state machine a networked MQTT
+//! client runs over the wire codec.
+//!
+//! The in-process broker ([`crate::broker`]) is what the DAVIDE stack
+//! uses at runtime; this module makes the implementation protocol-true
+//! end to end: a [`Session`] consumes inbound [`Packet`]s and emits the
+//! outbound packets the spec requires — CONNECT/CONNACK handshake,
+//! SUBSCRIBE/SUBACK bookkeeping, QoS 1 PUBLISH with packet-id
+//! allocation, PUBACK handling, retransmission with the DUP flag, and
+//! keep-alive PINGREQ scheduling.
+
+use crate::codec::{Packet, QoS};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Session lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// CONNECT sent, waiting for CONNACK.
+    Connecting,
+    /// CONNACK accepted.
+    Connected,
+    /// Broker refused the connection or we disconnected.
+    Closed,
+}
+
+/// Application-level events surfaced by the session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Connection accepted (`session_present` from CONNACK).
+    Connected {
+        /// Broker-side session state existed.
+        session_present: bool,
+    },
+    /// Connection refused with the broker's return code.
+    Refused(u8),
+    /// A subscription was acknowledged with the granted QoS codes.
+    Subscribed {
+        /// SUBSCRIBE packet id.
+        packet_id: u16,
+        /// Granted QoS (0x80 = failure) per filter.
+        granted: Vec<u8>,
+    },
+    /// An application message arrived.
+    Message {
+        /// Topic it was published on.
+        topic: String,
+        /// Payload bytes.
+        payload: Bytes,
+        /// Delivery QoS.
+        qos: QoS,
+    },
+    /// A QoS 1 publish completed (PUBACK received).
+    PublishAcked(u16),
+    /// The broker answered our PINGREQ.
+    Pong,
+}
+
+/// An in-flight QoS 1 message awaiting PUBACK.
+#[derive(Debug, Clone)]
+struct InFlight {
+    topic: String,
+    payload: Bytes,
+    retain: bool,
+    sent_at_s: f64,
+    retries: u32,
+}
+
+/// Client-side MQTT session state machine.
+///
+/// Time is passed in explicitly (`now_s`) so the session is fully
+/// deterministic and testable without a wall clock.
+#[derive(Debug)]
+pub struct Session {
+    /// Client identifier used in CONNECT.
+    pub client_id: String,
+    /// Keep-alive interval, seconds.
+    pub keep_alive_s: f64,
+    /// Retransmission timeout for unacked QoS 1 publishes, seconds.
+    pub retransmit_after_s: f64,
+    /// Give up on a publish after this many retransmissions.
+    pub max_retries: u32,
+    state: SessionState,
+    next_packet_id: u16,
+    in_flight: HashMap<u16, InFlight>,
+    last_activity_s: f64,
+    ping_outstanding: bool,
+}
+
+impl Session {
+    /// New, unconnected session.
+    pub fn new(client_id: impl Into<String>, keep_alive_s: f64) -> Self {
+        Session {
+            client_id: client_id.into(),
+            keep_alive_s,
+            retransmit_after_s: 5.0,
+            max_retries: 3,
+            state: SessionState::Connecting,
+            next_packet_id: 1,
+            in_flight: HashMap::new(),
+            last_activity_s: 0.0,
+            ping_outstanding: false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Unacked QoS 1 publishes.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The CONNECT packet opening the session.
+    pub fn connect_packet(&mut self, now_s: f64, clean_session: bool) -> Packet {
+        self.last_activity_s = now_s;
+        Packet::Connect {
+            client_id: self.client_id.clone(),
+            keep_alive: self.keep_alive_s as u16,
+            clean_session,
+        }
+    }
+
+    /// Allocate the next packet identifier (non-zero, wrapping).
+    fn alloc_packet_id(&mut self) -> u16 {
+        loop {
+            let id = self.next_packet_id;
+            self.next_packet_id = self.next_packet_id.wrapping_add(1).max(1);
+            if !self.in_flight.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Build a SUBSCRIBE packet.
+    pub fn subscribe_packet(&mut self, filters: Vec<(String, QoS)>) -> Packet {
+        let packet_id = self.alloc_packet_id();
+        Packet::Subscribe { packet_id, filters }
+    }
+
+    /// Build a PUBLISH packet; QoS 1 messages enter the in-flight table
+    /// until a matching PUBACK arrives.
+    pub fn publish_packet(
+        &mut self,
+        now_s: f64,
+        topic: &str,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+    ) -> Packet {
+        self.last_activity_s = now_s;
+        let packet_id = if qos == QoS::AtLeastOnce {
+            let id = self.alloc_packet_id();
+            self.in_flight.insert(
+                id,
+                InFlight {
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    retain,
+                    sent_at_s: now_s,
+                    retries: 0,
+                },
+            );
+            Some(id)
+        } else {
+            None
+        };
+        Packet::Publish {
+            topic: topic.to_string(),
+            payload,
+            qos,
+            retain,
+            dup: false,
+            packet_id,
+        }
+    }
+
+    /// Consume one inbound packet; returns the event it produced (if
+    /// any) and any immediate response packet the spec requires.
+    pub fn handle(&mut self, now_s: f64, packet: Packet) -> (Option<SessionEvent>, Option<Packet>) {
+        match packet {
+            Packet::ConnAck {
+                session_present,
+                code,
+            } => {
+                if code == 0 {
+                    self.state = SessionState::Connected;
+                    (Some(SessionEvent::Connected { session_present }), None)
+                } else {
+                    self.state = SessionState::Closed;
+                    (Some(SessionEvent::Refused(code)), None)
+                }
+            }
+            Packet::SubAck {
+                packet_id,
+                return_codes,
+            } => (
+                Some(SessionEvent::Subscribed {
+                    packet_id,
+                    granted: return_codes,
+                }),
+                None,
+            ),
+            Packet::Publish {
+                topic,
+                payload,
+                qos,
+                packet_id,
+                ..
+            } => {
+                // QoS 1 inbound requires a PUBACK.
+                let response = match (qos, packet_id) {
+                    (QoS::AtLeastOnce, Some(id)) => Some(Packet::PubAck { packet_id: id }),
+                    _ => None,
+                };
+                (
+                    Some(SessionEvent::Message {
+                        topic,
+                        payload,
+                        qos,
+                    }),
+                    response,
+                )
+            }
+            Packet::PubAck { packet_id } => {
+                self.last_activity_s = now_s;
+                if self.in_flight.remove(&packet_id).is_some() {
+                    (Some(SessionEvent::PublishAcked(packet_id)), None)
+                } else {
+                    // Duplicate or stale ack: ignore per spec.
+                    (None, None)
+                }
+            }
+            Packet::PingResp => {
+                self.ping_outstanding = false;
+                self.last_activity_s = now_s;
+                (Some(SessionEvent::Pong), None)
+            }
+            Packet::Disconnect => {
+                self.state = SessionState::Closed;
+                (None, None)
+            }
+            // Server-side packets a client should never receive; ignore.
+            _ => (None, None),
+        }
+    }
+
+    /// Periodic housekeeping: retransmit overdue QoS 1 publishes (with
+    /// the DUP flag) and emit a PINGREQ when the keep-alive window is
+    /// about to lapse. Returns the packets to send now.
+    pub fn poll(&mut self, now_s: f64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        if self.state != SessionState::Connected {
+            return out;
+        }
+        // Retransmissions.
+        let overdue: Vec<u16> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| now_s - f.sent_at_s >= self.retransmit_after_s)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            let retries = self.in_flight[&id].retries;
+            if retries >= self.max_retries {
+                // Drop: deliverability is the transport's problem now.
+                self.in_flight.remove(&id);
+                continue;
+            }
+            let f = self.in_flight.get_mut(&id).expect("present");
+            f.retries += 1;
+            f.sent_at_s = now_s;
+            out.push(Packet::Publish {
+                topic: f.topic.clone(),
+                payload: f.payload.clone(),
+                qos: QoS::AtLeastOnce,
+                retain: f.retain,
+                dup: true,
+                packet_id: Some(id),
+            });
+        }
+        // Keep-alive.
+        if !self.ping_outstanding && now_s - self.last_activity_s >= self.keep_alive_s * 0.75 {
+            self.ping_outstanding = true;
+            self.last_activity_s = now_s;
+            out.push(Packet::PingReq);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected_session() -> Session {
+        let mut s = Session::new("eg-node00", 60.0);
+        let _ = s.connect_packet(0.0, true);
+        let (ev, _) = s.handle(
+            0.1,
+            Packet::ConnAck {
+                session_present: false,
+                code: 0,
+            },
+        );
+        assert_eq!(
+            ev,
+            Some(SessionEvent::Connected {
+                session_present: false
+            })
+        );
+        s
+    }
+
+    #[test]
+    fn handshake_accept_and_refuse() {
+        let s = connected_session();
+        assert_eq!(s.state(), SessionState::Connected);
+
+        let mut refused = Session::new("x", 60.0);
+        let _ = refused.connect_packet(0.0, true);
+        let (ev, _) = refused.handle(
+            0.1,
+            Packet::ConnAck {
+                session_present: false,
+                code: 5,
+            },
+        );
+        assert_eq!(ev, Some(SessionEvent::Refused(5)));
+        assert_eq!(refused.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn qos1_publish_lifecycle() {
+        let mut s = connected_session();
+        let pkt = s.publish_packet(1.0, "davide/node00/power/node", Bytes::from_static(b"x"), QoS::AtLeastOnce, false);
+        let id = match pkt {
+            Packet::Publish {
+                packet_id: Some(id),
+                dup: false,
+                ..
+            } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(s.in_flight_count(), 1);
+        let (ev, resp) = s.handle(1.2, Packet::PubAck { packet_id: id });
+        assert_eq!(ev, Some(SessionEvent::PublishAcked(id)));
+        assert!(resp.is_none());
+        assert_eq!(s.in_flight_count(), 0);
+        // A duplicate ack is silently ignored.
+        let (ev, _) = s.handle(1.3, Packet::PubAck { packet_id: id });
+        assert!(ev.is_none());
+    }
+
+    #[test]
+    fn retransmission_sets_dup_and_gives_up() {
+        let mut s = connected_session();
+        s.retransmit_after_s = 1.0;
+        s.max_retries = 2;
+        let _ = s.publish_packet(0.0, "t", Bytes::from_static(b"p"), QoS::AtLeastOnce, false);
+        // First retransmit.
+        let out = s.poll(1.5);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            Packet::Publish { dup: true, .. }
+        ));
+        // Second retransmit.
+        let out = s.poll(3.0);
+        assert_eq!(out.len(), 1);
+        // Exceeds max_retries → dropped.
+        let out = s.poll(4.5);
+        assert!(out.is_empty());
+        assert_eq!(s.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn inbound_qos1_message_is_acked() {
+        let mut s = connected_session();
+        let (ev, resp) = s.handle(
+            2.0,
+            Packet::Publish {
+                topic: "davide/node01/power/node".into(),
+                payload: Bytes::from_static(b"1700"),
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                dup: false,
+                packet_id: Some(42),
+            },
+        );
+        assert!(matches!(ev, Some(SessionEvent::Message { .. })));
+        assert_eq!(resp, Some(Packet::PubAck { packet_id: 42 }));
+        // QoS 0 inbound needs no ack.
+        let (_, resp) = s.handle(
+            2.1,
+            Packet::Publish {
+                topic: "t".into(),
+                payload: Bytes::new(),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+                packet_id: None,
+            },
+        );
+        assert!(resp.is_none());
+    }
+
+    #[test]
+    fn keep_alive_ping_cycle() {
+        let mut s = connected_session();
+        // No ping needed early.
+        assert!(s.poll(10.0).is_empty());
+        // 75 % of keep-alive elapsed → PINGREQ.
+        let out = s.poll(46.0);
+        assert_eq!(out, vec![Packet::PingReq]);
+        // Only one outstanding ping at a time.
+        assert!(s.poll(47.0).is_empty());
+        let (ev, _) = s.handle(47.5, Packet::PingResp);
+        assert_eq!(ev, Some(SessionEvent::Pong));
+        // Cycle can repeat.
+        let out = s.poll(95.0);
+        assert_eq!(out, vec![Packet::PingReq]);
+    }
+
+    #[test]
+    fn packet_ids_skip_in_flight_and_zero() {
+        let mut s = connected_session();
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let pkt = s.publish_packet(0.0, "t", Bytes::new(), QoS::AtLeastOnce, false);
+            if let Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } = pkt
+            {
+                assert_ne!(id, 0, "packet id zero is illegal");
+                assert!(ids.insert(id), "no reuse while in flight");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_session_does_not_poll() {
+        let mut s = Session::new("x", 10.0);
+        assert!(s.poll(100.0).is_empty(), "not yet connected");
+        let _ = s.connect_packet(0.0, true);
+        s.handle(
+            0.1,
+            Packet::ConnAck {
+                session_present: false,
+                code: 0,
+            },
+        );
+        s.handle(0.2, Packet::Disconnect);
+        assert_eq!(s.state(), SessionState::Closed);
+        assert!(s.poll(100.0).is_empty());
+    }
+
+    #[test]
+    fn subscribe_packet_carries_filters() {
+        let mut s = connected_session();
+        let pkt = s.subscribe_packet(vec![("davide/+/power/#".into(), QoS::AtLeastOnce)]);
+        match pkt {
+            Packet::Subscribe { packet_id, filters } => {
+                assert!(packet_id > 0);
+                assert_eq!(filters.len(), 1);
+                let (ev, _) = s.handle(
+                    1.0,
+                    Packet::SubAck {
+                        packet_id,
+                        return_codes: vec![1],
+                    },
+                );
+                assert_eq!(
+                    ev,
+                    Some(SessionEvent::Subscribed {
+                        packet_id,
+                        granted: vec![1]
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

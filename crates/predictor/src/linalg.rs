@@ -1,0 +1,214 @@
+//! Small dense linear algebra for the predictors: symmetric
+//! positive-definite solves via Cholesky (all the ridge regression
+//! needs — no external numerics dependency).
+
+/// A dense symmetric matrix stored row-major (full storage for clarity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major entries.
+    pub data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Add `v` to the diagonal (ridge regularisation).
+    pub fn add_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] += v;
+        }
+    }
+
+    /// Gram matrix `XᵀX` of a row-major design matrix (`rows × cols`).
+    pub fn gram(x: &[f64], rows: usize, cols: usize) -> Self {
+        assert_eq!(x.len(), rows * cols);
+        let mut g = SymMatrix::zeros(cols);
+        for r in 0..rows {
+            let row = &x[r * cols..(r + 1) * cols];
+            for i in 0..cols {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for j in i..cols {
+                    g.data[i * cols + j] += xi * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..cols {
+            for j in 0..i {
+                g.data[i * cols + j] = g.data[j * cols + i];
+            }
+        }
+        g
+    }
+}
+
+/// Cholesky factorisation `A = L·Lᵀ`; returns the lower factor, or
+/// `None` when `A` is not positive-definite.
+pub fn cholesky(a: &SymMatrix) -> Option<Vec<f64>> {
+    let n = a.n;
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `A x = b` for SPD `A` via Cholesky; `None` if not SPD.
+pub fn solve_spd(a: &SymMatrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.n;
+    assert_eq!(b.len(), n);
+    let l = cholesky(a)?;
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * y[k];
+        }
+        y[i] = s / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// `Xᵀ y` for a row-major design matrix.
+pub fn xty(x: &[f64], rows: usize, cols: usize, y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    let mut out = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let yr = y[r];
+        for (o, &xi) in out.iter_mut().zip(row) {
+            *o += xi * yr;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> SymMatrix {
+        // A = Mᵀ M + I for M = [[1,2,0],[0,1,1],[1,0,1]] (hand-computed).
+        let mut a = SymMatrix::zeros(3);
+        let vals = [
+            [3.0, 2.0, 1.0],
+            [2.0, 6.0, 1.0],
+            [1.0, 1.0, 3.0],
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                a.set(i, j, vals[i][j]);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).expect("SPD");
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[i * 3 + k] * l[j * 3 + k];
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a.get(i, j) * x_true[j];
+            }
+        }
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_spd_detected() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -1.0);
+        assert!(cholesky(&a).is_none());
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn gram_and_xty() {
+        // X = [[1,2],[3,4],[5,6]]
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let g = SymMatrix::gram(&x, 3, 2);
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let b = xty(&x, 3, 2, &[1.0, 1.0, 1.0]);
+        assert_eq!(b, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn ridge_diagonal() {
+        let mut a = SymMatrix::zeros(2);
+        a.add_diagonal(0.5);
+        assert_eq!(a.get(0, 0), 0.5);
+        assert_eq!(a.get(1, 1), 0.5);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+}

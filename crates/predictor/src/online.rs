@@ -1,0 +1,187 @@
+//! Online (recursive least squares) power prediction.
+//!
+//! The management node of Fig. 4 keeps training "job-to-power predictors
+//! based on the historical job request and power traces" as accounting
+//! data accrues. RLS with a forgetting factor is the natural streaming
+//! counterpart of the batch ridge model: each completed job updates the
+//! weights in O(d²) without refitting.
+
+use serde::{Deserialize, Serialize};
+
+/// Recursive least squares with exponential forgetting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlsPredictor {
+    /// Forgetting factor λ ∈ (0, 1]; 1 = infinite memory.
+    pub lambda: f64,
+    dim: usize,
+    /// Weight vector.
+    w: Vec<f64>,
+    /// Inverse covariance P (row-major d×d).
+    p: Vec<f64>,
+    updates: u64,
+}
+
+impl RlsPredictor {
+    /// New predictor of feature dimension `dim`; `delta` sets the
+    /// initial covariance `P = δ·I` (large δ = uninformative prior).
+    pub fn new(dim: usize, lambda: f64, delta: f64) -> Self {
+        assert!(dim >= 1);
+        assert!((0.0..=1.0).contains(&lambda) && lambda > 0.5, "λ in (0.5, 1]");
+        assert!(delta > 0.0);
+        let mut p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            p[i * dim + i] = delta;
+        }
+        RlsPredictor {
+            lambda,
+            dim,
+            w: vec![0.0; dim],
+            p,
+            updates: 0,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of updates absorbed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Predict the target for a feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim);
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum()
+    }
+
+    /// Absorb one observation `(x, y)`:
+    /// `k = P x / (λ + xᵀ P x)`, `w += k (y − wᵀx)`,
+    /// `P = (P − k xᵀ P) / λ`.
+    pub fn update(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dim);
+        let d = self.dim;
+        // px = P x
+        let mut px = vec![0.0; d];
+        for i in 0..d {
+            let row = &self.p[i * d..(i + 1) * d];
+            px[i] = row.iter().zip(x).map(|(p, x)| p * x).sum();
+        }
+        let xpx: f64 = x.iter().zip(&px).map(|(x, p)| x * p).sum();
+        let denom = self.lambda + xpx;
+        let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        let err = y - self.predict(x);
+        for i in 0..d {
+            self.w[i] += k[i] * err;
+        }
+        // P = (P − k·(xᵀP)) / λ ; xᵀP = pxᵀ because P is symmetric.
+        for i in 0..d {
+            for j in 0..d {
+                self.p[i * d + j] = (self.p[i * d + j] - k[i] * px[j]) / self.lambda;
+            }
+        }
+        // Re-symmetrise to stop floating-point drift from detuning the
+        // gain vector over long streams.
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let m = 0.5 * (self.p[i * d + j] + self.p[j * d + i]);
+                self.p[i * d + j] = m;
+                self.p[j * d + i] = m;
+            }
+        }
+        self.updates += 1;
+    }
+
+    /// Current prediction error on a labelled set (MAPE, %).
+    pub fn mape_on(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for (x, &y) in xs.iter().zip(ys) {
+            if y.abs() > 1e-9 {
+                acc += ((self.predict(x) - y) / y).abs();
+                n += 1;
+            }
+        }
+        100.0 * acc / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use davide_core::rng::Rng;
+
+    #[test]
+    fn converges_to_linear_relation() {
+        let mut rls = RlsPredictor::new(3, 1.0, 1000.0);
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..500 {
+            let a = rng.uniform_in(-1.0, 1.0);
+            let b = rng.uniform_in(-1.0, 1.0);
+            let y = 4.0 * a - 2.0 * b + 7.0;
+            rls.update(&[a, b, 1.0], y);
+        }
+        assert!((rls.predict(&[0.5, 0.5, 1.0]) - 8.0).abs() < 1e-3);
+        assert_eq!(rls.updates(), 500);
+    }
+
+    #[test]
+    fn tracks_drift_with_forgetting() {
+        // The relation changes halfway; λ<1 adapts, λ=1 averages.
+        let mut adaptive = RlsPredictor::new(2, 0.97, 1000.0);
+        let mut static_mem = RlsPredictor::new(2, 1.0, 1000.0);
+        let mut rng = Rng::seed_from(2);
+        for i in 0..1000 {
+            let a = rng.uniform_in(0.0, 1.0);
+            let slope = if i < 500 { 100.0 } else { 300.0 };
+            let y = slope * a;
+            adaptive.update(&[a, 1.0], y);
+            static_mem.update(&[a, 1.0], y);
+        }
+        let probe = [1.0, 1.0];
+        let err_adaptive = (adaptive.predict(&probe) - 300.0).abs();
+        let err_static = (static_mem.predict(&probe) - 300.0).abs();
+        assert!(
+            err_adaptive < err_static / 3.0,
+            "adaptive {err_adaptive} vs static {err_static}"
+        );
+    }
+
+    #[test]
+    fn noisy_convergence_within_tolerance() {
+        let mut rls = RlsPredictor::new(2, 0.999, 100.0);
+        let mut rng = Rng::seed_from(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..2000 {
+            let a = rng.uniform_in(0.0, 2.0);
+            let y = 1500.0 * a + 200.0 + rng.normal(0.0, 30.0);
+            rls.update(&[a, 1.0], y);
+            xs.push(vec![a, 1.0]);
+            ys.push(y);
+        }
+        assert!(rls.mape_on(&xs, &ys) < 3.0);
+    }
+
+    #[test]
+    fn prior_matters_early_then_washes_out() {
+        let mut rls = RlsPredictor::new(1, 1.0, 1.0); // tight prior at w=0
+        rls.update(&[1.0], 100.0);
+        let early = rls.predict(&[1.0]);
+        assert!(early < 100.0, "tight prior shrinks: {early}");
+        for _ in 0..200 {
+            rls.update(&[1.0], 100.0);
+        }
+        assert!((rls.predict(&[1.0]) - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut rls = RlsPredictor::new(3, 1.0, 10.0);
+        rls.update(&[1.0], 5.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Jobs and their lifecycle.
+
+use davide_apps::workload::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier.
+pub type JobId = u64;
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, waiting in the queue.
+    Queued,
+    /// Dispatched and executing.
+    Running,
+    /// Finished.
+    Completed,
+}
+
+/// A batch job as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Identifier (assigned at submission).
+    pub id: JobId,
+    /// Submitting user.
+    pub user_id: u32,
+    /// Application (drives the power profile).
+    pub app: AppKind,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Submission time, seconds.
+    pub submit_s: f64,
+    /// User-requested walltime, seconds (the scheduler's planning bound).
+    pub walltime_req_s: f64,
+    /// Actual runtime at nominal clocks, seconds (hidden from the
+    /// scheduler until completion).
+    pub true_runtime_s: f64,
+    /// Actual mean per-node power draw, watts (ground truth).
+    pub true_power_w: f64,
+    /// Predictor's per-node power estimate at submission, watts.
+    pub predicted_power_w: f64,
+    /// Current state.
+    pub state: JobState,
+    /// Start time once dispatched.
+    pub start_s: Option<f64>,
+    /// Completion time once finished.
+    pub end_s: Option<f64>,
+}
+
+impl Job {
+    /// Queued job with prediction equal to truth (tests override).
+    pub fn new(
+        id: JobId,
+        user_id: u32,
+        app: AppKind,
+        nodes: u32,
+        submit_s: f64,
+        walltime_req_s: f64,
+        true_runtime_s: f64,
+        true_power_w: f64,
+    ) -> Self {
+        assert!(nodes >= 1);
+        assert!(walltime_req_s > 0.0 && true_runtime_s > 0.0);
+        Job {
+            id,
+            user_id,
+            app,
+            nodes,
+            submit_s,
+            walltime_req_s,
+            true_runtime_s,
+            true_power_w,
+            predicted_power_w: true_power_w,
+            state: JobState::Queued,
+            start_s: None,
+            end_s: None,
+        }
+    }
+
+    /// Wait time (requires the job to have started).
+    pub fn wait_s(&self) -> Option<f64> {
+        self.start_s.map(|s| s - self.submit_s)
+    }
+
+    /// Turnaround = wait + run (requires completion).
+    pub fn turnaround_s(&self) -> Option<f64> {
+        self.end_s.map(|e| e - self.submit_s)
+    }
+
+    /// Bounded slowdown with a 10-second runtime floor (the standard
+    /// scheduling QoS metric).
+    pub fn bounded_slowdown(&self) -> Option<f64> {
+        let turnaround = self.turnaround_s()?;
+        let run = (self.end_s? - self.start_s?).max(10.0);
+        Some((turnaround / run).max(1.0))
+    }
+
+    /// Total predicted power across the job's nodes.
+    pub fn predicted_total_power(&self) -> f64 {
+        self.predicted_power_w * self.nodes as f64
+    }
+
+    /// Total actual power across the job's nodes.
+    pub fn true_total_power(&self) -> f64 {
+        self.true_power_w * self.nodes as f64
+    }
+
+    /// Node-seconds of the actual run (for utilisation accounting).
+    pub fn node_seconds(&self) -> Option<f64> {
+        let run = self.end_s? - self.start_s?;
+        Some(run * self.nodes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done_job() -> Job {
+        let mut j = Job::new(1, 2, AppKind::Nemo, 4, 100.0, 3600.0, 1800.0, 1500.0);
+        j.start_s = Some(160.0);
+        j.end_s = Some(1960.0);
+        j.state = JobState::Completed;
+        j
+    }
+
+    #[test]
+    fn lifecycle_metrics() {
+        let j = done_job();
+        assert_eq!(j.wait_s(), Some(60.0));
+        assert_eq!(j.turnaround_s(), Some(1860.0));
+        let s = j.bounded_slowdown().unwrap();
+        assert!((s - 1860.0 / 1800.0).abs() < 1e-12);
+        assert_eq!(j.node_seconds(), Some(7200.0));
+    }
+
+    #[test]
+    fn queued_job_has_no_metrics() {
+        let j = Job::new(1, 1, AppKind::Bqcd, 1, 0.0, 100.0, 50.0, 1000.0);
+        assert_eq!(j.wait_s(), None);
+        assert_eq!(j.turnaround_s(), None);
+        assert_eq!(j.bounded_slowdown(), None);
+    }
+
+    #[test]
+    fn slowdown_floored_at_one_and_ten_seconds() {
+        let mut j = Job::new(1, 1, AppKind::Bqcd, 1, 0.0, 100.0, 1.0, 500.0);
+        j.start_s = Some(0.0);
+        j.end_s = Some(1.0);
+        // 1-second job with no wait: turnaround/max(run,10) < 1 → floor 1.
+        assert_eq!(j.bounded_slowdown(), Some(1.0));
+    }
+
+    #[test]
+    fn power_totals_scale_with_nodes() {
+        let j = done_job();
+        assert_eq!(j.true_total_power(), 6000.0);
+        assert_eq!(j.predicted_total_power(), 6000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        Job::new(1, 1, AppKind::Nemo, 0, 0.0, 10.0, 5.0, 100.0);
+    }
+}

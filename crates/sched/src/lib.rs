@@ -1,0 +1,39 @@
+//! # davide-sched
+//!
+//! The power-aware system management layer of D.A.V.I.D.E. (§III-A2 of
+//! the paper): a SLURM-like batch layer extended with per-job power
+//! prediction, a proactive power-capped dispatcher, reactive node
+//! throttling and per-user energy accounting.
+//!
+//! * [`job`] — jobs, lifecycle, QoS metrics;
+//! * [`workload`] — synthetic trace generation (the production-trace
+//!   substitution; see DESIGN.md);
+//! * [`policy`] — FCFS, EASY backfill and the power-aware proactive
+//!   dispatcher;
+//! * [`simulator`] — event-driven cluster simulation with reactive DVFS
+//!   capping;
+//! * [`power_predictor`] — the trained "EP" models feeding the dispatcher;
+//! * [`accounting`] — per-job/per-user energy ledger ("EA");
+//! * [`metrics`] — report rows for the E11/E12 experiment tables.
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod job;
+pub mod metrics;
+pub mod partition;
+pub mod placement;
+pub mod policy;
+pub mod power_predictor;
+pub mod simulator;
+pub mod workload;
+
+pub use accounting::{EnergyLedger, Tariff};
+pub use job::{Job, JobId, JobState};
+pub use metrics::{report, SimReport};
+pub use partition::{davide_partitions, Partition, PartitionedQueue};
+pub use placement::{NodePool, PlacementStrategy};
+pub use policy::{ClusterView, EasyBackfill, Fcfs, Policy};
+pub use power_predictor::PowerPredictor;
+pub use simulator::{simulate, SimConfig, SimOutcome};
+pub use workload::{WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,222 @@
+//! SLURM-style partitions (queues with limits and priorities).
+//!
+//! §III-A2 extends SLURM, whose resource model routes jobs through
+//! *partitions* — named queues with node-count and walltime limits and a
+//! scheduling priority (`debug`, `batch`, `long`…). The dispatcher
+//! orders the global queue by partition priority (then submission),
+//! which composes with any [`Policy`](crate::policy::Policy).
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// A partition definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Partition name.
+    pub name: String,
+    /// Largest node count a job may request here.
+    pub max_nodes: u32,
+    /// Longest walltime a job may request, seconds.
+    pub max_walltime_s: f64,
+    /// Scheduling priority (higher runs first).
+    pub priority: i32,
+}
+
+/// The standard D.A.V.I.D.E. partition set.
+pub fn davide_partitions() -> Vec<Partition> {
+    vec![
+        Partition {
+            name: "debug".into(),
+            max_nodes: 2,
+            max_walltime_s: 1_800.0,
+            priority: 100,
+        },
+        Partition {
+            name: "batch".into(),
+            max_nodes: 16,
+            max_walltime_s: 24.0 * 3600.0,
+            priority: 50,
+        },
+        Partition {
+            name: "long".into(),
+            max_nodes: 8,
+            max_walltime_s: 72.0 * 3600.0,
+            priority: 10,
+        },
+    ]
+}
+
+/// Errors from partition admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// No partition by that name.
+    UnknownPartition,
+    /// Job exceeds the partition's node limit.
+    TooManyNodes,
+    /// Job exceeds the partition's walltime limit.
+    WalltimeTooLong,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnknownPartition => write!(f, "unknown partition"),
+            AdmissionError::TooManyNodes => write!(f, "node count exceeds partition limit"),
+            AdmissionError::WalltimeTooLong => write!(f, "walltime exceeds partition limit"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A partitioned submission front-end: validates jobs against their
+/// partition and maintains the priority-ordered queue handed to the
+/// dispatch policy.
+#[derive(Debug, Clone)]
+pub struct PartitionedQueue {
+    partitions: Vec<Partition>,
+    /// `(priority, job)` entries kept sorted by (priority desc, submit).
+    entries: Vec<(i32, Job)>,
+}
+
+impl PartitionedQueue {
+    /// Queue over a partition set.
+    pub fn new(partitions: Vec<Partition>) -> Self {
+        assert!(!partitions.is_empty());
+        PartitionedQueue {
+            partitions,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up a partition.
+    pub fn partition(&self, name: &str) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.name == name)
+    }
+
+    /// Validate and enqueue a job into `partition`.
+    pub fn submit(&mut self, job: Job, partition: &str) -> Result<(), AdmissionError> {
+        let p = self
+            .partition(partition)
+            .ok_or(AdmissionError::UnknownPartition)?;
+        if job.nodes > p.max_nodes {
+            return Err(AdmissionError::TooManyNodes);
+        }
+        if job.walltime_req_s > p.max_walltime_s {
+            return Err(AdmissionError::WalltimeTooLong);
+        }
+        let prio = p.priority;
+        // Insert keeping (priority desc, submit asc) order.
+        let pos = self
+            .entries
+            .iter()
+            .position(|(q, j)| *q < prio || (*q == prio && j.submit_s > job.submit_s))
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (prio, job));
+        Ok(())
+    }
+
+    /// The queue in dispatch order (what a policy's `select` consumes).
+    pub fn ordered_jobs(&self) -> Vec<Job> {
+        self.entries.iter().map(|(_, j)| j.clone()).collect()
+    }
+
+    /// Remove a job (it started or was cancelled).
+    pub fn remove(&mut self, id: crate::job::JobId) -> Option<Job> {
+        let pos = self.entries.iter().position(|(_, j)| j.id == id)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use davide_apps::workload::AppKind;
+
+    fn job(id: u64, nodes: u32, submit: f64, walltime: f64) -> Job {
+        Job::new(id, 1, AppKind::Nemo, nodes, submit, walltime, walltime * 0.5, 1200.0)
+    }
+
+    #[test]
+    fn admission_limits_enforced() {
+        let mut q = PartitionedQueue::new(davide_partitions());
+        assert_eq!(q.submit(job(1, 2, 0.0, 600.0), "debug"), Ok(()));
+        assert_eq!(
+            q.submit(job(2, 3, 0.0, 600.0), "debug"),
+            Err(AdmissionError::TooManyNodes)
+        );
+        assert_eq!(
+            q.submit(job(3, 1, 0.0, 3_600.0), "debug"),
+            Err(AdmissionError::WalltimeTooLong)
+        );
+        assert_eq!(
+            q.submit(job(4, 1, 0.0, 600.0), "gpu"),
+            Err(AdmissionError::UnknownPartition)
+        );
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn dispatch_order_is_priority_then_submit() {
+        let mut q = PartitionedQueue::new(davide_partitions());
+        q.submit(job(1, 4, 0.0, 3_600.0), "batch").unwrap();
+        q.submit(job(2, 4, 10.0, 100_000.0), "long").unwrap();
+        q.submit(job(3, 1, 20.0, 600.0), "debug").unwrap();
+        q.submit(job(4, 4, 5.0, 3_600.0), "batch").unwrap();
+        let order: Vec<u64> = q.ordered_jobs().iter().map(|j| j.id).collect();
+        // debug first, then batch by submit time, then long.
+        assert_eq!(order, vec![3, 1, 4, 2]);
+    }
+
+    #[test]
+    fn remove_takes_job_out() {
+        let mut q = PartitionedQueue::new(davide_partitions());
+        q.submit(job(1, 1, 0.0, 600.0), "debug").unwrap();
+        q.submit(job(2, 1, 0.0, 600.0), "debug").unwrap();
+        assert!(q.remove(1).is_some());
+        assert!(q.remove(1).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn partitioned_queue_feeds_policy() {
+        use crate::policy::{ClusterView, Fcfs, Policy};
+        let mut q = PartitionedQueue::new(davide_partitions());
+        // A big batch job first, then a debug job that should still
+        // start first because debug outranks batch.
+        q.submit(job(1, 16, 0.0, 3_600.0), "batch").unwrap();
+        q.submit(job(2, 1, 5.0, 600.0), "debug").unwrap();
+        let view = ClusterView {
+            now: 10.0,
+            free_nodes: 8,
+            total_nodes: 45,
+            running: vec![],
+            power_cap_w: None,
+            idle_node_power_w: 350.0,
+        };
+        let picks = Fcfs.select(&q.ordered_jobs(), &view);
+        assert_eq!(picks, vec![2], "debug job leads the dispatch order");
+    }
+
+    #[test]
+    fn standard_partitions_sane() {
+        let ps = davide_partitions();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().any(|p| p.name == "debug"));
+        // debug outranks batch outranks long.
+        let prio = |n: &str| ps.iter().find(|p| p.name == n).unwrap().priority;
+        assert!(prio("debug") > prio("batch"));
+        assert!(prio("batch") > prio("long"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Node placement on the fat-tree: which physical nodes a job gets.
+//!
+//! §II-H gives D.A.V.I.D.E. a non-oversubscribed fat-tree, so bandwidth
+//! never degrades with placement — but *latency* does (2 hops inside a
+//! leaf, 4 across leaves), and fragmentation grows allocation diameter.
+//! The dispatcher's "resource selection process" (§III-A2) is modelled
+//! here: first-fit versus leaf-aware packing.
+
+use davide_core::interconnect::FatTree;
+use std::collections::BTreeSet;
+
+/// Placement strategies for the resource-selection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Lowest-numbered free nodes, ignoring topology.
+    FirstFit,
+    /// Prefer filling a single leaf switch; fall back to the most
+    /// compact span available.
+    LeafAware,
+}
+
+/// The pool of physical nodes and their fabric.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    /// The fabric (defines leaves via the switch radix).
+    pub fabric: FatTree,
+    free: BTreeSet<u32>,
+}
+
+impl NodePool {
+    /// All nodes free.
+    pub fn new(fabric: FatTree) -> Self {
+        let free = (0..fabric.nodes).collect();
+        NodePool { fabric, free }
+    }
+
+    /// Free-node count.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Nodes per leaf switch.
+    pub fn leaf_size(&self) -> u32 {
+        (self.fabric.radix / 2).max(1)
+    }
+
+    /// Allocate `n` nodes with a strategy; `None` if not enough free.
+    pub fn allocate(&mut self, n: u32, strategy: PlacementStrategy) -> Option<Vec<u32>> {
+        if (self.free.len() as u32) < n {
+            return None;
+        }
+        let picked = match strategy {
+            PlacementStrategy::FirstFit => self.free.iter().take(n as usize).copied().collect(),
+            PlacementStrategy::LeafAware => self.pick_leaf_aware(n),
+        };
+        for id in &picked {
+            self.free.remove(id);
+        }
+        Some(picked)
+    }
+
+    fn pick_leaf_aware(&self, n: u32) -> Vec<u32> {
+        let leaf = self.leaf_size();
+        // Group free nodes by leaf.
+        let mut by_leaf: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for &id in &self.free {
+            by_leaf.entry(id / leaf).or_default().push(id);
+        }
+        // 1. A single leaf that fits the job: pick the tightest one
+        //    (best-fit keeps big holes for big jobs).
+        if let Some((_, nodes)) = by_leaf
+            .iter()
+            .filter(|(_, v)| v.len() as u32 >= n)
+            .min_by_key(|(_, v)| v.len())
+        {
+            return nodes.iter().take(n as usize).copied().collect();
+        }
+        // 2. Otherwise take whole leaves greedily from the fullest
+        //    downward, topping up from the next.
+        let mut leaves: Vec<&Vec<u32>> = by_leaf.values().collect();
+        leaves.sort_by_key(|v| std::cmp::Reverse(v.len()));
+        let mut out = Vec::with_capacity(n as usize);
+        for nodes in leaves {
+            for &id in nodes {
+                if out.len() as u32 == n {
+                    return out;
+                }
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Return nodes to the pool.
+    pub fn release(&mut self, nodes: &[u32]) {
+        for &id in nodes {
+            debug_assert!(id < self.fabric.nodes);
+            let inserted = self.free.insert(id);
+            debug_assert!(inserted, "double free of node {id}");
+        }
+    }
+
+    /// Allocation diameter: worst-case switch hops inside the set.
+    pub fn diameter(&self, nodes: &[u32]) -> u32 {
+        let mut d = 0;
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                d = d.max(self.fabric.hops(a, b));
+            }
+        }
+        d
+    }
+
+    /// Leaves spanned by an allocation.
+    pub fn leaves_spanned(&self, nodes: &[u32]) -> usize {
+        let leaf = self.leaf_size();
+        nodes
+            .iter()
+            .map(|id| id / leaf)
+            .collect::<std::collections::HashSet<u32>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> NodePool {
+        NodePool::new(FatTree::davide(45))
+    }
+
+    #[test]
+    fn leaf_geometry() {
+        let p = pool();
+        assert_eq!(p.leaf_size(), 18);
+        assert_eq!(p.free_count(), 45);
+    }
+
+    #[test]
+    fn small_jobs_stay_in_one_leaf() {
+        let mut p = pool();
+        let alloc = p.allocate(8, PlacementStrategy::LeafAware).unwrap();
+        assert_eq!(alloc.len(), 8);
+        assert_eq!(p.leaves_spanned(&alloc), 1);
+        assert_eq!(p.diameter(&alloc), 2, "intra-leaf is 2 hops");
+        assert_eq!(p.free_count(), 37);
+    }
+
+    #[test]
+    fn first_fit_fragments_leaf_aware_does_not() {
+        // Fragment the pool: first-fit a series, release every other
+        // allocation, then place an 8-node job both ways.
+        let mut ff = pool();
+        let mut allocs = Vec::new();
+        for _ in 0..7 {
+            allocs.push(ff.allocate(5, PlacementStrategy::FirstFit).unwrap());
+        }
+        for a in allocs.iter().step_by(2) {
+            ff.release(a);
+        }
+        let mut la = ff.clone();
+        let a_ff = ff.allocate(12, PlacementStrategy::FirstFit).unwrap();
+        let a_la = la.allocate(12, PlacementStrategy::LeafAware).unwrap();
+        assert!(
+            la.leaves_spanned(&a_la) <= ff.leaves_spanned(&a_ff),
+            "leaf-aware spans {} leaves, first-fit {}",
+            la.leaves_spanned(&a_la),
+            ff.leaves_spanned(&a_ff)
+        );
+    }
+
+    #[test]
+    fn best_fit_preserves_big_holes() {
+        let mut p = pool();
+        // Leaf 0 has 18 nodes, leaf 1 has 18, leaf 2 has 9 (45 total).
+        // A 9-node job should take the 9-node leaf, keeping a full leaf
+        // free for an 18-node job.
+        let a9 = p.allocate(9, PlacementStrategy::LeafAware).unwrap();
+        assert!(a9.iter().all(|&id| id / 18 == 2), "picks the small leaf");
+        let a18 = p.allocate(18, PlacementStrategy::LeafAware).unwrap();
+        assert_eq!(p.leaves_spanned(&a18), 1, "full leaf still available");
+    }
+
+    #[test]
+    fn oversize_allocation_fails_cleanly() {
+        let mut p = pool();
+        assert!(p.allocate(46, PlacementStrategy::LeafAware).is_none());
+        assert_eq!(p.free_count(), 45, "failed alloc takes nothing");
+    }
+
+    #[test]
+    fn release_roundtrip() {
+        let mut p = pool();
+        let a = p.allocate(20, PlacementStrategy::FirstFit).unwrap();
+        assert_eq!(p.free_count(), 25);
+        p.release(&a);
+        assert_eq!(p.free_count(), 45);
+    }
+
+    #[test]
+    fn cross_leaf_allocation_has_diameter_four() {
+        let mut p = pool();
+        let a = p.allocate(30, PlacementStrategy::LeafAware).unwrap();
+        assert!(p.leaves_spanned(&a) >= 2);
+        assert_eq!(p.diameter(&a), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Bridge between the scheduler and the ML power predictors: train on
+//! completed-job history, annotate incoming submissions — the "EP"
+//! (energy predictor) box of Fig. 4, fed from the accounting database.
+
+use crate::job::Job;
+use davide_predictor::{FeatureEncoder, JobDescriptor, Regressor};
+
+/// Build the submission-time descriptor of a job.
+pub fn descriptor(job: &Job) -> JobDescriptor {
+    JobDescriptor {
+        user_id: job.user_id,
+        app_id: job.app as u32,
+        nodes: job.nodes,
+        gpus_per_node: 4,
+        cores_per_socket: 8,
+        walltime_s: job.walltime_req_s,
+        submit_hour: (job.submit_s / 3600.0) % 24.0,
+    }
+}
+
+/// A trained per-node power predictor.
+pub struct PowerPredictor<R: Regressor> {
+    encoder: FeatureEncoder,
+    model: R,
+}
+
+impl<R: Regressor> PowerPredictor<R> {
+    /// Train `model` on the history's true per-node powers.
+    pub fn train(mut model: R, history: &[Job], n_users: usize) -> Self {
+        assert!(!history.is_empty(), "need history to train on");
+        let encoder = FeatureEncoder::new(n_users, 4);
+        let descriptors: Vec<JobDescriptor> = history.iter().map(descriptor).collect();
+        let x = encoder.encode_batch(&descriptors);
+        let y: Vec<f64> = history.iter().map(|j| j.true_power_w).collect();
+        model.fit(&x, history.len(), encoder.dim(), &y);
+        PowerPredictor { encoder, model }
+    }
+
+    /// Predict per-node power for a submission, clamped to the physical
+    /// node envelope.
+    pub fn predict(&self, job: &Job) -> f64 {
+        let f = self.encoder.encode(&descriptor(job));
+        self.model.predict(&f).clamp(300.0, 2300.0)
+    }
+
+    /// Overwrite `predicted_power_w` across a trace.
+    pub fn annotate(&self, trace: &mut [Job]) {
+        for job in trace {
+            job.predicted_power_w = self.predict(job);
+        }
+    }
+
+    /// Mean absolute percentage error on a labelled set.
+    pub fn mape_on(&self, jobs: &[Job]) -> f64 {
+        let preds: Vec<f64> = jobs.iter().map(|j| self.predict(j)).collect();
+        let truth: Vec<f64> = jobs.iter().map(|j| j.true_power_w).collect();
+        davide_predictor::mape(&preds, &truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadConfig, WorkloadGenerator};
+    use davide_predictor::{KnnRegressor, RidgeRegression};
+
+    fn history_and_test() -> (Vec<Job>, Vec<Job>) {
+        let cfg = WorkloadConfig::default();
+        let mut gen = WorkloadGenerator::new(cfg, 77);
+        let all = gen.trace(3000);
+        let (train, test) = all.split_at(2500);
+        (train.to_vec(), test.to_vec())
+    }
+
+    #[test]
+    fn ridge_reaches_single_digit_mape() {
+        let (train, test) = history_and_test();
+        let p = PowerPredictor::train(RidgeRegression::new(1.0), &train, 24);
+        let mape = p.mape_on(&test);
+        // [17] reports ~10 % on production traces; user/app regularity in
+        // the generator should land the ridge model well under that.
+        assert!(mape < 10.0, "ridge MAPE {mape}%");
+    }
+
+    #[test]
+    fn knn_also_works() {
+        let (train, test) = history_and_test();
+        let p = PowerPredictor::train(KnnRegressor::new(7), &train, 24);
+        let mape = p.mape_on(&test);
+        assert!(mape < 12.0, "knn MAPE {mape}%");
+    }
+
+    #[test]
+    fn annotate_overwrites_predictions() {
+        let (train, mut test) = history_and_test();
+        let p = PowerPredictor::train(RidgeRegression::new(1.0), &train, 24);
+        for j in &mut test {
+            j.predicted_power_w = -1.0;
+        }
+        p.annotate(&mut test);
+        for j in &test {
+            assert!((300.0..=2300.0).contains(&j.predicted_power_w));
+        }
+    }
+
+    #[test]
+    fn predictions_clamped_to_envelope() {
+        let (train, _) = history_and_test();
+        let p = PowerPredictor::train(RidgeRegression::new(1.0), &train, 24);
+        let mut weird = train[0].clone();
+        weird.walltime_req_s = 1e9;
+        let pred = p.predict(&weird);
+        assert!((300.0..=2300.0).contains(&pred));
+    }
+}

@@ -1,0 +1,161 @@
+//! Sensor calibration.
+//!
+//! §V-C stresses "the accuracy of the power sensors and their
+//! acquisition chain" ([25]). Shunt channels are calibrated at
+//! installation against reference loads: a two-point (or least-squares
+//! multi-point) fit recovers the channel's gain and offset, which the
+//! gateway then inverts on every sample.
+
+use crate::sensors::PowerSensor;
+use davide_core::power::PowerTrace;
+use davide_core::rng::Rng;
+use davide_core::time::SimTime;
+
+/// A calibration: corrected = (measured − offset) / gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Estimated multiplicative gain of the chain.
+    pub gain: f64,
+    /// Estimated additive offset, watts.
+    pub offset_w: f64,
+}
+
+impl Calibration {
+    /// The identity calibration.
+    pub const IDENTITY: Calibration = Calibration {
+        gain: 1.0,
+        offset_w: 0.0,
+    };
+
+    /// Correct one measured value.
+    pub fn correct(&self, measured: f64) -> f64 {
+        (measured - self.offset_w) / self.gain
+    }
+
+    /// Correct a whole trace.
+    pub fn correct_trace(&self, trace: &PowerTrace) -> PowerTrace {
+        PowerTrace::new(
+            trace.t0,
+            trace.dt,
+            trace.samples.iter().map(|&s| self.correct(s)).collect(),
+        )
+    }
+}
+
+/// Calibrate a sensor channel against reference loads: apply each known
+/// `reference_w` load for `samples` samples, average the channel's
+/// reading, then least-squares fit `measured = gain·true + offset`.
+pub fn calibrate(
+    sensor: &PowerSensor,
+    reference_w: &[f64],
+    samples: usize,
+    rng: &mut Rng,
+) -> Calibration {
+    assert!(reference_w.len() >= 2, "need at least two reference points");
+    assert!(samples >= 1);
+    let mut xs = Vec::with_capacity(reference_w.len());
+    let mut ys = Vec::with_capacity(reference_w.len());
+    for &w in reference_w {
+        let truth = PowerTrace::new(SimTime::ZERO, 1e-4, vec![w; samples]);
+        let measured = sensor.acquire(&truth, rng);
+        xs.push(w);
+        ys.push(measured.mean().0);
+    }
+    // Least squares for y = a·x + b.
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-9, "reference points must differ");
+    let gain = (n * sxy - sx * sy) / denom;
+    let offset = (sy - gain * sx) / n;
+    Calibration {
+        gain,
+        offset_w: offset,
+    }
+}
+
+/// The standard site procedure: calibrate against 10 %, 50 % and 90 %
+/// of the channel's range.
+pub fn standard_calibration(sensor: &PowerSensor, full_scale_w: f64, rng: &mut Rng) -> Calibration {
+    calibrate(
+        sensor,
+        &[0.1 * full_scale_w, 0.5 * full_scale_w, 0.9 * full_scale_w],
+        5_000,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::SensorKind;
+
+    fn skewed_sensor() -> PowerSensor {
+        PowerSensor {
+            kind: SensorKind::Shunt,
+            gain: 1.03,
+            offset_w: 7.5,
+            noise_rms_w: 1.0,
+            bandwidth_hz: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn recovers_gain_and_offset() {
+        let sensor = skewed_sensor();
+        let mut rng = Rng::seed_from(1);
+        let cal = standard_calibration(&sensor, 4000.0, &mut rng);
+        assert!((cal.gain - 1.03).abs() < 0.001, "gain {}", cal.gain);
+        assert!((cal.offset_w - 7.5).abs() < 1.5, "offset {}", cal.offset_w);
+    }
+
+    #[test]
+    fn calibration_fixes_measurements() {
+        let sensor = skewed_sensor();
+        let mut rng = Rng::seed_from(2);
+        let cal = standard_calibration(&sensor, 4000.0, &mut rng);
+        // Measure an out-of-calibration-set load.
+        let truth = PowerTrace::new(SimTime::ZERO, 1e-4, vec![1234.0; 20_000]);
+        let raw = sensor.acquire(&truth, &mut rng);
+        let corrected = cal.correct_trace(&raw);
+        let raw_err = (raw.mean().0 - 1234.0).abs();
+        let cal_err = (corrected.mean().0 - 1234.0).abs();
+        assert!(raw_err > 40.0, "uncalibrated is visibly wrong: {raw_err}");
+        assert!(cal_err < 1.0, "calibrated within a watt: {cal_err}");
+    }
+
+    #[test]
+    fn identity_on_perfect_sensor() {
+        let sensor = PowerSensor::ideal();
+        let mut rng = Rng::seed_from(3);
+        let cal = standard_calibration(&sensor, 4000.0, &mut rng);
+        assert!((cal.gain - 1.0).abs() < 1e-9);
+        assert!(cal.offset_w.abs() < 1e-9);
+        assert_eq!(Calibration::IDENTITY.correct(42.0), 42.0);
+    }
+
+    #[test]
+    fn calibration_improves_energy_accounting() {
+        use crate::waveform::WorkloadWaveform;
+        let sensor = skewed_sensor();
+        let mut rng = Rng::seed_from(4);
+        let cal = standard_calibration(&sensor, 4000.0, &mut rng);
+        let truth = WorkloadWaveform::hpc_job(1500.0, 0.5).render(10_000.0, 2.0, &mut rng.fork());
+        let raw = sensor.acquire(&truth, &mut rng);
+        let corrected = cal.correct_trace(&raw);
+        let e_true = truth.energy().0;
+        let err_raw = (raw.energy().0 - e_true).abs() / e_true;
+        let err_cal = (corrected.energy().0 - e_true).abs() / e_true;
+        assert!(err_cal < err_raw / 5.0, "cal {err_cal} vs raw {err_raw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn needs_two_points() {
+        let mut rng = Rng::seed_from(5);
+        calibrate(&PowerSensor::ideal(), &[100.0], 10, &mut rng);
+    }
+}

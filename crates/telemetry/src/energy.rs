@@ -1,0 +1,143 @@
+//! Energy integration from telemetry streams.
+//!
+//! Consumers of the EG's MQTT frames — per-job aggregators, accounting —
+//! need to turn timestamped power frames back into joules, including
+//! partial overlap with a job's `[start, end)` window.
+
+use crate::gateway::SampleFrame;
+use davide_core::units::{Joules, Watts};
+
+/// Accumulates energy from a stream of [`SampleFrame`]s.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyIntegrator {
+    joules: f64,
+    samples: u64,
+    first_t: Option<f64>,
+    last_t: Option<f64>,
+    peak_w: f64,
+}
+
+impl EnergyIntegrator {
+    /// Fresh integrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume a whole frame.
+    pub fn push(&mut self, frame: &SampleFrame) {
+        self.joules += frame.energy_j();
+        self.samples += frame.watts.len() as u64;
+        let end = frame.t0_s + frame.watts.len() as f64 * frame.dt_s;
+        self.first_t.get_or_insert(frame.t0_s);
+        self.last_t = Some(self.last_t.map_or(end, |t: f64| t.max(end)));
+        for &w in &frame.watts {
+            self.peak_w = self.peak_w.max(w as f64);
+        }
+    }
+
+    /// Consume only the part of a frame that overlaps `[start, end)`
+    /// (job-window attribution).
+    pub fn push_window(&mut self, frame: &SampleFrame, start_s: f64, end_s: f64) {
+        for (i, &w) in frame.watts.iter().enumerate() {
+            let t = frame.t0_s + i as f64 * frame.dt_s;
+            if t >= start_s && t < end_s {
+                self.joules += w as f64 * frame.dt_s;
+                self.samples += 1;
+                self.first_t.get_or_insert(t);
+                self.last_t = Some(t + frame.dt_s);
+                self.peak_w = self.peak_w.max(w as f64);
+            }
+        }
+    }
+
+    /// Accumulated energy.
+    pub fn energy(&self) -> Joules {
+        Joules(self.joules)
+    }
+
+    /// Samples consumed.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean power over the observed span.
+    pub fn mean_power(&self) -> Watts {
+        match (self.first_t, self.last_t) {
+            (Some(a), Some(b)) if b > a => Watts(self.joules / (b - a)),
+            _ => Watts::ZERO,
+        }
+    }
+
+    /// Highest instantaneous sample seen.
+    pub fn peak_power(&self) -> Watts {
+        Watts(self.peak_w)
+    }
+
+    /// Observed time span in seconds.
+    pub fn span_s(&self) -> f64 {
+        match (self.first_t, self.last_t) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t0: f64, dt: f64, watts: &[f32]) -> SampleFrame {
+        SampleFrame {
+            t0_s: t0,
+            dt_s: dt,
+            watts: watts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn integrates_constant_power() {
+        let mut acc = EnergyIntegrator::new();
+        // 10 frames × 100 samples × 1 ms × 2000 W = 2000 J.
+        for k in 0..10 {
+            acc.push(&frame(k as f64 * 0.1, 1e-3, &[2000.0; 100]));
+        }
+        assert!((acc.energy().0 - 2000.0).abs() < 1e-6);
+        assert_eq!(acc.sample_count(), 1000);
+        assert!((acc.mean_power().0 - 2000.0).abs() < 1e-6);
+        assert_eq!(acc.peak_power(), Watts(2000.0));
+        assert!((acc.span_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_attribution_takes_partial_frames() {
+        let mut acc = EnergyIntegrator::new();
+        // Frame covers [0, 1); job runs [0.25, 0.75) at 1000 W.
+        let f = frame(0.0, 0.01, &[1000.0; 100]);
+        acc.push_window(&f, 0.25, 0.75);
+        assert!((acc.energy().0 - 500.0).abs() < 10.0 + 1e-9);
+        assert_eq!(acc.sample_count(), 50);
+    }
+
+    #[test]
+    fn empty_integrator_is_zero() {
+        let acc = EnergyIntegrator::new();
+        assert_eq!(acc.energy(), Joules::ZERO);
+        assert_eq!(acc.mean_power(), Watts::ZERO);
+        assert_eq!(acc.span_s(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_window_contributes_nothing() {
+        let mut acc = EnergyIntegrator::new();
+        acc.push_window(&frame(0.0, 0.01, &[500.0; 100]), 5.0, 6.0);
+        assert_eq!(acc.energy(), Joules::ZERO);
+        assert_eq!(acc.sample_count(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut acc = EnergyIntegrator::new();
+        acc.push(&frame(0.0, 0.1, &[100.0, 900.0, 400.0]));
+        assert_eq!(acc.peak_power(), Watts(900.0));
+    }
+}

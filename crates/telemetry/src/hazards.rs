@@ -1,0 +1,261 @@
+//! Hazard detection on telemetry streams.
+//!
+//! §III-A1: the out-of-band monitoring "runs data intelligence on the
+//! monitored data to identify sources of not-optimality and hazards".
+//! Detectors here flag the conditions a site cares about: sustained
+//! over-power, thermal-runaway trends, stuck sensors, and nodes whose
+//! power diverges from their fleet peers (early failure signature).
+
+use davide_core::power::PowerTrace;
+use davide_core::units::Watts;
+
+/// A detected hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hazard {
+    /// Power stayed above `limit` for longer than the tolerance.
+    SustainedOverPower {
+        /// The limit that was exceeded.
+        limit: Watts,
+        /// Seconds continuously above the limit.
+        duration_s: f64,
+    },
+    /// A monotone upward trend consistent with thermal runaway or a
+    /// failing VRM: watts-per-second slope over the window.
+    RunawayTrend {
+        /// Fitted slope, W/s.
+        slope_w_per_s: f64,
+    },
+    /// The sensor repeats the same value — a stuck ADC/mux channel.
+    StuckSensor {
+        /// The repeated value.
+        value: Watts,
+        /// How many consecutive identical samples.
+        run_length: usize,
+    },
+    /// A node deviates from the fleet median by more than the threshold
+    /// under nominally identical load.
+    FleetOutlier {
+        /// Node index in the fleet slice.
+        node: usize,
+        /// Its mean power.
+        mean: Watts,
+        /// The fleet median.
+        median: Watts,
+    },
+}
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardConfig {
+    /// Over-power limit.
+    pub power_limit: Watts,
+    /// Seconds above the limit before flagging.
+    pub overpower_tolerance_s: f64,
+    /// Minimum runaway slope, W/s.
+    pub runaway_slope: f64,
+    /// Identical-sample run length that means "stuck".
+    pub stuck_run: usize,
+    /// Fleet-outlier threshold as a fraction of the median.
+    pub outlier_fraction: f64,
+}
+
+impl Default for HazardConfig {
+    fn default() -> Self {
+        HazardConfig {
+            power_limit: Watts(2_100.0),
+            overpower_tolerance_s: 1.0,
+            runaway_slope: 5.0,
+            stuck_run: 1_000,
+            outlier_fraction: 0.12,
+        }
+    }
+}
+
+/// Scan one node's trace for over-power, runaway and stuck-sensor
+/// hazards.
+pub fn scan_trace(trace: &PowerTrace, cfg: HazardConfig) -> Vec<Hazard> {
+    let mut out = Vec::new();
+    if trace.len() < 2 {
+        return out;
+    }
+    // Sustained over-power: longest run above the limit.
+    let mut run = 0usize;
+    let mut worst_run = 0usize;
+    for &s in &trace.samples {
+        if s > cfg.power_limit.0 {
+            run += 1;
+            worst_run = worst_run.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    let over_s = worst_run as f64 * trace.dt;
+    if over_s >= cfg.overpower_tolerance_s {
+        out.push(Hazard::SustainedOverPower {
+            limit: cfg.power_limit,
+            duration_s: over_s,
+        });
+    }
+    // Runaway trend: least-squares slope.
+    let n = trace.len() as f64;
+    let mean_t = (n - 1.0) / 2.0 * trace.dt;
+    let mean_p = trace.mean().0;
+    let mut cov = 0.0;
+    let mut var_t = 0.0;
+    for (i, &p) in trace.samples.iter().enumerate() {
+        let t = i as f64 * trace.dt - mean_t;
+        cov += t * (p - mean_p);
+        var_t += t * t;
+    }
+    let slope = if var_t > 0.0 { cov / var_t } else { 0.0 };
+    if slope >= cfg.runaway_slope {
+        out.push(Hazard::RunawayTrend {
+            slope_w_per_s: slope,
+        });
+    }
+    // Stuck sensor: longest run of bit-identical samples.
+    let mut same = 1usize;
+    let mut worst_same = 1usize;
+    for w in trace.samples.windows(2) {
+        if w[0] == w[1] {
+            same += 1;
+            worst_same = worst_same.max(same);
+        } else {
+            same = 1;
+        }
+    }
+    if worst_same >= cfg.stuck_run {
+        // Find the value of the longest run (re-scan).
+        let mut best_val = trace.samples[0];
+        let mut same = 1usize;
+        for w in trace.samples.windows(2) {
+            if w[0] == w[1] {
+                same += 1;
+                if same == worst_same {
+                    best_val = w[1];
+                }
+            } else {
+                same = 1;
+            }
+        }
+        out.push(Hazard::StuckSensor {
+            value: Watts(best_val),
+            run_length: worst_same,
+        });
+    }
+    out
+}
+
+/// Compare fleet members under identical load: nodes whose mean power
+/// deviates from the median by more than the configured fraction.
+pub fn fleet_outliers(means: &[Watts], cfg: HazardConfig) -> Vec<Hazard> {
+    if means.len() < 3 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = means.iter().map(|m| m.0).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    means
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| (m.0 - median).abs() > cfg.outlier_fraction * median)
+        .map(|(i, m)| Hazard::FleetOutlier {
+            node: i,
+            mean: *m,
+            median: Watts(median),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use davide_core::time::SimTime;
+
+    fn cfg() -> HazardConfig {
+        HazardConfig::default()
+    }
+
+    #[test]
+    fn clean_trace_raises_nothing() {
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 0.01, 2_000, |t| {
+            1700.0 + 30.0 * (t * 7.0).sin()
+        });
+        assert!(scan_trace(&tr, cfg()).is_empty());
+    }
+
+    #[test]
+    fn sustained_overpower_detected() {
+        // 2 s above 2.1 kW inside an otherwise normal trace.
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 0.01, 1_000, |t| {
+            if (3.0..5.0).contains(&t) {
+                2_300.0
+            } else {
+                1_700.0 + (t * 13.0).sin()
+            }
+        });
+        let hz = scan_trace(&tr, cfg());
+        assert!(matches!(
+            hz.as_slice(),
+            [Hazard::SustainedOverPower { duration_s, .. }] if (*duration_s - 2.0).abs() < 0.05
+        ), "{hz:?}");
+        // A 0.5 s excursion is tolerated.
+        let brief = PowerTrace::from_fn(SimTime::ZERO, 0.01, 1_000, |t| {
+            if (3.0..3.5).contains(&t) { 2_300.0 } else { 1_700.0 + (t * 13.0).sin() }
+        });
+        assert!(scan_trace(&brief, cfg()).is_empty());
+    }
+
+    #[test]
+    fn runaway_trend_detected() {
+        // +8 W/s climb — a cooling failure in progress.
+        let tr = PowerTrace::from_fn(SimTime::ZERO, 0.1, 600, |t| 1_500.0 + 8.0 * t);
+        let hz = scan_trace(&tr, cfg());
+        assert!(hz.iter().any(|h| matches!(
+            h,
+            Hazard::RunawayTrend { slope_w_per_s } if (*slope_w_per_s - 8.0).abs() < 0.5
+        )), "{hz:?}");
+        // Flat traces do not trip it.
+        let flat = PowerTrace::from_fn(SimTime::ZERO, 0.1, 600, |t| 1_500.0 + (t * 3.0).sin());
+        assert!(!scan_trace(&flat, cfg())
+            .iter()
+            .any(|h| matches!(h, Hazard::RunawayTrend { .. })));
+    }
+
+    #[test]
+    fn stuck_sensor_detected() {
+        let mut samples: Vec<f64> = (0..500).map(|i| 1600.0 + (i % 7) as f64).collect();
+        samples.extend(std::iter::repeat(1234.5).take(1_500));
+        let tr = PowerTrace::new(SimTime::ZERO, 0.001, samples);
+        let hz = scan_trace(&tr, cfg());
+        assert!(hz.iter().any(|h| matches!(
+            h,
+            Hazard::StuckSensor { value, run_length } if value.0 == 1234.5 && *run_length >= 1_500
+        )), "{hz:?}");
+    }
+
+    #[test]
+    fn fleet_outlier_detected() {
+        // 8 healthy nodes near 1.7 kW; one dragging 1.3 kW (dead GPU).
+        let mut means = vec![Watts(1_700.0); 8];
+        means[3] = Watts(1_300.0);
+        let hz = fleet_outliers(&means, cfg());
+        assert_eq!(hz.len(), 1);
+        assert!(matches!(hz[0], Hazard::FleetOutlier { node: 3, .. }));
+        // A tight fleet raises nothing.
+        let tight: Vec<Watts> = (0..8).map(|i| Watts(1_700.0 + i as f64)).collect();
+        assert!(fleet_outliers(&tight, cfg()).is_empty());
+        // Tiny fleets are not judged.
+        assert!(fleet_outliers(&means[..2], cfg()).is_empty());
+    }
+
+    #[test]
+    fn node_model_produces_clean_bill() {
+        // A healthy node's waveform through the EG raises no hazards.
+        use crate::waveform::WorkloadWaveform;
+        use davide_core::rng::Rng;
+        let mut rng = Rng::seed_from(6);
+        let truth = WorkloadWaveform::hpc_job(1_700.0, 0.5).render(50_000.0, 3.0, &mut rng);
+        assert!(scan_trace(&truth, cfg()).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # davide-telemetry
+//!
+//! The fine-grain power/energy monitoring stack of D.A.V.I.D.E.
+//! (§III-A1 of the paper): the per-node *energy gateway* built around a
+//! BeagleBone Black, its acquisition chain, its PTP timebase, and the
+//! baseline monitors it is compared against in §V-C.
+//!
+//! * [`waveform`] — synthetic workload power signals (the substitution
+//!   for the physical power backplane; see DESIGN.md);
+//! * [`sensors`] — shunt / Hall-effect analog front-ends with gain,
+//!   offset, bandwidth and noise;
+//! * [`adc`] — the AM335x 12-bit SAR ADC (800 kS/s, 8-way mux, jitter);
+//! * [`decimation`] — boxcar (hardware-averaging) and windowed-sinc FIR
+//!   decimators, plus the aliasing strawman and a Goertzel analyser;
+//! * [`clock`] — oscillator drift and NTP/PTP discipline (sub-µs with
+//!   hardware timestamps);
+//! * [`monitor`] — complete chains: DAVIDE EG, HDEEM, PowerInsight,
+//!   ArduPower, IPMI — used by experiment E3;
+//! * [`gateway`] — the EG proper: acquisition + PTP timestamps + MQTT
+//!   frame publishing; [`energy`] — stream-side energy integration;
+//! * [`events`] — out-of-band architectural-event telemetry and the
+//!   correlation primitive profilers use.
+
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod calibration;
+pub mod clock;
+pub mod decimation;
+pub mod energy;
+pub mod events;
+pub mod gateway;
+pub mod hazards;
+pub mod monitor;
+pub mod profiler;
+pub mod sensors;
+pub mod spectral;
+pub mod tsdb;
+pub mod waveform;
+
+pub use clock::{run_sync_sim, SyncProtocol, SyncStats};
+pub use energy::EnergyIntegrator;
+pub use gateway::{EnergyGateway, SampleFrame};
+pub use monitor::MonitorChain;
+pub use profiler::{detect_phases, PhaseSegment, ProfilerConfig};
+pub use sensors::PowerSensor;
+pub use spectral::{welch_psd, Spectrum};
+pub use tsdb::{Resolution, TsDb};
+pub use calibration::{calibrate, standard_calibration, Calibration};
+pub use hazards::{fleet_outliers, scan_trace, Hazard, HazardConfig};
+pub use waveform::WorkloadWaveform;

@@ -1,0 +1,282 @@
+//! The smart profiler ("Pr" in Fig. 4): segment power traces into
+//! application phases, attribute per-phase energy, and flag anomalies.
+//!
+//! §III-A1: "at user level the power measurements are needed by
+//! profiling tools, to correlate the power consumption with program
+//! phases and architectural events". Phase boundaries are detected as
+//! change points of the rolling mean; each segment gets duration, mean
+//! power and energy — the per-phase view developers use to find energy
+//! saving opportunities (§IV).
+
+use davide_core::power::PowerTrace;
+use davide_core::units::{Joules, Watts};
+
+/// One detected application phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSegment {
+    /// Start time, seconds (trace-relative).
+    pub t0: f64,
+    /// End time, seconds.
+    pub t1: f64,
+    /// Mean power over the segment.
+    pub mean: Watts,
+    /// Energy of the segment.
+    pub energy: Joules,
+}
+
+impl PhaseSegment {
+    /// Segment duration.
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// Phase-detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilerConfig {
+    /// Rolling-mean window, seconds.
+    pub smooth_window_s: f64,
+    /// Minimum jump between phase levels, watts.
+    pub threshold_w: f64,
+    /// Discard segments shorter than this, seconds (merged into the
+    /// neighbour).
+    pub min_phase_s: f64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            smooth_window_s: 0.02,
+            threshold_w: 100.0,
+            min_phase_s: 0.05,
+        }
+    }
+}
+
+/// Rolling mean with a centred window of `w` samples (edges truncated).
+fn rolling_mean(samples: &[f64], w: usize) -> Vec<f64> {
+    let n = samples.len();
+    let w = w.max(1);
+    let half = w / 2;
+    // Prefix sums for O(1) windows.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in samples {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Segment a trace into phases.
+pub fn detect_phases(trace: &PowerTrace, cfg: ProfilerConfig) -> Vec<PhaseSegment> {
+    if trace.len() < 2 {
+        return Vec::new();
+    }
+    let w = (cfg.smooth_window_s / trace.dt).round().max(1.0) as usize;
+    let smooth = rolling_mean(&trace.samples, w);
+
+    // Change points: where the smoothed level moves by more than the
+    // threshold since the current segment's running level.
+    let mut boundaries = vec![0usize];
+    let mut level = smooth[0];
+    for (i, &v) in smooth.iter().enumerate() {
+        if (v - level).abs() > cfg.threshold_w {
+            boundaries.push(i);
+            level = v;
+        } else {
+            // Track slow drift within a phase.
+            level += 0.001 * (v - level);
+        }
+    }
+    boundaries.push(trace.len());
+    boundaries.dedup();
+
+    // Build segments, merging ones shorter than min_phase_s forward.
+    let min_len = (cfg.min_phase_s / trace.dt).round() as usize;
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    let mut start = boundaries[0];
+    for win in boundaries.windows(2) {
+        let (a, b) = (win[0], win[1]);
+        let _ = a;
+        if b - start >= min_len || b == trace.len() {
+            merged.push((start, b));
+            start = b;
+        }
+    }
+    if merged.is_empty() {
+        merged.push((0, trace.len()));
+    }
+
+    merged
+        .into_iter()
+        .filter(|(a, b)| b > a)
+        .map(|(a, b)| {
+            let seg = &trace.samples[a..b];
+            let mean = seg.iter().sum::<f64>() / seg.len() as f64;
+            let energy = mean * (b - a) as f64 * trace.dt;
+            PhaseSegment {
+                t0: trace.time_of(a) - trace.t0.as_secs_f64(),
+                t1: trace.time_of(b - 1) + trace.dt - trace.t0.as_secs_f64(),
+                mean: Watts(mean),
+                energy: Joules(energy),
+            }
+        })
+        .collect()
+}
+
+/// Profile summary: phase count, duty cycle of the high phase, and the
+/// energy share of the hottest phase — the headline numbers a developer
+/// reads before hunting for savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Number of detected phases.
+    pub phases: usize,
+    /// Fraction of time above the trace's midpoint power.
+    pub high_duty: f64,
+    /// Largest single-phase share of total energy.
+    pub max_energy_share: f64,
+    /// Mean power of the highest phase.
+    pub hottest_mean: Watts,
+}
+
+/// Summarise a segmentation.
+pub fn summarise(segments: &[PhaseSegment]) -> ProfileSummary {
+    if segments.is_empty() {
+        return ProfileSummary {
+            phases: 0,
+            high_duty: 0.0,
+            max_energy_share: 0.0,
+            hottest_mean: Watts::ZERO,
+        };
+    }
+    let total_t: f64 = segments.iter().map(|s| s.duration()).sum();
+    let total_e: f64 = segments.iter().map(|s| s.energy.0).sum();
+    let lo = segments.iter().map(|s| s.mean.0).fold(f64::INFINITY, f64::min);
+    let hi = segments
+        .iter()
+        .map(|s| s.mean.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mid = 0.5 * (lo + hi);
+    let high_t: f64 = segments
+        .iter()
+        .filter(|s| s.mean.0 > mid)
+        .map(|s| s.duration())
+        .sum();
+    let max_share = segments
+        .iter()
+        .map(|s| s.energy.0 / total_e)
+        .fold(0.0, f64::max);
+    ProfileSummary {
+        phases: segments.len(),
+        high_duty: high_t / total_t,
+        max_energy_share: max_share,
+        hottest_mean: Watts(hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use davide_core::time::SimTime;
+
+    fn square_wave(rate: f64, duration: f64, period: f64, lo: f64, hi: f64) -> PowerTrace {
+        let n = (rate * duration) as usize;
+        PowerTrace::from_fn(SimTime::ZERO, 1.0 / rate, n, |t| {
+            if (t / (period / 2.0)).floor() as i64 % 2 == 0 {
+                hi
+            } else {
+                lo
+            }
+        })
+    }
+
+    #[test]
+    fn detects_square_wave_phases() {
+        // 2 s of a 0.5 s-period square wave → 8 half-periods.
+        let tr = square_wave(10_000.0, 2.0, 0.5, 1000.0, 1600.0);
+        let segs = detect_phases(&tr, ProfilerConfig::default());
+        assert!(
+            (7..=9).contains(&segs.len()),
+            "expected ~8 phases, got {}",
+            segs.len()
+        );
+        // Alternating levels near 1000/1600.
+        for s in &segs {
+            let near_lo = (s.mean.0 - 1000.0).abs() < 60.0;
+            let near_hi = (s.mean.0 - 1600.0).abs() < 60.0;
+            assert!(near_lo || near_hi, "phase mean {}", s.mean);
+        }
+        // Durations ≈ 0.25 s (except possibly the edges).
+        for s in &segs[1..segs.len() - 1] {
+            assert!((s.duration() - 0.25).abs() < 0.05, "{}", s.duration());
+        }
+    }
+
+    #[test]
+    fn flat_trace_is_one_phase() {
+        let tr = PowerTrace::new(SimTime::ZERO, 1e-4, vec![700.0; 10_000]);
+        let segs = detect_phases(&tr, ProfilerConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].mean.0 - 700.0).abs() < 1e-9);
+        assert!((segs[0].energy.0 - 700.0).abs() < 1e-6, "1 s × 700 W");
+    }
+
+    #[test]
+    fn segmentation_conserves_energy() {
+        let tr = square_wave(10_000.0, 3.0, 0.6, 900.0, 1500.0);
+        let segs = detect_phases(&tr, ProfilerConfig::default());
+        let seg_e: f64 = segs.iter().map(|s| s.energy.0).sum();
+        let rect_e = tr.energy_rect().0;
+        assert!(
+            (seg_e - rect_e).abs() / rect_e < 0.01,
+            "segments {seg_e} vs trace {rect_e}"
+        );
+        // Segments tile the trace.
+        for w in segs.windows(2) {
+            assert!((w[0].t1 - w[1].t0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noise_does_not_fragment_phases() {
+        use davide_core::rng::Rng;
+        let mut rng = Rng::seed_from(4);
+        let base = square_wave(10_000.0, 2.0, 1.0, 1000.0, 1500.0);
+        let noisy = PowerTrace::new(
+            base.t0,
+            base.dt,
+            base.samples.iter().map(|&s| s + rng.normal(0.0, 30.0)).collect(),
+        );
+        let segs = detect_phases(&noisy, ProfilerConfig::default());
+        assert!(
+            (3..=5).contains(&segs.len()),
+            "expected ~4 phases, got {}",
+            segs.len()
+        );
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let tr = square_wave(10_000.0, 2.0, 1.0, 1000.0, 2000.0);
+        let segs = detect_phases(&tr, ProfilerConfig::default());
+        let sum = summarise(&segs);
+        assert_eq!(sum.phases, segs.len());
+        assert!((sum.high_duty - 0.5).abs() < 0.1, "50 % duty: {}", sum.high_duty);
+        assert!((sum.hottest_mean.0 - 2000.0).abs() < 50.0);
+        assert!(sum.max_energy_share > 0.2 && sum.max_energy_share < 0.8);
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let tr = PowerTrace::new(SimTime::ZERO, 1e-3, vec![]);
+        assert!(detect_phases(&tr, ProfilerConfig::default()).is_empty());
+        let sum = summarise(&[]);
+        assert_eq!(sum.phases, 0);
+    }
+}

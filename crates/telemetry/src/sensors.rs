@@ -1,0 +1,170 @@
+//! Power-sensor front-end models.
+//!
+//! Between the copper and the ADC sits an analog chain — shunt resistor or
+//! Hall-effect element, amplifier, anti-alias RC — that contributes gain
+//! error, offset, bandwidth limiting and noise. HDEEM uses Hall sensors on
+//! each power line (§V-C); D.A.V.I.D.E. taps the low-noise OpenRack DC
+//! backplane with shunts.
+
+use davide_core::power::PowerTrace;
+use davide_core::rng::Rng;
+
+/// Sensing element technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorKind {
+    /// Series shunt resistor + instrumentation amplifier.
+    Shunt,
+    /// Hall-effect current sensor (galvanically isolated, noisier).
+    HallEffect,
+}
+
+/// An analog power-sensor channel.
+#[derive(Debug, Clone)]
+pub struct PowerSensor {
+    /// Element type.
+    pub kind: SensorKind,
+    /// Multiplicative gain error (1.0 = perfect).
+    pub gain: f64,
+    /// Additive offset in watts.
+    pub offset_w: f64,
+    /// Input-referred RMS noise in watts.
+    pub noise_rms_w: f64,
+    /// −3 dB bandwidth of the analog chain in Hz.
+    pub bandwidth_hz: f64,
+}
+
+impl PowerSensor {
+    /// A calibrated shunt channel as used on the D.A.V.I.D.E. backplane:
+    /// ±0.5 % gain, small offset, 100 kHz analog bandwidth, low noise
+    /// (the rack-level PSU consolidation is what makes this possible).
+    pub fn davide_shunt(rng: &mut Rng) -> Self {
+        PowerSensor {
+            kind: SensorKind::Shunt,
+            gain: 1.0 + rng.normal(0.0, 0.005 / 3.0),
+            offset_w: rng.normal(0.0, 0.5),
+            noise_rms_w: 0.8,
+            bandwidth_hz: 100_000.0,
+        }
+    }
+
+    /// A Hall-effect channel (HDEEM-style): ±2 % gain, more offset and
+    /// noise, 10 kHz bandwidth.
+    pub fn hall_effect(rng: &mut Rng) -> Self {
+        PowerSensor {
+            kind: SensorKind::HallEffect,
+            gain: 1.0 + rng.normal(0.0, 0.02 / 3.0),
+            offset_w: rng.normal(0.0, 2.0),
+            noise_rms_w: 3.0,
+            bandwidth_hz: 10_000.0,
+        }
+    }
+
+    /// An ideal sensor (for isolating downstream effects in tests).
+    pub fn ideal() -> Self {
+        PowerSensor {
+            kind: SensorKind::Shunt,
+            gain: 1.0,
+            offset_w: 0.0,
+            noise_rms_w: 0.0,
+            bandwidth_hz: f64::INFINITY,
+        }
+    }
+
+    /// Pass a ground-truth trace through the analog chain: first-order
+    /// low-pass at `bandwidth_hz`, then gain/offset, then additive noise.
+    pub fn acquire(&self, truth: &PowerTrace, rng: &mut Rng) -> PowerTrace {
+        let mut out = Vec::with_capacity(truth.len());
+        // One-pole IIR low-pass: y += α (x − y), α = dt/(τ+dt).
+        let alpha = if self.bandwidth_hz.is_finite() {
+            let tau = 1.0 / (2.0 * std::f64::consts::PI * self.bandwidth_hz);
+            truth.dt / (tau + truth.dt)
+        } else {
+            1.0
+        };
+        let mut y = *truth.samples.first().unwrap_or(&0.0);
+        for &x in &truth.samples {
+            y += alpha * (x - y);
+            let v = y * self.gain + self.offset_w + rng.normal(0.0, self.noise_rms_w);
+            out.push(v);
+        }
+        PowerTrace::new(truth.t0, truth.dt, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use davide_core::time::SimTime;
+
+    fn dc_trace(w: f64, n: usize) -> PowerTrace {
+        PowerTrace::new(SimTime::ZERO, 1e-5, vec![w; n])
+    }
+
+    #[test]
+    fn ideal_sensor_is_transparent() {
+        let mut rng = Rng::seed_from(1);
+        let truth = dc_trace(1000.0, 1000);
+        let got = PowerSensor::ideal().acquire(&truth, &mut rng);
+        assert_eq!(got.samples, truth.samples);
+    }
+
+    #[test]
+    fn gain_and_offset_shift_dc() {
+        let mut rng = Rng::seed_from(2);
+        let mut s = PowerSensor::ideal();
+        s.gain = 1.01;
+        s.offset_w = 5.0;
+        let got = s.acquire(&dc_trace(1000.0, 10_000), &mut rng);
+        assert!((got.mean().0 - 1015.0).abs() < 0.5, "mean={}", got.mean());
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let mut rng = Rng::seed_from(3);
+        let mut s = PowerSensor::ideal();
+        s.noise_rms_w = 2.0;
+        let got = s.acquire(&dc_trace(500.0, 50_000), &mut rng);
+        let rmse = got.rmse(&dc_trace(500.0, 50_000));
+        assert!((rmse - 2.0).abs() < 0.1, "rmse={rmse}");
+    }
+
+    #[test]
+    fn bandwidth_attenuates_fast_tones() {
+        let mut rng = Rng::seed_from(4);
+        let mut s = PowerSensor::ideal();
+        s.bandwidth_hz = 1_000.0;
+        // A 10 kHz tone, well above the 1 kHz pole: ~20 dB attenuation.
+        let rate = 1.0e6;
+        let tone = PowerTrace::from_fn(SimTime::ZERO, 1.0 / rate, 100_000, |t| {
+            1000.0 + 100.0 * (2.0 * std::f64::consts::PI * 10_000.0 * t).sin()
+        });
+        let got = s.acquire(&tone, &mut rng);
+        let truth_swing = tone.max().0 - tone.min().0;
+        let got_swing = got.max().0 - got.min().0;
+        assert!(
+            got_swing < truth_swing * 0.25,
+            "swing {got_swing} vs {truth_swing}"
+        );
+        // DC preserved.
+        assert!((got.mean().0 - tone.mean().0).abs() < 2.0);
+    }
+
+    #[test]
+    fn davide_shunt_beats_hall_effect() {
+        let mut rng = Rng::seed_from(5);
+        let shunt = PowerSensor::davide_shunt(&mut rng.fork());
+        let hall = PowerSensor::hall_effect(&mut rng.fork());
+        assert!(shunt.noise_rms_w < hall.noise_rms_w);
+        assert!(shunt.bandwidth_hz > hall.bandwidth_hz);
+        // Calibration spread: shunt gain within ±1 %.
+        assert!((shunt.gain - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sensor_variation_is_seeded() {
+        let a = PowerSensor::davide_shunt(&mut Rng::seed_from(7));
+        let b = PowerSensor::davide_shunt(&mut Rng::seed_from(7));
+        assert_eq!(a.gain, b.gain);
+        assert_eq!(a.offset_w, b.offset_w);
+    }
+}

@@ -1,0 +1,337 @@
+//! Telemetry time-series store.
+//!
+//! Fig. 4: monitoring information "is recorded into a database, and
+//! computed by the management node for the training of job-to-power
+//! predictors". This is that database, RRD-style: per-series ring
+//! buffers at multiple rollup resolutions (raw, 1 s, 1 min means) with
+//! range and downsampling queries — enough to hold months of per-node
+//! power history in bounded memory.
+
+use std::collections::HashMap;
+
+/// One (timestamp, value) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Timestamp, seconds.
+    pub t: f64,
+    /// Value (watts for power series).
+    pub v: f64,
+}
+
+/// A bounded ring of points.
+#[derive(Debug, Clone)]
+struct Ring {
+    points: std::collections::VecDeque<Point>,
+    capacity: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            points: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, p: Point) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(p);
+    }
+
+    fn range(&self, t0: f64, t1: f64) -> Vec<Point> {
+        self.points
+            .iter()
+            .filter(|p| p.t >= t0 && p.t < t1)
+            .copied()
+            .collect()
+    }
+}
+
+/// Rollup accumulator: averages raw points into fixed buckets.
+#[derive(Debug, Clone)]
+struct Rollup {
+    bucket_s: f64,
+    ring: Ring,
+    acc_sum: f64,
+    acc_n: u64,
+    acc_bucket: i64,
+}
+
+impl Rollup {
+    fn new(bucket_s: f64, capacity: usize) -> Self {
+        Rollup {
+            bucket_s,
+            ring: Ring::new(capacity),
+            acc_sum: 0.0,
+            acc_n: 0,
+            acc_bucket: i64::MIN,
+        }
+    }
+
+    fn push(&mut self, p: Point) {
+        let bucket = (p.t / self.bucket_s).floor() as i64;
+        if bucket != self.acc_bucket {
+            self.flush();
+            self.acc_bucket = bucket;
+        }
+        self.acc_sum += p.v;
+        self.acc_n += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.acc_n > 0 {
+            self.ring.push(Point {
+                t: (self.acc_bucket as f64 + 0.5) * self.bucket_s,
+                v: self.acc_sum / self.acc_n as f64,
+            });
+        }
+        self.acc_sum = 0.0;
+        self.acc_n = 0;
+    }
+}
+
+/// One series: raw ring plus rollups.
+#[derive(Debug, Clone)]
+struct Series {
+    raw: Ring,
+    rollups: Vec<Rollup>,
+    count: u64,
+    last_t: f64,
+}
+
+/// Query resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Raw samples (shortest retention).
+    Raw,
+    /// 1-second means.
+    Second,
+    /// 1-minute means.
+    Minute,
+}
+
+/// The store: keyed by series name (e.g. `node03/power/node`).
+#[derive(Debug, Default)]
+pub struct TsDb {
+    series: HashMap<String, Series>,
+    raw_capacity: usize,
+    rollup_capacity: usize,
+}
+
+impl TsDb {
+    /// Store with default retention: 100k raw points and 100k rollup
+    /// buckets per series (≈2 s of 50 kS/s raw, a day of seconds, two
+    /// months of minutes).
+    pub fn new() -> Self {
+        Self::with_capacity(100_000, 100_000)
+    }
+
+    /// Store with explicit per-series capacities.
+    pub fn with_capacity(raw: usize, rollup: usize) -> Self {
+        TsDb {
+            series: HashMap::new(),
+            raw_capacity: raw,
+            rollup_capacity: rollup,
+        }
+    }
+
+    fn series_mut(&mut self, key: &str) -> &mut Series {
+        let raw_cap = self.raw_capacity;
+        let roll_cap = self.rollup_capacity;
+        self.series.entry(key.to_string()).or_insert_with(|| Series {
+            raw: Ring::new(raw_cap),
+            rollups: vec![Rollup::new(1.0, roll_cap), Rollup::new(60.0, roll_cap)],
+            count: 0,
+            last_t: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Append one observation (timestamps must be nondecreasing per
+    /// series; out-of-order points are dropped, as in production TSDBs).
+    pub fn append(&mut self, key: &str, t: f64, v: f64) {
+        let s = self.series_mut(key);
+        if t < s.last_t {
+            return;
+        }
+        s.last_t = t;
+        s.count += 1;
+        let p = Point { t, v };
+        s.raw.push(p);
+        for r in &mut s.rollups {
+            r.push(p);
+        }
+    }
+
+    /// Append a whole frame of uniformly-spaced samples.
+    pub fn append_frame(&mut self, key: &str, t0: f64, dt: f64, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.append(key, t0 + i as f64 * dt, v as f64);
+        }
+    }
+
+    /// Flush rollup accumulators (call before querying rollups for data
+    /// that has not crossed a bucket boundary yet).
+    pub fn flush(&mut self) {
+        for s in self.series.values_mut() {
+            for r in &mut s.rollups {
+                r.flush();
+                // flush() clears the accumulator; reset bucket marker so
+                // a subsequent point in the same bucket re-opens it.
+                r.acc_bucket = i64::MIN;
+            }
+        }
+    }
+
+    /// Known series names, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut k: Vec<String> = self.series.keys().cloned().collect();
+        k.sort();
+        k
+    }
+
+    /// Total observations absorbed for a series.
+    pub fn count(&self, key: &str) -> u64 {
+        self.series.get(key).map_or(0, |s| s.count)
+    }
+
+    /// Range query at a resolution.
+    pub fn query(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
+        let s = match self.series.get(key) {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        match res {
+            Resolution::Raw => s.raw.range(t0, t1),
+            Resolution::Second => s.rollups[0].ring.range(t0, t1),
+            Resolution::Minute => s.rollups[1].ring.range(t0, t1),
+        }
+    }
+
+    /// Mean of a series over a window at a resolution.
+    pub fn mean(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
+        let pts = self.query(key, res, t0, t1);
+        if pts.is_empty() {
+            return None;
+        }
+        Some(pts.iter().map(|p| p.v).sum::<f64>() / pts.len() as f64)
+    }
+
+    /// Energy (rectangle rule over raw points' spacing) in a window —
+    /// the accounting query.
+    pub fn energy_j(&self, key: &str, t0: f64, t1: f64) -> f64 {
+        let pts = self.query(key, Resolution::Raw, t0, t1);
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for w in pts.windows(2) {
+            acc += w[0].v * (w[1].t - w[0].t);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_raw_query() {
+        let mut db = TsDb::new();
+        for i in 0..100 {
+            db.append("node00/power/node", i as f64 * 0.1, 1000.0 + i as f64);
+        }
+        assert_eq!(db.count("node00/power/node"), 100);
+        let pts = db.query("node00/power/node", Resolution::Raw, 2.0, 4.0);
+        assert_eq!(pts.len(), 20);
+        assert_eq!(pts[0].t, 2.0);
+        assert!(db.query("missing", Resolution::Raw, 0.0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_points_dropped() {
+        let mut db = TsDb::new();
+        db.append("s", 10.0, 1.0);
+        db.append("s", 5.0, 2.0); // stale: dropped
+        db.append("s", 11.0, 3.0);
+        assert_eq!(db.count("s"), 2);
+    }
+
+    #[test]
+    fn raw_ring_evicts_oldest() {
+        let mut db = TsDb::with_capacity(10, 100);
+        for i in 0..25 {
+            db.append("s", i as f64, i as f64);
+        }
+        let pts = db.query("s", Resolution::Raw, 0.0, 100.0);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].t, 15.0, "oldest retained is t=15");
+    }
+
+    #[test]
+    fn second_rollup_means() {
+        let mut db = TsDb::new();
+        // 10 samples per second for 5 s, value = second index.
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            db.append("s", t, t.floor());
+        }
+        db.flush();
+        let pts = db.query("s", Resolution::Second, 0.0, 10.0);
+        assert_eq!(pts.len(), 5);
+        for (k, p) in pts.iter().enumerate() {
+            assert!((p.v - k as f64).abs() < 1e-9, "bucket {k}: {}", p.v);
+            assert!((p.t - (k as f64 + 0.5)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minute_rollup_spans_seconds() {
+        let mut db = TsDb::new();
+        for i in 0..180 {
+            db.append("s", i as f64, if i < 60 { 100.0 } else { 200.0 });
+        }
+        db.flush();
+        let pts = db.query("s", Resolution::Minute, 0.0, 1e9);
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].v - 100.0).abs() < 1e-9);
+        assert!((pts[1].v - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_query_matches_constant_power() {
+        let mut db = TsDb::new();
+        for i in 0..=100 {
+            db.append("s", i as f64 * 0.01, 1500.0);
+        }
+        let e = db.energy_j("s", 0.0, 2.0);
+        assert!((e - 1500.0).abs() < 16.0, "≈1500 J over 1 s: {e}");
+    }
+
+    #[test]
+    fn frame_ingest_from_gateway() {
+        use crate::gateway::SampleFrame;
+        let mut db = TsDb::new();
+        let frame = SampleFrame {
+            t0_s: 100.0,
+            dt_s: 2e-5,
+            watts: vec![1700.0; 500],
+        };
+        db.append_frame("node03/power/node", frame.t0_s, frame.dt_s, &frame.watts);
+        assert_eq!(db.count("node03/power/node"), 500);
+        let mean = db
+            .mean("node03/power/node", Resolution::Raw, 100.0, 100.01)
+            .unwrap();
+        assert!((mean - 1700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_sorted() {
+        let mut db = TsDb::new();
+        db.append("b", 0.0, 1.0);
+        db.append("a", 0.0, 1.0);
+        assert_eq!(db.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

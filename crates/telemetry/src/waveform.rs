@@ -1,0 +1,222 @@
+//! Synthetic node-power waveforms.
+//!
+//! The hardware gate of this reproduction (no power backplane to probe) is
+//! closed here: we synthesise power signals whose structure matches what
+//! HPC nodes actually emit — slow job phases (0.01–1 Hz), iteration
+//! harmonics (1–100 Hz), OS/runtime jitter (0.1–10 kHz) and VRM ripple —
+//! so the measurement-chain experiments (E3/E4) exercise the same
+//! spectral content the BeagleBone ADC sees in D.A.V.I.D.E.
+
+use davide_core::power::PowerTrace;
+use davide_core::rng::Rng;
+use davide_core::time::SimTime;
+
+/// One spectral component of a workload power signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tone {
+    /// Frequency in Hz.
+    pub freq: f64,
+    /// Peak amplitude in watts.
+    pub amplitude: f64,
+    /// Phase in radians.
+    pub phase: f64,
+}
+
+/// A description of a synthetic workload power signal.
+#[derive(Debug, Clone)]
+pub struct WorkloadWaveform {
+    /// DC (mean) power level in watts.
+    pub dc: f64,
+    /// Periodic components.
+    pub tones: Vec<Tone>,
+    /// Square-wave phase alternation: `(period_s, high_extra_w)`;
+    /// models compute/communication phase switching which is what makes
+    /// slow instantaneous sampling alias badly.
+    pub phases: Option<(f64, f64)>,
+    /// White-noise RMS in watts (runtime jitter).
+    pub noise_rms: f64,
+}
+
+impl WorkloadWaveform {
+    /// A quiet, almost-DC signal (idle node).
+    pub fn idle(dc: f64) -> Self {
+        WorkloadWaveform {
+            dc,
+            tones: vec![],
+            phases: None,
+            noise_rms: dc * 0.002,
+        }
+    }
+
+    /// An HPC job with iteration structure: phase switching at
+    /// `phase_period` seconds plus iteration harmonics.
+    pub fn hpc_job(dc: f64, phase_period: f64) -> Self {
+        WorkloadWaveform {
+            dc,
+            tones: vec![
+                Tone {
+                    freq: 4.0 / phase_period,
+                    amplitude: dc * 0.05,
+                    phase: 0.7,
+                },
+                Tone {
+                    freq: 47.0,
+                    amplitude: dc * 0.03,
+                    phase: 1.9,
+                },
+                Tone {
+                    freq: 310.0,
+                    amplitude: dc * 0.015,
+                    phase: 0.2,
+                },
+            ],
+            phases: Some((phase_period, dc * 0.35)),
+            noise_rms: dc * 0.01,
+        }
+    }
+
+    /// A GPU-burst job: strong kHz-scale content from kernel launches —
+    /// the regime where only fast sampling captures the energy.
+    pub fn gpu_burst(dc: f64) -> Self {
+        WorkloadWaveform {
+            dc,
+            tones: vec![
+                Tone {
+                    freq: 1_000.0,
+                    amplitude: dc * 0.12,
+                    phase: 0.0,
+                },
+                Tone {
+                    freq: 3_400.0,
+                    amplitude: dc * 0.06,
+                    phase: 2.4,
+                },
+                Tone {
+                    freq: 9_800.0,
+                    amplitude: dc * 0.03,
+                    phase: 1.1,
+                },
+            ],
+            phases: Some((0.075, dc * 0.4)),
+            noise_rms: dc * 0.015,
+        }
+    }
+
+    /// Evaluate the deterministic part of the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let mut p = self.dc;
+        for tone in &self.tones {
+            p += tone.amplitude * (2.0 * std::f64::consts::PI * tone.freq * t + tone.phase).sin();
+        }
+        if let Some((period, extra)) = self.phases {
+            let in_high = (t / period).floor() as i64 % 2 == 0;
+            if in_high {
+                p += extra;
+            }
+        }
+        p.max(0.0)
+    }
+
+    /// Render the waveform to a [`PowerTrace`] at `rate_hz` for
+    /// `duration_s`, adding white noise from `rng`.
+    pub fn render(&self, rate_hz: f64, duration_s: f64, rng: &mut Rng) -> PowerTrace {
+        let n = (rate_hz * duration_s).round() as usize;
+        let dt = 1.0 / rate_hz;
+        let samples = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (self.eval(t) + rng.normal(0.0, self.noise_rms)).max(0.0)
+            })
+            .collect();
+        PowerTrace::new(SimTime::ZERO, dt, samples)
+    }
+
+    /// Ground-truth energy over `duration_s`, from dense analytic
+    /// evaluation (noise contributes zero mean).
+    pub fn true_energy(&self, duration_s: f64) -> f64 {
+        // Integrate the deterministic signal at very high resolution.
+        let rate = 4.0e6;
+        let n = (rate * duration_s) as usize;
+        let dt = 1.0 / rate;
+        let mut acc = 0.0;
+        let mut prev = self.eval(0.0);
+        for i in 1..=n {
+            let cur = self.eval(i as f64 * dt);
+            acc += 0.5 * (prev + cur) * dt;
+            prev = cur;
+        }
+        acc
+    }
+
+    /// Highest deterministic frequency present (for Nyquist reasoning).
+    pub fn max_frequency(&self) -> f64 {
+        let tone_max = self
+            .tones
+            .iter()
+            .map(|t| t.freq)
+            .fold(0.0_f64, f64::max);
+        let phase_f = self.phases.map(|(p, _)| 1.0 / p).unwrap_or(0.0);
+        // Square-wave switching has harmonics well above its fundamental.
+        tone_max.max(phase_f * 21.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_includes_all_components() {
+        let w = WorkloadWaveform::hpc_job(1500.0, 2.0);
+        // At t=0 we are in a high phase.
+        let p = w.eval(0.0);
+        assert!(p > 1500.0, "high phase adds power: {p}");
+        // Low phase.
+        let p_low = w.eval(3.0);
+        assert!(p_low < p);
+    }
+
+    #[test]
+    fn render_geometry_and_positivity() {
+        let mut rng = Rng::seed_from(1);
+        let w = WorkloadWaveform::gpu_burst(1700.0);
+        let tr = w.render(50_000.0, 0.5, &mut rng);
+        assert_eq!(tr.len(), 25_000);
+        assert!((tr.sample_rate() - 50_000.0).abs() < 1e-6);
+        assert!(tr.min().0 >= 0.0);
+    }
+
+    #[test]
+    fn rendered_mean_tracks_dc_plus_duty() {
+        let mut rng = Rng::seed_from(2);
+        let w = WorkloadWaveform::hpc_job(1000.0, 0.5);
+        let tr = w.render(100_000.0, 4.0, &mut rng);
+        // 50 % duty of +350 W → mean ≈ 1175 W.
+        assert!((tr.mean().0 - 1175.0).abs() < 25.0, "mean={}", tr.mean());
+    }
+
+    #[test]
+    fn true_energy_matches_dense_render() {
+        let mut rng = Rng::seed_from(3);
+        let w = WorkloadWaveform::hpc_job(1200.0, 0.4);
+        let duration = 2.0;
+        let truth = w.true_energy(duration);
+        let dense = w.render(800_000.0, duration, &mut rng).energy();
+        let rel = (dense.0 - truth).abs() / truth;
+        assert!(rel < 0.002, "rel error {rel}");
+    }
+
+    #[test]
+    fn idle_waveform_is_flat() {
+        let w = WorkloadWaveform::idle(300.0);
+        assert_eq!(w.eval(0.0), 300.0);
+        assert_eq!(w.eval(10.0), 300.0);
+        assert!(w.max_frequency() < 1.0);
+    }
+
+    #[test]
+    fn gpu_burst_has_khz_content() {
+        let w = WorkloadWaveform::gpu_burst(1700.0);
+        assert!(w.max_frequency() >= 9_800.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The energy-gateway pipeline of §III-A1, live: a node's power signal
+//! flows through the BeagleBone acquisition chain (sensor → 12-bit SAR
+//! ADC @ 800 kS/s → hardware decimation to 50 kS/s → PTP timestamps) and
+//! out over MQTT to three concurrent agents, while the related-work
+//! baselines (HDEEM, PowerInsight, ArduPower, IPMI) measure the same
+//! signal for comparison.
+//!
+//! Run with: `cargo run --release --example power_monitoring`
+
+use davide::core::rng::Rng;
+use davide::mqtt::{Broker, QoS};
+use davide::telemetry::gateway::{node_filter, EnergyGateway, SampleFrame};
+use davide::telemetry::monitor::all_chains;
+use davide::telemetry::{run_sync_sim, EnergyIntegrator, SyncProtocol, WorkloadWaveform};
+
+fn main() {
+    let mut rng = Rng::seed_from(2017);
+
+    // A GPU-bursty job on a ~1.7 kW node: the workload whose energy slow
+    // monitors get wrong.
+    let wave = WorkloadWaveform::gpu_burst(1700.0);
+    let duration = 2.0;
+    let truth = wave.render(800_000.0, duration, &mut rng.fork());
+    println!(
+        "ground truth: {:.1} J over {duration} s (mean {:.1} W, spectral content to ~10 kHz)",
+        truth.energy().0,
+        truth.mean().0
+    );
+
+    // --- The D.A.V.I.D.E. way: EG → MQTT → agents. ---
+    let broker = Broker::default();
+    let mut control = broker.connect("node-control-agent");
+    let mut profiler = broker.connect("smart-profiler");
+    let mut accounting = broker.connect("energy-accounting");
+    for agent in [&mut control, &mut profiler, &mut accounting] {
+        agent.subscribe(&node_filter(0), QoS::AtMostOnce).unwrap();
+    }
+    let mut eg = EnergyGateway::connect(&broker, 0, 42);
+    let frames = eg.acquire_and_publish("node", &truth, 100.0);
+    println!("\nEG published {frames} frames on davide/node00/power/node");
+
+    let mut acc = EnergyIntegrator::new();
+    for m in accounting.drain() {
+        acc.push(&SampleFrame::decode(m.payload).unwrap());
+    }
+    let err = (acc.energy().0 - truth.energy().0).abs() / truth.energy().0 * 100.0;
+    println!(
+        "accounting agent reconstructed {:.1} J (error {err:.3} %), peak {:.0} W",
+        acc.energy().0,
+        acc.peak_power().0
+    );
+    println!(
+        "fan-out: control agent got {} frames, profiler {} — same stream, no extra cost",
+        control.drain().len(),
+        profiler.drain().len()
+    );
+    let stats = broker.stats();
+    println!(
+        "broker stats: published {} delivered {} dropped {}",
+        stats.published.load(std::sync::atomic::Ordering::Relaxed),
+        stats.delivered.load(std::sync::atomic::Ordering::Relaxed),
+        stats.dropped.load(std::sync::atomic::Ordering::Relaxed),
+    );
+
+    // --- The related-work comparison (§V-C / experiment E3). ---
+    println!("\n=== monitoring chains on the same signal ===");
+    println!(
+        "{:<36} {:>10} {:>12} {:>12}",
+        "chain", "rate", "energy err", "ts error"
+    );
+    for chain in all_chains(&mut rng) {
+        let err = chain.energy_error(&truth, &mut rng);
+        println!(
+            "{:<36} {:>8.0}/s {:>10.3} % {:>11.0e}s",
+            chain.name, chain.report_rate_hz, err, chain.timestamp_error_s
+        );
+    }
+
+    // --- Time synchronisation (§III-A1 / [13] / experiment E5). ---
+    println!("\n=== clock discipline (600 s simulated) ===");
+    for proto in [
+        SyncProtocol::ntp(),
+        SyncProtocol::ptp_sw(),
+        SyncProtocol::ptp_hw(),
+    ] {
+        let s = run_sync_sim(proto, 600.0, 7);
+        println!(
+            "{:<28} rms {:>10.3e} s   worst {:>10.3e} s",
+            proto.name, s.rms_s, s.max_abs_s
+        );
+    }
+    println!("\nhardware PTP keeps cross-node power traces alignable at 50 kS/s.");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build the D.A.V.I.D.E. pilot system, inspect its
+//! published envelope, run an application workload on a node and watch
+//! the power capping react.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use davide::apps::workload::AppModel;
+use davide::core::capping::PiCapController;
+use davide::core::node::{ComputeNode, NodeLoad};
+use davide::core::units::{Seconds, Watts};
+use davide::core::Cluster;
+
+fn main() {
+    // 1. The machine as §II-I describes it: 4 OpenRack cabinets, 45
+    //    compute nodes, dual-plane EDR fat-tree.
+    let cluster = Cluster::davide();
+    cluster.validate().expect("pilot configuration is legal");
+    println!("=== {} pilot system ===", cluster.racks.len());
+    println!("nodes:            {}", cluster.node_count());
+    println!("peak:             {:.2} PFlops", cluster.peak().pflops());
+    println!(
+        "facility power:   {:.1} kW at full load",
+        cluster.facility_power(NodeLoad::FULL).kw()
+    );
+    println!(
+        "efficiency:       {:.1} GFlops/W",
+        cluster.gflops_per_watt()
+    );
+
+    // 2. One compute node: 2× POWER8+ with NVLink, 4× Tesla P100.
+    let node = ComputeNode::davide(0);
+    println!("\n=== compute node ===");
+    println!(
+        "architectural peak: {:.1} TFlops",
+        node.architectural_peak().tflops()
+    );
+    let (cpu, gpu, mem, other) = node.power_breakdown(NodeLoad::FULL);
+    println!(
+        "full-load power:    {:.0} W (cpu {:.0} + gpu {:.0} + mem {:.0} + other {:.0})",
+        node.power(NodeLoad::FULL).0,
+        cpu.0,
+        gpu.0,
+        mem.0,
+        other.0
+    );
+
+    // 3. Run the four co-design applications and report their draw.
+    println!("\n=== application power profiles ===");
+    for kind in davide::apps::workload::AppKind::ALL {
+        let model = AppModel::for_kind(kind);
+        println!(
+            "{:<18} mean {:>6.0} W   peak {:>6.0} W   largest phase {:>4.1}%",
+            kind.name(),
+            model.mean_node_power(&node).0,
+            model.peak_node_power(&node).0,
+            100.0 * model.max_phase_fraction()
+        );
+    }
+
+    // 4. Arm a 1.5 kW node cap and watch the DVFS controller settle.
+    println!("\n=== node power capping (cap = 1500 W) ===");
+    let mut capped = ComputeNode::davide(1);
+    let mut ctl = PiCapController::new(Watts(1500.0));
+    for step in 0..12 {
+        let s = ctl.step(&mut capped, NodeLoad::FULL, Seconds(0.1));
+        println!(
+            "t={:>4.1}s  power {:>7.1} W  action {:>2}  perf {:>5.1}%",
+            step as f64 * 0.1,
+            s.power.0,
+            s.action,
+            100.0 * s.perf_factor
+        );
+    }
+    println!("\ndone — see examples/power_monitoring.rs for the telemetry side.");
+}

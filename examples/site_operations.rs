@@ -1,0 +1,107 @@
+//! A day in the life of the D.A.V.I.D.E. site team: burn-in a delivery
+//! of nodes (§I), arm the MS3-style day/night envelope ([15]), profile a
+//! user's job from its gateway stream (Fig. 4 "Pr") and advise on the
+//! §IV time-vs-energy tradeoff.
+//!
+//! Run with: `cargo run --release --example site_operations`
+
+use davide::apps::distributed::{ets_optimal_nodes, tts_ets_sweep, tts_optimal_nodes};
+use davide::apps::workload::{AppKind, AppModel};
+use davide::core::burnin::{burnin_batch, BurnInConfig};
+use davide::core::node::ComputeNode;
+use davide::core::rng::Rng;
+use davide::sched::{
+    report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
+};
+use davide::telemetry::profiler::{detect_phases, summarise, ProfilerConfig};
+use davide::telemetry::{MonitorChain, WorkloadWaveform};
+
+fn main() {
+    // --- 1. Acceptance: burn in a delivery of nodes. ---
+    println!("=== burn-in: accepting a rack of 15 nodes ===");
+    let mut delivery: Vec<ComputeNode> = (0..15).map(ComputeNode::davide).collect();
+    // One node arrived with a dead GPU.
+    delivery[11].gpus[3].set_enabled(false);
+    let failures = burnin_batch(&mut delivery, BurnInConfig::default());
+    for f in &failures {
+        let stages: Vec<&str> = f
+            .stages
+            .iter()
+            .filter(|s| !s.passed)
+            .map(|s| s.stage)
+            .collect();
+        println!("node {:>2}: REJECTED (failed {stages:?}) — RMA it", f.node_id);
+    }
+    println!(
+        "{} of 15 accepted; rejected nodes never reach production.\n",
+        15 - failures.len()
+    );
+
+    // --- 2. Operations: day/night envelope on the scheduler. ---
+    println!("=== MS3 day/night envelope (55 kW day / 75 kW night) ===");
+    let mut gen = WorkloadGenerator::new(
+        WorkloadConfig {
+            mean_interarrival_s: 60.0,
+            ..WorkloadConfig::default()
+        },
+        99,
+    );
+    let trace = gen.trace(300);
+    let flat = simulate(
+        &trace,
+        &mut EasyBackfill::power_aware().with_aging(4.0 * 3600.0),
+        SimConfig::davide().with_cap(65_000.0, true),
+    );
+    let shifted = simulate(
+        &trace,
+        &mut EasyBackfill::power_aware().with_aging(4.0 * 3600.0),
+        SimConfig::davide().with_day_night_cap(55_000.0, 75_000.0, true),
+    );
+    for (label, out) in [("flat 65 kW", &flat), ("55/75 kW day/night", &shifted)] {
+        let r = report(out);
+        println!(
+            "{label:<22} wait {:>7.0} s  slowdown {:>6.2}  energy {:>7.1} kWh  overcap {:>5.2} %",
+            r.mean_wait_s,
+            r.mean_slowdown,
+            r.energy_kwh,
+            r.overcap_fraction * 100.0
+        );
+    }
+    println!("same work, power drawn when the facility prefers it.\n");
+
+    // --- 3. Support: profile a user's job from the EG stream. ---
+    println!("=== profiling user job from the 50 kS/s gateway stream ===");
+    let mut rng = Rng::seed_from(5);
+    let truth = WorkloadWaveform::hpc_job(1650.0, 0.8).render(800_000.0, 4.0, &mut rng.fork());
+    let chain = MonitorChain::davide_eg(&mut rng.fork());
+    let stream = chain.acquire(&truth, &mut rng);
+    let phases = detect_phases(&stream, ProfilerConfig::default());
+    let s = summarise(&phases);
+    println!(
+        "{} phases; high-power duty {:.0} %; hottest phase {:.0} W; largest phase holds {:.0} % of energy",
+        s.phases,
+        s.high_duty * 100.0,
+        s.hottest_mean.0,
+        s.max_energy_share * 100.0
+    );
+    println!("→ tell the user: the low phases idle the GPUs; consider shaping the node.\n");
+
+    // --- 4. Co-design: advise on allocation size (TTS vs ETS). ---
+    println!("=== allocation advice: time vs energy to solution ===");
+    for kind in [AppKind::QuantumEspresso, AppKind::Nemo] {
+        let app = AppModel::for_kind(kind);
+        let rows = tts_ets_sweep(&app, 100, &[1, 4, 16]);
+        print!("{:<18}", kind.name());
+        for (n, tts, ets) in rows {
+            print!("  {n:>2} nodes: {tts:>5.0} s / {:>5.2} kWh", ets / 3.6e6);
+        }
+        println!();
+        println!(
+            "{:<18}  fastest at {} nodes, greenest at {} nodes",
+            "",
+            tts_optimal_nodes(&app, 32),
+            ets_optimal_nodes(&app, 32)
+        );
+    }
+    println!("\nthe §IV loop: measure → shape → re-run, with the EG closing the loop.");
+}

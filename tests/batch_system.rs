@@ -1,0 +1,79 @@
+//! Integration: the full batch front-end — partitions validate and
+//! prioritise submissions, the power-aware policy dispatches them, the
+//! simulator places them on the fat-tree, and accounting closes the
+//! books.
+
+use davide::apps::workload::AppKind;
+use davide::sched::{
+    davide_partitions, simulate, EasyBackfill, EnergyLedger, Job, PartitionedQueue,
+    PlacementStrategy, SimConfig,
+};
+
+fn job(id: u64, user: u32, nodes: u32, submit: f64, walltime: f64, runtime: f64) -> Job {
+    Job::new(
+        id,
+        user,
+        AppKind::Bqcd,
+        nodes,
+        submit,
+        walltime,
+        runtime,
+        1500.0,
+    )
+}
+
+#[test]
+fn partitioned_submissions_flow_through_the_whole_stack() {
+    let mut queue = PartitionedQueue::new(davide_partitions());
+
+    // A mix of users and partitions; one submission violates its
+    // partition and must be rejected at the front door.
+    queue.submit(job(1, 10, 16, 0.0, 4.0 * 3600.0, 7_200.0), "batch").unwrap();
+    queue.submit(job(2, 11, 2, 60.0, 900.0, 600.0), "debug").unwrap();
+    queue.submit(job(3, 12, 8, 120.0, 48.0 * 3600.0, 90_000.0), "long").unwrap();
+    queue
+        .submit(job(4, 13, 40, 180.0, 3_600.0, 1_800.0), "batch")
+        .expect_err("40 nodes exceeds the batch partition limit");
+    queue.submit(job(5, 10, 4, 240.0, 3_600.0, 2_400.0), "batch").unwrap();
+    assert_eq!(queue.len(), 4);
+
+    // Dispatch order respects partition priority: debug job 2 first.
+    let ordered = queue.ordered_jobs();
+    assert_eq!(ordered[0].id, 2);
+
+    // The simulator needs submission-ordered input; re-sort by submit
+    // time (partition priority acts at dispatch time via queue order —
+    // here all jobs fit immediately so the distinction is moot).
+    let mut trace = ordered;
+    trace.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+
+    let out = simulate(
+        &trace,
+        &mut EasyBackfill::power_aware().with_aging(3_600.0),
+        SimConfig::davide()
+            .with_cap(70_000.0, true)
+            .with_placement(PlacementStrategy::LeafAware),
+    );
+    assert_eq!(out.completed.len(), 4, "all admitted jobs complete");
+    assert_eq!(out.overcap_time_fraction(), 0.0);
+
+    // Placement recorded for every job; multi-node jobs have small
+    // diameters on the lightly-loaded machine.
+    for j in &out.completed {
+        let alloc = &out.placements[&j.id];
+        assert_eq!(alloc.len() as u32, j.nodes);
+        if j.nodes > 1 {
+            assert!(out.diameters[&j.id] <= 4);
+        }
+    }
+    // The 16-node job cannot fit one 18-node leaf after the others are
+    // placed — but on this trace it starts first among the big ones;
+    // either way the simulator's accounting still balances:
+    let mut ledger = EnergyLedger::new();
+    ledger.ingest(&out);
+    let balance = ledger.attributed_j() + ledger.unattributed_j() - out.total_energy_j();
+    assert!(balance.abs() < 1e-3, "books balance: {balance}");
+    // Users 10..13 are all present except the rejected 13.
+    assert!(ledger.user(10).is_some());
+    assert!(ledger.user(13).is_none(), "rejected job never ran");
+}

@@ -1,0 +1,268 @@
+//! Property-based tests (proptest) on the invariants that hold across
+//! the whole stack.
+
+use davide::apps::cg::{conjugate_gradient, LinearOp};
+use davide::apps::fft::fft_inplace;
+use davide::apps::C64;
+use davide::core::event::EventQueue;
+use davide::core::power::PowerTrace;
+use davide::core::time::SimTime;
+use davide::mqtt::topic::{filter_matches, validate_filter, validate_topic};
+use davide::telemetry::decimation::boxcar_decimate;
+use proptest::prelude::*;
+use davide::apps::gemm::Matrix;
+use davide::apps::lu::{hpl_residual, lu_factor};
+use davide::sched::{NodePool, PlacementStrategy};
+use davide::telemetry::tsdb::{Resolution, TsDb};
+
+fn topic_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,6}", 1..5).prop_map(|v| v.join("/"))
+}
+
+proptest! {
+    /// Every concrete topic matches itself, the `#` filter, and its own
+    /// levels with any one replaced by `+`.
+    #[test]
+    fn topic_matching_axioms(topic in topic_strategy(), level in 0usize..5) {
+        prop_assert!(validate_topic(&topic).is_ok());
+        prop_assert!(filter_matches(&topic, &topic));
+        prop_assert!(filter_matches("#", &topic));
+        let mut parts: Vec<&str> = topic.split('/').collect();
+        let idx = level % parts.len();
+        parts[idx] = "+";
+        let filter = parts.join("/");
+        prop_assert!(validate_filter(&filter).is_ok());
+        prop_assert!(filter_matches(&filter, &topic));
+    }
+
+    /// A `prefix/#` filter matches every extension of the prefix.
+    #[test]
+    fn hash_matches_all_extensions(prefix in topic_strategy(), ext in topic_strategy()) {
+        let filter = format!("{prefix}/#");
+        let topic = format!("{prefix}/{ext}");
+        prop_assert!(filter_matches(&filter, &topic));
+        prop_assert!(filter_matches(&filter, &prefix), "parent matches too");
+    }
+
+    /// Boxcar decimation preserves the mean exactly when the length is a
+    /// multiple of the factor, for arbitrary signals.
+    #[test]
+    fn boxcar_preserves_mean(
+        samples in proptest::collection::vec(0.0f64..4000.0, 16..256),
+        factor in 1usize..8,
+    ) {
+        let n = (samples.len() / factor) * factor;
+        if n == 0 { return Ok(()); }
+        let tr = PowerTrace::new(SimTime::ZERO, 1e-5, samples[..n].to_vec());
+        let out = boxcar_decimate(&tr, factor);
+        prop_assert!((out.mean().0 - tr.mean().0).abs() < 1e-9 * tr.mean().0.max(1.0));
+    }
+
+    /// Trapezoidal energy is invariant under trace concatenation order
+    /// and bounded by min/max power times duration.
+    #[test]
+    fn energy_bounds(samples in proptest::collection::vec(0.0f64..4000.0, 2..128)) {
+        let tr = PowerTrace::new(SimTime::ZERO, 0.01, samples);
+        let e = tr.energy().0;
+        let d = (tr.len() - 1) as f64 * 0.01;
+        prop_assert!(e >= tr.min().0 * d - 1e-9);
+        prop_assert!(e <= tr.max().0 * d + 1e-9);
+    }
+
+    /// FFT⁻¹∘FFT ≡ identity for arbitrary signals (power-of-two sizes).
+    #[test]
+    fn fft_roundtrip(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+        let mut data: Vec<C64> = values.iter().map(|&v| C64::real(v)).collect();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (z, &v) in data.iter().zip(&values) {
+            prop_assert!((z.re - v).abs() < 1e-9);
+            prop_assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    /// The event queue pops in nondecreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// CG on a diagonally-dominant (hence SPD) random tridiagonal system
+    /// always converges and satisfies A·x ≈ b.
+    #[test]
+    fn cg_converges_on_spd(
+        diag_boost in 0.1f64..5.0,
+        rhs in proptest::collection::vec(-10.0f64..10.0, 32),
+    ) {
+        struct Tri { n: usize, d: f64 }
+        impl LinearOp for Tri {
+            fn dim(&self) -> usize { self.n }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                for i in 0..self.n {
+                    let mut v = (2.0 + self.d) * x[i];
+                    if i > 0 { v -= x[i - 1]; }
+                    if i + 1 < self.n { v -= x[i + 1]; }
+                    y[i] = v;
+                }
+            }
+        }
+        let op = Tri { n: rhs.len(), d: diag_boost };
+        let mut x = vec![0.0; rhs.len()];
+        let res = conjugate_gradient(&op, &rhs, &mut x, 1e-10, 10_000);
+        prop_assert!(res.converged);
+        let mut ax = vec![0.0; rhs.len()];
+        op.apply(&x, &mut ax);
+        for (a, b) in ax.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Scheduling conserves jobs and never starts a job before its
+    /// submission, for arbitrary small traces.
+    #[test]
+    fn scheduler_conservation(
+        seeds in proptest::collection::vec(1u64..1_000_000, 3..20),
+    ) {
+        use davide::apps::workload::AppKind;
+        use davide::sched::{simulate, EasyBackfill, Job, SimConfig};
+        let trace: Vec<Job> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let nodes = 1 + (s % 8) as u32;
+                let runtime = 60.0 + (s % 1000) as f64;
+                Job::new(
+                    i as u64 + 1,
+                    (s % 5) as u32,
+                    AppKind::ALL[(s % 4) as usize],
+                    nodes,
+                    i as f64 * 10.0,
+                    runtime * 1.5,
+                    runtime,
+                    900.0 + (s % 900) as f64,
+                )
+            })
+            .collect();
+        let out = simulate(&trace, &mut EasyBackfill::new(), SimConfig {
+            total_nodes: 8,
+            idle_node_power_w: 350.0,
+            power_cap_w: None,
+            night_cap_w: None,
+            reactive_capping: false,
+            min_speed: 0.35,
+            placement: None,
+        });
+        prop_assert_eq!(out.completed.len(), trace.len(), "all jobs complete");
+        for j in &out.completed {
+            let start = j.start_s.unwrap();
+            let end = j.end_s.unwrap();
+            prop_assert!(start >= j.submit_s - 1e-9);
+            prop_assert!(end > start);
+            // Without capping, runtime is exact.
+            prop_assert!((end - start - j.true_runtime_s).abs() < 1e-6);
+        }
+        // Energy attribution never exceeds system energy.
+        let attributed: f64 = out.job_energy_j.values().sum();
+        prop_assert!(attributed <= out.total_energy_j() + 1e-6);
+    }
+
+    /// LU with pivoting solves every well-conditioned random system it
+    /// is given, at any block size.
+    #[test]
+    fn lu_solves_random_systems(
+        seed in 1u64..1_000_000,
+        nb in 1usize..20,
+        n in 4usize..24,
+    ) {
+        use davide::core::rng::Rng;
+        let mut rng = Rng::seed_from(seed);
+        // Diagonally-boosted random matrix: comfortably nonsingular.
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let base = rng.uniform_in(-1.0, 1.0);
+            if i == j { base + 4.0 } else { base }
+        });
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let f = lu_factor(&a, nb).expect("boosted diagonal is nonsingular");
+        let x = f.solve(&b);
+        prop_assert!(hpl_residual(&a, &x, &b) < 50.0);
+    }
+
+    /// Placement never loses or duplicates nodes across arbitrary
+    /// allocate/release sequences.
+    #[test]
+    fn placement_conserves_nodes(ops in proptest::collection::vec(1u32..12, 1..20)) {
+        use davide::core::interconnect::FatTree;
+        let mut pool = NodePool::new(FatTree::davide(45));
+        let mut held: Vec<Vec<u32>> = Vec::new();
+        for (i, &n) in ops.iter().enumerate() {
+            if i % 3 == 2 && !held.is_empty() {
+                let a = held.swap_remove(0);
+                pool.release(&a);
+            } else if let Some(a) = pool.allocate(n, PlacementStrategy::LeafAware) {
+                // No duplicates within an allocation.
+                let set: std::collections::HashSet<u32> = a.iter().copied().collect();
+                prop_assert_eq!(set.len(), a.len());
+                held.push(a);
+            }
+        }
+        let held_count: usize = held.iter().map(Vec::len).sum();
+        prop_assert_eq!(pool.free_count() + held_count, 45);
+        // All held nodes distinct across allocations.
+        let all: std::collections::HashSet<u32> =
+            held.iter().flatten().copied().collect();
+        prop_assert_eq!(all.len(), held_count);
+    }
+
+    /// The time-series DB's second rollup mean always lies within the
+    /// min/max of the raw points it summarises.
+    #[test]
+    fn tsdb_rollup_bounded_by_raw(
+        values in proptest::collection::vec(0.0f64..4000.0, 10..200),
+    ) {
+        let mut db = TsDb::with_capacity(10_000, 1_000);
+        for (i, &v) in values.iter().enumerate() {
+            db.append("s", i as f64 * 0.1, v);
+        }
+        db.flush();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for p in db.query("s", Resolution::Second, 0.0, 1e9) {
+            prop_assert!(p.v >= lo - 1e-9 && p.v <= hi + 1e-9);
+        }
+        prop_assert_eq!(db.count("s"), values.len() as u64);
+    }
+
+    /// MQTT session packet ids are unique among in-flight publishes for
+    /// arbitrary publish/ack interleavings.
+    #[test]
+    fn session_packet_ids_unique(acks in proptest::collection::vec(any::<bool>(), 1..100)) {
+        use bytes::Bytes;
+        use davide::mqtt::{Packet, QoS, Session};
+        let mut s = Session::new("c", 60.0);
+        let _ = s.connect_packet(0.0, true);
+        s.handle(0.0, Packet::ConnAck { session_present: false, code: 0 });
+        let mut in_flight: Vec<u16> = Vec::new();
+        for (i, &ack) in acks.iter().enumerate() {
+            if ack && !in_flight.is_empty() {
+                let id = in_flight.remove(0);
+                s.handle(i as f64, Packet::PubAck { packet_id: id });
+            } else if let Packet::Publish { packet_id: Some(id), .. } =
+                s.publish_packet(i as f64, "t", Bytes::new(), QoS::AtLeastOnce, false)
+            {
+                prop_assert!(!in_flight.contains(&id), "id {} reused", id);
+                prop_assert!(id != 0);
+                in_flight.push(id);
+            }
+        }
+        prop_assert_eq!(s.in_flight_count(), in_flight.len());
+    }
+}
