@@ -156,7 +156,11 @@ mod tests {
         op.apply(&x_true, &mut b);
         let mut x = vec![0.0; 200];
         let res = conjugate_gradient(&op, &b, &mut x, 1e-12, 1000);
-        assert!(res.converged, "iters={} res={}", res.iterations, res.residual_norm);
+        assert!(
+            res.converged,
+            "iters={} res={}",
+            res.iterations, res.residual_norm
+        );
         for (a, t) in x.iter().zip(&x_true) {
             assert!((a - t).abs() < 1e-8);
         }
@@ -164,7 +168,10 @@ mod tests {
 
     #[test]
     fn residual_history_decreases_overall() {
-        let op = Tridiag { n: 500, shift: 0.05 };
+        let op = Tridiag {
+            n: 500,
+            shift: 0.05,
+        };
         let b = vec![1.0; 500];
         let mut x = vec![0.0; 500];
         let res = conjugate_gradient(&op, &b, &mut x, 1e-10, 2000);
@@ -190,7 +197,10 @@ mod tests {
         let b = vec![1.0; 300];
         let mut x1 = vec![0.0; 300];
         let mut x2 = vec![0.0; 300];
-        let ill = Tridiag { n: 300, shift: 0.001 };
+        let ill = Tridiag {
+            n: 300,
+            shift: 0.001,
+        };
         let well = Tridiag { n: 300, shift: 1.0 };
         let r_ill = conjugate_gradient(&ill, &b, &mut x1, 1e-10, 5000);
         let r_well = conjugate_gradient(&well, &b, &mut x2, 1e-10, 5000);
@@ -199,7 +209,10 @@ mod tests {
 
     #[test]
     fn max_iter_respected() {
-        let op = Tridiag { n: 400, shift: 1e-6 };
+        let op = Tridiag {
+            n: 400,
+            shift: 1e-6,
+        };
         let b = vec![1.0; 400];
         let mut x = vec![0.0; 400];
         let res = conjugate_gradient(&op, &b, &mut x, 1e-16, 3);

@@ -63,8 +63,9 @@ pub fn ring_allreduce_time(fabric: &FatTree, ranks: u32, bytes: Bytes) -> Second
     let p = ranks as f64;
     let steps = 2.0 * (p - 1.0);
     let chunk = bytes.0 / p;
-    let per_step =
-        fabric.port.latency.0 + 2.0 * fabric.hop_latency.0 + chunk / (fabric.node_bandwidth().0 * 1e9);
+    let per_step = fabric.port.latency.0
+        + 2.0 * fabric.hop_latency.0
+        + chunk / (fabric.node_bandwidth().0 * 1e9);
     Seconds(steps * per_step)
 }
 
@@ -162,14 +163,10 @@ mod tests {
         let fabric = FatTree::davide(32);
         // An 8-byte scalar (the CG dot product): tree wins.
         let tiny = Bytes(8.0);
-        assert!(
-            tree_allreduce_time(&fabric, 32, tiny) < ring_allreduce_time(&fabric, 32, tiny)
-        );
+        assert!(tree_allreduce_time(&fabric, 32, tiny) < ring_allreduce_time(&fabric, 32, tiny));
         // A 100 MB gradient-sized buffer: ring wins.
         let big = Bytes(100e6);
-        assert!(
-            ring_allreduce_time(&fabric, 32, big) < tree_allreduce_time(&fabric, 32, big)
-        );
+        assert!(ring_allreduce_time(&fabric, 32, big) < tree_allreduce_time(&fabric, 32, big));
     }
 
     #[test]

@@ -49,7 +49,8 @@ impl DistributedRun {
         let serial = bytes / self.fabric.node_bandwidth();
         let depth = (self.nodes as f64).log2().ceil().max(1.0);
         // ~100 latency-bound messages per iteration through the tree.
-        let latency = 100.0 * depth * (self.fabric.port.latency.0 + 2.0 * self.fabric.hop_latency.0);
+        let latency =
+            100.0 * depth * (self.fabric.port.latency.0 + 2.0 * self.fabric.hop_latency.0);
         Seconds(serial.0 + latency)
     }
 
@@ -69,7 +70,8 @@ impl DistributedRun {
     /// Aggregate power of the allocation (nodes shaped to the job).
     pub fn allocation_power(&self) -> Watts {
         let mut node = ComputeNode::davide(0);
-        node.apply_shape(self.app.shape).expect("app shape is legal");
+        node.apply_shape(self.app.shape)
+            .expect("app shape is legal");
         // Communication phases idle the compute engines; weight the
         // node power by the compute fraction of the iteration.
         let t_iter = self.iteration_time().0;
@@ -132,8 +134,12 @@ pub fn tts_optimal_nodes(app: &AppModel, max_nodes: u32) -> u32 {
 pub fn ets_optimal_nodes(app: &AppModel, max_nodes: u32) -> u32 {
     (1..=max_nodes)
         .min_by(|&a, &b| {
-            let ea = DistributedRun::new(app.clone(), a, 1).energy_to_solution().0;
-            let eb = DistributedRun::new(app.clone(), b, 1).energy_to_solution().0;
+            let ea = DistributedRun::new(app.clone(), a, 1)
+                .energy_to_solution()
+                .0;
+            let eb = DistributedRun::new(app.clone(), b, 1)
+                .energy_to_solution()
+                .0;
             ea.total_cmp(&eb)
         })
         .expect("non-empty range")

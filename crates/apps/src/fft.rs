@@ -265,9 +265,7 @@ mod tests {
         let n = 8;
         let (kx, ky, kz) = (2, 3, 1);
         let field = Field3::from_fn(n, |x, y, z| {
-            let phase = 2.0 * std::f64::consts::PI
-                * (kx * x + ky * y + kz * z) as f64
-                / n as f64;
+            let phase = 2.0 * std::f64::consts::PI * (kx * x + ky * y + kz * z) as f64 / n as f64;
             C64::cis(phase)
         });
         let mut work = field.clone();

@@ -104,8 +104,7 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
                         for k in kk..k1 {
                             let aik = a.data[i * k_dim + k];
                             let brow = &b.data[k * n..k * n + n];
-                            let crow =
-                                &mut cpanel[(i - i0) * n..(i - i0) * n + n];
+                            let crow = &mut cpanel[(i - i0) * n..(i - i0) * n + n];
                             for j in jj..j1 {
                                 crow[j] += aik * brow[j];
                             }
@@ -154,10 +153,7 @@ mod tests {
         let want = matmul_naive(&a, &b);
         for block in [1, 7, 16, 64, 100] {
             let got = matmul_blocked(&a, &b, block);
-            assert!(
-                got.max_abs_diff(&want) < 1e-10,
-                "block={block} diverged"
-            );
+            assert!(got.max_abs_diff(&want) < 1e-10, "block={block} diverged");
         }
     }
 

@@ -33,11 +33,11 @@ pub mod workload;
 
 pub use cg::{conjugate_gradient, CgResult, LinearOp};
 pub use complex::C64;
+pub use distributed::DistributedRun;
 pub use fft::{fft3, fft_inplace, Field3};
 pub use gemm::{matmul_blocked, Matrix};
 pub use lattice::{EvenOddOp, Lattice4, LatticeOp};
 pub use lu::{lu_factor, run_hpl, LuFactors};
 pub use sem::SemMesh;
 pub use stencil::OceanGrid;
-pub use distributed::DistributedRun;
 pub use workload::{AppKind, AppModel, Phase};

@@ -33,6 +33,7 @@ pub fn lu_factor(a: &Matrix, nb: usize) -> Option<LuFactors> {
     while k0 < n {
         let k1 = (k0 + nb).min(n);
         // --- Panel factorisation (unblocked, columns k0..k1). ---
+        #[allow(clippy::needless_range_loop)] // index kernel: k addresses rows, cols, and pivots
         for k in k0..k1 {
             // Pivot search in column k, rows k..n.
             let (piv, maxval) = (k..n)
@@ -147,12 +148,9 @@ pub fn hpl_flops(n: usize) -> f64 {
 pub fn hpl_residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let n = a.rows;
     let mut r_inf = 0.0_f64;
-    for i in 0..n {
-        let mut ax = 0.0;
-        for j in 0..n {
-            ax += a.get(i, j) * x[j];
-        }
-        r_inf = r_inf.max((ax - b[i]).abs());
+    for (i, &bi) in b.iter().enumerate().take(n) {
+        let ax: f64 = x.iter().enumerate().map(|(j, &xj)| a.get(i, j) * xj).sum();
+        r_inf = r_inf.max((ax - bi).abs());
     }
     let a_inf = (0..n)
         .map(|i| (0..n).map(|j| a.get(i, j).abs()).sum::<f64>())
@@ -226,9 +224,9 @@ mod tests {
         // A matrix needing a row swap at the first step.
         let mut a = Matrix::zeros(3, 3);
         let vals = [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 3.0, 0.0]];
-        for i in 0..3 {
-            for j in 0..3 {
-                a.set(i, j, vals[i][j]);
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                a.set(i, j, v);
             }
         }
         let b = vec![5.0, 2.0, 8.0];

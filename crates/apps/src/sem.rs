@@ -106,10 +106,11 @@ impl LinearOp for SemMesh {
                     }
                     // Dense local matvec.
                     for a in 0..n {
-                        let mut s = 0.0;
-                        for b in 0..n {
-                            s += self.local.data[a * n + b] * xl[b];
-                        }
+                        let s: f64 = self.local.data[a * n..(a + 1) * n]
+                            .iter()
+                            .zip(&xl)
+                            .map(|(m, x)| m * x)
+                            .sum();
                         // Scatter-add.
                         acc[self.global_index(e, a)] += s;
                     }
@@ -194,12 +195,13 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
         let mut y_op = vec![0.0; n];
         mesh.apply(&x, &mut y_op);
-        for i in 0..n {
-            let mut want = 0.0;
-            for j in 0..n {
-                want += dense.data[i * n + j] * x[j];
-            }
-            assert!((y_op[i] - want).abs() < 1e-10, "row {i}");
+        for (i, &got) in y_op.iter().enumerate() {
+            let want: f64 = dense.data[i * n..(i + 1) * n]
+                .iter()
+                .zip(&x)
+                .map(|(m, xv)| m * xv)
+                .sum();
+            assert!((got - want).abs() < 1e-10, "row {i}");
         }
     }
 

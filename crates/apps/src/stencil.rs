@@ -81,10 +81,10 @@ pub fn jacobi_sweep(grid: &OceanGrid, alpha: f64) -> Vec<f64> {
     let mask = &grid.mask;
     let mut next = vec![0.0; nx * ny];
     next.par_chunks_mut(nx).enumerate().for_each(|(y, row)| {
-        for x in 0..nx {
+        for (x, out) in row.iter_mut().enumerate() {
             let i = y * nx + x;
             if !mask[i] {
-                row[x] = src[i];
+                *out = src[i];
                 continue;
             }
             let up = if y > 0 { src[i - nx] } else { src[i] };
@@ -92,7 +92,7 @@ pub fn jacobi_sweep(grid: &OceanGrid, alpha: f64) -> Vec<f64> {
             let left = if x > 0 { src[i - 1] } else { src[i] };
             let right = if x + 1 < nx { src[i + 1] } else { src[i] };
             let lap = up + down + left + right - 4.0 * src[i];
-            row[x] = src[i] + alpha * 0.25 * lap;
+            *out = src[i] + alpha * 0.25 * lap;
         }
     });
     next
@@ -154,17 +154,9 @@ mod tests {
     #[test]
     fn relaxation_smooths_toward_mean() {
         let mut g = OceanGrid::from_fn(64, 64, |x, y| if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
-        let before_spread: f64 = g
-            .field
-            .iter()
-            .map(|v| (v - 0.5).abs())
-            .fold(0.0, f64::max);
+        let before_spread: f64 = g.field.iter().map(|v| (v - 0.5).abs()).fold(0.0, f64::max);
         relax(&mut g, 0.9, 50);
-        let after_spread: f64 = g
-            .field
-            .iter()
-            .map(|v| (v - 0.5).abs())
-            .fold(0.0, f64::max);
+        let after_spread: f64 = g.field.iter().map(|v| (v - 0.5).abs()).fold(0.0, f64::max);
         assert!(after_spread < before_spread * 0.05, "{after_spread}");
     }
 

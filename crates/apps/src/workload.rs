@@ -84,25 +84,45 @@ impl AppModel {
                 Phase {
                     name: "fft",
                     duration_frac: 0.45,
-                    load: NodeLoad { cpu: 0.35, gpu: 0.95, mem: 0.80, net: 0.15 },
+                    load: NodeLoad {
+                        cpu: 0.35,
+                        gpu: 0.95,
+                        mem: 0.80,
+                        net: 0.15,
+                    },
                     comm_bytes: 0.4e9,
                 },
                 Phase {
                     name: "dense-linalg",
                     duration_frac: 0.30,
-                    load: NodeLoad { cpu: 0.40, gpu: 0.98, mem: 0.45, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.40,
+                        gpu: 0.98,
+                        mem: 0.45,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.1e9,
                 },
                 Phase {
                     name: "potentials",
                     duration_frac: 0.15,
-                    load: NodeLoad { cpu: 0.70, gpu: 0.50, mem: 0.55, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.70,
+                        gpu: 0.50,
+                        mem: 0.55,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.05e9,
                 },
                 Phase {
                     name: "mpi-exchange",
                     duration_frac: 0.10,
-                    load: NodeLoad { cpu: 0.25, gpu: 0.10, mem: 0.30, net: 0.90 },
+                    load: NodeLoad {
+                        cpu: 0.25,
+                        gpu: 0.10,
+                        mem: 0.30,
+                        net: 0.90,
+                    },
                     comm_bytes: 1.2e9,
                 },
             ],
@@ -122,50 +142,89 @@ impl AppModel {
                 Phase {
                     name: "tracer-advection",
                     duration_frac: 0.18,
-                    load: NodeLoad { cpu: 0.75, gpu: 0.40, mem: 0.95, net: 0.10 },
+                    load: NodeLoad {
+                        cpu: 0.75,
+                        gpu: 0.40,
+                        mem: 0.95,
+                        net: 0.10,
+                    },
                     comm_bytes: 0.15e9,
                 },
                 Phase {
                     name: "momentum",
                     duration_frac: 0.17,
-                    load: NodeLoad { cpu: 0.72, gpu: 0.38, mem: 0.92, net: 0.10 },
+                    load: NodeLoad {
+                        cpu: 0.72,
+                        gpu: 0.38,
+                        mem: 0.92,
+                        net: 0.10,
+                    },
                     comm_bytes: 0.15e9,
                 },
                 Phase {
                     name: "vertical-physics",
                     duration_frac: 0.16,
-                    load: NodeLoad { cpu: 0.70, gpu: 0.35, mem: 0.90, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.70,
+                        gpu: 0.35,
+                        mem: 0.90,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.05e9,
                 },
                 Phase {
                     name: "sea-ice",
                     duration_frac: 0.15,
-                    load: NodeLoad { cpu: 0.68, gpu: 0.30, mem: 0.85, net: 0.08 },
+                    load: NodeLoad {
+                        cpu: 0.68,
+                        gpu: 0.30,
+                        mem: 0.85,
+                        net: 0.08,
+                    },
                     comm_bytes: 0.08e9,
                 },
                 Phase {
                     name: "free-surface",
                     duration_frac: 0.14,
-                    load: NodeLoad { cpu: 0.66, gpu: 0.32, mem: 0.88, net: 0.12 },
+                    load: NodeLoad {
+                        cpu: 0.66,
+                        gpu: 0.32,
+                        mem: 0.88,
+                        net: 0.12,
+                    },
                     comm_bytes: 0.12e9,
                 },
                 Phase {
                     name: "halo-exchange",
                     duration_frac: 0.12,
-                    load: NodeLoad { cpu: 0.30, gpu: 0.05, mem: 0.40, net: 0.85 },
+                    load: NodeLoad {
+                        cpu: 0.30,
+                        gpu: 0.05,
+                        mem: 0.40,
+                        net: 0.85,
+                    },
                     comm_bytes: 0.6e9,
                 },
                 Phase {
                     name: "diagnostics",
                     duration_frac: 0.08,
-                    load: NodeLoad { cpu: 0.55, gpu: 0.10, mem: 0.60, net: 0.20 },
+                    load: NodeLoad {
+                        cpu: 0.55,
+                        gpu: 0.10,
+                        mem: 0.60,
+                        net: 0.20,
+                    },
                     comm_bytes: 0.1e9,
                 },
             ],
             iteration_time: Seconds(6.0),
             // NEMO cannot use all four GPUs productively: 2 GPUs, all
             // memory channels (bandwidth-bound).
-            shape: JobShape { cores_per_socket: 8, gpus: 2, centaurs_per_socket: 4 },
+            shape: JobShape {
+                cores_per_socket: 8,
+                gpus: 2,
+                centaurs_per_socket: 4,
+            },
             serial_frac: 0.08,
         }
     }
@@ -179,25 +238,45 @@ impl AppModel {
                 Phase {
                     name: "element-kernels",
                     duration_frac: 0.62,
-                    load: NodeLoad { cpu: 0.30, gpu: 0.97, mem: 0.70, net: 0.10 },
+                    load: NodeLoad {
+                        cpu: 0.30,
+                        gpu: 0.97,
+                        mem: 0.70,
+                        net: 0.10,
+                    },
                     comm_bytes: 0.2e9,
                 },
                 Phase {
                     name: "boundary-exchange",
                     duration_frac: 0.10,
-                    load: NodeLoad { cpu: 0.25, gpu: 0.60, mem: 0.35, net: 0.80 },
+                    load: NodeLoad {
+                        cpu: 0.25,
+                        gpu: 0.60,
+                        mem: 0.35,
+                        net: 0.80,
+                    },
                     comm_bytes: 0.9e9,
                 },
                 Phase {
                     name: "time-update",
                     duration_frac: 0.20,
-                    load: NodeLoad { cpu: 0.35, gpu: 0.90, mem: 0.75, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.35,
+                        gpu: 0.90,
+                        mem: 0.75,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.05e9,
                 },
                 Phase {
                     name: "seismogram-io",
                     duration_frac: 0.08,
-                    load: NodeLoad { cpu: 0.45, gpu: 0.15, mem: 0.40, net: 0.30 },
+                    load: NodeLoad {
+                        cpu: 0.45,
+                        gpu: 0.15,
+                        mem: 0.40,
+                        net: 0.30,
+                    },
                     comm_bytes: 0.1e9,
                 },
             ],
@@ -216,25 +295,45 @@ impl AppModel {
                 Phase {
                     name: "cg-matvec",
                     duration_frac: 0.58,
-                    load: NodeLoad { cpu: 0.25, gpu: 0.96, mem: 0.85, net: 0.20 },
+                    load: NodeLoad {
+                        cpu: 0.25,
+                        gpu: 0.96,
+                        mem: 0.85,
+                        net: 0.20,
+                    },
                     comm_bytes: 0.7e9,
                 },
                 Phase {
                     name: "cg-blas1",
                     duration_frac: 0.17,
-                    load: NodeLoad { cpu: 0.20, gpu: 0.85, mem: 0.90, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.20,
+                        gpu: 0.85,
+                        mem: 0.90,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.05e9,
                 },
                 Phase {
                     name: "gauge-force",
                     duration_frac: 0.15,
-                    load: NodeLoad { cpu: 0.30, gpu: 0.92, mem: 0.60, net: 0.05 },
+                    load: NodeLoad {
+                        cpu: 0.30,
+                        gpu: 0.92,
+                        mem: 0.60,
+                        net: 0.05,
+                    },
                     comm_bytes: 0.1e9,
                 },
                 Phase {
                     name: "global-sums",
                     duration_frac: 0.10,
-                    load: NodeLoad { cpu: 0.20, gpu: 0.30, mem: 0.25, net: 0.75 },
+                    load: NodeLoad {
+                        cpu: 0.20,
+                        gpu: 0.30,
+                        mem: 0.25,
+                        net: 0.75,
+                    },
                     comm_bytes: 0.3e9,
                 },
             ],

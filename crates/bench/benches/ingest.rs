@@ -1,0 +1,175 @@
+//! E21 micro-benchmarks: the batched telemetry ingest path, plus an
+//! allocation-counting proof that the steady-state append path is
+//! heap-allocation-free. Run the proof without timing via
+//! `cargo bench --bench ingest -- --test` (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use davide_telemetry::gateway::SampleFrame;
+use davide_telemetry::tsdb::TsDb;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every alloc/realloc, so benches
+/// can assert the hot path performs none.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const FRAME_LEN: usize = 500;
+const DT: f64 = 2e-5;
+
+fn test_frame() -> SampleFrame {
+    SampleFrame {
+        t0_s: 100.0,
+        dt_s: DT,
+        watts: (0..FRAME_LEN).map(|i| 1700.0 + (i % 13) as f32).collect(),
+    }
+}
+
+/// Warmed store: raw ring at capacity so deque growth is behind us.
+fn warmed_db() -> (TsDb, davide_telemetry::tsdb::SeriesId, f64) {
+    let mut db = TsDb::with_capacity(100_000, 1_000);
+    let id = db.resolve("node00/power/node");
+    let watts = vec![1700.0f32; FRAME_LEN];
+    let mut t0 = 0.0;
+    for _ in 0..250 {
+        db.append_frame_id(id, t0, DT, &watts);
+        t0 += FRAME_LEN as f64 * DT;
+    }
+    (db, id, t0)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e21_codec");
+    let frame = test_frame();
+    let wire = frame.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_frame_500", |b| {
+        b.iter(|| black_box(&frame).encode())
+    });
+    g.bench_function("decode_frame_500", |b| {
+        b.iter(|| SampleFrame::decode(black_box(wire.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e21_append");
+    g.throughput(Throughput::Elements(FRAME_LEN as u64));
+
+    let frame = test_frame();
+    let (mut db, id, mut t0) = warmed_db();
+    g.bench_function("per_sample_append_id_500", |b| {
+        b.iter(|| {
+            for (i, &w) in frame.watts.iter().enumerate() {
+                db.append_id(id, t0 + i as f64 * DT, w as f64);
+            }
+            t0 += FRAME_LEN as f64 * DT;
+        })
+    });
+
+    let (mut db, id, mut t0) = warmed_db();
+    g.bench_function("bulk_append_frame_id_500", |b| {
+        b.iter(|| {
+            db.append_frame_id(id, t0, DT, &frame.watts);
+            t0 += FRAME_LEN as f64 * DT;
+        })
+    });
+
+    let (mut db, _, mut t0) = warmed_db();
+    g.bench_function("bulk_append_frame_by_name_500", |b| {
+        b.iter(|| {
+            db.append_frame("node00/power/node", t0, DT, &frame.watts);
+            t0 += FRAME_LEN as f64 * DT;
+        })
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e21_query");
+    let (db, id, t_end) = warmed_db();
+    // Window in the middle of the retained ring.
+    let (w0, w1) = (t_end - 1.0, t_end - 0.5);
+    g.bench_function("range_query_partition_point", |b| {
+        b.iter(|| {
+            db.query_id(
+                id,
+                davide_telemetry::tsdb::Resolution::Raw,
+                black_box(w0),
+                black_box(w1),
+            )
+        })
+    });
+    g.bench_function("energy_window", |b| {
+        b.iter(|| db.energy_j("node00/power/node", black_box(w0), black_box(w1)))
+    });
+    g.finish();
+}
+
+/// The zero-allocation proof: after warm-up, neither the bulk frame
+/// path nor the scalar id path may touch the heap. Runs (and fails
+/// loudly) in `--test` smoke mode too.
+fn alloc_proof(c: &mut Criterion) {
+    let (mut db, id, mut t0) = warmed_db();
+    let watts = vec![1700.0f32; FRAME_LEN];
+
+    let before = allocations();
+    for _ in 0..100 {
+        db.append_frame_id(id, t0, DT, &watts);
+        t0 += FRAME_LEN as f64 * DT;
+    }
+    let frame_allocs = allocations() - before;
+    assert_eq!(
+        frame_allocs, 0,
+        "steady-state append_frame_id allocated {frame_allocs} times in 100 frames"
+    );
+
+    let before = allocations();
+    for i in 0..FRAME_LEN {
+        db.append_id(id, t0 + i as f64 * DT, 1700.0);
+    }
+    let sample_allocs = allocations() - before;
+    assert_eq!(
+        sample_allocs, 0,
+        "steady-state append_id allocated {sample_allocs} times in {FRAME_LEN} samples"
+    );
+    println!("alloc proof: 0 heap allocations across 100 bulk frames + {FRAME_LEN} scalar appends");
+
+    // Keep a timed entry so the proof shows up in bench listings.
+    let mut g = c.benchmark_group("e21_alloc_proof");
+    g.throughput(Throughput::Elements(FRAME_LEN as u64));
+    g.bench_function("steady_state_frame_append", |b| {
+        b.iter(|| {
+            db.append_frame_id(id, t0, DT, &watts);
+            t0 += FRAME_LEN as f64 * DT;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_append, bench_query, alloc_proof);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use davide_apps::cg::{conjugate_gradient, LinearOp};
-use davide_apps::fft::{fft3, fft_inplace, fft_flops, Field3};
+use davide_apps::fft::{fft3, fft_flops, fft_inplace, Field3};
 use davide_apps::gemm::{gemm_flops, matmul_blocked, matmul_naive, Matrix};
 use davide_apps::lattice::{EvenOddOp, Lattice4, LatticeOp};
 use davide_apps::lu::{hpl_flops, lu_factor};
@@ -126,7 +126,11 @@ fn bench_lu(c: &mut Criterion) {
     for &n in &[128usize, 256] {
         let a = Matrix::from_fn(n, n, |i, j| {
             let v = ((i * 31 + j * 17) % 97) as f64 * 0.02 - 1.0;
-            if i == j { v + 4.0 } else { v }
+            if i == j {
+                v + 4.0
+            } else {
+                v
+            }
         });
         g.throughput(Throughput::Elements(hpl_flops(n) as u64));
         g.bench_with_input(BenchmarkId::new("lu_nb32", n), &n, |b, _| {

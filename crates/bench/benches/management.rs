@@ -3,10 +3,10 @@
 //! simulator itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use davide_core::budget::{split_budget, SharingPolicy};
 use davide_core::capping::PiCapController;
 use davide_core::node::{ComputeNode, NodeLoad};
 use davide_core::units::{Seconds, Watts};
-use davide_core::budget::{split_budget, SharingPolicy};
 use davide_predictor::{RandomForest, Regressor, RidgeRegression};
 use davide_sched::{
     simulate, EasyBackfill, Fcfs, PowerPredictor, SimConfig, WorkloadConfig, WorkloadGenerator,
@@ -33,9 +33,7 @@ fn bench_predictor(c: &mut Criterion) {
     let mut gen = WorkloadGenerator::new(WorkloadConfig::default(), 5);
     let history = gen.trace(1000);
     g.bench_function("ridge_train_1000", |b| {
-        b.iter(|| {
-            PowerPredictor::train(RidgeRegression::new(1.0), black_box(&history), 24)
-        });
+        b.iter(|| PowerPredictor::train(RidgeRegression::new(1.0), black_box(&history), 24));
     });
     let predictor = PowerPredictor::train(RidgeRegression::new(1.0), &history, 24);
     let probe = history[0].clone();
@@ -44,7 +42,9 @@ fn bench_predictor(c: &mut Criterion) {
     });
     // Raw model cost without the encoding layer.
     g.bench_function("ridge_fit_raw_200x20", |b| {
-        let x: Vec<f64> = (0..200 * 20).map(|i| ((i * 31) % 101) as f64 * 0.01).collect();
+        let x: Vec<f64> = (0..200 * 20)
+            .map(|i| ((i * 31) % 101) as f64 * 0.01)
+            .collect();
         let y: Vec<f64> = (0..200).map(|i| i as f64).collect();
         b.iter(|| {
             let mut m = RidgeRegression::new(1.0);
@@ -98,7 +98,9 @@ fn bench_scheduler(c: &mut Criterion) {
 
 fn bench_budget_and_forest(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_budget");
-    let demands: Vec<Watts> = (0..45).map(|i| Watts(400.0 + (i * 37 % 1600) as f64)).collect();
+    let demands: Vec<Watts> = (0..45)
+        .map(|i| Watts(400.0 + (i * 37 % 1600) as f64))
+        .collect();
     g.bench_function("split_45_nodes_proportional", |b| {
         b.iter(|| {
             split_budget(
@@ -116,9 +118,7 @@ fn bench_budget_and_forest(c: &mut Criterion) {
     let mut gen = WorkloadGenerator::new(WorkloadConfig::default(), 5);
     let history = gen.trace(500);
     g.bench_function("forest_train_500", |b| {
-        b.iter(|| {
-            PowerPredictor::train(RandomForest::new(10, 8, 5, 3), black_box(&history), 24)
-        });
+        b.iter(|| PowerPredictor::train(RandomForest::new(10, 8, 5, 3), black_box(&history), 24));
     });
     g.finish();
 }

@@ -41,13 +41,9 @@ fn bench_topic_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_topics");
     let topic = "davide/node17/power/gpu3";
     for filter in ["davide/node17/power/gpu3", "davide/+/power/#", "#"] {
-        g.bench_with_input(
-            BenchmarkId::new("filter_match", filter),
-            &filter,
-            |b, f| {
-                b.iter(|| filter_matches(black_box(f), black_box(topic)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("filter_match", filter), &filter, |b, f| {
+            b.iter(|| filter_matches(black_box(f), black_box(topic)));
+        });
     }
     g.finish();
 }
@@ -57,31 +53,35 @@ fn bench_broker_fanout(c: &mut Criterion) {
     g.sample_size(30);
     for &subs in &[1usize, 8, 64] {
         g.throughput(Throughput::Elements(subs as u64));
-        g.bench_with_input(BenchmarkId::new("publish_fanout", subs), &subs, |b, &subs| {
-            let broker = Broker::default();
-            let mut agents: Vec<_> = (0..subs)
-                .map(|i| {
-                    let mut cl = broker.connect(format!("a{i}"));
-                    cl.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
-                    cl
-                })
-                .collect();
-            let publ = broker.connect("gw");
-            let payload = Bytes::from(vec![0u8; 256]);
-            b.iter(|| {
-                publ.publish(
-                    black_box("davide/node00/power/node"),
-                    payload.clone(),
-                    QoS::AtMostOnce,
-                    false,
-                )
-                .unwrap();
-                // Drain to keep queues from filling.
-                for a in &mut agents {
-                    while a.try_recv().is_some() {}
-                }
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("publish_fanout", subs),
+            &subs,
+            |b, &subs| {
+                let broker = Broker::default();
+                let mut agents: Vec<_> = (0..subs)
+                    .map(|i| {
+                        let mut cl = broker.connect(format!("a{i}"));
+                        cl.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
+                        cl
+                    })
+                    .collect();
+                let publ = broker.connect("gw");
+                let payload = Bytes::from(vec![0u8; 256]);
+                b.iter(|| {
+                    publ.publish(
+                        black_box("davide/node00/power/node"),
+                        payload.clone(),
+                        QoS::AtMostOnce,
+                        false,
+                    )
+                    .unwrap();
+                    // Drain to keep queues from filling.
+                    for a in &mut agents {
+                        while a.try_recv().is_some() {}
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }

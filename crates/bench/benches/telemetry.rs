@@ -50,7 +50,8 @@ fn bench_sensor_adc(c: &mut Criterion) {
         let adc = SarAdc::am335x_power_channel();
         b.iter(|| adc.digitise(black_box(&truth)));
     });
-    let chains: [(&str, fn(&mut Rng) -> MonitorChain); 2] = [
+    type ChainBuilder = fn(&mut Rng) -> MonitorChain;
+    let chains: [(&str, ChainBuilder); 2] = [
         ("chain_eg", MonitorChain::davide_eg),
         ("chain_ipmi", MonitorChain::ipmi),
     ];
@@ -96,5 +97,10 @@ fn bench_integration(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(telemetry, bench_decimation, bench_sensor_adc, bench_integration);
+criterion_group!(
+    telemetry,
+    bench_decimation,
+    bench_sensor_adc,
+    bench_integration
+);
 criterion_main!(telemetry);

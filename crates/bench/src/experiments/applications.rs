@@ -52,7 +52,10 @@ pub fn e14() {
         "  NVLink gang (80 GB/s bidir): {:.1} µs/exchange",
         t_nv * 1e6
     );
-    println!("  PCIe gen3 ×16 staging:       {:.1} µs/exchange", t_pcie * 1e6);
+    println!(
+        "  PCIe gen3 ×16 staging:       {:.1} µs/exchange",
+        t_pcie * 1e6
+    );
     println!(
         "  NVLink advantage: {:.1}× — why §IV-A localises FFTs in GPU pairs",
         t_pcie / t_nv
@@ -63,7 +66,10 @@ pub fn e14() {
     for nodes in [1u32, 2, 4, 8, 16] {
         let comm = qe.comm_bytes_per_iteration() / 12.1e9 * (nodes as f64).log2().max(0.0);
         let s = qe.strong_scaling_speedup(nodes, comm);
-        println!("  {nodes:>3} nodes → speed-up {s:>5.2}×  efficiency {:>5.1} %", 100.0 * s / nodes as f64);
+        println!(
+            "  {nodes:>3} nodes → speed-up {s:>5.2}×  efficiency {:>5.1} %",
+            100.0 * s / nodes as f64
+        );
     }
 }
 
@@ -74,7 +80,12 @@ pub fn e15() {
     println!("routine histogram (paper: no routine above 15–20 %):");
     for p in &nemo.phases {
         let bar = "#".repeat((p.duration_frac * 100.0) as usize);
-        println!("  {:<18} {:>5.1} % {}", p.name, p.duration_frac * 100.0, bar);
+        println!(
+            "  {:<18} {:>5.1} % {}",
+            p.name,
+            p.duration_frac * 100.0,
+            bar
+        );
     }
     println!(
         "largest routine: {:.1} % ✓",
@@ -160,7 +171,11 @@ pub fn e16() {
             "  {:>5} elements: {:>10.0} flops per boundary byte {}",
             elems,
             ratio,
-            if elems >= 256 { "(overlap hides comm)" } else { "" }
+            if elems >= 256 {
+                "(overlap hides comm)"
+            } else {
+                ""
+            }
         );
     }
     println!("\n§IV-C: \"performance is not affected by message passing overhead as");
@@ -194,7 +209,15 @@ pub fn e17() {
 
         println!(
             "{:>2}×{}×{}×{:<3} {:>8} | {:>12} {:>10.1}ms | {:>12} {:>10.1}ms",
-            d[0], d[1], d[2], d[3], vol, rf.iterations, t_full * 1e3, re.iterations, t_eo * 1e3
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            vol,
+            rf.iterations,
+            t_full * 1e3,
+            re.iterations,
+            t_eo * 1e3
         );
         assert!(rf.converged && re.converged);
     }

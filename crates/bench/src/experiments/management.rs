@@ -75,10 +75,8 @@ pub fn e10() {
         let train = &train_full[train_full.len() - hist..];
         let ridge = PowerPredictor::train(RidgeRegression::new(1.0), train, 24).mape_on(test);
         let knn = PowerPredictor::train(KnnRegressor::new(7), train, 24).mape_on(test);
-        let tree =
-            PowerPredictor::train(RegressionTree::new(8, 5), train, 24).mape_on(test);
-        let forest =
-            PowerPredictor::train(RandomForest::new(20, 8, 5, 7), train, 24).mape_on(test);
+        let tree = PowerPredictor::train(RegressionTree::new(8, 5), train, 24).mape_on(test);
+        let forest = PowerPredictor::train(RandomForest::new(20, 8, 5, 7), train, 24).mape_on(test);
         println!(
             "{:>10} {:>10.2} % {:>10.2} % {:>10.2} % {:>10.2} %",
             hist, ridge, knn, tree, forest
@@ -122,7 +120,11 @@ fn run_policies(trace_len: usize, cap_kw: f64, seed: u64) -> Vec<SimReport> {
     let cap = cap_kw * 1000.0;
     vec![
         report(&simulate(&trace, &mut Fcfs, SimConfig::davide())),
-        report(&simulate(&trace, &mut EasyBackfill::new(), SimConfig::davide())),
+        report(&simulate(
+            &trace,
+            &mut EasyBackfill::new(),
+            SimConfig::davide(),
+        )),
         report(&simulate(
             &trace,
             &mut EasyBackfill::new(),
@@ -193,7 +195,11 @@ pub fn e11() {
             None => EasyBackfill::power_aware(),
             Some(a) => EasyBackfill::power_aware().with_aging(a),
         };
-        let out = simulate(&trace, &mut policy, SimConfig::davide().with_cap(60_000.0, true));
+        let out = simulate(
+            &trace,
+            &mut policy,
+            SimConfig::davide().with_cap(60_000.0, true),
+        );
         let r = report(&out);
         let max_slow = out
             .completed
@@ -380,25 +386,6 @@ pub fn f4() {
     println!("\nFig. 4 functionality demonstrated: Pr/EA/EP + proactive + reactive ✓");
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn policy_comparison_has_expected_shape() {
-        let rs = run_policies(150, 65.0, 3);
-        // Reactive-only and combined hold the cap.
-        assert!(rs[2].overcap_fraction < 1e-9);
-        assert!(rs[4].overcap_fraction < 1e-9);
-        // Uncapped runs exceed 65 kW at peak.
-        assert!(rs[1].peak_power_w > 65_000.0);
-        // Proactive-only has small residual violations (prediction error).
-        assert!(rs[3].overcap_fraction < 0.10);
-        // Backfill beats FCFS on waiting.
-        assert!(rs[1].mean_wait_s <= rs[0].mean_wait_s);
-    }
-}
-
 /// E18 — the §IV co-design tradeoff: time-to-solution versus
 /// energy-to-solution across allocation sizes.
 pub fn e18() {
@@ -456,7 +443,11 @@ pub fn e19() {
     println!(
         "capping-response check: {} — overall {}",
         if report.capping_ok { "PASS" } else { "FAIL" },
-        if report.passed { "ACCEPTED" } else { "REJECTED" }
+        if report.passed {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        }
     );
 
     // A batch with injected faults.
@@ -473,9 +464,15 @@ pub fn e19() {
             .filter(|s| !s.passed)
             .map(|s| s.stage)
             .collect();
-        println!("  node {:>2} REJECTED — failing stages: {causes:?}", f.node_id);
+        println!(
+            "  node {:>2} REJECTED — failing stages: {causes:?}",
+            f.node_id
+        );
     }
-    println!("  {} of 7 rejected; healthy nodes pass silently.", failures.len());
+    println!(
+        "  {} of 7 rejected; healthy nodes pass silently.",
+        failures.len()
+    );
 }
 
 /// E20 — the smart profiler (Fig. 4 "Pr"): phase detection and spectral
@@ -511,13 +508,30 @@ pub fn e20() {
 
     let spec = welch_psd(&stream, 131_072); // df ≈ 0.38 Hz
     let (f, _) = spec.dominant().unwrap();
-    println!(
-        "\nspectral fingerprint: dominant line at {f:.1} Hz (1 Hz phase square wave and"
-    );
+    println!("\nspectral fingerprint: dominant line at {f:.1} Hz (1 Hz phase square wave and");
     println!(
         "its odd harmonics); band power 0.5–6 Hz: {:.0} W², 40–60 Hz: {:.0} W²",
         spec.band_power(0.5, 6.0),
         spec.band_power(40.0, 60.0)
     );
     println!("\nthe Pr loop: phases → per-phase energy → \"sources of not-optimality\".");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_comparison_has_expected_shape() {
+        let rs = run_policies(150, 65.0, 3);
+        // Reactive-only and combined hold the cap.
+        assert!(rs[2].overcap_fraction < 1e-9);
+        assert!(rs[4].overcap_fraction < 1e-9);
+        // Uncapped runs exceed 65 kW at peak.
+        assert!(rs[1].peak_power_w > 65_000.0);
+        // Proactive-only has small residual violations (prediction error).
+        assert!(rs[3].overcap_fraction < 0.10);
+        // Backfill beats FCFS on waiting.
+        assert!(rs[1].mean_wait_s <= rs[0].mean_wait_s);
+    }
 }

@@ -22,7 +22,10 @@ pub fn e3() {
     let duration = 4.0;
     let workloads = [
         ("idle node (300 W)", WorkloadWaveform::idle(300.0)),
-        ("HPC job, 0.7 s phases", WorkloadWaveform::hpc_job(1700.0, 0.7)),
+        (
+            "HPC job, 0.7 s phases",
+            WorkloadWaveform::hpc_job(1700.0, 0.7),
+        ),
         ("GPU bursts to 10 kHz", WorkloadWaveform::gpu_burst(1700.0)),
     ];
     print!("{:<36}", "chain \\ workload");
@@ -139,7 +142,8 @@ pub fn e6() {
         let mut agents: Vec<_> = (0..subs)
             .map(|i| {
                 let mut c = broker.connect(format!("agent{i}"));
-                c.subscribe(&channel_filter("node"), QoS::AtMostOnce).unwrap();
+                c.subscribe(&channel_filter("node"), QoS::AtMostOnce)
+                    .unwrap();
                 c
             })
             .collect();
@@ -169,8 +173,7 @@ pub fn eg_vs_ipmi_error_ratio(seed: u64) -> f64 {
     let mut rng = Rng::seed_from(seed);
     let truth = WorkloadWaveform::gpu_burst(1700.0).render(800_000.0, 2.0, &mut rng.fork());
     let chains = all_chains(&mut rng.fork());
-    let eg = chains[0]
-        .measured_energy(&truth, &mut rng.fork());
+    let eg = chains[0].measured_energy(&truth, &mut rng.fork());
     let ipmi = chains[4].measured_energy(&truth, &mut rng.fork());
     let t = truth.energy();
     energy_error_pct(ipmi, t) / energy_error_pct(eg, t).max(1e-9)

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E17, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E21, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -14,7 +14,7 @@ pub mod experiments;
 
 /// One experiment: id, title, and the function that prints its report.
 pub struct Experiment {
-    /// Identifier (`e1`…`e17`, `f1`, `f4`).
+    /// Identifier (`e1`…`e21`, `f1`, `f4`).
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
@@ -26,28 +26,121 @@ pub struct Experiment {
 pub fn registry() -> Vec<Experiment> {
     use experiments::*;
     vec![
-        Experiment { id: "e1", title: "Node & pilot-system envelope (§II-E, §II-I)", run: system::e1 },
-        Experiment { id: "e2", title: "Top500/Green500 context (§I, §V-A)", run: system::e2 },
-        Experiment { id: "e3", title: "Energy error vs monitoring chain (§III-A1, §V-C)", run: monitoring::e3 },
-        Experiment { id: "e4", title: "ADC & decimation fidelity (§III-A1)", run: monitoring::e4 },
-        Experiment { id: "e5", title: "PTP vs NTP time sync (§III-A1, [13])", run: monitoring::e5 },
-        Experiment { id: "e6", title: "MQTT fan-out scaling (§III-A1)", run: monitoring::e6 },
-        Experiment { id: "e7", title: "Rack PSU consolidation (§II-F)", run: system::e7 },
-        Experiment { id: "e8", title: "Liquid vs air cooling & throttling (§II-C/G)", run: system::e8 },
-        Experiment { id: "e9", title: "Node power capping (§III-A2)", run: management::e9 },
-        Experiment { id: "e10", title: "Job power prediction accuracy ([17][18])", run: management::e10 },
-        Experiment { id: "e11", title: "Proactive vs reactive scheduling (§III-A2)", run: management::e11 },
-        Experiment { id: "e12", title: "Per-job/user energy accounting (Fig. 4 EA)", run: management::e12 },
-        Experiment { id: "e13", title: "Energy-proportionality APIs (§IV)", run: management::e13 },
-        Experiment { id: "e14", title: "QE proxy: FFT & NVLink (§IV-A)", run: applications::e14 },
-        Experiment { id: "e15", title: "NEMO proxy: flat memory-bound profile (§IV-B)", run: applications::e15 },
-        Experiment { id: "e16", title: "SPECFEM3D proxy: SEM scaling (§IV-C)", run: applications::e16 },
-        Experiment { id: "e17", title: "BQCD proxy: even/odd CG (§IV-D)", run: applications::e17 },
-        Experiment { id: "e18", title: "TTS vs ETS co-design tradeoff (§IV)", run: management::e18 },
-        Experiment { id: "e19", title: "Burn-in acceptance suite (§I)", run: management::e19 },
-        Experiment { id: "e20", title: "Smart profiler: phases & spectra (Fig. 4 Pr)", run: management::e20 },
-        Experiment { id: "f1", title: "Fig. 1: cooling-loop state table", run: system::f1 },
-        Experiment { id: "f4", title: "Fig. 4: end-to-end pipeline demo", run: management::f4 },
+        Experiment {
+            id: "e1",
+            title: "Node & pilot-system envelope (§II-E, §II-I)",
+            run: system::e1,
+        },
+        Experiment {
+            id: "e2",
+            title: "Top500/Green500 context (§I, §V-A)",
+            run: system::e2,
+        },
+        Experiment {
+            id: "e3",
+            title: "Energy error vs monitoring chain (§III-A1, §V-C)",
+            run: monitoring::e3,
+        },
+        Experiment {
+            id: "e4",
+            title: "ADC & decimation fidelity (§III-A1)",
+            run: monitoring::e4,
+        },
+        Experiment {
+            id: "e5",
+            title: "PTP vs NTP time sync (§III-A1, [13])",
+            run: monitoring::e5,
+        },
+        Experiment {
+            id: "e6",
+            title: "MQTT fan-out scaling (§III-A1)",
+            run: monitoring::e6,
+        },
+        Experiment {
+            id: "e7",
+            title: "Rack PSU consolidation (§II-F)",
+            run: system::e7,
+        },
+        Experiment {
+            id: "e8",
+            title: "Liquid vs air cooling & throttling (§II-C/G)",
+            run: system::e8,
+        },
+        Experiment {
+            id: "e9",
+            title: "Node power capping (§III-A2)",
+            run: management::e9,
+        },
+        Experiment {
+            id: "e10",
+            title: "Job power prediction accuracy ([17][18])",
+            run: management::e10,
+        },
+        Experiment {
+            id: "e11",
+            title: "Proactive vs reactive scheduling (§III-A2)",
+            run: management::e11,
+        },
+        Experiment {
+            id: "e12",
+            title: "Per-job/user energy accounting (Fig. 4 EA)",
+            run: management::e12,
+        },
+        Experiment {
+            id: "e13",
+            title: "Energy-proportionality APIs (§IV)",
+            run: management::e13,
+        },
+        Experiment {
+            id: "e14",
+            title: "QE proxy: FFT & NVLink (§IV-A)",
+            run: applications::e14,
+        },
+        Experiment {
+            id: "e15",
+            title: "NEMO proxy: flat memory-bound profile (§IV-B)",
+            run: applications::e15,
+        },
+        Experiment {
+            id: "e16",
+            title: "SPECFEM3D proxy: SEM scaling (§IV-C)",
+            run: applications::e16,
+        },
+        Experiment {
+            id: "e17",
+            title: "BQCD proxy: even/odd CG (§IV-D)",
+            run: applications::e17,
+        },
+        Experiment {
+            id: "e18",
+            title: "TTS vs ETS co-design tradeoff (§IV)",
+            run: management::e18,
+        },
+        Experiment {
+            id: "e19",
+            title: "Burn-in acceptance suite (§I)",
+            run: management::e19,
+        },
+        Experiment {
+            id: "e20",
+            title: "Smart profiler: phases & spectra (Fig. 4 Pr)",
+            run: management::e20,
+        },
+        Experiment {
+            id: "e21",
+            title: "Telemetry ingest throughput (EG → MQTT → TsDb)",
+            run: ingest::e21,
+        },
+        Experiment {
+            id: "f1",
+            title: "Fig. 1: cooling-loop state table",
+            run: system::f1,
+        },
+        Experiment {
+            id: "f4",
+            title: "Fig. 4: end-to-end pipeline demo",
+            run: management::f4,
+        },
     ]
 }
 

@@ -130,11 +130,7 @@ impl ClusterCapController {
 
     /// Total measured power right now.
     pub fn measured_total(&self, nodes: &[ComputeNode], loads: &[NodeLoad]) -> Watts {
-        nodes
-            .iter()
-            .zip(loads)
-            .map(|(n, &l)| n.power(l))
-            .sum()
+        nodes.iter().zip(loads).map(|(n, &l)| n.power(l)).sum()
     }
 }
 
@@ -145,7 +141,12 @@ mod tests {
     #[test]
     fn uniform_split_sums_to_total() {
         let demands = vec![Watts(2000.0); 10];
-        let caps = split_budget(Watts(15_000.0), &demands, Watts(400.0), SharingPolicy::Uniform);
+        let caps = split_budget(
+            Watts(15_000.0),
+            &demands,
+            Watts(400.0),
+            SharingPolicy::Uniform,
+        );
         let sum: f64 = caps.iter().map(|c| c.0).sum();
         assert!((sum - 15_000.0).abs() < 1e-6);
         assert!(caps.iter().all(|c| (c.0 - 1500.0).abs() < 1e-9));
@@ -176,7 +177,12 @@ mod tests {
     #[test]
     fn infeasible_budget_returns_floors() {
         let demands = vec![Watts(2000.0); 4];
-        let caps = split_budget(Watts(1_000.0), &demands, Watts(400.0), SharingPolicy::Uniform);
+        let caps = split_budget(
+            Watts(1_000.0),
+            &demands,
+            Watts(400.0),
+            SharingPolicy::Uniform,
+        );
         assert!(caps.iter().all(|c| *c == Watts(400.0)));
     }
 
@@ -199,15 +205,16 @@ mod tests {
     fn cluster_controller_respects_site_cap() {
         let mut nodes: Vec<ComputeNode> = (0..4).map(ComputeNode::davide).collect();
         // Two busy, two idle nodes.
-        let loads = vec![NodeLoad::FULL, NodeLoad::FULL, NodeLoad::IDLE, NodeLoad::IDLE];
+        let loads = vec![
+            NodeLoad::FULL,
+            NodeLoad::FULL,
+            NodeLoad::IDLE,
+            NodeLoad::IDLE,
+        ];
         // Floor must clear the ~490 W idle draw of a DAVIDE node.
         let site_cap = Watts(4_200.0);
-        let mut ctl = ClusterCapController::new(
-            4,
-            site_cap,
-            Watts(550.0),
-            SharingPolicy::DemandProportional,
-        );
+        let mut ctl =
+            ClusterCapController::new(4, site_cap, Watts(550.0), SharingPolicy::DemandProportional);
         for _ in 0..100 {
             ctl.step(&mut nodes, &loads, Seconds(0.1));
         }
@@ -228,9 +235,13 @@ mod tests {
         // the busy half run faster than a uniform split would.
         let run = |policy: SharingPolicy| -> f64 {
             let mut nodes: Vec<ComputeNode> = (0..4).map(ComputeNode::davide).collect();
-            let loads = vec![NodeLoad::FULL, NodeLoad::FULL, NodeLoad::IDLE, NodeLoad::IDLE];
-            let mut ctl =
-                ClusterCapController::new(4, Watts(5_500.0), Watts(550.0), policy);
+            let loads = vec![
+                NodeLoad::FULL,
+                NodeLoad::FULL,
+                NodeLoad::IDLE,
+                NodeLoad::IDLE,
+            ];
+            let mut ctl = ClusterCapController::new(4, Watts(5_500.0), Watts(550.0), policy);
             for _ in 0..150 {
                 ctl.step(&mut nodes, &loads, Seconds(0.1));
             }

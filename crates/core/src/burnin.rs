@@ -186,7 +186,9 @@ pub fn run_burnin(node: &mut ComputeNode, config: BurnInConfig) -> BurnInReport 
     let traj = ctl.run(node, NodeLoad::FULL, config.dt, config.cap_settle_steps * 2);
     let q = evaluate(&traj, ctl.band);
     let capping_ok = q.settle_steps <= config.cap_settle_steps
-        && traj.last().is_some_and(|s| s.power <= config.cap_check + ctl.band);
+        && traj
+            .last()
+            .is_some_and(|s| s.power <= config.cap_check + ctl.band);
     all_passed &= capping_ok;
     node.set_pstate_all(node.cpus[0].spec.dvfs.nominal_index());
 

@@ -250,11 +250,9 @@ mod tests {
         let q = evaluate(&traj, Watts(25.0));
         assert_eq!(q.violation_fraction, 0.0);
         assert!(
-            (q.mean_perf_after_settle - node.cpus[0].spec.dvfs.perf_factor(
-                node.cpus[0].pstate()
-            ))
-            .abs()
-            < 0.2
+            (q.mean_perf_after_settle - node.cpus[0].spec.dvfs.perf_factor(node.cpus[0].pstate()))
+                .abs()
+                < 0.2
         );
         assert!(q.mean_perf_after_settle >= 1.0, "no throttling needed");
     }

@@ -342,6 +342,9 @@ mod tests {
         let l = CoolingLoop::davide_nominal();
         let cap = Watts::from_kw(32.0);
         let pue = l.rack_pue(Watts::from_kw(30.0), cap);
-        assert!(pue > 1.0 && pue < 1.05, "direct liquid keeps PUE low: {pue}");
+        assert!(
+            pue > 1.0 && pue < 1.05,
+            "direct liquid keeps PUE low: {pue}"
+        );
     }
 }

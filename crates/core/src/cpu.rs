@@ -151,9 +151,7 @@ impl CpuModel {
     pub fn gflops(&self, util: f64) -> Gflops {
         let util = util.clamp(0.0, 1.0);
         let f = self.spec.dvfs.state(self.pstate).freq;
-        Gflops(
-            self.active_cores as f64 * self.spec.dp_flops_per_cycle as f64 * f.ghz() * util,
-        )
+        Gflops(self.active_cores as f64 * self.spec.dp_flops_per_cycle as f64 * f.ghz() * util)
     }
 
     /// Peak throughput in the current configuration.

@@ -58,7 +58,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("rack power") && s.contains("32000"));
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

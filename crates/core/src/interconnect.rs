@@ -284,12 +284,18 @@ mod tests {
 
     #[test]
     fn davide_wiring_matches_paper() {
-        assert_eq!(davide_node_link(NodePath::CpuToLocalGpu).kind, LinkKind::NvLink);
+        assert_eq!(
+            davide_node_link(NodePath::CpuToLocalGpu).kind,
+            LinkKind::NvLink
+        );
         assert_eq!(
             davide_node_link(NodePath::GpuToGpuCrossSocket).kind,
             LinkKind::SmpBus
         );
-        assert_eq!(davide_node_link(NodePath::CpuToHca).kind, LinkKind::PcieGen3);
+        assert_eq!(
+            davide_node_link(NodePath::CpuToHca).kind,
+            LinkKind::PcieGen3
+        );
         // The 16× PCIe gen3 slot gives ~15.8 GB/s.
         assert!((davide_node_link(NodePath::CpuToHca).bandwidth.0 - 15.76).abs() < 0.01);
     }

@@ -412,7 +412,9 @@ mod tests {
             })
             .collect();
         let mean = powers.iter().sum::<f64>() / powers.len() as f64;
-        let spread = powers.iter().fold(0.0_f64, |m, &p| m.max((p - nominal).abs()));
+        let spread = powers
+            .iter()
+            .fold(0.0_f64, |m, &p| m.max((p - nominal).abs()));
         assert!((mean - nominal).abs() < nominal * 0.01, "mean near nominal");
         assert!(spread > nominal * 0.02, "visible part-to-part spread");
         assert!(spread < nominal * 0.15, "but bounded");

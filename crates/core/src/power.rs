@@ -90,7 +90,12 @@ impl PowerTrace {
 
     /// Maximum sample.
     pub fn max(&self) -> Watts {
-        Watts(self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        Watts(
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 
     /// Minimum sample.
@@ -141,7 +146,11 @@ impl PowerTrace {
 
     /// Scale every sample by `k` (e.g. PSU conversion loss).
     pub fn scale(&self, k: f64) -> PowerTrace {
-        PowerTrace::new(self.t0, self.dt, self.samples.iter().map(|s| s * k).collect())
+        PowerTrace::new(
+            self.t0,
+            self.dt,
+            self.samples.iter().map(|s| s * k).collect(),
+        )
     }
 
     /// Extract the sub-trace covering `[from, to)` in seconds relative to

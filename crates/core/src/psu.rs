@@ -183,8 +183,7 @@ impl PsuBank {
 /// `(conventional_ac, openrack_ac, saving_fraction)`.
 pub fn rack_conversion_comparison(nodes: u32, per_node: Watts) -> (Watts, Watts, f64) {
     let conventional_bank = PsuBank::per_server_pair();
-    let conventional: Watts =
-        Watts(conventional_bank.input_power(per_node).0 * nodes as f64);
+    let conventional: Watts = Watts(conventional_bank.input_power(per_node).0 * nodes as f64);
     let rack_bank = PsuBank::openrack_32kw();
     let openrack = rack_bank.input_power(per_node * nodes as f64);
     let saving = (conventional.0 - openrack.0) / conventional.0;

@@ -12,6 +12,7 @@ use crate::broker::{Broker, BrokerError};
 use crate::client::Client;
 use crate::codec::QoS;
 use crate::topic::validate_filter;
+use std::collections::HashMap;
 
 /// A one-directional bridge pumping matching messages from a source
 /// broker to a destination broker.
@@ -21,6 +22,10 @@ pub struct Bridge {
     /// Prefix prepended to forwarded topics (e.g. `rack0`).
     pub prefix: Option<String>,
     forwarded: u64,
+    // Source topic → prefixed topic. Telemetry topic universes are
+    // small (nodes × channels), so after warm-up the pump loop
+    // republishes without re-formatting a String per message.
+    topic_cache: HashMap<String, String>,
 }
 
 impl Bridge {
@@ -46,6 +51,7 @@ impl Bridge {
             destination: dst_client,
             prefix: prefix.map(str::to_string),
             forwarded: 0,
+            topic_cache: HashMap::new(),
         })
     }
 
@@ -55,22 +61,30 @@ impl Bridge {
     }
 
     /// Drain everything queued on the source side and republish it
-    /// downstream. Returns the number of messages forwarded.
+    /// downstream. Returns the number of messages forwarded. Prefixed
+    /// topics are built once per distinct source topic and cached, so
+    /// the steady-state pump republishes without allocating.
     pub fn pump(&mut self) -> usize {
         let mut n = 0;
         while let Some(msg) = self.source.try_recv() {
             // Never re-forward retained replays of our own destination
             // side: a one-directional bridge cannot loop, but retained
             // replays at subscribe time would double-deliver old state.
-            let topic = match &self.prefix {
-                Some(p) => format!("{p}/{}", msg.topic),
-                None => msg.topic.clone(),
+            let topic: &str = match &self.prefix {
+                Some(p) => {
+                    if !self.topic_cache.contains_key(&msg.topic) {
+                        self.topic_cache
+                            .insert(msg.topic.clone(), format!("{p}/{}", msg.topic));
+                    }
+                    self.topic_cache[&msg.topic].as_str()
+                }
+                None => &msg.topic,
             };
             // Forward retained flag so site-side late subscribers get
             // status values (e.g. power caps).
             let _ = self
                 .destination
-                .publish(&topic, msg.payload, msg.qos, msg.retain);
+                .publish(topic, msg.payload, msg.qos, msg.retain);
             n += 1;
         }
         self.forwarded += n as u64;
@@ -100,10 +114,20 @@ mod tests {
             .unwrap();
 
         let gw = rack.connect("eg");
-        gw.publish("davide/node03/power/node", payload("1700"), QoS::AtMostOnce, false)
-            .unwrap();
-        gw.publish("davide/node03/temp/cpu0", payload("55"), QoS::AtMostOnce, false)
-            .unwrap(); // not bridged
+        gw.publish(
+            "davide/node03/power/node",
+            payload("1700"),
+            QoS::AtMostOnce,
+            false,
+        )
+        .unwrap();
+        gw.publish(
+            "davide/node03/temp/cpu0",
+            payload("55"),
+            QoS::AtMostOnce,
+            false,
+        )
+        .unwrap(); // not bridged
 
         assert_eq!(bridge.pump(), 1);
         let m = site_agent.try_recv().unwrap();
@@ -125,8 +149,7 @@ mod tests {
     fn retained_status_survives_the_bridge() {
         let rack = Broker::default();
         let site = Broker::default();
-        let mut bridge =
-            Bridge::connect(&rack, &site, "r0", &["davide/+/status/#"], None).unwrap();
+        let mut bridge = Bridge::connect(&rack, &site, "r0", &["davide/+/status/#"], None).unwrap();
         let gw = rack.connect("eg");
         gw.publish(
             "davide/node00/status/powercap",
@@ -139,7 +162,8 @@ mod tests {
         // A late site-side subscriber still sees the value: the bridge
         // preserved the retain flag.
         let mut late = site.connect("late");
-        late.subscribe("davide/+/status/#", QoS::AtMostOnce).unwrap();
+        late.subscribe("davide/+/status/#", QoS::AtMostOnce)
+            .unwrap();
         let m = late.try_recv().expect("retained replay downstream");
         assert!(m.retain);
         assert_eq!(&m.payload[..], b"1500");

@@ -254,12 +254,7 @@ impl Broker {
         st.trie.remove_client(client);
     }
 
-    pub(crate) fn subscribe(
-        &self,
-        client: u64,
-        filter: &str,
-        qos: QoS,
-    ) -> Result<(), BrokerError> {
+    pub(crate) fn subscribe(&self, client: u64, filter: &str, qos: QoS) -> Result<(), BrokerError> {
         validate_filter(filter)?;
         let mut st = self.state.lock();
         if !st.clients.contains_key(&client) {
@@ -399,7 +394,12 @@ mod tests {
         let publ = broker.connect("gateway");
         sub.subscribe("davide/+/power", QoS::AtMostOnce).unwrap();
         let n = publ
-            .publish("davide/node03/power", payload("1720"), QoS::AtMostOnce, false)
+            .publish(
+                "davide/node03/power",
+                payload("1720"),
+                QoS::AtMostOnce,
+                false,
+            )
             .unwrap();
         assert_eq!(n, 1);
         let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();

@@ -217,10 +217,7 @@ pub fn encode(packet: &Packet, buf: &mut BytesMut) {
             dup,
             packet_id,
         } => {
-            first_byte = 0x30
-                | (u8::from(*dup) << 3)
-                | ((*qos as u8) << 1)
-                | u8::from(*retain);
+            first_byte = 0x30 | (u8::from(*dup) << 3) | ((*qos as u8) << 1) | u8::from(*retain);
             put_string(&mut body, topic);
             if *qos != QoS::AtMostOnce {
                 body.put_u16(packet_id.expect("QoS>0 PUBLISH must carry a packet id"));

@@ -242,8 +242,11 @@ mod tests {
         // Subscriber connection.
         let mut sub_conn = ServerConnection::accept(&broker);
         let mut sub_sess = Session::new("sub", 60.0);
-        sub_conn.feed(&raw(&sub_sess.connect_packet(0.0, true))).unwrap();
-        let sub_pkt = sub_sess.subscribe_packet(vec![("davide/+/power/#".into(), QoS::AtLeastOnce)]);
+        sub_conn
+            .feed(&raw(&sub_sess.connect_packet(0.0, true)))
+            .unwrap();
+        let sub_pkt =
+            sub_sess.subscribe_packet(vec![("davide/+/power/#".into(), QoS::AtLeastOnce)]);
         let suback = sub_conn.feed(&raw(&sub_pkt)).unwrap();
         assert!(matches!(
             parse_all(BytesMut::from(&suback[..])).as_slice(),
@@ -253,7 +256,9 @@ mod tests {
         // Publisher connection sends a QoS 1 frame.
         let mut pub_conn = ServerConnection::accept(&broker);
         let mut pub_sess = Session::new("pub", 60.0);
-        pub_conn.feed(&raw(&pub_sess.connect_packet(0.0, true))).unwrap();
+        pub_conn
+            .feed(&raw(&pub_sess.connect_packet(0.0, true)))
+            .unwrap();
         let publish = pub_sess.publish_packet(
             1.0,
             "davide/node00/power/node",
@@ -273,7 +278,12 @@ mod tests {
         let packets = parse_all(BytesMut::from(&delivery[..]));
         assert_eq!(packets.len(), 1);
         match &packets[0] {
-            Packet::Publish { topic, payload, qos, .. } => {
+            Packet::Publish {
+                topic,
+                payload,
+                qos,
+                ..
+            } => {
                 assert_eq!(topic, "davide/node00/power/node");
                 assert_eq!(&payload[..], b"1723.5");
                 assert_eq!(*qos, QoS::AtLeastOnce);

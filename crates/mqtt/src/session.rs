@@ -335,7 +335,13 @@ mod tests {
     #[test]
     fn qos1_publish_lifecycle() {
         let mut s = connected_session();
-        let pkt = s.publish_packet(1.0, "davide/node00/power/node", Bytes::from_static(b"x"), QoS::AtLeastOnce, false);
+        let pkt = s.publish_packet(
+            1.0,
+            "davide/node00/power/node",
+            Bytes::from_static(b"x"),
+            QoS::AtLeastOnce,
+            false,
+        );
         let id = match pkt {
             Packet::Publish {
                 packet_id: Some(id),
@@ -363,10 +369,7 @@ mod tests {
         // First retransmit.
         let out = s.poll(1.5);
         assert_eq!(out.len(), 1);
-        assert!(matches!(
-            &out[0],
-            Packet::Publish { dup: true, .. }
-        ));
+        assert!(matches!(&out[0], Packet::Publish { dup: true, .. }));
         // Second retransmit.
         let out = s.poll(3.0);
         assert_eq!(out.len(), 1);

@@ -65,10 +65,9 @@ pub fn validate_filter(filter: &str) -> Result<(), TopicError> {
     }
     let levels: Vec<&str> = filter.split('/').collect();
     for (i, level) in levels.iter().enumerate() {
-        if level.contains('#')
-            && (*level != "#" || i != levels.len() - 1) {
-                return Err(TopicError::BadMultiLevelWildcard);
-            }
+        if level.contains('#') && (*level != "#" || i != levels.len() - 1) {
+            return Err(TopicError::BadMultiLevelWildcard);
+        }
         if level.contains('+') && *level != "+" {
             return Err(TopicError::BadSingleLevelWildcard);
         }
@@ -117,7 +116,10 @@ mod tests {
     #[test]
     fn topic_validation() {
         assert!(validate_topic("node/17/power").is_ok());
-        assert!(validate_topic("/leading/slash").is_ok(), "empty level legal");
+        assert!(
+            validate_topic("/leading/slash").is_ok(),
+            "empty level legal"
+        );
         assert_eq!(validate_topic(""), Err(TopicError::Empty));
         assert_eq!(validate_topic("a/+/b"), Err(TopicError::WildcardInTopic));
         assert_eq!(validate_topic("a/#"), Err(TopicError::WildcardInTopic));

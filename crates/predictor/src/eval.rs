@@ -21,11 +21,7 @@ pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     assert!(!pred.is_empty());
-    let sse: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t).powi(2))
-        .sum();
+    let sse: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum();
     (sse / pred.len() as f64).sqrt()
 }
 
@@ -45,11 +41,7 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (t - p).powi(2))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p).powi(2)).sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }

@@ -67,11 +67,7 @@ impl Regressor for RandomForest {
 
     fn predict(&self, features: &[f64]) -> f64 {
         assert!(!self.fitted.is_empty(), "fit before predict");
-        self.fitted
-            .iter()
-            .map(|t| t.predict(features))
-            .sum::<f64>()
-            / self.fitted.len() as f64
+        self.fitted.iter().map(|t| t.predict(features)).sum::<f64>() / self.fitted.len() as f64
     }
 
     fn name(&self) -> &'static str {
@@ -142,9 +138,7 @@ mod tests {
         let (x, y) = noisy_step(4, 300);
         let mut f = RandomForest::new(1, 6, 3, 1);
         f.fit(&x, 300, 2, &y);
-        let preds: Vec<f64> = (0..300)
-            .map(|r| f.predict(&x[r * 2..r * 2 + 2]))
-            .collect();
+        let preds: Vec<f64> = (0..300).map(|r| f.predict(&x[r * 2..r * 2 + 2])).collect();
         assert!(rmse(&preds, &y) < 40.0);
     }
 

@@ -19,9 +19,9 @@ pub mod eval;
 pub mod features;
 pub mod forest;
 pub mod knn;
-pub mod online;
 pub mod linalg;
 pub mod linreg;
+pub mod online;
 pub mod tree;
 
 /// A trainable power predictor over row-major feature matrices.
@@ -38,6 +38,6 @@ pub use eval::{cross_validate, mape, r2, rmse, CvReport};
 pub use features::{FeatureEncoder, JobDescriptor};
 pub use forest::RandomForest;
 pub use knn::KnnRegressor;
-pub use online::RlsPredictor;
 pub use linreg::RidgeRegression;
+pub use online::RlsPredictor;
 pub use tree::RegressionTree;

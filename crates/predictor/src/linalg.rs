@@ -45,13 +45,13 @@ impl SymMatrix {
         let mut g = SymMatrix::zeros(cols);
         for r in 0..rows {
             let row = &x[r * cols..(r + 1) * cols];
-            for i in 0..cols {
-                let xi = row[i];
+            for (i, &xi) in row.iter().enumerate() {
                 if xi == 0.0 {
                     continue;
                 }
-                for j in i..cols {
-                    g.data[i * cols + j] += xi * row[j];
+                let upper = &mut g.data[i * cols + i..(i + 1) * cols];
+                for (gij, &xj) in upper.iter_mut().zip(&row[i..]) {
+                    *gij += xi * xj;
                 }
             }
         }
@@ -137,14 +137,10 @@ mod tests {
     fn spd3() -> SymMatrix {
         // A = Mᵀ M + I for M = [[1,2,0],[0,1,1],[1,0,1]] (hand-computed).
         let mut a = SymMatrix::zeros(3);
-        let vals = [
-            [3.0, 2.0, 1.0],
-            [2.0, 6.0, 1.0],
-            [1.0, 1.0, 3.0],
-        ];
-        for i in 0..3 {
-            for j in 0..3 {
-                a.set(i, j, vals[i][j]);
+        let vals = [[3.0, 2.0, 1.0], [2.0, 6.0, 1.0], [1.0, 1.0, 3.0]];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                a.set(i, j, v);
             }
         }
         a
@@ -170,9 +166,9 @@ mod tests {
         let a = spd3();
         let x_true = [1.0, -2.0, 0.5];
         let mut b = [0.0; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                b[i] += a.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, &xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
             }
         }
         let x = solve_spd(&a, &b).unwrap();

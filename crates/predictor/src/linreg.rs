@@ -41,11 +41,7 @@ impl Regressor for RidgeRegression {
 
     fn predict(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.weights.len(), "fit before predict");
-        features
-            .iter()
-            .zip(&self.weights)
-            .map(|(f, w)| f * w)
-            .sum()
+        features.iter().zip(&self.weights).map(|(f, w)| f * w).sum()
     }
 
     fn name(&self) -> &'static str {

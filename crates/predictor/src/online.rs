@@ -26,7 +26,10 @@ impl RlsPredictor {
     /// initial covariance `P = δ·I` (large δ = uninformative prior).
     pub fn new(dim: usize, lambda: f64, delta: f64) -> Self {
         assert!(dim >= 1);
-        assert!((0.0..=1.0).contains(&lambda) && lambda > 0.5, "λ in (0.5, 1]");
+        assert!(
+            (0.0..=1.0).contains(&lambda) && lambda > 0.5,
+            "λ in (0.5, 1]"
+        );
         assert!(delta > 0.0);
         let mut p = vec![0.0; dim * dim];
         for i in 0..dim {
@@ -65,21 +68,20 @@ impl RlsPredictor {
         let d = self.dim;
         // px = P x
         let mut px = vec![0.0; d];
-        for i in 0..d {
-            let row = &self.p[i * d..(i + 1) * d];
-            px[i] = row.iter().zip(x).map(|(p, x)| p * x).sum();
+        for (pxi, row) in px.iter_mut().zip(self.p.chunks_exact(d)) {
+            *pxi = row.iter().zip(x).map(|(p, x)| p * x).sum();
         }
         let xpx: f64 = x.iter().zip(&px).map(|(x, p)| x * p).sum();
         let denom = self.lambda + xpx;
         let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
         let err = y - self.predict(x);
-        for i in 0..d {
-            self.w[i] += k[i] * err;
+        for (w, &ki) in self.w.iter_mut().zip(&k) {
+            *w += ki * err;
         }
         // P = (P − k·(xᵀP)) / λ ; xᵀP = pxᵀ because P is symmetric.
-        for i in 0..d {
-            for j in 0..d {
-                self.p[i * d + j] = (self.p[i * d + j] - k[i] * px[j]) / self.lambda;
+        for (row, &ki) in self.p.chunks_exact_mut(d).zip(&k) {
+            for (pij, &pxj) in row.iter_mut().zip(&px) {
+                *pij = (*pij - ki * pxj) / self.lambda;
             }
         }
         // Re-symmetrise to stop floating-point drift from detuning the

@@ -52,13 +52,7 @@ impl RegressionTree {
         self.root.as_ref().map_or(0, count)
     }
 
-    fn build(
-        &self,
-        x: &[f64],
-        y: &[f64],
-        idx: &mut [usize],
-        depth: usize,
-    ) -> Node {
+    fn build(&self, x: &[f64], y: &[f64], idx: &mut [usize], depth: usize) -> Node {
         let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
         if depth >= self.max_depth || idx.len() < 2 * self.min_leaf {
             return Node::Leaf { value: mean };
@@ -90,8 +84,8 @@ impl RegressionTree {
                 }
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((f, 0.5 * (xv + xnext), sse));
                 }

@@ -92,8 +92,7 @@ impl EnergyLedger {
 
     /// All users, sorted by descending energy.
     pub fn users_by_energy(&self) -> Vec<(u32, UserAccount)> {
-        let mut v: Vec<(u32, UserAccount)> =
-            self.per_user.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut v: Vec<(u32, UserAccount)> = self.per_user.iter().map(|(k, v)| (*k, *v)).collect();
         v.sort_by(|a, b| b.1.energy_j.total_cmp(&a.1.energy_j));
         v
     }
@@ -119,8 +118,26 @@ mod tests {
 
     fn run() -> SimOutcome {
         let trace = vec![
-            Job::new(1, 10, AppKind::QuantumEspresso, 4, 0.0, 200.0, 100.0, 1800.0),
-            Job::new(2, 10, AppKind::QuantumEspresso, 2, 0.0, 200.0, 100.0, 1800.0),
+            Job::new(
+                1,
+                10,
+                AppKind::QuantumEspresso,
+                4,
+                0.0,
+                200.0,
+                100.0,
+                1800.0,
+            ),
+            Job::new(
+                2,
+                10,
+                AppKind::QuantumEspresso,
+                2,
+                0.0,
+                200.0,
+                100.0,
+                1800.0,
+            ),
             Job::new(3, 20, AppKind::Nemo, 2, 0.0, 300.0, 150.0, 1300.0),
         ];
         let cfg = SimConfig {

@@ -49,6 +49,7 @@ pub struct Job {
 
 impl Job {
     /// Queued job with prediction equal to truth (tests override).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: JobId,
         user_id: u32,

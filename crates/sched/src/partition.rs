@@ -144,7 +144,16 @@ mod tests {
     use davide_apps::workload::AppKind;
 
     fn job(id: u64, nodes: u32, submit: f64, walltime: f64) -> Job {
-        Job::new(id, 1, AppKind::Nemo, nodes, submit, walltime, walltime * 0.5, 1200.0)
+        Job::new(
+            id,
+            1,
+            AppKind::Nemo,
+            nodes,
+            submit,
+            walltime,
+            walltime * 0.5,
+            1200.0,
+        )
     }
 
     #[test]

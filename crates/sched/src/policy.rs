@@ -58,8 +58,7 @@ impl ClusterView {
     /// Would starting `job` keep the predicted system power under the
     /// cap? (The job's nodes stop drawing idle power when it starts.)
     pub fn fits_power(&self, job: &Job) -> bool {
-        let extra =
-            job.predicted_total_power() - job.nodes as f64 * self.idle_node_power_w;
+        let extra = job.predicted_total_power() - job.nodes as f64 * self.idle_node_power_w;
         extra <= self.power_headroom() + 1e-9
     }
 }
@@ -174,8 +173,7 @@ impl Policy for EasyBackfill {
 
         let power_ok = |job: &Job, headroom: f64| -> bool {
             !self.power_aware
-                || job.predicted_total_power() - job.nodes as f64 * idle_w
-                    <= headroom + 1e-9
+                || job.predicted_total_power() - job.nodes as f64 * idle_w <= headroom + 1e-9
         };
 
         // Phase 1: start from the head while everything fits.
@@ -186,8 +184,7 @@ impl Policy for EasyBackfill {
             // the whole envelope would otherwise never start. On an
             // empty machine it is admitted regardless — the reactive
             // capping layer (§III-A2 "mix both") absorbs the excess.
-            let machine_empty =
-                out.is_empty() && view.free_nodes == view.total_nodes && idx == 0;
+            let machine_empty = out.is_empty() && view.free_nodes == view.total_nodes && idx == 0;
             if job.nodes <= free && (power_ok(job, headroom) || machine_empty) {
                 free -= job.nodes;
                 headroom -= job.predicted_total_power() - job.nodes as f64 * idle_w;
@@ -264,7 +261,11 @@ mod tests {
 
     #[test]
     fn fcfs_blocks_behind_head() {
-        let queue = vec![job(1, 8, 100.0, 1500.0), job(2, 10, 100.0, 1500.0), job(3, 1, 100.0, 1500.0)];
+        let queue = vec![
+            job(1, 8, 100.0, 1500.0),
+            job(2, 10, 100.0, 1500.0),
+            job(3, 1, 100.0, 1500.0),
+        ];
         let mut p = Fcfs;
         // 8 free: job 1 starts; job 2 (10 nodes) blocks job 3 despite fit.
         let picks = p.select(&queue, &view(8, vec![], None));
@@ -374,12 +375,16 @@ mod tests {
 
     #[test]
     fn headroom_arithmetic() {
-        let v = view(4, vec![RunningSummary {
-            id: 1,
-            nodes: 12,
-            walltime_end_s: 2000.0,
-            predicted_power_w: 20_000.0,
-        }], Some(25_000.0));
+        let v = view(
+            4,
+            vec![RunningSummary {
+                id: 1,
+                nodes: 12,
+                walltime_end_s: 2000.0,
+                predicted_power_w: 20_000.0,
+            }],
+            Some(25_000.0),
+        );
         // predicted = 20000 + 4×350 = 21400; headroom = 3600.
         assert!((v.predicted_system_power() - 21_400.0).abs() < 1e-9);
         assert!((v.power_headroom() - 3_600.0).abs() < 1e-9);

@@ -77,7 +77,11 @@ impl SimConfig {
         match (self.power_cap_w, self.night_cap_w) {
             (Some(day), Some(night)) => {
                 let hour = (t_s / 3600.0).rem_euclid(24.0);
-                Some(if (8.0..20.0).contains(&hour) { day } else { night })
+                Some(if (8.0..20.0).contains(&hour) {
+                    day
+                } else {
+                    night
+                })
             }
             (cap, _) => cap,
         }
@@ -325,10 +329,7 @@ pub fn simulate(trace: &[Job], policy: &mut dyn Policy, config: SimConfig) -> Si
     }
 
     completed.sort_by_key(|j| j.id);
-    let makespan = completed
-        .iter()
-        .filter_map(|j| j.end_s)
-        .fold(0.0, f64::max);
+    let makespan = completed.iter().filter_map(|j| j.end_s).fold(0.0, f64::max);
     SimOutcome {
         policy: policy.name(),
         config,
@@ -360,10 +361,7 @@ impl SimOutcome {
 impl SimOutcome {
     /// Total energy of the run, joules (system power integrated).
     pub fn total_energy_j(&self) -> f64 {
-        self.timeline
-            .iter()
-            .map(|s| s.watts * (s.t1 - s.t0))
-            .sum()
+        self.timeline.iter().map(|s| s.watts * (s.t1 - s.t0)).sum()
     }
 
     /// Fraction of time the system exceeded the (possibly time-varying)
@@ -413,11 +411,7 @@ impl SimOutcome {
         if self.makespan_s == 0.0 {
             return 0.0;
         }
-        let node_seconds: f64 = self
-            .completed
-            .iter()
-            .filter_map(|j| j.node_seconds())
-            .sum();
+        let node_seconds: f64 = self.completed.iter().filter_map(|j| j.node_seconds()).sum();
         node_seconds / (self.makespan_s * self.config.total_nodes as f64)
     }
 }
@@ -429,7 +423,16 @@ mod tests {
     use davide_apps::workload::AppKind;
 
     fn job(id: JobId, nodes: u32, submit: f64, walltime: f64, runtime: f64, power: f64) -> Job {
-        Job::new(id, 1, AppKind::Bqcd, nodes, submit, walltime, runtime, power)
+        Job::new(
+            id,
+            1,
+            AppKind::Bqcd,
+            nodes,
+            submit,
+            walltime,
+            runtime,
+            power,
+        )
     }
 
     fn small_config() -> SimConfig {
@@ -557,7 +560,10 @@ mod tests {
         let trace = vec![job(1, 8, 0.0, 100.0, 100.0, 1500.0)];
         let out = simulate(&trace, &mut Fcfs, small_config());
         let u = out.utilisation();
-        assert!((0.99..=1.0).contains(&u), "full machine for the whole run: {u}");
+        assert!(
+            (0.99..=1.0).contains(&u),
+            "full machine for the whole run: {u}"
+        );
     }
 
     #[test]
@@ -575,7 +581,10 @@ mod tests {
             Some(86_400.0 + 8.0 * 3600.0)
         );
         // Static config has no boundaries.
-        assert_eq!(small_config().with_cap(1.0, true).next_cap_boundary(0.0), None);
+        assert_eq!(
+            small_config().with_cap(1.0, true).next_cap_boundary(0.0),
+            None
+        );
     }
 
     #[test]

@@ -112,9 +112,10 @@ impl WorkloadGenerator {
     pub fn next_job(&mut self) -> Job {
         let cfg = &self.config;
         // Arrival process.
-        let gap = self
-            .rng
-            .weibull(cfg.burstiness, mean_to_weibull_scale(cfg.mean_interarrival_s, cfg.burstiness));
+        let gap = self.rng.weibull(
+            cfg.burstiness,
+            mean_to_weibull_scale(cfg.mean_interarrival_s, cfg.burstiness),
+        );
         self.clock_s += gap;
 
         let user = self.rng.below(cfg.users as u64) as u32;
@@ -134,10 +135,7 @@ impl WorkloadGenerator {
             .lognormal(cfg.mean_walltime_s.ln() - 0.25, 0.7)
             .clamp(600.0, 24.0 * 3600.0);
         // Users over-request: true runtime is a fraction of the request.
-        let ratio = self
-            .rng
-            .lognormal(-0.7, cfg.runtime_sigma)
-            .clamp(0.05, 1.0);
+        let ratio = self.rng.lognormal(-0.7, cfg.runtime_sigma).clamp(0.05, 1.0);
         let runtime = (walltime * ratio).max(60.0);
 
         // Power: app mean × user factor × small per-job noise.
@@ -181,7 +179,7 @@ fn gamma_1p(x: f64) -> f64 {
     const C: [f64; 9] = [
         0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
@@ -249,7 +247,10 @@ mod tests {
         for j in &trace {
             assert!(j.nodes >= 1 && j.nodes <= 16);
             assert!(j.nodes.is_power_of_two());
-            assert!(j.true_runtime_s <= j.walltime_req_s, "never exceeds request");
+            assert!(
+                j.true_runtime_s <= j.walltime_req_s,
+                "never exceeds request"
+            );
             assert!(j.walltime_req_s >= 600.0);
         }
     }
@@ -268,8 +269,10 @@ mod tests {
 
     #[test]
     fn prediction_error_tracks_config() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.prediction_error = 0.10;
+        let cfg = WorkloadConfig {
+            prediction_error: 0.10,
+            ..Default::default()
+        };
         let trace = WorkloadGenerator::new(cfg, 5).trace(4000);
         let mape: f64 = trace
             .iter()
@@ -283,8 +286,10 @@ mod tests {
 
     #[test]
     fn oracle_mode_predicts_exactly() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.prediction_error = 0.0;
+        let cfg = WorkloadConfig {
+            prediction_error: 0.0,
+            ..Default::default()
+        };
         let trace = WorkloadGenerator::new(cfg, 6).trace(100);
         for j in &trace {
             let rel = ((j.predicted_power_w - j.true_power_w) / j.true_power_w).abs();

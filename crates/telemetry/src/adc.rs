@@ -154,9 +154,7 @@ impl AdcMux {
                 let skew = c as f64 * self.channel_skew_s();
                 let samples = (0..n)
                     .map(|i| {
-                        let t = i as f64 * dt
-                            + skew
-                            + rng.normal(0.0, self.adc.aperture_jitter_s);
+                        let t = i as f64 * dt + skew + rng.normal(0.0, self.adc.aperture_jitter_s);
                         self.adc.to_watts(self.adc.quantise(signals[c](t.max(0.0))))
                     })
                     .collect();

@@ -12,6 +12,14 @@ use davide_core::power::PowerTrace;
 
 /// Decimate by integer factor `m` using boxcar averaging — each output
 /// sample is the mean of `m` consecutive inputs. DC gain is exactly 1.
+///
+/// **Tail contract:** when `input.len()` is not a multiple of `m`, the
+/// final `input.len() % m` samples (up to `m − 1`) do not fill a whole
+/// window and are **silently dropped** — the output covers exactly
+/// `(input.len() / m) · m` inputs. Use [`boxcar_remainder`] to size the
+/// dropped tail, or the streaming [`Decimator`], which holds the
+/// partial window across calls ([`Decimator::pending`]) instead of
+/// discarding it.
 pub fn boxcar_decimate(input: &PowerTrace, m: usize) -> PowerTrace {
     assert!(m >= 1, "decimation factor must be ≥ 1");
     let n_out = input.len() / m;
@@ -20,6 +28,13 @@ pub fn boxcar_decimate(input: &PowerTrace, m: usize) -> PowerTrace {
         .map(|i| input.samples[i * m..(i + 1) * m].iter().sum::<f64>() * inv)
         .collect();
     PowerTrace::new(input.t0, input.dt * m as f64, samples)
+}
+
+/// Tail samples [`boxcar_decimate`] drops for a given input length and
+/// decimation factor (the last partial window, `input_len % m`).
+pub fn boxcar_remainder(input_len: usize, m: usize) -> usize {
+    assert!(m >= 1, "decimation factor must be ≥ 1");
+    input_len % m
 }
 
 /// Decimate by picking every `m`-th sample with no filtering — aliases.
@@ -44,8 +59,7 @@ pub fn design_lowpass_fir(taps: usize, fc: f64) -> Vec<f64> {
                 (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
             };
             // Blackman window.
-            let w = 0.42
-                - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / (taps - 1) as f64).cos()
+            let w = 0.42 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / (taps - 1) as f64).cos()
                 + 0.08 * (4.0 * std::f64::consts::PI * i as f64 / (taps - 1) as f64).cos();
             sinc * w
         })
@@ -116,6 +130,182 @@ pub fn gateway_decimate(input: &PowerTrace) -> PowerTrace {
         "gateway decimation expects an 800 kS/s input"
     );
     boxcar_decimate(input, 16)
+}
+
+/// Streaming boxcar state: a running window sum, no stored samples.
+#[derive(Debug, Clone)]
+pub struct StreamingBoxcar {
+    m: usize,
+    inv: f64,
+    acc: f64,
+    filled: usize,
+}
+
+impl StreamingBoxcar {
+    fn new(m: usize) -> Self {
+        assert!(m >= 1, "decimation factor must be ≥ 1");
+        StreamingBoxcar {
+            m,
+            inv: 1.0 / m as f64,
+            acc: 0.0,
+            filled: 0,
+        }
+    }
+
+    fn push(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        for &x in xs {
+            self.acc += x;
+            self.filled += 1;
+            if self.filled == self.m {
+                out.push(self.acc * self.inv);
+                self.acc = 0.0;
+                self.filled = 0;
+            }
+        }
+    }
+}
+
+/// Streaming FIR-decimate state: a bounded ring of the most recent
+/// inputs (≤ `taps + m` samples), O(taps) work per emitted output.
+#[derive(Debug, Clone)]
+pub struct StreamingFir {
+    h: Vec<f64>,
+    m: usize,
+    half: usize,
+    buf: std::collections::VecDeque<f64>,
+    /// Absolute input index of `buf[0]`.
+    base: usize,
+    n_in: usize,
+    emitted: usize,
+}
+
+impl StreamingFir {
+    fn new(h: Vec<f64>, m: usize) -> Self {
+        assert!(m >= 1, "decimation factor must be ≥ 1");
+        assert!(!h.is_empty(), "FIR needs at least one tap");
+        let half = h.len() / 2;
+        let cap = h.len() + m;
+        StreamingFir {
+            h,
+            m,
+            half,
+            buf: std::collections::VecDeque::with_capacity(cap),
+            base: 0,
+            n_in: 0,
+            emitted: 0,
+        }
+    }
+
+    fn push(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        for &x in xs {
+            self.buf.push_back(x);
+            self.n_in += 1;
+            // Emit once the output's full forward half-window is in.
+            while self.emitted * self.m + self.half < self.n_in {
+                self.emit(out);
+            }
+        }
+    }
+
+    /// Compute the output centred at `emitted · m` from the ring,
+    /// renormalising over the taps that have samples (identical edge
+    /// handling to [`fir_decimate`]), then evict what the next output
+    /// can no longer need.
+    fn emit(&mut self, out: &mut Vec<f64>) {
+        let c = (self.emitted * self.m) as isize;
+        let mut acc = 0.0;
+        let mut wsum = 0.0;
+        for (k, &hk) in self.h.iter().enumerate() {
+            let idx = c + k as isize - self.half as isize;
+            if idx >= 0 && (idx as usize) < self.n_in {
+                acc += hk * self.buf[idx as usize - self.base];
+                wsum += hk;
+            }
+        }
+        out.push(if wsum.abs() > 1e-12 { acc / wsum } else { acc });
+        self.emitted += 1;
+        let need = (self.emitted * self.m).saturating_sub(self.half);
+        while self.base < need {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Emit the outputs whose forward window is cut short by the end of
+    /// the stream, matching the batch path's edge renormalisation.
+    fn finish(&mut self, out: &mut Vec<f64>) {
+        while self.emitted < self.n_in / self.m {
+            self.emit(out);
+        }
+    }
+}
+
+/// A streaming decimator: feed input chunks of any size, collect
+/// decimated output incrementally. Over a complete stream the
+/// concatenated output is **bit-identical** to the corresponding batch
+/// function ([`boxcar_decimate`] / [`fir_decimate`]) applied to the
+/// concatenated input — the partial tail window is *held* across calls
+/// (see [`Decimator::pending`]) rather than silently dropped, so the
+/// monitor chain can run continuously without frame-boundary loss.
+///
+/// Outputs are appended to a caller-owned `Vec`, so the steady state
+/// performs no per-call allocation; internal state is a running sum
+/// (boxcar) or a bounded ring of `taps + m` samples (FIR) with O(taps)
+/// work per output.
+#[derive(Debug, Clone)]
+pub enum Decimator {
+    /// Hardware-averaging decimator (what the BBB does).
+    Boxcar(StreamingBoxcar),
+    /// Windowed-sinc anti-alias decimator.
+    Fir(StreamingFir),
+}
+
+impl Decimator {
+    /// Streaming boxcar by factor `m`.
+    pub fn boxcar(m: usize) -> Self {
+        Decimator::Boxcar(StreamingBoxcar::new(m))
+    }
+
+    /// Streaming FIR decimator with taps `h` by factor `m`.
+    pub fn fir(h: Vec<f64>, m: usize) -> Self {
+        Decimator::Fir(StreamingFir::new(h, m))
+    }
+
+    /// Decimation factor.
+    pub fn factor(&self) -> usize {
+        match self {
+            Decimator::Boxcar(s) => s.m,
+            Decimator::Fir(s) => s.m,
+        }
+    }
+
+    /// Absorb an input chunk, appending any completed outputs to `out`.
+    pub fn push(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        match self {
+            Decimator::Boxcar(s) => s.push(xs, out),
+            Decimator::Fir(s) => s.push(xs, out),
+        }
+    }
+
+    /// Input samples held in the current partial output window — the
+    /// count the equivalent batch call would have dropped from the tail
+    /// if the stream ended now.
+    pub fn pending(&self) -> usize {
+        match self {
+            Decimator::Boxcar(s) => s.filled,
+            Decimator::Fir(s) => s.n_in % s.m,
+        }
+    }
+
+    /// End of stream: emit outputs that were waiting on future samples
+    /// (FIR edge windows; a no-op for boxcar, whose partial tail is
+    /// dropped exactly as the batch function drops it).
+    pub fn finish(&mut self, out: &mut Vec<f64>) {
+        match self {
+            Decimator::Boxcar(_) => {}
+            Decimator::Fir(s) => s.finish(out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +436,82 @@ mod tests {
     fn gateway_decimate_checks_rate() {
         let tr = PowerTrace::new(SimTime::ZERO, 1e-3, vec![1.0; 100]);
         gateway_decimate(&tr);
+    }
+
+    #[test]
+    fn boxcar_tail_drop_pinned() {
+        // 1605 = 100×16 + 5: the 5-sample tail is dropped, and the kept
+        // outputs are unaffected by the tail's values.
+        let mut a: Vec<f64> = (0..1605).map(|i| (i % 37) as f64).collect();
+        let out_a = boxcar_decimate(&PowerTrace::new(SimTime::ZERO, 1e-6, a.clone()), 16);
+        assert_eq!(out_a.len(), 100);
+        assert_eq!(boxcar_remainder(1605, 16), 5);
+        for v in &mut a[1600..] {
+            *v = 9e9; // poison the tail: must not change any output
+        }
+        let out_b = boxcar_decimate(&PowerTrace::new(SimTime::ZERO, 1e-6, a), 16);
+        assert_eq!(out_a.samples, out_b.samples);
+        assert_eq!(boxcar_remainder(1600, 16), 0);
+    }
+
+    fn chunked(xs: &[f64], sizes: &[usize]) -> Vec<Vec<f64>> {
+        let mut chunks = Vec::new();
+        let mut i = 0;
+        let mut k = 0;
+        while i < xs.len() {
+            let sz = sizes[k % sizes.len()].min(xs.len() - i);
+            chunks.push(xs[i..i + sz].to_vec());
+            i += sz;
+            k += 1;
+        }
+        chunks
+    }
+
+    #[test]
+    fn streaming_boxcar_matches_batch_bit_exact() {
+        let tr = tone(800e3, 4003, 1000.0, 7000.0, 80.0);
+        let batch = boxcar_decimate(&tr, 16);
+        let mut dec = Decimator::boxcar(16);
+        let mut out = Vec::new();
+        for c in chunked(&tr.samples, &[1, 7, 500, 33]) {
+            dec.push(&c, &mut out);
+        }
+        dec.finish(&mut out);
+        assert_eq!(out, batch.samples, "streaming == batch, bit-exact");
+        assert_eq!(dec.pending(), boxcar_remainder(4003, 16));
+        assert_eq!(dec.pending(), 3);
+    }
+
+    #[test]
+    fn streaming_fir_matches_batch_bit_exact() {
+        let tr = tone(800e3, 3217, 1000.0, 5000.0, 60.0);
+        let h = design_lowpass_fir(63, 0.02);
+        let batch = fir_decimate(&tr, &h, 16);
+        let mut dec = Decimator::fir(h, 16);
+        let mut out = Vec::new();
+        for c in chunked(&tr.samples, &[11, 3, 900, 1]) {
+            dec.push(&c, &mut out);
+        }
+        // Outputs needing future samples are withheld until finish().
+        assert!(out.len() <= batch.len());
+        dec.finish(&mut out);
+        assert_eq!(out, batch.samples, "streaming == batch, bit-exact");
+    }
+
+    #[test]
+    fn streaming_decimator_continuous_frames() {
+        // The monitor-chain use: 500-sample frames at 50 kS/s arriving
+        // forever; the decimator carries the window across frames, so a
+        // factor that does not divide the frame length loses nothing.
+        let mut dec = Decimator::boxcar(7);
+        let mut out = Vec::new();
+        let frame = vec![100.0; 500];
+        for _ in 0..10 {
+            dec.push(&frame, &mut out);
+        }
+        assert_eq!(out.len(), 5000 / 7);
+        assert_eq!(dec.pending(), 5000 % 7);
+        assert!(out.iter().all(|&v| (v - 100.0).abs() < 1e-9));
+        assert_eq!(dec.factor(), 7);
     }
 }

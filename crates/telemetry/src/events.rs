@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn decode_rejects_malformed() {
         assert!(ArchEventSample::decode(b"not a sample").is_none());
-        assert!(ArchEventSample::decode(b"t=1;gips=2").is_none(), "missing fields");
+        assert!(
+            ArchEventSample::decode(b"t=1;gips=2").is_none(),
+            "missing fields"
+        );
         assert!(ArchEventSample::decode(&[0xFF, 0xFE]).is_none());
     }
 

@@ -29,21 +29,51 @@ pub struct SampleFrame {
     pub watts: Vec<f32>,
 }
 
+/// Bulk little-endian append of an `f32` slice. On little-endian
+/// targets `f32` is plain-old-data whose in-memory layout already *is*
+/// the wire layout, so the whole slice goes out as one `memcpy`; other
+/// targets fall back to per-sample conversion.
+fn put_f32_slice_le(buf: &mut BytesMut, vals: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: f32 has no padding or invalid bit patterns; viewing
+        // the slice as bytes is always defined.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 4) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Bulk little-endian read of `n` `f32`s from `bytes` (must hold at
+/// least `4 * n` bytes). Safe byte-exact conversion; the compiler turns
+/// the chunked loop into wide copies on little-endian targets.
+fn get_f32_slice_le(bytes: &[u8], n: usize) -> Vec<f32> {
+    bytes[..4 * n]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
 impl SampleFrame {
-    /// Serialise to the wire payload (little-endian binary).
+    /// Serialise to the wire payload (little-endian binary). The sample
+    /// block is written with one bulk copy, not a per-sample loop.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(24 + 4 * self.watts.len());
         buf.put_u32_le(FRAME_MAGIC);
         buf.put_f64_le(self.t0_s);
         buf.put_f64_le(self.dt_s);
         buf.put_u32_le(self.watts.len() as u32);
-        for &w in &self.watts {
-            buf.put_f32_le(w);
-        }
+        put_f32_slice_le(&mut buf, &self.watts);
         buf.freeze()
     }
 
-    /// Parse a wire payload; `None` on malformed input.
+    /// Parse a wire payload; `None` on malformed input (bad magic,
+    /// truncated header or body, or a declared length whose byte size
+    /// overflows).
     pub fn decode(mut payload: Bytes) -> Option<SampleFrame> {
         if payload.remaining() < 24 {
             return None;
@@ -54,10 +84,11 @@ impl SampleFrame {
         let t0_s = payload.get_f64_le();
         let dt_s = payload.get_f64_le();
         let n = payload.get_u32_le() as usize;
-        if payload.remaining() < 4 * n {
+        let need = n.checked_mul(4)?;
+        if payload.remaining() < need {
             return None;
         }
-        let watts = (0..n).map(|_| payload.get_f32_le()).collect();
+        let watts = get_f32_slice_le(&payload, n);
         Some(SampleFrame { t0_s, dt_s, watts })
     }
 
@@ -252,9 +283,7 @@ mod tests {
     fn gateway_publishes_frames_that_reconstruct_energy() {
         let broker = Broker::default();
         let mut agent = broker.connect("aggregator");
-        agent
-            .subscribe(&node_filter(7), QoS::AtMostOnce)
-            .unwrap();
+        agent.subscribe(&node_filter(7), QoS::AtMostOnce).unwrap();
 
         let mut eg = EnergyGateway::connect(&broker, 7, 42);
         let mut gen = Rng::seed_from(9);

@@ -195,13 +195,20 @@ mod tests {
             }
         });
         let hz = scan_trace(&tr, cfg());
-        assert!(matches!(
-            hz.as_slice(),
-            [Hazard::SustainedOverPower { duration_s, .. }] if (*duration_s - 2.0).abs() < 0.05
-        ), "{hz:?}");
+        assert!(
+            matches!(
+                hz.as_slice(),
+                [Hazard::SustainedOverPower { duration_s, .. }] if (*duration_s - 2.0).abs() < 0.05
+            ),
+            "{hz:?}"
+        );
         // A 0.5 s excursion is tolerated.
         let brief = PowerTrace::from_fn(SimTime::ZERO, 0.01, 1_000, |t| {
-            if (3.0..3.5).contains(&t) { 2_300.0 } else { 1_700.0 + (t * 13.0).sin() }
+            if (3.0..3.5).contains(&t) {
+                2_300.0
+            } else {
+                1_700.0 + (t * 13.0).sin()
+            }
         });
         assert!(scan_trace(&brief, cfg()).is_empty());
     }
@@ -211,10 +218,13 @@ mod tests {
         // +8 W/s climb — a cooling failure in progress.
         let tr = PowerTrace::from_fn(SimTime::ZERO, 0.1, 600, |t| 1_500.0 + 8.0 * t);
         let hz = scan_trace(&tr, cfg());
-        assert!(hz.iter().any(|h| matches!(
-            h,
-            Hazard::RunawayTrend { slope_w_per_s } if (*slope_w_per_s - 8.0).abs() < 0.5
-        )), "{hz:?}");
+        assert!(
+            hz.iter().any(|h| matches!(
+                h,
+                Hazard::RunawayTrend { slope_w_per_s } if (*slope_w_per_s - 8.0).abs() < 0.5
+            )),
+            "{hz:?}"
+        );
         // Flat traces do not trip it.
         let flat = PowerTrace::from_fn(SimTime::ZERO, 0.1, 600, |t| 1_500.0 + (t * 3.0).sin());
         assert!(!scan_trace(&flat, cfg())
@@ -225,7 +235,7 @@ mod tests {
     #[test]
     fn stuck_sensor_detected() {
         let mut samples: Vec<f64> = (0..500).map(|i| 1600.0 + (i % 7) as f64).collect();
-        samples.extend(std::iter::repeat(1234.5).take(1_500));
+        samples.extend(std::iter::repeat_n(1234.5, 1_500));
         let tr = PowerTrace::new(SimTime::ZERO, 0.001, samples);
         let hz = scan_trace(&tr, cfg());
         assert!(hz.iter().any(|h| matches!(

@@ -19,7 +19,10 @@
 //! * [`gateway`] — the EG proper: acquisition + PTP timestamps + MQTT
 //!   frame publishing; [`energy`] — stream-side energy integration;
 //! * [`events`] — out-of-band architectural-event telemetry and the
-//!   correlation primitive profilers use.
+//!   correlation primitive profilers use;
+//! * [`ingest`] — management-node side: MQTT frames drained into the
+//!   [`tsdb`] store with one bulk append per frame, optionally sharded
+//!   across cores.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod energy;
 pub mod events;
 pub mod gateway;
 pub mod hazards;
+pub mod ingest;
 pub mod monitor;
 pub mod profiler;
 pub mod sensors;
@@ -38,14 +42,16 @@ pub mod spectral;
 pub mod tsdb;
 pub mod waveform;
 
+pub use calibration::{calibrate, standard_calibration, Calibration};
 pub use clock::{run_sync_sim, SyncProtocol, SyncStats};
+pub use decimation::Decimator;
 pub use energy::EnergyIntegrator;
 pub use gateway::{EnergyGateway, SampleFrame};
+pub use hazards::{fleet_outliers, scan_trace, Hazard, HazardConfig};
+pub use ingest::{FrameIngestor, IngestStats, ShardedTsDb};
 pub use monitor::MonitorChain;
 pub use profiler::{detect_phases, PhaseSegment, ProfilerConfig};
 pub use sensors::PowerSensor;
 pub use spectral::{welch_psd, Spectrum};
-pub use tsdb::{Resolution, TsDb};
-pub use calibration::{calibrate, standard_calibration, Calibration};
-pub use hazards::{fleet_outliers, scan_trace, Hazard, HazardConfig};
+pub use tsdb::{Resolution, SeriesId, TsDb};
 pub use waveform::WorkloadWaveform;

@@ -157,7 +157,10 @@ pub fn summarise(segments: &[PhaseSegment]) -> ProfileSummary {
     }
     let total_t: f64 = segments.iter().map(|s| s.duration()).sum();
     let total_e: f64 = segments.iter().map(|s| s.energy.0).sum();
-    let lo = segments.iter().map(|s| s.mean.0).fold(f64::INFINITY, f64::min);
+    let lo = segments
+        .iter()
+        .map(|s| s.mean.0)
+        .fold(f64::INFINITY, f64::min);
     let hi = segments
         .iter()
         .map(|s| s.mean.0)
@@ -251,7 +254,10 @@ mod tests {
         let noisy = PowerTrace::new(
             base.t0,
             base.dt,
-            base.samples.iter().map(|&s| s + rng.normal(0.0, 30.0)).collect(),
+            base.samples
+                .iter()
+                .map(|&s| s + rng.normal(0.0, 30.0))
+                .collect(),
         );
         let segs = detect_phases(&noisy, ProfilerConfig::default());
         assert!(
@@ -267,7 +273,11 @@ mod tests {
         let segs = detect_phases(&tr, ProfilerConfig::default());
         let sum = summarise(&segs);
         assert_eq!(sum.phases, segs.len());
-        assert!((sum.high_duty - 0.5).abs() < 0.1, "50 % duty: {}", sum.high_duty);
+        assert!(
+            (sum.high_duty - 0.5).abs() < 0.1,
+            "50 % duty: {}",
+            sum.high_duty
+        );
         assert!((sum.hottest_mean.0 - 2000.0).abs() < 50.0);
         assert!(sum.max_energy_share > 0.2 && sum.max_energy_share < 0.8);
     }

@@ -98,10 +98,7 @@ fn periodogram(samples: &[f64], rate: f64) -> Spectrum {
 /// profiler would apply to gateway streams.
 pub fn welch_psd(trace: &PowerTrace, segment_len: usize) -> Spectrum {
     assert!(segment_len >= 8, "segment too short");
-    assert!(
-        trace.len() >= segment_len,
-        "trace shorter than one segment"
-    );
+    assert!(trace.len() >= segment_len, "trace shorter than one segment");
     let rate = trace.sample_rate();
     let hop = segment_len / 2;
     let mut acc: Option<Spectrum> = None;
@@ -192,7 +189,11 @@ mod tests {
         let rate = 50_000.0;
         let n = 32_768;
         let tr = PowerTrace::from_fn(SimTime::ZERO, 1.0 / rate, n, |t| {
-            let f = if t < n as f64 / rate / 2.0 { 500.0 } else { 5_000.0 };
+            let f = if t < n as f64 / rate / 2.0 {
+                500.0
+            } else {
+                5_000.0
+            };
             1000.0 + 100.0 * (2.0 * std::f64::consts::PI * f * t).sin()
         });
         let frames = spectrogram(&tr, 4096);

@@ -6,8 +6,32 @@
 //! buffers at multiple rollup resolutions (raw, 1 s, 1 min means) with
 //! range and downsampling queries — enough to hold months of per-node
 //! power history in bounded memory.
+//!
+//! ## Ingest hot path
+//!
+//! The store is built for frame-granular ingest at EG rates (45 nodes ×
+//! 8 channels × 50 kS/s after decimation):
+//!
+//! * **Interned series handles.** [`TsDb::resolve`] interns a series
+//!   name once and returns a copyable [`SeriesId`]; all appends and
+//!   queries can then go through the `_id` methods, which never hash a
+//!   string or allocate. The string-keyed methods remain as thin shims
+//!   (lookup by `&str`, no `to_string` unless the series is new).
+//! * **Columnar rings.** Each series stores timestamps (`f64`) and
+//!   values (`f32`) in separate ring buffers, halving raw-sample memory
+//!   versus `(f64, f64)` pairs and making bulk copies cache-friendly.
+//!   Rollup means stay `f64` and are accumulated from the original
+//!   values, so rollup precision is unchanged.
+//! * **Bulk frame append.** [`TsDb::append_frame_id`] ingests a whole
+//!   uniformly-spaced frame: one monotonicity check, one reserve, bulk
+//!   extend of both columns, and closed-form rollup bucketing (bucket
+//!   boundaries are computed from `t0`/`dt` arithmetic, so samples are
+//!   accumulated in contiguous runs with no per-sample `floor`).
+//! * **Binary-search range queries.** Timestamps are nondecreasing by
+//!   construction (stale points are dropped), so [`TsDb::query`] finds
+//!   window bounds with `partition_point` instead of scanning the ring.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One (timestamp, value) observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,33 +42,99 @@ pub struct Point {
     pub v: f64,
 }
 
-/// A bounded ring of points.
+/// Interned handle for a series name: resolve once with
+/// [`TsDb::resolve`], then append and query without string hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesId(u32);
+
+impl SeriesId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Stored sample value: `f32` for raw columns, `f64` for rollup means.
+trait SampleValue: Copy {
+    fn to_f64(self) -> f64;
+}
+
+impl SampleValue for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl SampleValue for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// A bounded columnar ring: timestamps and values in separate arrays.
 #[derive(Debug, Clone)]
-struct Ring {
-    points: std::collections::VecDeque<Point>,
+struct Ring<V> {
+    ts: VecDeque<f64>,
+    vs: VecDeque<V>,
     capacity: usize,
 }
 
-impl Ring {
+impl<V: SampleValue> Ring<V> {
     fn new(capacity: usize) -> Self {
+        let pre = capacity.min(4096);
         Ring {
-            points: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            ts: VecDeque::with_capacity(pre),
+            vs: VecDeque::with_capacity(pre),
             capacity,
         }
     }
 
-    fn push(&mut self, p: Point) {
-        if self.points.len() == self.capacity {
-            self.points.pop_front();
+    #[inline]
+    fn push(&mut self, t: f64, v: V) {
+        if self.ts.len() == self.capacity {
+            self.ts.pop_front();
+            self.vs.pop_front();
         }
-        self.points.push_back(p);
+        self.ts.push_back(t);
+        self.vs.push_back(v);
+    }
+
+    /// Bulk-append a uniformly-spaced frame: evict in one step, then
+    /// extend both columns (no per-sample capacity branch).
+    fn extend_uniform(&mut self, t0: f64, dt: f64, vals: &[V]) {
+        let n = vals.len();
+        // If the frame alone exceeds capacity only its tail survives.
+        let skip = n.saturating_sub(self.capacity);
+        let kept = n - skip;
+        let overflow = (self.ts.len() + kept).saturating_sub(self.capacity);
+        if overflow >= self.ts.len() {
+            self.ts.clear();
+            self.vs.clear();
+        } else if overflow > 0 {
+            self.ts.drain(..overflow);
+            self.vs.drain(..overflow);
+        }
+        self.ts.extend((skip..n).map(|i| t0 + i as f64 * dt));
+        self.vs.extend(vals[skip..].iter().copied());
+    }
+
+    /// Half-open window `[t0, t1)` as deque index bounds, found by
+    /// binary search (timestamps are nondecreasing by construction).
+    #[inline]
+    fn bounds(&self, t0: f64, t1: f64) -> (usize, usize) {
+        let a = self.ts.partition_point(|&t| t < t0);
+        let b = self.ts.partition_point(|&t| t < t1);
+        (a, b.max(a))
     }
 
     fn range(&self, t0: f64, t1: f64) -> Vec<Point> {
-        self.points
-            .iter()
-            .filter(|p| p.t >= t0 && p.t < t1)
-            .copied()
+        let (a, b) = self.bounds(t0, t1);
+        self.ts
+            .range(a..b)
+            .zip(self.vs.range(a..b))
+            .map(|(&t, &v)| Point { t, v: v.to_f64() })
             .collect()
     }
 }
@@ -53,7 +143,7 @@ impl Ring {
 #[derive(Debug, Clone)]
 struct Rollup {
     bucket_s: f64,
-    ring: Ring,
+    ring: Ring<f64>,
     acc_sum: f64,
     acc_n: u64,
     acc_bucket: i64,
@@ -70,22 +160,73 @@ impl Rollup {
         }
     }
 
-    fn push(&mut self, p: Point) {
-        let bucket = (p.t / self.bucket_s).floor() as i64;
+    #[inline]
+    fn bucket_of(&self, t: f64) -> i64 {
+        (t / self.bucket_s).floor() as i64
+    }
+
+    #[inline]
+    fn push(&mut self, t: f64, v: f64) {
+        let bucket = self.bucket_of(t);
         if bucket != self.acc_bucket {
             self.flush();
             self.acc_bucket = bucket;
         }
-        self.acc_sum += p.v;
+        self.acc_sum += v;
         self.acc_n += 1;
+    }
+
+    /// Bulk-accumulate a uniformly-spaced frame. Bucket boundaries are
+    /// located in closed form from `(t0, dt)` — `ceil(((b+1)·B − t0)/dt)`
+    /// gives the first index of the next bucket — so each bucket's
+    /// samples are summed as one contiguous run without per-sample
+    /// `floor` or branch. Matches the per-sample path exactly (a short
+    /// adjustment loop absorbs any float rounding of the boundary).
+    fn push_frame(&mut self, t0: f64, dt: f64, vals: &[f32]) {
+        let n = vals.len();
+        if n == 0 {
+            return;
+        }
+        if dt <= 0.0 {
+            // Degenerate spacing: fall back to per-sample accumulation.
+            for (i, &v) in vals.iter().enumerate() {
+                self.push(t0 + i as f64 * dt, v as f64);
+            }
+            return;
+        }
+        let mut start = 0usize;
+        while start < n {
+            let b = self.bucket_of(t0 + start as f64 * dt);
+            if b != self.acc_bucket {
+                self.flush();
+                self.acc_bucket = b;
+            }
+            let boundary = (b + 1) as f64 * self.bucket_s;
+            let mut end = (((boundary - t0) / dt).ceil().max(0.0) as usize).clamp(start + 1, n);
+            // Float-rounding guards: converge to the exact per-sample
+            // boundary (each loop runs at most a step or two).
+            while end > start + 1 && self.bucket_of(t0 + (end - 1) as f64 * dt) != b {
+                end -= 1;
+            }
+            while end < n && self.bucket_of(t0 + end as f64 * dt) == b {
+                end += 1;
+            }
+            let mut sum = 0.0f64;
+            for &v in &vals[start..end] {
+                sum += v as f64;
+            }
+            self.acc_sum += sum;
+            self.acc_n += (end - start) as u64;
+            start = end;
+        }
     }
 
     fn flush(&mut self) {
         if self.acc_n > 0 {
-            self.ring.push(Point {
-                t: (self.acc_bucket as f64 + 0.5) * self.bucket_s,
-                v: self.acc_sum / self.acc_n as f64,
-            });
+            self.ring.push(
+                (self.acc_bucket as f64 + 0.5) * self.bucket_s,
+                self.acc_sum / self.acc_n as f64,
+            );
         }
         self.acc_sum = 0.0;
         self.acc_n = 0;
@@ -95,10 +236,21 @@ impl Rollup {
 /// One series: raw ring plus rollups.
 #[derive(Debug, Clone)]
 struct Series {
-    raw: Ring,
+    raw: Ring<f32>,
     rollups: Vec<Rollup>,
     count: u64,
     last_t: f64,
+}
+
+impl Series {
+    fn new(raw_cap: usize, roll_cap: usize) -> Self {
+        Series {
+            raw: Ring::new(raw_cap),
+            rollups: vec![Rollup::new(1.0, roll_cap), Rollup::new(60.0, roll_cap)],
+            count: 0,
+            last_t: f64::NEG_INFINITY,
+        }
+    }
 }
 
 /// Query resolution.
@@ -112,10 +264,13 @@ pub enum Resolution {
     Minute,
 }
 
-/// The store: keyed by series name (e.g. `node03/power/node`).
+/// The store: keyed by series name (e.g. `node03/power/node`), with
+/// interned [`SeriesId`] handles for the allocation-free hot path.
 #[derive(Debug, Default)]
 pub struct TsDb {
-    series: HashMap<String, Series>,
+    ids: HashMap<String, SeriesId>,
+    names: Vec<String>,
+    series: Vec<Series>,
     raw_capacity: usize,
     rollup_capacity: usize,
 }
@@ -131,50 +286,97 @@ impl TsDb {
     /// Store with explicit per-series capacities.
     pub fn with_capacity(raw: usize, rollup: usize) -> Self {
         TsDb {
-            series: HashMap::new(),
+            ids: HashMap::new(),
+            names: Vec::new(),
+            series: Vec::new(),
             raw_capacity: raw,
             rollup_capacity: rollup,
         }
     }
 
-    fn series_mut(&mut self, key: &str) -> &mut Series {
-        let raw_cap = self.raw_capacity;
-        let roll_cap = self.rollup_capacity;
-        self.series.entry(key.to_string()).or_insert_with(|| Series {
-            raw: Ring::new(raw_cap),
-            rollups: vec![Rollup::new(1.0, roll_cap), Rollup::new(60.0, roll_cap)],
-            count: 0,
-            last_t: f64::NEG_INFINITY,
-        })
+    /// Intern a series name, creating the series on first sight.
+    /// Allocates only on that first miss; afterwards the returned id
+    /// appends and queries with zero hashing or allocation.
+    pub fn resolve(&mut self, key: &str) -> SeriesId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = SeriesId(self.series.len() as u32);
+        self.ids.insert(key.to_string(), id);
+        self.names.push(key.to_string());
+        self.series
+            .push(Series::new(self.raw_capacity, self.rollup_capacity));
+        id
     }
 
-    /// Append one observation (timestamps must be nondecreasing per
-    /// series; out-of-order points are dropped, as in production TSDBs).
-    pub fn append(&mut self, key: &str, t: f64, v: f64) {
-        let s = self.series_mut(key);
+    /// Look up an already-interned series without creating it.
+    pub fn lookup(&self, key: &str) -> Option<SeriesId> {
+        self.ids.get(key).copied()
+    }
+
+    /// The name a [`SeriesId`] was interned under.
+    pub fn name(&self, id: SeriesId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Append one observation by interned id (timestamps must be
+    /// nondecreasing per series; out-of-order points are dropped, as in
+    /// production TSDBs). Allocation-free in steady state.
+    #[inline]
+    pub fn append_id(&mut self, id: SeriesId, t: f64, v: f64) {
+        let s = &mut self.series[id.index()];
         if t < s.last_t {
             return;
         }
         s.last_t = t;
         s.count += 1;
-        let p = Point { t, v };
-        s.raw.push(p);
+        s.raw.push(t, v as f32);
         for r in &mut s.rollups {
-            r.push(p);
+            r.push(t, v);
         }
     }
 
-    /// Append a whole frame of uniformly-spaced samples.
-    pub fn append_frame(&mut self, key: &str, t0: f64, dt: f64, values: &[f32]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.append(key, t0 + i as f64 * dt, v as f64);
+    /// Append one observation by name (resolves, then [`Self::append_id`]).
+    pub fn append(&mut self, key: &str, t: f64, v: f64) {
+        let id = self.resolve(key);
+        self.append_id(id, t, v);
+    }
+
+    /// Bulk-append a whole frame of uniformly-spaced samples by
+    /// interned id: one monotonicity check, one eviction step, bulk
+    /// column extends, and closed-form rollup accumulation. Frames that
+    /// start before the series tail (or run backwards) fall back to the
+    /// per-sample path, which drops the stale points.
+    pub fn append_frame_id(&mut self, id: SeriesId, t0: f64, dt: f64, values: &[f32]) {
+        let n = values.len();
+        if n == 0 {
+            return;
         }
+        let s = &mut self.series[id.index()];
+        if t0 < s.last_t || dt < 0.0 {
+            for (i, &v) in values.iter().enumerate() {
+                self.append_id(id, t0 + i as f64 * dt, v as f64);
+            }
+            return;
+        }
+        s.last_t = t0 + (n - 1) as f64 * dt;
+        s.count += n as u64;
+        s.raw.extend_uniform(t0, dt, values);
+        for r in &mut s.rollups {
+            r.push_frame(t0, dt, values);
+        }
+    }
+
+    /// Bulk-append a frame by name (resolves, then [`Self::append_frame_id`]).
+    pub fn append_frame(&mut self, key: &str, t0: f64, dt: f64, values: &[f32]) {
+        let id = self.resolve(key);
+        self.append_frame_id(id, t0, dt, values);
     }
 
     /// Flush rollup accumulators (call before querying rollups for data
     /// that has not crossed a bucket boundary yet).
     pub fn flush(&mut self) {
-        for s in self.series.values_mut() {
+        for s in &mut self.series {
             for r in &mut s.rollups {
                 r.flush();
                 // flush() clears the accumulator; reset bucket marker so
@@ -186,22 +388,32 @@ impl TsDb {
 
     /// Known series names, sorted.
     pub fn keys(&self) -> Vec<String> {
-        let mut k: Vec<String> = self.series.keys().cloned().collect();
+        let mut k = self.names.clone();
         k.sort();
         k
     }
 
     /// Total observations absorbed for a series.
     pub fn count(&self, key: &str) -> u64 {
-        self.series.get(key).map_or(0, |s| s.count)
+        self.lookup(key).map_or(0, |id| self.count_id(id))
+    }
+
+    /// Total observations absorbed, by interned id.
+    pub fn count_id(&self, id: SeriesId) -> u64 {
+        self.series[id.index()].count
     }
 
     /// Range query at a resolution.
     pub fn query(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
-        let s = match self.series.get(key) {
-            Some(s) => s,
-            None => return Vec::new(),
-        };
+        match self.lookup(key) {
+            Some(id) => self.query_id(id, res, t0, t1),
+            None => Vec::new(),
+        }
+    }
+
+    /// Range query by interned id.
+    pub fn query_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
+        let s = &self.series[id.index()];
         match res {
             Resolution::Raw => s.raw.range(t0, t1),
             Resolution::Second => s.rollups[0].ring.range(t0, t1),
@@ -209,25 +421,49 @@ impl TsDb {
         }
     }
 
-    /// Mean of a series over a window at a resolution.
+    /// Mean of a series over a window at a resolution (no allocation).
     pub fn mean(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
-        let pts = self.query(key, res, t0, t1);
-        if pts.is_empty() {
-            return None;
+        let id = self.lookup(key)?;
+        let s = &self.series[id.index()];
+        let (sum, n) = match res {
+            Resolution::Raw => {
+                let (a, b) = s.raw.bounds(t0, t1);
+                let sum: f64 = s.raw.vs.range(a..b).map(|&v| v as f64).sum();
+                (sum, b - a)
+            }
+            Resolution::Second | Resolution::Minute => {
+                let ring = &s.rollups[usize::from(res == Resolution::Minute)].ring;
+                let (a, b) = ring.bounds(t0, t1);
+                (ring.vs.range(a..b).sum::<f64>(), b - a)
+            }
+        };
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
         }
-        Some(pts.iter().map(|p| p.v).sum::<f64>() / pts.len() as f64)
     }
 
     /// Energy (rectangle rule over raw points' spacing) in a window —
-    /// the accounting query.
+    /// the accounting query. Windows with fewer than two raw points
+    /// integrate to 0. No allocation.
     pub fn energy_j(&self, key: &str, t0: f64, t1: f64) -> f64 {
-        let pts = self.query(key, Resolution::Raw, t0, t1);
-        if pts.len() < 2 {
+        let Some(id) = self.lookup(key) else {
+            return 0.0;
+        };
+        let raw = &self.series[id.index()].raw;
+        let (a, b) = raw.bounds(t0, t1);
+        if b - a < 2 {
             return 0.0;
         }
         let mut acc = 0.0;
-        for w in pts.windows(2) {
-            acc += w[0].v * (w[1].t - w[0].t);
+        let mut it = raw.ts.range(a..b).zip(raw.vs.range(a..b));
+        let (&first_t, &first_v) = it.next().expect("b - a >= 2");
+        let (mut prev_t, mut prev_v) = (first_t, first_v);
+        for (&t, &v) in it {
+            acc += prev_v as f64 * (t - prev_t);
+            prev_t = t;
+            prev_v = v;
         }
         acc
     }
@@ -333,5 +569,129 @@ mod tests {
         db.append("b", 0.0, 1.0);
         db.append("a", 0.0, 1.0);
         assert_eq!(db.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn interned_id_matches_string_path() {
+        let mut db = TsDb::new();
+        let id = db.resolve("node01/power/cpu0");
+        assert_eq!(db.resolve("node01/power/cpu0"), id, "stable on re-resolve");
+        assert_eq!(db.lookup("node01/power/cpu0"), Some(id));
+        assert_eq!(db.lookup("never-seen"), None);
+        assert_eq!(db.name(id), Some("node01/power/cpu0"));
+        db.append_id(id, 1.0, 500.0);
+        db.append("node01/power/cpu0", 2.0, 700.0);
+        assert_eq!(db.count_id(id), 2);
+        let pts = db.query_id(id, Resolution::Raw, 0.0, 10.0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].v, 700.0);
+    }
+
+    #[test]
+    fn frame_fast_path_matches_per_sample() {
+        // Awkward spacing: dt does not divide the bucket width, frames
+        // straddle 1 s and 60 s boundaries mid-frame.
+        let vals: Vec<f32> = (0..977)
+            .map(|i| (i as f32 * 0.37).sin() * 900.0 + 1000.0)
+            .collect();
+        let (t0, dt) = (58.3, 0.013);
+
+        let mut bulk = TsDb::new();
+        bulk.append_frame("s", t0, dt, &vals);
+        let mut scalar = TsDb::new();
+        for (i, &v) in vals.iter().enumerate() {
+            scalar.append("s", t0 + i as f64 * dt, v as f64);
+        }
+        bulk.flush();
+        scalar.flush();
+
+        assert_eq!(bulk.count("s"), scalar.count("s"));
+        for res in [Resolution::Raw, Resolution::Second, Resolution::Minute] {
+            let a = bulk.query("s", res, 0.0, 1e9);
+            let b = scalar.query("s", res, 0.0, 1e9);
+            assert_eq!(a.len(), b.len(), "{res:?} point counts");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.t, y.t, "{res:?} timestamps bit-identical");
+                assert!((x.v - y.v).abs() < 1e-9, "{res:?}: {} vs {}", x.v, y.v);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_frame_falls_back_and_drops() {
+        let mut db = TsDb::new();
+        db.append("s", 10.0, 1.0);
+        // Frame starting in the past: the first 5 samples (t < 10) are
+        // stale and dropped, the rest land.
+        db.append_frame("s", 5.0, 1.0, &[9.0; 8]);
+        assert_eq!(db.count("s"), 1 + 3);
+        let pts = db.query("s", Resolution::Raw, 0.0, 1e9);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[1].t, 10.0);
+    }
+
+    #[test]
+    fn flush_then_same_bucket_reopens() {
+        // flush() mid-bucket emits a partial mean; later points in the
+        // SAME bucket re-open it and emit a second rollup point at the
+        // same bucket midpoint. Both are retained, in arrival order.
+        let mut db = TsDb::new();
+        db.append("s", 0.1, 10.0);
+        db.append("s", 0.2, 20.0);
+        db.flush();
+        db.append("s", 0.3, 40.0);
+        db.append("s", 0.4, 60.0);
+        db.flush();
+        let pts = db.query("s", Resolution::Second, 0.0, 1.0);
+        assert_eq!(pts.len(), 2, "two partial means for bucket 0");
+        assert_eq!(pts[0].t, 0.5);
+        assert_eq!(pts[1].t, 0.5);
+        assert!((pts[0].v - 15.0).abs() < 1e-9);
+        assert!((pts[1].v - 50.0).abs() < 1e-9);
+        // Double flush with nothing accumulated adds nothing.
+        db.flush();
+        assert_eq!(db.query("s", Resolution::Second, 0.0, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn query_straddling_eviction_boundary() {
+        let mut db = TsDb::with_capacity(8, 100);
+        for i in 0..20 {
+            db.append("s", i as f64, i as f64);
+        }
+        // Points 0..12 evicted; a window straddling the boundary only
+        // returns the retained suffix.
+        let pts = db.query("s", Resolution::Raw, 5.0, 15.0);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].t, 12.0);
+        assert_eq!(pts[2].t, 14.0);
+        // Window entirely inside the evicted region is empty.
+        assert!(db.query("s", Resolution::Raw, 0.0, 12.0).is_empty());
+        // Count still reflects everything absorbed.
+        assert_eq!(db.count("s"), 20);
+    }
+
+    #[test]
+    fn energy_single_point_window_is_zero() {
+        let mut db = TsDb::new();
+        db.append("s", 1.0, 1000.0);
+        assert_eq!(db.energy_j("s", 0.0, 10.0), 0.0);
+        db.append("s", 2.0, 1000.0);
+        // Window clipping to one point also integrates to zero.
+        assert_eq!(db.energy_j("s", 1.5, 10.0), 0.0);
+        assert!((db.energy_j("s", 0.0, 10.0) - 1000.0).abs() < 1e-9);
+        assert_eq!(db.energy_j("missing", 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn frame_larger_than_capacity_keeps_tail() {
+        let mut db = TsDb::with_capacity(16, 100);
+        let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        db.append_frame("s", 0.0, 1.0, &vals);
+        let pts = db.query("s", Resolution::Raw, 0.0, 1e9);
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0].t, 84.0);
+        assert_eq!(pts[15].v, 99.0);
+        assert_eq!(db.count("s"), 100);
     }
 }

@@ -150,11 +150,7 @@ impl WorkloadWaveform {
 
     /// Highest deterministic frequency present (for Nyquist reasoning).
     pub fn max_frequency(&self) -> f64 {
-        let tone_max = self
-            .tones
-            .iter()
-            .map(|t| t.freq)
-            .fold(0.0_f64, f64::max);
+        let tone_max = self.tones.iter().map(|t| t.freq).fold(0.0_f64, f64::max);
         let phase_f = self.phases.map(|(p, _)| 1.0 / p).unwrap_or(0.0);
         // Square-wave switching has harmonics well above its fundamental.
         tone_max.max(phase_f * 21.0)

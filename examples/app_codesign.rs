@@ -95,8 +95,10 @@ fn main() {
     );
 
     // Roofline placement.
-    println!("\n=== roofline placement (P100: ridge at {:.1} flops/byte) ===",
-        Roofline::p100().ridge_intensity());
+    println!(
+        "\n=== roofline placement (P100: ridge at {:.1} flops/byte) ===",
+        Roofline::p100().ridge_intensity()
+    );
     let gpu = Roofline::p100();
     for (name, intensity) in kernel_intensities() {
         println!(

@@ -10,9 +10,7 @@ use davide::apps::workload::{AppKind, AppModel};
 use davide::core::burnin::{burnin_batch, BurnInConfig};
 use davide::core::node::ComputeNode;
 use davide::core::rng::Rng;
-use davide::sched::{
-    report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
-};
+use davide::sched::{report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator};
 use davide::telemetry::profiler::{detect_phases, summarise, ProfilerConfig};
 use davide::telemetry::{MonitorChain, WorkloadWaveform};
 
@@ -30,7 +28,10 @@ fn main() {
             .filter(|s| !s.passed)
             .map(|s| s.stage)
             .collect();
-        println!("node {:>2}: REJECTED (failed {stages:?}) — RMA it", f.node_id);
+        println!(
+            "node {:>2}: REJECTED (failed {stages:?}) — RMA it",
+            f.node_id
+        );
     }
     println!(
         "{} of 15 accepted; rejected nodes never reach production.\n",

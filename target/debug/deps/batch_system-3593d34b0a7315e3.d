@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_system-3593d34b0a7315e3.d: tests/batch_system.rs
+
+/root/repo/target/debug/deps/batch_system-3593d34b0a7315e3: tests/batch_system.rs
+
+tests/batch_system.rs:

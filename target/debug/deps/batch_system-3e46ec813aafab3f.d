@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_system-3e46ec813aafab3f.d: tests/batch_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_system-3e46ec813aafab3f.rmeta: tests/batch_system.rs Cargo.toml
+
+tests/batch_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_system-b13851ec69223584.d: tests/batch_system.rs
+
+/root/repo/target/debug/deps/batch_system-b13851ec69223584: tests/batch_system.rs
+
+tests/batch_system.rs:

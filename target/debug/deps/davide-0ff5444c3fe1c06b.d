@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davide-0ff5444c3fe1c06b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-0ff5444c3fe1c06b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-0ff5444c3fe1c06b.rmeta: src/lib.rs
+
+src/lib.rs:

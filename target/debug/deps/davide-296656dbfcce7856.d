@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davide-296656dbfcce7856.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-296656dbfcce7856.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-296656dbfcce7856.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davide-4b7ea57841669d5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/davide-4b7ea57841669d5a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davide-4f015b522deb0b94.d: src/lib.rs
+
+/root/repo/target/debug/deps/davide-4f015b522deb0b94: src/lib.rs
+
+src/lib.rs:

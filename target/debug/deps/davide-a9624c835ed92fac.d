@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/davide-a9624c835ed92fac.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide-a9624c835ed92fac.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/davide-e7e751ff1c3fb9f0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide-e7e751ff1c3fb9f0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/davide_apps-0a2ada74e4ed21a1.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_apps-0a2ada74e4ed21a1.rlib: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_apps-0a2ada74e4ed21a1.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/collectives.rs:
+crates/apps/src/complex.rs:
+crates/apps/src/distributed.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lattice.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/roofline.rs:
+crates/apps/src/sem.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/workload.rs:

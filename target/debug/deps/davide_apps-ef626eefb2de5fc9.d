@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/davide_apps-ef626eefb2de5fc9.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_apps-ef626eefb2de5fc9.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/collectives.rs:
+crates/apps/src/complex.rs:
+crates/apps/src/distributed.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lattice.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/roofline.rs:
+crates/apps/src/sem.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/davide_bench-03bb637a2b5897fa.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_bench-03bb637a2b5897fa.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/applications.rs:
+crates/bench/src/experiments/ingest.rs:
+crates/bench/src/experiments/management.rs:
+crates/bench/src/experiments/monitoring.rs:
+crates/bench/src/experiments/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/davide_bench-a155c3028d778392.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+/root/repo/target/debug/deps/davide_bench-a155c3028d778392: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/applications.rs:
+crates/bench/src/experiments/management.rs:
+crates/bench/src/experiments/monitoring.rs:
+crates/bench/src/experiments/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/davide_bench-b23372c25d52cf0f.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+/root/repo/target/debug/deps/libdavide_bench-b23372c25d52cf0f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+/root/repo/target/debug/deps/libdavide_bench-b23372c25d52cf0f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/applications.rs:
+crates/bench/src/experiments/management.rs:
+crates/bench/src/experiments/monitoring.rs:
+crates/bench/src/experiments/system.rs:

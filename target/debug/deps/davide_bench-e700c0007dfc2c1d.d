@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/davide_bench-e700c0007dfc2c1d.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+/root/repo/target/debug/deps/davide_bench-e700c0007dfc2c1d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/applications.rs:
+crates/bench/src/experiments/ingest.rs:
+crates/bench/src/experiments/management.rs:
+crates/bench/src/experiments/monitoring.rs:
+crates/bench/src/experiments/system.rs:

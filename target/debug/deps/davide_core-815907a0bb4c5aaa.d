@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/davide_core-815907a0bb4c5aaa.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_core-815907a0bb4c5aaa.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/burnin.rs:
+crates/core/src/capping.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cooling.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/gpu.rs:
+crates/core/src/interconnect.rs:
+crates/core/src/memory.rs:
+crates/core/src/node.rs:
+crates/core/src/power.rs:
+crates/core/src/psu.rs:
+crates/core/src/rack.rs:
+crates/core/src/rng.rs:
+crates/core/src/time.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

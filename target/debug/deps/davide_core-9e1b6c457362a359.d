@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/davide_core-9e1b6c457362a359.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libdavide_core-9e1b6c457362a359.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libdavide_core-9e1b6c457362a359.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/burnin.rs:
+crates/core/src/capping.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cooling.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/gpu.rs:
+crates/core/src/interconnect.rs:
+crates/core/src/memory.rs:
+crates/core/src/node.rs:
+crates/core/src/power.rs:
+crates/core/src/psu.rs:
+crates/core/src/rack.rs:
+crates/core/src/rng.rs:
+crates/core/src/time.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/davide_mqtt-468fdb6105ed540d.d: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs
+
+/root/repo/target/debug/deps/davide_mqtt-468fdb6105ed540d: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs
+
+crates/mqtt/src/lib.rs:
+crates/mqtt/src/bridge.rs:
+crates/mqtt/src/broker.rs:
+crates/mqtt/src/client.rs:
+crates/mqtt/src/codec.rs:
+crates/mqtt/src/framed.rs:
+crates/mqtt/src/session.rs:
+crates/mqtt/src/topic.rs:

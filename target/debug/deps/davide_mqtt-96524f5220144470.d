@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/davide_mqtt-96524f5220144470.d: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_mqtt-96524f5220144470.rmeta: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs Cargo.toml
+
+crates/mqtt/src/lib.rs:
+crates/mqtt/src/bridge.rs:
+crates/mqtt/src/broker.rs:
+crates/mqtt/src/client.rs:
+crates/mqtt/src/codec.rs:
+crates/mqtt/src/framed.rs:
+crates/mqtt/src/session.rs:
+crates/mqtt/src/topic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/davide_predictor-34a3189caa786b21.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_predictor-34a3189caa786b21.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/eval.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/forest.rs:
+crates/predictor/src/knn.rs:
+crates/predictor/src/linalg.rs:
+crates/predictor/src/linreg.rs:
+crates/predictor/src/online.rs:
+crates/predictor/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

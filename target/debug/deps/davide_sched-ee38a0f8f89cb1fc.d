@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/davide_sched-ee38a0f8f89cb1fc.d: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_sched-ee38a0f8f89cb1fc.rlib: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_sched-ee38a0f8f89cb1fc.rmeta: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/accounting.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/power_predictor.rs:
+crates/sched/src/simulator.rs:
+crates/sched/src/workload.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/davide_telemetry-38cb02894b4a6736.d: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/ingest.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_telemetry-38cb02894b4a6736.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/ingest.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/adc.rs:
+crates/telemetry/src/calibration.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/decimation.rs:
+crates/telemetry/src/energy.rs:
+crates/telemetry/src/events.rs:
+crates/telemetry/src/gateway.rs:
+crates/telemetry/src/hazards.rs:
+crates/telemetry/src/ingest.rs:
+crates/telemetry/src/monitor.rs:
+crates/telemetry/src/profiler.rs:
+crates/telemetry/src/sensors.rs:
+crates/telemetry/src/spectral.rs:
+crates/telemetry/src/tsdb.rs:
+crates/telemetry/src/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

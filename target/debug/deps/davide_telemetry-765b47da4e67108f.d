@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/davide_telemetry-765b47da4e67108f.d: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs
+
+/root/repo/target/debug/deps/davide_telemetry-765b47da4e67108f: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/adc.rs:
+crates/telemetry/src/calibration.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/decimation.rs:
+crates/telemetry/src/energy.rs:
+crates/telemetry/src/events.rs:
+crates/telemetry/src/gateway.rs:
+crates/telemetry/src/hazards.rs:
+crates/telemetry/src/monitor.rs:
+crates/telemetry/src/profiler.rs:
+crates/telemetry/src/sensors.rs:
+crates/telemetry/src/spectral.rs:
+crates/telemetry/src/tsdb.rs:
+crates/telemetry/src/waveform.rs:

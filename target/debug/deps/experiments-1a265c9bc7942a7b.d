@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-1a265c9bc7942a7b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-1a265c9bc7942a7b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

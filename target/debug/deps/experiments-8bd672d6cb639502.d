@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-8bd672d6cb639502.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-8bd672d6cb639502.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

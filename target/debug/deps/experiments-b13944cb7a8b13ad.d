@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b13944cb7a8b13ad.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b13944cb7a8b13ad: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest-61333f6db2ff9442.d: crates/bench/benches/ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest-61333f6db2ff9442.rmeta: crates/bench/benches/ingest.rs Cargo.toml
+
+crates/bench/benches/ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

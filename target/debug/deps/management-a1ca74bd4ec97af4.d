@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/management-a1ca74bd4ec97af4.d: crates/bench/benches/management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanagement-a1ca74bd4ec97af4.rmeta: crates/bench/benches/management.rs Cargo.toml
+
+crates/bench/benches/management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

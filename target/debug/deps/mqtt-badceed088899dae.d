@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mqtt-badceed088899dae.d: crates/bench/benches/mqtt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmqtt-badceed088899dae.rmeta: crates/bench/benches/mqtt.rs Cargo.toml
+
+crates/bench/benches/mqtt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-13d569104b99713a.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-13d569104b99713a.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5e1f845b6c7bd9a0.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5e1f845b6c7bd9a0: tests/pipeline.rs
+
+tests/pipeline.rs:

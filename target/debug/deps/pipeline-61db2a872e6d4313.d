@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-61db2a872e6d4313.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-61db2a872e6d4313: tests/pipeline.rs
+
+tests/pipeline.rs:

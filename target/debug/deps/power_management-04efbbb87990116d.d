@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_management-04efbbb87990116d.d: tests/power_management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_management-04efbbb87990116d.rmeta: tests/power_management.rs Cargo.toml
+
+tests/power_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_management-0cda64f0b4e78f51.d: tests/power_management.rs
+
+/root/repo/target/debug/deps/power_management-0cda64f0b4e78f51: tests/power_management.rs
+
+tests/power_management.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_management-e87d793712a6bd19.d: tests/power_management.rs
+
+/root/repo/target/debug/deps/power_management-e87d793712a6bd19: tests/power_management.rs
+
+tests/power_management.rs:

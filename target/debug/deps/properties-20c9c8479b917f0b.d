@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-20c9c8479b917f0b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-20c9c8479b917f0b: tests/properties.rs
+
+tests/properties.rs:

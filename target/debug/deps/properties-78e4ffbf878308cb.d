@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-78e4ffbf878308cb.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-78e4ffbf878308cb.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c5094b13e9751d85.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c5094b13e9751d85: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-55c396f6c9b5084b.d: crates/bench/benches/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-55c396f6c9b5084b.rmeta: crates/bench/benches/telemetry.rs Cargo.toml
+
+crates/bench/benches/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

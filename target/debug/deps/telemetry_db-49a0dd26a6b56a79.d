@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_db-49a0dd26a6b56a79.d: tests/telemetry_db.rs
+
+/root/repo/target/debug/deps/telemetry_db-49a0dd26a6b56a79: tests/telemetry_db.rs
+
+tests/telemetry_db.rs:

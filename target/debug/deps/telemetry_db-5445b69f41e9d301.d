@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_db-5445b69f41e9d301.d: tests/telemetry_db.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_db-5445b69f41e9d301.rmeta: tests/telemetry_db.rs Cargo.toml
+
+tests/telemetry_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

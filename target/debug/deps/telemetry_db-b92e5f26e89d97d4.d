@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_db-b92e5f26e89d97d4.d: tests/telemetry_db.rs
+
+/root/repo/target/debug/deps/telemetry_db-b92e5f26e89d97d4: tests/telemetry_db.rs
+
+tests/telemetry_db.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_codesign-1ceac7abe55129fe.d: examples/app_codesign.rs
+
+/root/repo/target/debug/examples/app_codesign-1ceac7abe55129fe: examples/app_codesign.rs
+
+examples/app_codesign.rs:

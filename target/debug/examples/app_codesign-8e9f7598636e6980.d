@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_codesign-8e9f7598636e6980.d: examples/app_codesign.rs
+
+/root/repo/target/debug/examples/app_codesign-8e9f7598636e6980: examples/app_codesign.rs
+
+examples/app_codesign.rs:

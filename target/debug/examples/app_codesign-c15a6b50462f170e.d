@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_codesign-c15a6b50462f170e.d: examples/app_codesign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_codesign-c15a6b50462f170e.rmeta: examples/app_codesign.rs Cargo.toml
+
+examples/app_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

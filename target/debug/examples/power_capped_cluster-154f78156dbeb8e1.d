@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_capped_cluster-154f78156dbeb8e1.d: examples/power_capped_cluster.rs
+
+/root/repo/target/debug/examples/power_capped_cluster-154f78156dbeb8e1: examples/power_capped_cluster.rs
+
+examples/power_capped_cluster.rs:

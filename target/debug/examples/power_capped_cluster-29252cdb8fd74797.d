@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_capped_cluster-29252cdb8fd74797.d: examples/power_capped_cluster.rs
+
+/root/repo/target/debug/examples/power_capped_cluster-29252cdb8fd74797: examples/power_capped_cluster.rs
+
+examples/power_capped_cluster.rs:

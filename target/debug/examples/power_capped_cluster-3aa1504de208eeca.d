@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_capped_cluster-3aa1504de208eeca.d: examples/power_capped_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_capped_cluster-3aa1504de208eeca.rmeta: examples/power_capped_cluster.rs Cargo.toml
+
+examples/power_capped_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_monitoring-7da9534b9de27318.d: examples/power_monitoring.rs
+
+/root/repo/target/debug/examples/power_monitoring-7da9534b9de27318: examples/power_monitoring.rs
+
+examples/power_monitoring.rs:

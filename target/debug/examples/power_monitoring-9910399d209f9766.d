@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_monitoring-9910399d209f9766.d: examples/power_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_monitoring-9910399d209f9766.rmeta: examples/power_monitoring.rs Cargo.toml
+
+examples/power_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

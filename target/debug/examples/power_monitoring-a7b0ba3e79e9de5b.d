@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_monitoring-a7b0ba3e79e9de5b.d: examples/power_monitoring.rs
+
+/root/repo/target/debug/examples/power_monitoring-a7b0ba3e79e9de5b: examples/power_monitoring.rs
+
+examples/power_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5dd14aff6a4eb6db.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5dd14aff6a4eb6db: examples/quickstart.rs
+
+examples/quickstart.rs:

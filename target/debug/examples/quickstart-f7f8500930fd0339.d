@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7f8500930fd0339.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7f8500930fd0339: examples/quickstart.rs
+
+examples/quickstart.rs:

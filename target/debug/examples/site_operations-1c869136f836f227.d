@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_operations-1c869136f836f227.d: examples/site_operations.rs
+
+/root/repo/target/debug/examples/site_operations-1c869136f836f227: examples/site_operations.rs
+
+examples/site_operations.rs:

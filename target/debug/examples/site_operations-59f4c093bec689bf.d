@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_operations-59f4c093bec689bf.d: examples/site_operations.rs
+
+/root/repo/target/debug/examples/site_operations-59f4c093bec689bf: examples/site_operations.rs
+
+examples/site_operations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/site_operations-b0b2489416501223.d: examples/site_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsite_operations-b0b2489416501223.rmeta: examples/site_operations.rs Cargo.toml
+
+examples/site_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davide-39af9597e4685b05.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-39af9597e4685b05.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-39af9597e4685b05.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davide-fea3da74f9c0db27.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-fea3da74f9c0db27.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-fea3da74f9c0db27.rmeta: src/lib.rs
+
+src/lib.rs:

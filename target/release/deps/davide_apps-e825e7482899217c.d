@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/davide_apps-e825e7482899217c.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+/root/repo/target/release/deps/libdavide_apps-e825e7482899217c.rlib: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+/root/repo/target/release/deps/libdavide_apps-e825e7482899217c.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/collectives.rs crates/apps/src/complex.rs crates/apps/src/distributed.rs crates/apps/src/fft.rs crates/apps/src/gemm.rs crates/apps/src/lattice.rs crates/apps/src/lu.rs crates/apps/src/roofline.rs crates/apps/src/sem.rs crates/apps/src/stencil.rs crates/apps/src/workload.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/collectives.rs:
+crates/apps/src/complex.rs:
+crates/apps/src/distributed.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lattice.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/roofline.rs:
+crates/apps/src/sem.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/workload.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/davide_core-5055103aadbc3ed5.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libdavide_core-5055103aadbc3ed5.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libdavide_core-5055103aadbc3ed5.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/burnin.rs crates/core/src/capping.rs crates/core/src/cluster.rs crates/core/src/cooling.rs crates/core/src/cpu.rs crates/core/src/dvfs.rs crates/core/src/efficiency.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/gpu.rs crates/core/src/interconnect.rs crates/core/src/memory.rs crates/core/src/node.rs crates/core/src/power.rs crates/core/src/psu.rs crates/core/src/rack.rs crates/core/src/rng.rs crates/core/src/time.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/burnin.rs:
+crates/core/src/capping.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cooling.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/gpu.rs:
+crates/core/src/interconnect.rs:
+crates/core/src/memory.rs:
+crates/core/src/node.rs:
+crates/core/src/power.rs:
+crates/core/src/psu.rs:
+crates/core/src/rack.rs:
+crates/core/src/rng.rs:
+crates/core/src/time.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/davide_mqtt-3f8d9dcabe7e6ed7.d: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs
+
+/root/repo/target/release/deps/libdavide_mqtt-3f8d9dcabe7e6ed7.rlib: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs
+
+/root/repo/target/release/deps/libdavide_mqtt-3f8d9dcabe7e6ed7.rmeta: crates/mqtt/src/lib.rs crates/mqtt/src/bridge.rs crates/mqtt/src/broker.rs crates/mqtt/src/client.rs crates/mqtt/src/codec.rs crates/mqtt/src/framed.rs crates/mqtt/src/session.rs crates/mqtt/src/topic.rs
+
+crates/mqtt/src/lib.rs:
+crates/mqtt/src/bridge.rs:
+crates/mqtt/src/broker.rs:
+crates/mqtt/src/client.rs:
+crates/mqtt/src/codec.rs:
+crates/mqtt/src/framed.rs:
+crates/mqtt/src/session.rs:
+crates/mqtt/src/topic.rs:

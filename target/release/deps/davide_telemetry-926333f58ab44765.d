@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/davide_telemetry-926333f58ab44765.d: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/ingest.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs
+
+/root/repo/target/release/deps/libdavide_telemetry-926333f58ab44765.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/ingest.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs
+
+/root/repo/target/release/deps/libdavide_telemetry-926333f58ab44765.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/adc.rs crates/telemetry/src/calibration.rs crates/telemetry/src/clock.rs crates/telemetry/src/decimation.rs crates/telemetry/src/energy.rs crates/telemetry/src/events.rs crates/telemetry/src/gateway.rs crates/telemetry/src/hazards.rs crates/telemetry/src/ingest.rs crates/telemetry/src/monitor.rs crates/telemetry/src/profiler.rs crates/telemetry/src/sensors.rs crates/telemetry/src/spectral.rs crates/telemetry/src/tsdb.rs crates/telemetry/src/waveform.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/adc.rs:
+crates/telemetry/src/calibration.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/decimation.rs:
+crates/telemetry/src/energy.rs:
+crates/telemetry/src/events.rs:
+crates/telemetry/src/gateway.rs:
+crates/telemetry/src/hazards.rs:
+crates/telemetry/src/ingest.rs:
+crates/telemetry/src/monitor.rs:
+crates/telemetry/src/profiler.rs:
+crates/telemetry/src/sensors.rs:
+crates/telemetry/src/spectral.rs:
+crates/telemetry/src/tsdb.rs:
+crates/telemetry/src/waveform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-6acd6e5b12264557.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-6acd6e5b12264557: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

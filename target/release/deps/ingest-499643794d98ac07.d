@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest-499643794d98ac07.d: crates/bench/benches/ingest.rs
+
+/root/repo/target/release/deps/ingest-499643794d98ac07: crates/bench/benches/ingest.rs
+
+crates/bench/benches/ingest.rs:

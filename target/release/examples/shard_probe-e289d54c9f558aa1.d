@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shard_probe-e289d54c9f558aa1.d: crates/bench/examples/shard_probe.rs
+
+/root/repo/target/release/examples/shard_probe-e289d54c9f558aa1: crates/bench/examples/shard_probe.rs
+
+crates/bench/examples/shard_probe.rs:

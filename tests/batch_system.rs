@@ -28,13 +28,21 @@ fn partitioned_submissions_flow_through_the_whole_stack() {
 
     // A mix of users and partitions; one submission violates its
     // partition and must be rejected at the front door.
-    queue.submit(job(1, 10, 16, 0.0, 4.0 * 3600.0, 7_200.0), "batch").unwrap();
-    queue.submit(job(2, 11, 2, 60.0, 900.0, 600.0), "debug").unwrap();
-    queue.submit(job(3, 12, 8, 120.0, 48.0 * 3600.0, 90_000.0), "long").unwrap();
+    queue
+        .submit(job(1, 10, 16, 0.0, 4.0 * 3600.0, 7_200.0), "batch")
+        .unwrap();
+    queue
+        .submit(job(2, 11, 2, 60.0, 900.0, 600.0), "debug")
+        .unwrap();
+    queue
+        .submit(job(3, 12, 8, 120.0, 48.0 * 3600.0, 90_000.0), "long")
+        .unwrap();
     queue
         .submit(job(4, 13, 40, 180.0, 3_600.0, 1_800.0), "batch")
         .expect_err("40 nodes exceeds the batch partition limit");
-    queue.submit(job(5, 10, 4, 240.0, 3_600.0, 2_400.0), "batch").unwrap();
+    queue
+        .submit(job(5, 10, 4, 240.0, 3_600.0, 2_400.0), "batch")
+        .unwrap();
     assert_eq!(queue.len(), 4);
 
     // Dispatch order respects partition priority: debug job 2 first.

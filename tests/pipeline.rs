@@ -114,11 +114,7 @@ fn component_channels_sum_close_to_node_channel() {
         per_chan.entry(m.topic.clone()).or_default().push(&frame);
     }
     assert_eq!(per_chan.len(), 5, "five channels seen");
-    let e = |c: &str| {
-        per_chan[&format!("davide/node11/power/{c}")]
-            .energy()
-            .0
-    };
+    let e = |c: &str| per_chan[&format!("davide/node11/power/{c}")].energy().0;
     let parts = e("cpu0") + e("cpu1") + e("gpu0") * 4.0 + e("aux12v");
     let node_e = e("node");
     let err = (parts - node_e).abs() / node_e * 100.0;

@@ -6,14 +6,14 @@ use davide::core::capping::{evaluate, PiCapController};
 use davide::core::node::{ComputeNode, NodeLoad};
 use davide::core::units::{Seconds, Watts};
 use davide::core::Cluster;
-use davide::sched::{
-    report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
-};
+use davide::sched::{report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator};
 
 #[test]
 fn pilot_system_validates_and_hits_envelope() {
     let cluster = Cluster::davide();
-    cluster.validate().expect("published configuration is legal");
+    cluster
+        .validate()
+        .expect("published configuration is legal");
     assert!(cluster.peak().pflops() >= 0.9, "≈1 PFlops");
     assert!(
         cluster.facility_power(NodeLoad::FULL) < Watts::from_kw(100.0),

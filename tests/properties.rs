@@ -3,17 +3,17 @@
 
 use davide::apps::cg::{conjugate_gradient, LinearOp};
 use davide::apps::fft::fft_inplace;
+use davide::apps::gemm::Matrix;
+use davide::apps::lu::{hpl_residual, lu_factor};
 use davide::apps::C64;
 use davide::core::event::EventQueue;
 use davide::core::power::PowerTrace;
 use davide::core::time::SimTime;
 use davide::mqtt::topic::{filter_matches, validate_filter, validate_topic};
-use davide::telemetry::decimation::boxcar_decimate;
-use proptest::prelude::*;
-use davide::apps::gemm::Matrix;
-use davide::apps::lu::{hpl_residual, lu_factor};
 use davide::sched::{NodePool, PlacementStrategy};
+use davide::telemetry::decimation::boxcar_decimate;
 use davide::telemetry::tsdb::{Resolution, TsDb};
+use proptest::prelude::*;
 
 fn topic_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec("[a-z0-9]{1,6}", 1..5).prop_map(|v| v.join("/"))
@@ -239,6 +239,84 @@ proptest! {
             prop_assert!(p.v >= lo - 1e-9 && p.v <= hi + 1e-9);
         }
         prop_assert_eq!(db.count("s"), values.len() as u64);
+    }
+
+    /// A `SampleFrame` survives the wire byte-exactly: encode ∘ decode
+    /// is the identity on timestamps, spacing, and every f32 sample.
+    #[test]
+    fn sample_frame_roundtrip(
+        t0 in 0.0f64..1e6,
+        dt in 1e-7f64..1.0,
+        watts in proptest::collection::vec(0.0f32..4000.0, 0..600),
+    ) {
+        use davide::telemetry::gateway::SampleFrame;
+        let frame = SampleFrame { t0_s: t0, dt_s: dt, watts };
+        let wire = frame.encode();
+        prop_assert_eq!(wire.len(), 24 + 4 * frame.watts.len());
+        let back = SampleFrame::decode(wire).expect("well-formed frame");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Every strict truncation of a valid frame payload is rejected:
+    /// either the header is incomplete or the body is shorter than the
+    /// declared sample count.
+    #[test]
+    fn sample_frame_rejects_truncation(
+        watts in proptest::collection::vec(0.0f32..4000.0, 1..64),
+        cut_seed in 0usize..10_000,
+    ) {
+        use davide::telemetry::gateway::SampleFrame;
+        let frame = SampleFrame { t0_s: 1.5, dt_s: 2e-5, watts };
+        let wire = frame.encode();
+        let cut = cut_seed % wire.len(); // strictly shorter than full
+        let truncated = bytes::Bytes::from(wire.as_slice()[..cut].to_vec());
+        prop_assert!(SampleFrame::decode(truncated).is_none());
+    }
+
+    /// Corrupting any single byte of the header either still decodes
+    /// (timestamp bits changed) or is rejected — it never panics — and
+    /// corrupting a magic byte is always rejected.
+    #[test]
+    fn sample_frame_rejects_corrupt_magic(
+        watts in proptest::collection::vec(0.0f32..4000.0, 1..32),
+        pos in 0usize..24,
+        flip in 1u8..255,
+    ) {
+        use davide::telemetry::gateway::SampleFrame;
+        let frame = SampleFrame { t0_s: 9.0, dt_s: 1e-3, watts };
+        let mut raw = frame.encode().to_vec();
+        raw[pos] ^= flip;
+        let decoded = SampleFrame::decode(bytes::Bytes::from(raw));
+        if pos < 4 {
+            prop_assert!(decoded.is_none(), "corrupt magic must be rejected");
+        }
+    }
+
+    /// A header whose declared sample count exceeds what the body holds
+    /// is rejected, up to and including counts whose byte size would
+    /// overflow the length arithmetic.
+    #[test]
+    fn sample_frame_rejects_declared_length_overflow(
+        present in 0usize..32,
+        excess in 1u32..1000,
+        huge in any::<bool>(),
+    ) {
+        use bytes::{BufMut, Bytes, BytesMut};
+        use davide::telemetry::gateway::{SampleFrame, FRAME_MAGIC};
+        let declared: u32 = if huge {
+            u32::MAX - excess // ~4 Gi samples: byte size tests the overflow guard
+        } else {
+            present as u32 + excess
+        };
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(FRAME_MAGIC);
+        buf.put_f64_le(0.0);
+        buf.put_f64_le(2e-5);
+        buf.put_u32_le(declared);
+        for i in 0..present {
+            buf.put_f32_le(i as f32);
+        }
+        prop_assert!(SampleFrame::decode(Bytes::from(buf.to_vec())).is_none());
     }
 
     /// MQTT session packet ids are unique among in-flight publishes for

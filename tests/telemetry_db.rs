@@ -14,10 +14,11 @@ fn rack_to_site_to_database_pipeline() {
     // Rack-level broker with two gateways; site broker with the DB.
     let rack = Broker::default();
     let site = Broker::default();
-    let mut bridge =
-        Bridge::connect(&rack, &site, "rack0", &["davide/+/power/#"], None).unwrap();
+    let mut bridge = Bridge::connect(&rack, &site, "rack0", &["davide/+/power/#"], None).unwrap();
     let mut ingest = site.connect("tsdb-ingest");
-    ingest.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
+    ingest
+        .subscribe("davide/+/power/#", QoS::AtMostOnce)
+        .unwrap();
 
     let mut gen = Rng::seed_from(17);
     let mut db = TsDb::with_capacity(200_000, 50_000);

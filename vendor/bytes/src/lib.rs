@@ -1,0 +1,435 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of the `bytes` 1.x API it actually uses:
+//! [`Bytes`] (cheaply cloneable, sliceable immutable buffer),
+//! [`BytesMut`] (growable buffer), and the [`Buf`]/[`BufMut`] cursor
+//! traits. Semantics match the upstream crate for this subset; only
+//! performance corners differ (`from_static` copies instead of
+//! borrowing, which is irrelevant for the in-process broker).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Wrap a static byte slice (copies; upstream borrows).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes::from_vec(bytes.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Copy out to a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes::from_vec(v.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer with cursor-style writes.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor: `advance`/`split_to` move this instead of shifting
+    /// the underlying vector on every call.
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Pre-sized buffer.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Split off and return the first `at` unread bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = BytesMut {
+            buf: self.buf[self.read..self.read + at].to_vec(),
+            read: 0,
+        };
+        self.read += at;
+        self.compact();
+        head
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.read > 0 {
+            self.buf.drain(..self.read);
+        }
+        Bytes::from_vec(self.buf)
+    }
+
+    fn compact(&mut self) {
+        // Keep the vector bounded: drop consumed bytes once they dominate.
+        if self.read > 4096 && self.read * 2 > self.buf.len() {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> BytesMut {
+        BytesMut {
+            buf: v.to_vec(),
+            read: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.read..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let r = self.read;
+        &mut self.buf[r..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::copy_from_slice(self), f)
+    }
+}
+
+macro_rules! get_impl {
+    ($self:ident, $ty:ty, $conv:ident) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let mut raw = [0u8; N];
+        raw.copy_from_slice(&$self.chunk()[..N]);
+        $self.advance(N);
+        <$ty>::$conv(raw)
+    }};
+}
+
+/// Read cursor over a byte source (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        get_impl!(self, u8, from_be_bytes)
+    }
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        get_impl!(self, u16, from_be_bytes)
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        get_impl!(self, u32, from_le_bytes)
+    }
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        get_impl!(self, f32, from_le_bytes)
+    }
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        get_impl!(self, f64, from_le_bytes)
+    }
+    /// Copy `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.read += cnt;
+        self.compact();
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Write a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_and_be() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16(0x1234);
+        b.put_u32_le(0xDEADBEEF);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_and_clone_views() {
+        let mut b = Bytes::copy_from_slice(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn bytesmut_cursor_reads() {
+        let mut m = BytesMut::from(&b"\x01\x00\x02xy"[..]);
+        assert_eq!(m.get_u8(), 1);
+        assert_eq!(m.get_u16(), 2);
+        let tail = m.split_to(2);
+        assert_eq!(&tail[..], b"xy");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn slice_buf_peek() {
+        let data = [1u8, 2, 3, 4];
+        let mut peek = &data[..];
+        assert_eq!(peek.get_u8(), 1);
+        assert_eq!(peek.remaining(), 3);
+        peek.advance(1);
+        assert_eq!(peek.chunk(), &[3, 4]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline vendored `criterion` mini-harness.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical engine. Supports the standard bench-binary flags:
+//! `--test` runs every benchmark exactly once (CI smoke mode), `--bench`
+//! is accepted and ignored, and positional arguments filter benchmark
+//! names by substring.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    /// Target wall-clock time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            measure_for: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply standard bench-binary command-line arguments.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                a if a.starts_with("--") => {} // unknown flags: ignore
+                filter => self.filters.push(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the mini-harness sizes runs by
+    /// wall-clock time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, &mut f);
+    }
+
+    /// Run a parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Close the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            measure_for: self.criterion.measure_for,
+            ns_per_iter: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{full:<56} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let per_iter = fmt_time(b.ns_per_iter);
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!("  thrpt: {}/s", fmt_count(n as f64 * 1e9 / b.ns_per_iter))
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!("  thrpt: {}B/s", fmt_count(n as f64 * 1e9 / b.ns_per_iter))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{full:<56} time: {per_iter:>12}/iter{thrpt}  ({} iters)",
+            b.iters_done
+        );
+    }
+}
+
+/// Handle passed to the measured closure.
+pub struct Bencher {
+    test_mode: bool,
+    measure_for: Duration,
+    ns_per_iter: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly until the time budget is spent
+    /// (once in `--test` mode). The closure's return value is passed
+    /// through `black_box` so the optimiser cannot delete the work.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        if self.test_mode {
+            black_box(f());
+            self.iters_done = 1;
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up and single-shot calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let budget = self.measure_for;
+        if once >= budget {
+            self.iters_done = 1;
+            self.ns_per_iter = once.as_nanos() as f64;
+            return;
+        }
+        let target = (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let total = t1.elapsed();
+        self.iters_done = target;
+        self.ns_per_iter = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.0} ")
+    }
+}
+
+/// Declare a benchmark group runner (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,196 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{bounded, unbounded}` with the
+//! `Sender`/`Receiver` methods this workspace uses, implemented over
+//! `std::sync::mpsc`. The one semantic difference from upstream —
+//! `std`'s `Receiver` is not `Sync` — does not matter for the
+//! in-process broker, which owns each receiver from a single client.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "Sender {{ queued: {} }}",
+                self.queued.load(Ordering::Relaxed)
+            )
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "Receiver {{ queued: {} }}",
+                self.queued.load(Ordering::Relaxed)
+            )
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting.
+        Empty,
+        /// All senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Timed out with no message.
+        Timeout,
+        /// All senders are gone.
+        Disconnected,
+    }
+
+    /// A bounded FIFO channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                queued: Arc::clone(&queued),
+            },
+            Receiver { inner: rx, queued },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send; fails when full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match self.inner.try_send(msg) {
+                Ok(()) => {
+                    self.queued.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(mpsc::TrySendError::Full(m)) => Err(TrySendError::Full(m)),
+                Err(mpsc::TrySendError::Disconnected(m)) => Err(TrySendError::Disconnected(m)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Relaxed)
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn took_one(&self) {
+            // Saturating decrement: a race with a concurrent try_send is
+            // benign because len() is advisory (queue-depth diagnostics).
+            let _ = self
+                .queued
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.inner.try_recv() {
+                Ok(m) => {
+                    self.took_one();
+                    Ok(m)
+                }
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        /// Blocking receive until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let m = self.inner.recv().map_err(|_| RecvError)?;
+            self.took_one();
+            Ok(m)
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match self.inner.recv_timeout(timeout) {
+                Ok(m) => {
+                    self.took_one();
+                    Ok(m)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvTimeoutError::Timeout),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_backpressure() {
+            let (tx, rx) = bounded(2);
+            assert!(tx.try_send(1).is_ok());
+            assert!(tx.try_send(2).is_ok());
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn timeout_empty() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline vendored property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, range and regex-charclass
+//! strategies, `collection::vec`, `any::<T>()` and `prop_map`.
+//!
+//! Generation is deterministic: each test derives its RNG seed from the
+//! test name, so failures reproduce on every run. Shrinking is not
+//! implemented — failures report the case index and message only.
+
+use std::fmt;
+
+/// Number of generated cases per property.
+pub const CASES: u64 = 64;
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic split-mix / xorshift generator for case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary value.
+    pub fn seed_from(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u8, u16, u32, u64, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String strategies from a character-class pattern like
+    /// `"[a-z0-9]{1,6}"`. Supports one or more literal chars or
+    /// `[set]{m,n}` groups (ranges inside the set); anything fancier
+    /// panics so unsupported regexes fail loudly, not silently.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if chars[i] == '[' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unclosed [ in pattern")
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (a, b) = (chars[j] as u32, chars[j + 2] as u32);
+                            set.extend((a..=b).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class");
+                    let (lo, hi, next) = if close + 1 < chars.len() && chars[close + 1] == '{' {
+                        let end = chars[close..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unclosed {{ in pattern")
+                            + close;
+                        let spec: String = chars[close + 2..end].iter().collect();
+                        let (lo, hi) = match spec.split_once(',') {
+                            Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                            None => {
+                                let n: usize = spec.parse().unwrap();
+                                (n, n)
+                            }
+                        };
+                        (lo, hi, end + 1)
+                    } else {
+                        (1, 1, close + 1)
+                    };
+                    let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    for _ in 0..n {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    i = next;
+                } else {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use super::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values across a wide dynamic range.
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive-exclusive size specification for collections.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, TestCaseError};
+}
+
+/// Driver used by the [`proptest!`] expansion: runs [`CASES`] cases with
+/// a name-derived deterministic seed and panics on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for i in 0..CASES {
+        let mut rng = TestRng::seed_from(seed.wrapping_add(i));
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed on case {i}/{CASES}: {e}");
+        }
+    }
+}
+
+/// Define deterministic property tests (mirrors `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    let __proptest_case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property, failing the case (not the process) on false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -5.0f64..5.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5.0..5.0).contains(&y), "y={y}");
+        }
+
+        #[test]
+        fn charclass_strings(s in "[a-c0-1]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..7, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+
+        #[test]
+        fn mapped_strategy(s in crate::collection::vec("[a-z]{1,3}", 1..4).prop_map(|v| v.join("/"))) {
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn any_bool_is_generated(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline vendored `rayon` shim.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut`/
+//! `into_par_iter` entry points the workspace uses and maps each to the
+//! equivalent **sequential** standard-library iterator. Call sites keep
+//! rayon's API shape (swap this crate for the real one to get
+//! parallelism back); all numerical results are identical because every
+//! kernel written against rayon is order-independent per element.
+
+/// Sequential stand-ins for `rayon::prelude`.
+pub mod prelude {
+    /// Parallel-iterator entry points on slices (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Per-element shared iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Non-overlapping chunks of length `n` (last may be shorter).
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// Mutable parallel-iterator entry points on slices (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Per-element exclusive iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Non-overlapping mutable chunks of length `n`.
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    /// Owning conversion into a (sequential) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into the iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(n)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(n)
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<std::vec::IntoIter<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<std::ops::Range<usize>>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        type Iter = ParIter<std::ops::Range<u32>>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self)
+        }
+    }
+
+    /// Owning "parallel" iterator. Delegates the standard [`Iterator`]
+    /// surface, and adds rayon's two-closure `fold`/`reduce` shape as
+    /// inherent methods (inherent methods win over the `Iterator`
+    /// methods of the same name, exactly the precedence we need).
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// rayon-style fold: one accumulator per "thread" (one, here).
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+        where
+            ID: Fn() -> T,
+            F: FnMut(T, I::Item) -> T,
+        {
+            let acc = Iterator::fold(self.0, identity(), fold_op);
+            ParIter(std::iter::once(acc))
+        }
+
+        /// rayon-style reduce with an identity maker.
+        pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            Iterator::fold(self.0, identity(), op)
+        }
+    }
+}
+
+/// Run two closures (sequentially here; rayon runs them in parallel).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_entry_points_match_std() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0];
+        let dot: f64 = xs.par_iter().zip(xs.par_iter()).map(|(a, b)| a * b).sum();
+        assert_eq!(dot, 30.0);
+        let mut ys = [0u32; 6];
+        ys.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for v in c {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(ys, [0, 0, 1, 1, 2, 2]);
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn rayon_shape_fold_reduce() {
+        let total: Vec<f64> = (0..10usize)
+            .into_par_iter()
+            .fold(
+                || vec![0.0; 2],
+                |mut acc, i| {
+                    acc[i % 2] += i as f64;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0; 2],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(total, vec![20.0, 25.0]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored serde facade.
+//!
+//! Supplies the `Serialize`/`Deserialize` trait names (as markers) and,
+//! under the `derive` feature, re-exports the no-op derive macros so
+//! `#[derive(Serialize, Deserialize)]` compiles without crates.io
+//! access. No serialisation is performed anywhere in this workspace.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

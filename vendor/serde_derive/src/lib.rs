@@ -1,0 +1,21 @@
+//! Offline vendored no-op derives for `Serialize`/`Deserialize`.
+//!
+//! The workspace derives serde traits on its model types for downstream
+//! consumers, but nothing in-tree serialises them (serde_json is an
+//! unused transitive dependency). With no crates.io access the real
+//! derive cannot be built, so these derives accept the same syntax —
+//! including `#[serde(...)]` attributes — and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,4 @@
+//! Offline vendored `serde_json` placeholder.
+//!
+//! The bench crate declares serde_json but no in-tree code calls it;
+//! this empty crate satisfies dependency resolution without crates.io.
