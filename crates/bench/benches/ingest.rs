@@ -3,6 +3,8 @@
 //! heap-allocation-free. Run the proof without timing via
 //! `cargo bench --bench ingest -- --test` (the CI smoke mode).
 
+// By-name TsDb paths are benchmarked deliberately against the id fast path.
+#![allow(deprecated)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use davide_telemetry::gateway::SampleFrame;
 use davide_telemetry::tsdb::TsDb;

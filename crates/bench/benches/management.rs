@@ -9,7 +9,8 @@ use davide_core::node::{ComputeNode, NodeLoad};
 use davide_core::units::{Seconds, Watts};
 use davide_predictor::{RandomForest, Regressor, RidgeRegression};
 use davide_sched::{
-    simulate, EasyBackfill, Fcfs, PowerPredictor, SimConfig, WorkloadConfig, WorkloadGenerator,
+    simulate, CapSchedule, EasyBackfill, Fcfs, PowerPredictor, SimConfig, WorkloadConfig,
+    WorkloadGenerator,
 };
 use std::hint::black_box;
 
@@ -87,7 +88,7 @@ fn bench_scheduler(c: &mut Criterion) {
                     simulate(
                         black_box(&trace),
                         &mut EasyBackfill::power_aware(),
-                        SimConfig::davide().with_cap(cap, true),
+                        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), true),
                     )
                 });
             },

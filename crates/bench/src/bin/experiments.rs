@@ -5,11 +5,16 @@
 //!   cargo run -p davide-bench --release --bin experiments          # all
 //!   cargo run -p davide-bench --release --bin experiments e3 e11   # some
 //!   cargo run -p davide-bench --release --bin experiments --list
+//!   cargo run ... --bin experiments --smoke e22   # CI-sized variant
 
 use davide_bench::registry;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        std::env::set_var(davide_bench::experiments::controlplane::SMOKE_ENV, "1");
+    }
     let experiments = registry();
 
     if args.iter().any(|a| a == "--list") {

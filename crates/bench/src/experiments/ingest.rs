@@ -158,7 +158,8 @@ pub fn e21() {
         }
         let dt = t.elapsed().as_secs_f64();
         results.push(("interned id, per-sample append_id", dt));
-        assert_eq!(db.count(&power_topic(0, "node")), per_series);
+        let id = db.lookup(&power_topic(0, "node")).expect("series exists");
+        assert_eq!(db.count_id(id), per_series);
     }
 
     // Frame-bulk: one append_frame_id per frame.
@@ -171,11 +172,11 @@ pub fn e21() {
         }
         let dt = t.elapsed().as_secs_f64();
         results.push(("frame-bulk append_frame_id", dt));
-        assert_eq!(db.count(&power_topic(0, "node")), per_series);
+        let id = db.lookup(&power_topic(0, "node")).expect("series exists");
+        assert_eq!(db.count_id(id), per_series);
         // Sanity: the fast path stored the data the queries expect.
-        spot_mean = db
-            .mean(&power_topic(7, "gpu0"), Resolution::Raw, 0.0, 1e9)
-            .unwrap();
+        let gpu = db.lookup(&power_topic(7, "gpu0")).expect("series exists");
+        spot_mean = db.mean_id(gpu, Resolution::Raw, 0.0, 1e9).unwrap();
     }
 
     // Frame-bulk into the sharded store (rayon fan-out shape).

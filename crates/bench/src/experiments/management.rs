@@ -7,10 +7,10 @@ use davide_core::capping::{evaluate, PiCapController, RaplWindow};
 use davide_core::node::{ComputeNode, NodeLoad};
 use davide_core::rng::Rng;
 use davide_core::units::{Seconds, Watts};
-use davide_predictor::{KnnRegressor, RandomForest, RegressionTree, RidgeRegression, RlsPredictor};
+use davide_predictor::{ModelKind, RlsPredictor};
 use davide_sched::{
-    report, simulate, EasyBackfill, EnergyLedger, Fcfs, PowerPredictor, SimConfig, SimReport,
-    Tariff, WorkloadConfig, WorkloadGenerator,
+    report, simulate, CapSchedule, EasyBackfill, EnergyLedger, Fcfs, PowerPredictor, SimConfig,
+    SimReport, Tariff, WorkloadConfig, WorkloadGenerator,
 };
 
 /// E9 — node power capping: cap sweep, settle time, QoS cost, and the
@@ -67,20 +67,20 @@ pub fn e10() {
     let all = gen.trace(6000);
     let (train_full, test) = all.split_at(5000);
 
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>12}",
-        "history", "ridge MAPE", "knn MAPE", "tree MAPE", "forest MAPE"
-    );
+    // Every model family behind the runtime-selectable ModelKind API.
+    print!("{:>10}", "history");
+    for kind in ModelKind::ALL {
+        print!(" {:>12}", format!("{} MAPE", kind.name()));
+    }
+    println!();
     for hist in [100usize, 500, 2000, 5000] {
         let train = &train_full[train_full.len() - hist..];
-        let ridge = PowerPredictor::train(RidgeRegression::new(1.0), train, 24).mape_on(test);
-        let knn = PowerPredictor::train(KnnRegressor::new(7), train, 24).mape_on(test);
-        let tree = PowerPredictor::train(RegressionTree::new(8, 5), train, 24).mape_on(test);
-        let forest = PowerPredictor::train(RandomForest::new(20, 8, 5, 7), train, 24).mape_on(test);
-        println!(
-            "{:>10} {:>10.2} % {:>10.2} % {:>10.2} % {:>10.2} %",
-            hist, ridge, knn, tree, forest
-        );
+        print!("{hist:>10}");
+        for kind in ModelKind::ALL {
+            let mape = PowerPredictor::from_kind(kind, train, 24).mape_on(test);
+            print!(" {:>10.2} %", mape);
+        }
+        println!();
     }
 
     // Streaming variant: the management node retrains as the accounting
@@ -115,7 +115,7 @@ fn run_policies(trace_len: usize, cap_kw: f64, seed: u64) -> Vec<SimReport> {
     let mut gen = WorkloadGenerator::new(cfg, seed);
     let history = gen.trace(2000);
     let mut trace = gen.trace(trace_len);
-    let predictor = PowerPredictor::train(RidgeRegression::new(1.0), &history, 24);
+    let predictor = PowerPredictor::from_kind(ModelKind::linreg(), &history, 24);
     predictor.annotate(&mut trace);
     let cap = cap_kw * 1000.0;
     vec![
@@ -128,17 +128,17 @@ fn run_policies(trace_len: usize, cap_kw: f64, seed: u64) -> Vec<SimReport> {
         report(&simulate(
             &trace,
             &mut EasyBackfill::new(),
-            SimConfig::davide().with_cap(cap, true),
+            SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), true),
         )),
         report(&simulate(
             &trace,
             &mut EasyBackfill::power_aware(),
-            SimConfig::davide().with_cap(cap, false),
+            SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), false),
         )),
         report(&simulate(
             &trace,
             &mut EasyBackfill::power_aware(),
-            SimConfig::davide().with_cap(cap, true),
+            SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), true),
         )),
     ]
 }
@@ -185,7 +185,7 @@ pub fn e11() {
     let mut gen = WorkloadGenerator::new(cfg, 21);
     let history = gen.trace(2000);
     let mut trace = gen.trace(400);
-    PowerPredictor::train(RidgeRegression::new(1.0), &history, 24).annotate(&mut trace);
+    PowerPredictor::from_kind(ModelKind::linreg(), &history, 24).annotate(&mut trace);
     println!(
         "{:>14} {:>12} {:>12} {:>12}",
         "aging bound", "mean wait", "p95 wait", "max slowdown"
@@ -198,7 +198,7 @@ pub fn e11() {
         let out = simulate(
             &trace,
             &mut policy,
-            SimConfig::davide().with_cap(60_000.0, true),
+            SimConfig::davide().with_cap_schedule(CapSchedule::constant(60_000.0), true),
         );
         let r = report(&out);
         let max_slow = out
@@ -220,10 +220,13 @@ pub fn e11() {
     // Ablation 2: MS3-style day/night envelope ([15]).
     println!("\nMS3 day/night-envelope ablation (day 55 kW / night 75 kW vs flat):");
     for (label, cfg) in [
-        ("flat 65 kW", SimConfig::davide().with_cap(65_000.0, true)),
+        (
+            "flat 65 kW",
+            SimConfig::davide().with_cap_schedule(CapSchedule::constant(65_000.0), true),
+        ),
         (
             "55 kW day / 75 kW night",
-            SimConfig::davide().with_day_night_cap(55_000.0, 75_000.0, true),
+            SimConfig::davide().with_cap_schedule(CapSchedule::day_night(55_000.0, 75_000.0), true),
         ),
     ] {
         let out = simulate(&trace, &mut EasyBackfill::power_aware(), cfg);
@@ -334,7 +337,7 @@ pub fn f4() {
     let cfg = WorkloadConfig::default();
     let mut gen = WorkloadGenerator::new(cfg, 1);
     let history = gen.trace(1500);
-    let predictor = PowerPredictor::train(RidgeRegression::new(1.0), &history, 24);
+    let predictor = PowerPredictor::from_kind(ModelKind::linreg(), &history, 24);
     println!("EP: ridge predictor trained on {} jobs", history.len());
 
     // 2. Schedule a new trace under the envelope.
@@ -343,7 +346,7 @@ pub fn f4() {
     let out = simulate(
         &trace,
         &mut EasyBackfill::power_aware(),
-        SimConfig::davide().with_cap(70_000.0, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(70_000.0), true),
     );
     let r = report(&out);
     println!(

@@ -2,6 +2,7 @@
 //! reproduce.
 
 pub mod applications;
+pub mod controlplane;
 pub mod ingest;
 pub mod management;
 pub mod monitoring;

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E21, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E22, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -14,7 +14,7 @@ pub mod experiments;
 
 /// One experiment: id, title, and the function that prints its report.
 pub struct Experiment {
-    /// Identifier (`e1`…`e21`, `f1`, `f4`).
+    /// Identifier (`e1`…`e22`, `f1`, `f4`).
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
@@ -130,6 +130,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e21",
             title: "Telemetry ingest throughput (EG → MQTT → TsDb)",
             run: ingest::e21,
+        },
+        Experiment {
+            id: "e22",
+            title: "Closed-loop power control plane (Fig. 4)",
+            run: controlplane::e22,
         },
         Experiment {
             id: "f1",

@@ -118,6 +118,135 @@ impl PiCapController {
     }
 }
 
+/// A cap controller over an abstract speed ladder, decoupled from
+/// [`ComputeNode`]: the control plane runs one per node against
+/// telemetry-measured power, commanding a speed factor the plant applies.
+///
+/// Semantics per control period:
+///
+/// * sustained overcap (error above the hysteresis band for
+///   `sustain_s`) steps one rung **down** the ladder;
+/// * sustained headroom steps **up** only when the projected power at
+///   the higher rung still clears `cap − band` (the probe-up guard that
+///   prevents limit-cycling);
+/// * the error integral is clamped (anti-windup) and zeroed on
+///   retargeting, so a long overcap episode cannot keep the node
+///   throttled after the cap relaxes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderCapController {
+    /// Power set point.
+    pub cap: Watts,
+    /// Hysteresis band: no action while within `±band` of the cap.
+    pub band: Watts,
+    /// Sustain time before a ladder move, seconds.
+    pub sustain_s: f64,
+    /// Clamp for the error integral (anti-windup), watt-seconds.
+    pub windup_limit: f64,
+    ladder: Vec<f64>,
+    level: usize,
+    integral: f64,
+    over_s: f64,
+    under_s: f64,
+}
+
+impl LadderCapController {
+    /// New controller over `ladder`, a descending list of speed factors
+    /// starting at 1.0 (nominal).
+    ///
+    /// # Panics
+    /// If the ladder is empty or not strictly descending from 1.0.
+    pub fn new(cap: Watts, ladder: Vec<f64>, band: Watts, sustain_s: f64) -> Self {
+        assert!(!ladder.is_empty(), "ladder cannot be empty");
+        assert!((ladder[0] - 1.0).abs() < 1e-9, "ladder starts at nominal");
+        assert!(
+            ladder.windows(2).all(|w| w[1] < w[0]),
+            "ladder must descend"
+        );
+        assert!(sustain_s >= 0.0);
+        LadderCapController {
+            cap,
+            band,
+            sustain_s,
+            windup_limit: 20.0 * band.0.max(1.0) * sustain_s.max(1.0),
+            ladder,
+            level: 0,
+            integral: 0.0,
+            over_s: 0.0,
+            under_s: 0.0,
+        }
+    }
+
+    /// Controller over the POWER8 perf-factor ladder (nominal down to
+    /// p-safe), the shape the D.A.V.I.D.E. nodes expose.
+    pub fn power8(cap: Watts, band: Watts, sustain_s: f64) -> Self {
+        let table = crate::dvfs::power8_table();
+        let ladder: Vec<f64> = (0..=table.nominal_index())
+            .rev()
+            .map(|i| table.perf_factor(i))
+            .collect();
+        Self::new(cap, ladder, band, sustain_s)
+    }
+
+    /// Current commanded speed factor.
+    pub fn speed(&self) -> f64 {
+        self.ladder[self.level]
+    }
+
+    /// Current ladder level (0 = nominal).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Clamped error integral, watt-seconds (diagnostics).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Retarget the set point; resets the integral and sustain counters
+    /// (anti-windup across cap changes).
+    pub fn set_cap(&mut self, cap: Watts) {
+        self.cap = cap;
+        self.integral = 0.0;
+        self.over_s = 0.0;
+        self.under_s = 0.0;
+    }
+
+    /// Feed one measurement covering `dt`; returns the ladder action
+    /// taken (−1 step down, 0 hold, +1 step up).
+    pub fn observe(&mut self, measured: Watts, dt: Seconds) -> i32 {
+        let error = measured.0 - self.cap.0; // positive ⇒ over cap
+        self.integral = (self.integral + error * dt.0).clamp(-self.windup_limit, self.windup_limit);
+
+        if error > self.band.0 {
+            self.over_s += dt.0;
+            self.under_s = 0.0;
+            if self.over_s >= self.sustain_s && self.level + 1 < self.ladder.len() {
+                self.level += 1;
+                self.over_s = 0.0;
+                return -1;
+            }
+        } else if error < -self.band.0 {
+            self.under_s += dt.0;
+            self.over_s = 0.0;
+            if self.under_s >= self.sustain_s && self.level > 0 {
+                self.under_s = 0.0;
+                // Probe-up guard: project power at the higher rung
+                // (dynamic draw scales with speed) and move only when it
+                // still clears the hysteresis margin.
+                let projected = measured.0 * self.ladder[self.level - 1] / self.ladder[self.level];
+                if projected < self.cap.0 - self.band.0 {
+                    self.level -= 1;
+                    return 1;
+                }
+            }
+        } else {
+            self.over_s = 0.0;
+            self.under_s = 0.0;
+        }
+        0
+    }
+}
+
 /// RAPL-style running-average power limit: the constraint is
 /// `mean(P over window) ≤ cap`, allowing short excursions above the cap
 /// as long as the window average holds.
@@ -331,5 +460,79 @@ mod tests {
         let q = evaluate(&[], Watts(10.0));
         assert_eq!(q.violation_fraction, 0.0);
         assert_eq!(q.settle_steps, 0);
+    }
+
+    fn ladder_ctl(cap_w: f64) -> LadderCapController {
+        // 2 s sustain, 50 W band over the POWER8 perf ladder.
+        LadderCapController::power8(Watts(cap_w), Watts(50.0), 2.0)
+    }
+
+    #[test]
+    fn ladder_steps_down_only_on_sustained_overcap() {
+        let mut ctl = ladder_ctl(1500.0);
+        // A single 1 s spike is inside the sustain window: no action.
+        assert_eq!(ctl.observe(Watts(1700.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.observe(Watts(1400.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.level(), 0, "transient spike tolerated");
+        // Sustained overcap crosses the threshold and throttles.
+        assert_eq!(ctl.observe(Watts(1700.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.observe(Watts(1700.0), Seconds(1.0)), -1);
+        assert_eq!(ctl.level(), 1);
+        assert!(ctl.speed() < 1.0);
+    }
+
+    #[test]
+    fn ladder_probe_up_guard_prevents_limit_cycle() {
+        let mut ctl = ladder_ctl(1500.0);
+        for _ in 0..4 {
+            ctl.observe(Watts(1800.0), Seconds(1.0));
+        }
+        assert!(ctl.level() > 0);
+        let level = ctl.level();
+        // 1400 W has real headroom, but stepping up projects ~1530 W —
+        // above cap − band, so the controller holds.
+        for _ in 0..8 {
+            let action = ctl.observe(Watts(1400.0), Seconds(1.0));
+            assert_eq!(action, 0, "projected power blocks the raise");
+        }
+        assert_eq!(ctl.level(), level);
+        // Deep headroom passes the projection and steps back up.
+        let mut raised = false;
+        for _ in 0..4 {
+            raised |= ctl.observe(Watts(1100.0), Seconds(1.0)) == 1;
+        }
+        assert!(raised, "sustained headroom raises the rung");
+    }
+
+    #[test]
+    fn ladder_integral_clamped_and_reset_on_retarget() {
+        let mut ctl = ladder_ctl(1500.0);
+        for _ in 0..10_000 {
+            ctl.observe(Watts(2300.0), Seconds(1.0));
+        }
+        assert!(
+            ctl.integral() <= ctl.windup_limit,
+            "anti-windup clamp holds"
+        );
+        assert_eq!(ctl.speed(), ctl.ladder[ctl.ladder.len() - 1]);
+        ctl.set_cap(Watts(2400.0));
+        assert_eq!(ctl.integral(), 0.0, "retarget discharges the integral");
+        // With the relaxed cap the node recovers to nominal promptly.
+        let mut steps = 0;
+        while ctl.level() > 0 && steps < 100 {
+            ctl.observe(Watts(1600.0), Seconds(1.0));
+            steps += 1;
+        }
+        assert_eq!(ctl.level(), 0, "recovers after relax");
+        assert!(steps <= 5 * 2 * 3, "no windup-induced stall: {steps} steps");
+    }
+
+    #[test]
+    fn ladder_floor_is_respected() {
+        let mut ctl = LadderCapController::new(Watts(500.0), vec![1.0, 0.7, 0.5], Watts(10.0), 0.0);
+        for _ in 0..10 {
+            ctl.observe(Watts(2000.0), Seconds(1.0));
+        }
+        assert_eq!(ctl.speed(), 0.5, "clamped at the ladder bottom");
     }
 }

@@ -21,6 +21,7 @@ pub mod forest;
 pub mod knn;
 pub mod linalg;
 pub mod linreg;
+pub mod model;
 pub mod online;
 pub mod tree;
 
@@ -39,5 +40,6 @@ pub use features::{FeatureEncoder, JobDescriptor};
 pub use forest::RandomForest;
 pub use knn::KnnRegressor;
 pub use linreg::RidgeRegression;
+pub use model::ModelKind;
 pub use online::RlsPredictor;
 pub use tree::RegressionTree;

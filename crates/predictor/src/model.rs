@@ -1,0 +1,166 @@
+//! Runtime model selection.
+//!
+//! The scheduler and the control plane pick a predictor family from
+//! configuration rather than at compile time: [`ModelKind`] names each
+//! family with its hyper-parameters and [`ModelKind::build`] returns a
+//! boxed [`Regressor`] ready to fit.
+
+use crate::forest::RandomForest;
+use crate::knn::KnnRegressor;
+use crate::linreg::RidgeRegression;
+use crate::online::RlsPredictor;
+use crate::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// A predictor family plus its hyper-parameters, selectable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Ridge regression with L2 penalty `lambda`.
+    Linreg {
+        /// Regularisation strength λ ≥ 0.
+        lambda: f64,
+    },
+    /// Bagged regression forest.
+    Forest {
+        /// Number of trees.
+        trees: usize,
+        /// Maximum tree depth.
+        max_depth: usize,
+        /// Minimum samples per leaf.
+        min_leaf: usize,
+        /// Bootstrap seed.
+        seed: u64,
+    },
+    /// k-nearest-neighbour regression.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// Online recursive least squares with forgetting factor `lambda`
+    /// and prior covariance scale `delta`.
+    Online {
+        /// Forgetting factor λ ∈ (0.5, 1].
+        lambda: f64,
+        /// Initial covariance `P = δ·I`.
+        delta: f64,
+    },
+}
+
+impl ModelKind {
+    /// The four families at their default hyper-parameters, in the
+    /// order experiments report them.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Linreg { lambda: 1.0 },
+        ModelKind::Forest {
+            trees: 30,
+            max_depth: 8,
+            min_leaf: 4,
+            seed: 11,
+        },
+        ModelKind::Knn { k: 7 },
+        ModelKind::Online {
+            lambda: 0.995,
+            delta: 1000.0,
+        },
+    ];
+
+    /// Default ridge model.
+    pub fn linreg() -> Self {
+        Self::ALL[0]
+    }
+
+    /// Default forest model.
+    pub fn forest() -> Self {
+        Self::ALL[1]
+    }
+
+    /// Default k-NN model.
+    pub fn knn() -> Self {
+        Self::ALL[2]
+    }
+
+    /// Default online RLS model.
+    pub fn online() -> Self {
+        Self::ALL[3]
+    }
+
+    /// Short family name, matching [`Regressor::name`] of the built model.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Linreg { .. } => "ridge",
+            ModelKind::Forest { .. } => "forest",
+            ModelKind::Knn { .. } => "knn",
+            ModelKind::Online { .. } => "rls",
+        }
+    }
+
+    /// Parse a family name (`linreg`/`ridge`, `forest`, `knn`,
+    /// `online`/`rls`) at default hyper-parameters.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "linreg" | "ridge" => Some(Self::linreg()),
+            "forest" => Some(Self::forest()),
+            "knn" => Some(Self::knn()),
+            "online" | "rls" => Some(Self::online()),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the model behind an object-safe [`Regressor`].
+    pub fn build(&self) -> Box<dyn Regressor> {
+        match *self {
+            ModelKind::Linreg { lambda } => Box::new(RidgeRegression::new(lambda)),
+            ModelKind::Forest {
+                trees,
+                max_depth,
+                min_leaf,
+                seed,
+            } => Box::new(RandomForest::new(trees, max_depth, min_leaf, seed)),
+            ModelKind::Knn { k } => Box::new(KnnRegressor::new(k)),
+            ModelKind::Online { lambda, delta } => Box::new(RlsPredictor::new(1, lambda, delta)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<f64>, usize, usize, Vec<f64>) {
+        // y = 3a + 2 on a 1-D grid with a bias column.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = i as f64 / 10.0;
+            x.extend_from_slice(&[a, 1.0]);
+            y.push(3.0 * a + 2.0);
+        }
+        (x, 40, 2, y)
+    }
+
+    #[test]
+    fn every_kind_builds_fits_and_predicts() {
+        let (x, rows, cols, y) = toy();
+        for kind in ModelKind::ALL {
+            let mut model = kind.build();
+            model.fit(&x, rows, cols, &y);
+            let pred = model.predict(&[2.0, 1.0]);
+            assert!(
+                (pred - 8.0).abs() < 1.5,
+                "{} predicted {pred}",
+                model.name()
+            );
+            assert_eq!(model.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("linreg"), Some(ModelKind::linreg()));
+        assert_eq!(ModelKind::parse("online"), Some(ModelKind::online()));
+        assert_eq!(ModelKind::parse("nope"), None);
+    }
+}

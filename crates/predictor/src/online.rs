@@ -6,6 +6,7 @@
 //! counterpart of the batch ridge model: each completed job updates the
 //! weights in O(d²) without refitting.
 
+use crate::Regressor;
 use serde::{Deserialize, Serialize};
 
 /// Recursive least squares with exponential forgetting.
@@ -47,6 +48,20 @@ impl RlsPredictor {
     /// Feature dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Re-initialise to dimension `dim` with prior covariance `P = δ·I`,
+    /// discarding weights and the update counter; λ is kept.
+    pub fn reset(&mut self, dim: usize, delta: f64) {
+        assert!(dim >= 1);
+        assert!(delta > 0.0);
+        self.dim = dim;
+        self.w = vec![0.0; dim];
+        self.p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            self.p[i * dim + i] = delta;
+        }
+        self.updates = 0;
     }
 
     /// Number of updates absorbed.
@@ -108,6 +123,28 @@ impl RlsPredictor {
             }
         }
         100.0 * acc / n.max(1) as f64
+    }
+}
+
+impl Regressor for RlsPredictor {
+    /// Batch fit = reset to the design-matrix width and absorb the rows
+    /// in one streaming pass, so an [`RlsPredictor`] can stand in
+    /// wherever a batch model is expected and then keep learning online.
+    fn fit(&mut self, x: &[f64], rows: usize, cols: usize, y: &[f64]) {
+        assert_eq!(x.len(), rows * cols);
+        assert_eq!(y.len(), rows);
+        self.reset(cols, 1000.0);
+        for (row, &target) in x.chunks_exact(cols).zip(y) {
+            self.update(row, target);
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        RlsPredictor::predict(self, features)
+    }
+
+    fn name(&self) -> &'static str {
+        "rls"
     }
 }
 

@@ -111,6 +111,7 @@ impl EnergyLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cap::CapSchedule;
     use crate::job::Job;
     use crate::policy::Fcfs;
     use crate::simulator::{simulate, SimConfig};
@@ -143,8 +144,7 @@ mod tests {
         let cfg = SimConfig {
             total_nodes: 8,
             idle_node_power_w: 350.0,
-            power_cap_w: None,
-            night_cap_w: None,
+            cap: CapSchedule::Unlimited,
             reactive_capping: false,
             min_speed: 0.35,
             placement: None,

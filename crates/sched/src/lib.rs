@@ -13,12 +13,17 @@
 //! * [`simulator`] — event-driven cluster simulation with reactive DVFS
 //!   capping;
 //! * [`power_predictor`] — the trained "EP" models feeding the dispatcher;
+//! * [`cap`] — time-varying facility power envelopes ([`CapSchedule`]);
+//! * [`controlplane`] — the live closed loop: telemetry → predictor →
+//!   dispatcher → per-node capping (Fig. 4 of the paper);
 //! * [`accounting`] — per-job/per-user energy ledger ("EA");
 //! * [`metrics`] — report rows for the E11/E12 experiment tables.
 
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod cap;
+pub mod controlplane;
 pub mod job;
 pub mod metrics;
 pub mod partition;
@@ -29,11 +34,13 @@ pub mod simulator;
 pub mod workload;
 
 pub use accounting::{EnergyLedger, Tariff};
+pub use cap::CapSchedule;
+pub use controlplane::{ControlMode, ControlPlane, ControlPlaneConfig, ControlPlaneReport};
 pub use job::{Job, JobId, JobState};
 pub use metrics::{report, SimReport};
 pub use partition::{davide_partitions, Partition, PartitionedQueue};
 pub use placement::{NodePool, PlacementStrategy};
 pub use policy::{ClusterView, EasyBackfill, Fcfs, Policy};
-pub use power_predictor::PowerPredictor;
+pub use power_predictor::{OnlinePowerPredictor, PowerPredictor};
 pub use simulator::{simulate, SimConfig, SimOutcome};
 pub use workload::{WorkloadConfig, WorkloadGenerator};

@@ -8,6 +8,7 @@
 //! stretches running jobs, the §III-A2 "performance loss and SLA
 //! violation" that proactive dispatch avoids.
 
+use crate::cap::CapSchedule;
 use crate::job::{Job, JobId, JobState};
 use crate::placement::{NodePool, PlacementStrategy};
 use crate::policy::{ClusterView, Policy, RunningSummary};
@@ -21,12 +22,9 @@ pub struct SimConfig {
     pub total_nodes: u32,
     /// Idle draw per node, watts.
     pub idle_node_power_w: f64,
-    /// Facility power envelope, watts.
-    pub power_cap_w: Option<f64>,
-    /// MS3-style night-time envelope ([15] "do less when it's too hot"):
-    /// when set, `power_cap_w` applies 08:00–20:00 and this value for
-    /// the remaining (cool/cheap) hours.
-    pub night_cap_w: Option<f64>,
+    /// Facility power envelope over time (constant, day/night pair or
+    /// piecewise profile).
+    pub cap: CapSchedule,
     /// Throttle running jobs when actual power exceeds the cap.
     pub reactive_capping: bool,
     /// Throttle floor (DVFS ladder bottom).
@@ -42,8 +40,7 @@ impl SimConfig {
         SimConfig {
             total_nodes: 45,
             idle_node_power_w: 350.0,
-            power_cap_w: None,
-            night_cap_w: None,
+            cap: CapSchedule::Unlimited,
             reactive_capping: false,
             min_speed: 0.35,
             placement: None,
@@ -56,48 +53,43 @@ impl SimConfig {
         self
     }
 
-    /// Arm a power cap.
-    pub fn with_cap(mut self, cap_w: f64, reactive: bool) -> Self {
-        self.power_cap_w = Some(cap_w);
+    /// Arm a power envelope.
+    pub fn with_cap_schedule(mut self, cap: CapSchedule, reactive: bool) -> Self {
+        self.cap = cap;
         self.reactive_capping = reactive;
         self
+    }
+
+    /// Arm a constant power cap.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use with_cap_schedule(CapSchedule::constant(..))"
+    )]
+    pub fn with_cap(self, cap_w: f64, reactive: bool) -> Self {
+        self.with_cap_schedule(CapSchedule::constant(cap_w), reactive)
     }
 
     /// Arm a day/night cap pair (MS3-style, [15]): `day_w` during
     /// 08:00–20:00, `night_w` otherwise.
-    pub fn with_day_night_cap(mut self, day_w: f64, night_w: f64, reactive: bool) -> Self {
-        self.power_cap_w = Some(day_w);
-        self.night_cap_w = Some(night_w);
-        self.reactive_capping = reactive;
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use with_cap_schedule(CapSchedule::day_night(..))"
+    )]
+    pub fn with_day_night_cap(self, day_w: f64, night_w: f64, reactive: bool) -> Self {
+        self.with_cap_schedule(CapSchedule::day_night(day_w, night_w), reactive)
     }
 
     /// The envelope in force at simulated time `t_s`.
+    #[deprecated(since = "0.2.0", note = "use config.cap.cap_at(t_s)")]
     pub fn cap_at(&self, t_s: f64) -> Option<f64> {
-        match (self.power_cap_w, self.night_cap_w) {
-            (Some(day), Some(night)) => {
-                let hour = (t_s / 3600.0).rem_euclid(24.0);
-                Some(if (8.0..20.0).contains(&hour) {
-                    day
-                } else {
-                    night
-                })
-            }
-            (cap, _) => cap,
-        }
+        self.cap.cap_at(t_s)
     }
 
     /// The next instant strictly after `t_s` at which the envelope
-    /// changes (08:00/20:00 boundaries); `None` without a day/night cap.
+    /// changes; `None` for a static envelope.
+    #[deprecated(since = "0.2.0", note = "use config.cap.next_cap_boundary(t_s)")]
     pub fn next_cap_boundary(&self, t_s: f64) -> Option<f64> {
-        self.night_cap_w?;
-        let day = (t_s / 86_400.0).floor();
-        let candidates = [
-            day * 86_400.0 + 8.0 * 3600.0,
-            day * 86_400.0 + 20.0 * 3600.0,
-            (day + 1.0) * 86_400.0 + 8.0 * 3600.0,
-        ];
-        candidates.into_iter().find(|&c| c > t_s + 1e-6)
+        self.cap.next_cap_boundary(t_s)
     }
 }
 
@@ -146,13 +138,15 @@ pub struct SimOutcome {
 /// Run `trace` (submission-ordered) under `policy`.
 ///
 /// ```
-/// use davide_sched::{simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator};
+/// use davide_sched::{
+///     simulate, CapSchedule, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
+/// };
 ///
 /// let trace = WorkloadGenerator::new(WorkloadConfig::default(), 1).trace(20);
 /// let out = simulate(
 ///     &trace,
 ///     &mut EasyBackfill::power_aware(),
-///     SimConfig::davide().with_cap(70_000.0, true),
+///     SimConfig::davide().with_cap_schedule(CapSchedule::constant(70_000.0), true),
 /// );
 /// assert_eq!(out.completed.len(), 20);
 /// assert_eq!(out.overcap_time_fraction(), 0.0);
@@ -198,7 +192,7 @@ pub fn simulate(trace: &[Job], policy: &mut dyn Policy, config: SimConfig) -> Si
             .map(|r| r.job.nodes as f64 * (r.job.true_power_w - cfg.idle_node_power_w))
             .sum::<f64>()
             .max(0.0);
-        match (cfg.cap_at(now), cfg.reactive_capping) {
+        match (cfg.cap.cap_at(now), cfg.reactive_capping) {
             (Some(cap), true) if extra > 0.0 && base_idle + extra > cap => {
                 ((cap - base_idle) / extra).clamp(cfg.min_speed, 1.0)
             }
@@ -219,7 +213,7 @@ pub fn simulate(trace: &[Job], policy: &mut dyn Policy, config: SimConfig) -> Si
         // start when the envelope relaxes (and throttling can re-engage
         // when it tightens).
         let next_boundary = if !queue.is_empty() || !running.is_empty() {
-            config.next_cap_boundary(now)
+            config.cap.next_cap_boundary(now)
         } else {
             None
         };
@@ -288,7 +282,7 @@ pub fn simulate(trace: &[Job], policy: &mut dyn Policy, config: SimConfig) -> Si
                     predicted_power_w: r.job.predicted_total_power(),
                 })
                 .collect(),
-            power_cap_w: config.cap_at(now),
+            power_cap_w: config.cap.cap_at(now),
             idle_node_power_w: config.idle_node_power_w,
         };
         let starts = policy.select(&queue, &view);
@@ -367,7 +361,7 @@ impl SimOutcome {
     /// Fraction of time the system exceeded the (possibly time-varying)
     /// cap.
     pub fn overcap_time_fraction(&self) -> f64 {
-        if self.config.power_cap_w.is_none() {
+        if self.config.cap.is_unlimited() {
             return 0.0;
         }
         let total: f64 = self.timeline.iter().map(|s| s.t1 - s.t0).sum();
@@ -379,6 +373,7 @@ impl SimOutcome {
             .iter()
             .filter(|s| {
                 self.config
+                    .cap
                     .cap_at(s.t0)
                     .is_some_and(|cap| s.watts > cap + 1e-6)
             })
@@ -389,13 +384,13 @@ impl SimOutcome {
 
     /// Energy above the cap, joules (what the facility breaker sees).
     pub fn overcap_energy_j(&self) -> f64 {
-        if self.config.power_cap_w.is_none() {
+        if self.config.cap.is_unlimited() {
             return 0.0;
         }
         self.timeline
             .iter()
             .map(|s| {
-                let cap = self.config.cap_at(s.t0).unwrap_or(f64::INFINITY);
+                let cap = self.config.cap.cap_at(s.t0).unwrap_or(f64::INFINITY);
                 ((s.watts - cap).max(0.0)) * (s.t1 - s.t0)
             })
             .sum()
@@ -439,12 +434,15 @@ mod tests {
         SimConfig {
             total_nodes: 8,
             idle_node_power_w: 350.0,
-            power_cap_w: None,
-            night_cap_w: None,
+            cap: CapSchedule::Unlimited,
             reactive_capping: false,
             min_speed: 0.35,
             placement: None,
         }
+    }
+
+    fn constant_cap(cap_w: f64, reactive: bool) -> SimConfig {
+        small_config().with_cap_schedule(CapSchedule::constant(cap_w), reactive)
     }
 
     #[test]
@@ -515,7 +513,7 @@ mod tests {
         // throttling. base idle = 2.8 kW, extra = 8×1650 = 13.2 kW;
         // speed = (12000−2800)/13200 ≈ 0.697.
         let trace = vec![job(1, 8, 0.0, 2000.0, 700.0, 2000.0)];
-        let capped = small_config().with_cap(12_000.0, true);
+        let capped = constant_cap(12_000.0, true);
         let out = simulate(&trace, &mut Fcfs, capped);
         let j = &out.completed[0];
         let runtime = j.end_s.unwrap() - j.start_s.unwrap();
@@ -530,7 +528,7 @@ mod tests {
     #[test]
     fn without_reactive_capping_cap_is_violated() {
         let trace = vec![job(1, 8, 0.0, 2000.0, 700.0, 2000.0)];
-        let capped = small_config().with_cap(12_000.0, false);
+        let capped = constant_cap(12_000.0, false);
         let out = simulate(&trace, &mut Fcfs, capped);
         assert!(out.overcap_time_fraction() > 0.5);
         assert!(out.overcap_energy_j() > 0.0);
@@ -568,23 +566,21 @@ mod tests {
 
     #[test]
     fn day_night_cap_schedule() {
-        let cfg = small_config().with_day_night_cap(10_000.0, 20_000.0, true);
+        let cfg =
+            small_config().with_cap_schedule(CapSchedule::day_night(10_000.0, 20_000.0), true);
         // 09:00 → day cap; 23:00 → night cap.
-        assert_eq!(cfg.cap_at(9.0 * 3600.0), Some(10_000.0));
-        assert_eq!(cfg.cap_at(23.0 * 3600.0), Some(20_000.0));
-        assert_eq!(cfg.cap_at(86_400.0 + 3.0 * 3600.0), Some(20_000.0));
+        assert_eq!(cfg.cap.cap_at(9.0 * 3600.0), Some(10_000.0));
+        assert_eq!(cfg.cap.cap_at(23.0 * 3600.0), Some(20_000.0));
+        assert_eq!(cfg.cap.cap_at(86_400.0 + 3.0 * 3600.0), Some(20_000.0));
         // Boundaries are the next 08:00/20:00 after t.
-        assert_eq!(cfg.next_cap_boundary(0.0), Some(8.0 * 3600.0));
-        assert_eq!(cfg.next_cap_boundary(9.0 * 3600.0), Some(20.0 * 3600.0));
+        assert_eq!(cfg.cap.next_cap_boundary(0.0), Some(8.0 * 3600.0));
+        assert_eq!(cfg.cap.next_cap_boundary(9.0 * 3600.0), Some(20.0 * 3600.0));
         assert_eq!(
-            cfg.next_cap_boundary(21.0 * 3600.0),
+            cfg.cap.next_cap_boundary(21.0 * 3600.0),
             Some(86_400.0 + 8.0 * 3600.0)
         );
         // Static config has no boundaries.
-        assert_eq!(
-            small_config().with_cap(1.0, true).next_cap_boundary(0.0),
-            None
-        );
+        assert_eq!(constant_cap(1.0, true).cap.next_cap_boundary(0.0), None);
     }
 
     #[test]
@@ -597,13 +593,9 @@ mod tests {
         let day_night = simulate(
             &[hot(1)],
             &mut Fcfs,
-            small_config().with_day_night_cap(12_000.0, 30_000.0, true),
+            small_config().with_cap_schedule(CapSchedule::day_night(12_000.0, 30_000.0), true),
         );
-        let always_tight = simulate(
-            &[hot(1)],
-            &mut Fcfs,
-            small_config().with_cap(12_000.0, true),
-        );
+        let always_tight = simulate(&[hot(1)], &mut Fcfs, constant_cap(12_000.0, true));
         let end_dn = day_night.completed[0].end_s.unwrap();
         let end_tight = always_tight.completed[0].end_s.unwrap();
         assert!(
@@ -644,12 +636,12 @@ mod tests {
         let plain = simulate(
             &trace,
             &mut EasyBackfill::power_aware(),
-            small_config().with_cap(cap, true),
+            constant_cap(cap, true),
         );
         let aged = simulate(
             &trace,
             &mut EasyBackfill::power_aware().with_aging(500.0),
-            small_config().with_cap(cap, true),
+            constant_cap(cap, true),
         );
         let wait = |out: &SimOutcome| {
             out.completed

@@ -15,8 +15,9 @@
 //! * **Interned series handles.** [`TsDb::resolve`] interns a series
 //!   name once and returns a copyable [`SeriesId`]; all appends and
 //!   queries can then go through the `_id` methods, which never hash a
-//!   string or allocate. The string-keyed methods remain as thin shims
-//!   (lookup by `&str`, no `to_string` unless the series is new).
+//!   string or allocate. The string-keyed methods remain as thin
+//!   `#[deprecated]` shims (lookup by `&str`, no `to_string` unless the
+//!   series is new) for one release.
 //! * **Columnar rings.** Each series stores timestamps (`f64`) and
 //!   values (`f32`) in separate ring buffers, halving raw-sample memory
 //!   versus `(f64, f64)` pairs and making bulk copies cache-friendly.
@@ -337,6 +338,7 @@ impl TsDb {
     }
 
     /// Append one observation by name (resolves, then [`Self::append_id`]).
+    #[deprecated(since = "0.2.0", note = "resolve() once and use append_id")]
     pub fn append(&mut self, key: &str, t: f64, v: f64) {
         let id = self.resolve(key);
         self.append_id(id, t, v);
@@ -368,6 +370,7 @@ impl TsDb {
     }
 
     /// Bulk-append a frame by name (resolves, then [`Self::append_frame_id`]).
+    #[deprecated(since = "0.2.0", note = "resolve() once and use append_frame_id")]
     pub fn append_frame(&mut self, key: &str, t0: f64, dt: f64, values: &[f32]) {
         let id = self.resolve(key);
         self.append_frame_id(id, t0, dt, values);
@@ -394,6 +397,7 @@ impl TsDb {
     }
 
     /// Total observations absorbed for a series.
+    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use count_id")]
     pub fn count(&self, key: &str) -> u64 {
         self.lookup(key).map_or(0, |id| self.count_id(id))
     }
@@ -404,10 +408,21 @@ impl TsDb {
     }
 
     /// Range query at a resolution.
+    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use query_id")]
     pub fn query(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
         match self.lookup(key) {
             Some(id) => self.query_id(id, res, t0, t1),
             None => Vec::new(),
+        }
+    }
+
+    /// Latest raw observation of a series, if any — the staleness probe
+    /// the control plane runs per node before trusting telemetry.
+    pub fn last_id(&self, id: SeriesId) -> Option<Point> {
+        let raw = &self.series[id.index()].raw;
+        match (raw.ts.back(), raw.vs.back()) {
+            (Some(&t), Some(&v)) => Some(Point { t, v: v.to_f64() }),
+            _ => None,
         }
     }
 
@@ -422,8 +437,15 @@ impl TsDb {
     }
 
     /// Mean of a series over a window at a resolution (no allocation).
+    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use mean_id")]
     pub fn mean(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
         let id = self.lookup(key)?;
+        self.mean_id(id, res, t0, t1)
+    }
+
+    /// Mean of a series over a window at a resolution, by interned id
+    /// (no allocation).
+    pub fn mean_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
         let s = &self.series[id.index()];
         let (sum, n) = match res {
             Resolution::Raw => {
@@ -447,10 +469,17 @@ impl TsDb {
     /// Energy (rectangle rule over raw points' spacing) in a window —
     /// the accounting query. Windows with fewer than two raw points
     /// integrate to 0. No allocation.
+    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use energy_j_id")]
     pub fn energy_j(&self, key: &str, t0: f64, t1: f64) -> f64 {
         let Some(id) = self.lookup(key) else {
             return 0.0;
         };
+        self.energy_j_id(id, t0, t1)
+    }
+
+    /// Energy in a window by interned id (rectangle rule over raw
+    /// points' spacing). No allocation.
+    pub fn energy_j_id(&self, id: SeriesId, t0: f64, t1: f64) -> f64 {
         let raw = &self.series[id.index()].raw;
         let (a, b) = raw.bounds(t0, t1);
         if b - a < 2 {
@@ -471,6 +500,9 @@ impl TsDb {
 
 #[cfg(test)]
 mod tests {
+    // The shims stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]
@@ -681,6 +713,25 @@ mod tests {
         assert_eq!(db.energy_j("s", 1.5, 10.0), 0.0);
         assert!((db.energy_j("s", 0.0, 10.0) - 1000.0).abs() < 1e-9);
         assert_eq!(db.energy_j("missing", 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn id_queries_match_string_shims() {
+        let mut db = TsDb::new();
+        let id = db.resolve("s");
+        for i in 0..=100 {
+            db.append_id(id, i as f64 * 0.01, 1500.0);
+        }
+        assert_eq!(
+            db.mean_id(id, Resolution::Raw, 0.0, 2.0),
+            db.mean("s", Resolution::Raw, 0.0, 2.0)
+        );
+        assert_eq!(db.energy_j_id(id, 0.0, 2.0), db.energy_j("s", 0.0, 2.0));
+        let last = db.last_id(id).unwrap();
+        assert_eq!(last.t, 1.0);
+        assert_eq!(last.v, 1500.0);
+        let empty = db.resolve("empty");
+        assert_eq!(db.last_id(empty), None);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example power_capped_cluster`
 
-use davide::predictor::RidgeRegression;
+use davide::predictor::ModelKind;
 use davide::sched::{
-    report, simulate, EasyBackfill, EnergyLedger, Fcfs, PowerPredictor, SimConfig, SimReport,
-    Tariff, WorkloadConfig, WorkloadGenerator,
+    report, simulate, CapSchedule, EasyBackfill, EnergyLedger, Fcfs, PowerPredictor, SimConfig,
+    SimReport, Tariff, WorkloadConfig, WorkloadGenerator,
 };
 
 fn row(r: &SimReport) {
@@ -37,7 +37,7 @@ fn main() {
     let history = gen.trace(2000);
     let mut trace = gen.trace(500);
 
-    let predictor = PowerPredictor::train(RidgeRegression::new(1.0), &history, 24);
+    let predictor = PowerPredictor::from_kind(ModelKind::linreg(), &history, 24);
     println!(
         "trained ridge power predictor on {} historical jobs — MAPE {:.1} % on the new trace",
         history.len(),
@@ -67,19 +67,19 @@ fn main() {
     row(&report(&simulate(
         &trace,
         &mut EasyBackfill::new(),
-        SimConfig::davide().with_cap(cap_w, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap_w), true),
     )));
     // Proactive-only: predictor-driven admission control.
     row(&report(&simulate(
         &trace,
         &mut EasyBackfill::power_aware(),
-        SimConfig::davide().with_cap(cap_w, false),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap_w), false),
     )));
     // Combined (the D.A.V.I.D.E. design): proactive + reactive safety net.
     let combined = simulate(
         &trace,
         &mut EasyBackfill::power_aware(),
-        SimConfig::davide().with_cap(cap_w, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap_w), true),
     );
     row(&report(&combined));
 

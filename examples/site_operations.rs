@@ -10,7 +10,9 @@ use davide::apps::workload::{AppKind, AppModel};
 use davide::core::burnin::{burnin_batch, BurnInConfig};
 use davide::core::node::ComputeNode;
 use davide::core::rng::Rng;
-use davide::sched::{report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator};
+use davide::sched::{
+    report, simulate, CapSchedule, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
+};
 use davide::telemetry::profiler::{detect_phases, summarise, ProfilerConfig};
 use davide::telemetry::{MonitorChain, WorkloadWaveform};
 
@@ -51,12 +53,12 @@ fn main() {
     let flat = simulate(
         &trace,
         &mut EasyBackfill::power_aware().with_aging(4.0 * 3600.0),
-        SimConfig::davide().with_cap(65_000.0, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(65_000.0), true),
     );
     let shifted = simulate(
         &trace,
         &mut EasyBackfill::power_aware().with_aging(4.0 * 3600.0),
-        SimConfig::davide().with_day_night_cap(55_000.0, 75_000.0, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::day_night(55_000.0, 75_000.0), true),
     );
     for (label, out) in [("flat 65 kW", &flat), ("55/75 kW day/night", &shifted)] {
         let r = report(out);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_system-ad11b353ccd5c47c.d: tests/batch_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_system-ad11b353ccd5c47c.rmeta: tests/batch_system.rs Cargo.toml
+
+tests/batch_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

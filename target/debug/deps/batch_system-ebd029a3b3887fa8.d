@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_system-ebd029a3b3887fa8.d: tests/batch_system.rs
+
+/root/repo/target/debug/deps/batch_system-ebd029a3b3887fa8: tests/batch_system.rs
+
+tests/batch_system.rs:

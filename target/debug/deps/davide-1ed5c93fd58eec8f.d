@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davide-1ed5c93fd58eec8f.d: src/lib.rs
+
+/root/repo/target/debug/deps/davide-1ed5c93fd58eec8f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davide-56e27bda51eb70c8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-56e27bda51eb70c8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavide-56e27bda51eb70c8.rmeta: src/lib.rs
+
+src/lib.rs:

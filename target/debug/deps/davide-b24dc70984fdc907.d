@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/davide-b24dc70984fdc907.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide-b24dc70984fdc907.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/davide_bench-ce0938366158952a.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/controlplane.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+/root/repo/target/debug/deps/davide_bench-ce0938366158952a: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/applications.rs crates/bench/src/experiments/controlplane.rs crates/bench/src/experiments/ingest.rs crates/bench/src/experiments/management.rs crates/bench/src/experiments/monitoring.rs crates/bench/src/experiments/system.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/applications.rs:
+crates/bench/src/experiments/controlplane.rs:
+crates/bench/src/experiments/ingest.rs:
+crates/bench/src/experiments/management.rs:
+crates/bench/src/experiments/monitoring.rs:
+crates/bench/src/experiments/system.rs:

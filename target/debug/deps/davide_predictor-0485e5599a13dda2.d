@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/davide_predictor-0485e5599a13dda2.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/davide_predictor-0485e5599a13dda2.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdavide_predictor-0485e5599a13dda2.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/libdavide_predictor-0485e5599a13dda2.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs Cargo.toml
 
 crates/predictor/src/lib.rs:
 crates/predictor/src/eval.rs:
@@ -9,9 +9,10 @@ crates/predictor/src/forest.rs:
 crates/predictor/src/knn.rs:
 crates/predictor/src/linalg.rs:
 crates/predictor/src/linreg.rs:
+crates/predictor/src/model.rs:
 crates/predictor/src/online.rs:
 crates/predictor/src/tree.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

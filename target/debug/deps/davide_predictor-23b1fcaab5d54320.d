@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/davide_predictor-23b1fcaab5d54320.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/debug/deps/davide_predictor-23b1fcaab5d54320.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
-/root/repo/target/debug/deps/davide_predictor-23b1fcaab5d54320: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/debug/deps/davide_predictor-23b1fcaab5d54320: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
 crates/predictor/src/lib.rs:
 crates/predictor/src/eval.rs:
@@ -9,5 +9,6 @@ crates/predictor/src/forest.rs:
 crates/predictor/src/knn.rs:
 crates/predictor/src/linalg.rs:
 crates/predictor/src/linreg.rs:
+crates/predictor/src/model.rs:
 crates/predictor/src/online.rs:
 crates/predictor/src/tree.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/davide_predictor-4f7185abfe517f58.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/debug/deps/davide_predictor-4f7185abfe517f58.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
-/root/repo/target/debug/deps/libdavide_predictor-4f7185abfe517f58.rlib: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/debug/deps/libdavide_predictor-4f7185abfe517f58.rlib: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
-/root/repo/target/debug/deps/libdavide_predictor-4f7185abfe517f58.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/debug/deps/libdavide_predictor-4f7185abfe517f58.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
 crates/predictor/src/lib.rs:
 crates/predictor/src/eval.rs:
@@ -11,5 +11,6 @@ crates/predictor/src/forest.rs:
 crates/predictor/src/knn.rs:
 crates/predictor/src/linalg.rs:
 crates/predictor/src/linreg.rs:
+crates/predictor/src/model.rs:
 crates/predictor/src/online.rs:
 crates/predictor/src/tree.rs:

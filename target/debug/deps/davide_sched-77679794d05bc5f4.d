@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/davide_sched-77679794d05bc5f4.d: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdavide_sched-77679794d05bc5f4.rmeta: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/accounting.rs:
+crates/sched/src/cap.rs:
+crates/sched/src/controlplane.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/power_predictor.rs:
+crates/sched/src/simulator.rs:
+crates/sched/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/davide_sched-7f4e95d8207243ea.d: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/debug/deps/davide_sched-7f4e95d8207243ea: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/accounting.rs:
+crates/sched/src/cap.rs:
+crates/sched/src/controlplane.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/power_predictor.rs:
+crates/sched/src/simulator.rs:
+crates/sched/src/workload.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/davide_sched-8765b2f1f843e5b2.d: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_sched-8765b2f1f843e5b2.rlib: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/debug/deps/libdavide_sched-8765b2f1f843e5b2.rmeta: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/accounting.rs:
+crates/sched/src/cap.rs:
+crates/sched/src/controlplane.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/power_predictor.rs:
+crates/sched/src/simulator.rs:
+crates/sched/src/workload.rs:

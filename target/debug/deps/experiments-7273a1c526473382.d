@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7273a1c526473382.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7273a1c526473382: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-86280c1005776773.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-86280c1005776773: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-cbadf5302321c81a.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-cbadf5302321c81a: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_management-432a1cfce6596065.d: tests/power_management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_management-432a1cfce6596065.rmeta: tests/power_management.rs Cargo.toml
+
+tests/power_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_management-a96028b492b075e6.d: tests/power_management.rs
+
+/root/repo/target/debug/deps/power_management-a96028b492b075e6: tests/power_management.rs
+
+tests/power_management.rs:

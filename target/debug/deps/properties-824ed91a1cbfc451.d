@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-824ed91a1cbfc451.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-824ed91a1cbfc451: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cc95eebf8d5a46ee.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cc95eebf8d5a46ee.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_db-861221a2809ac23f.d: tests/telemetry_db.rs
+
+/root/repo/target/debug/deps/telemetry_db-861221a2809ac23f: tests/telemetry_db.rs
+
+tests/telemetry_db.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_db-f0c93f2ddaabd1e3.d: tests/telemetry_db.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_db-f0c93f2ddaabd1e3.rmeta: tests/telemetry_db.rs Cargo.toml
+
+tests/telemetry_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_codesign-31b450d4c90fbc23.d: examples/app_codesign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_codesign-31b450d4c90fbc23.rmeta: examples/app_codesign.rs Cargo.toml
+
+examples/app_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

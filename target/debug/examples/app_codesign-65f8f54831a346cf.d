@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_codesign-65f8f54831a346cf.d: examples/app_codesign.rs
+
+/root/repo/target/debug/examples/app_codesign-65f8f54831a346cf: examples/app_codesign.rs
+
+examples/app_codesign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_capped_cluster-2677887a7dbfaa96.d: examples/power_capped_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_capped_cluster-2677887a7dbfaa96.rmeta: examples/power_capped_cluster.rs Cargo.toml
+
+examples/power_capped_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_capped_cluster-ef1cfb617bd54c37.d: examples/power_capped_cluster.rs
+
+/root/repo/target/debug/examples/power_capped_cluster-ef1cfb617bd54c37: examples/power_capped_cluster.rs
+
+examples/power_capped_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_monitoring-4a3bb0a8d8c9ddc1.d: examples/power_monitoring.rs
+
+/root/repo/target/debug/examples/power_monitoring-4a3bb0a8d8c9ddc1: examples/power_monitoring.rs
+
+examples/power_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_monitoring-ac9d61ceea3e4052.d: examples/power_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_monitoring-ac9d61ceea3e4052.rmeta: examples/power_monitoring.rs Cargo.toml
+
+examples/power_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

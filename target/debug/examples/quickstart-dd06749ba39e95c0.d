@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dd06749ba39e95c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dd06749ba39e95c0: examples/quickstart.rs
+
+examples/quickstart.rs:

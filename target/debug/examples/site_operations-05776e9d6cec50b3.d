@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/site_operations-05776e9d6cec50b3.d: examples/site_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsite_operations-05776e9d6cec50b3.rmeta: examples/site_operations.rs Cargo.toml
+
+examples/site_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_operations-43b56450dcebfcb2.d: examples/site_operations.rs
+
+/root/repo/target/debug/examples/site_operations-43b56450dcebfcb2: examples/site_operations.rs
+
+examples/site_operations.rs:

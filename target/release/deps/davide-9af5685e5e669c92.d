@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davide-9af5685e5e669c92.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-9af5685e5e669c92.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavide-9af5685e5e669c92.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/davide_predictor-89fff383f50b1198.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/release/deps/davide_predictor-89fff383f50b1198.d: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
-/root/repo/target/release/deps/libdavide_predictor-89fff383f50b1198.rlib: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/release/deps/libdavide_predictor-89fff383f50b1198.rlib: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
-/root/repo/target/release/deps/libdavide_predictor-89fff383f50b1198.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
+/root/repo/target/release/deps/libdavide_predictor-89fff383f50b1198.rmeta: crates/predictor/src/lib.rs crates/predictor/src/eval.rs crates/predictor/src/features.rs crates/predictor/src/forest.rs crates/predictor/src/knn.rs crates/predictor/src/linalg.rs crates/predictor/src/linreg.rs crates/predictor/src/model.rs crates/predictor/src/online.rs crates/predictor/src/tree.rs
 
 crates/predictor/src/lib.rs:
 crates/predictor/src/eval.rs:
@@ -11,5 +11,6 @@ crates/predictor/src/forest.rs:
 crates/predictor/src/knn.rs:
 crates/predictor/src/linalg.rs:
 crates/predictor/src/linreg.rs:
+crates/predictor/src/model.rs:
 crates/predictor/src/online.rs:
 crates/predictor/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/davide_sched-e84312adc857c58d.d: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/release/deps/libdavide_sched-e84312adc857c58d.rlib: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+/root/repo/target/release/deps/libdavide_sched-e84312adc857c58d.rmeta: crates/sched/src/lib.rs crates/sched/src/accounting.rs crates/sched/src/cap.rs crates/sched/src/controlplane.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/partition.rs crates/sched/src/placement.rs crates/sched/src/policy.rs crates/sched/src/power_predictor.rs crates/sched/src/simulator.rs crates/sched/src/workload.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/accounting.rs:
+crates/sched/src/cap.rs:
+crates/sched/src/controlplane.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/partition.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/power_predictor.rs:
+crates/sched/src/simulator.rs:
+crates/sched/src/workload.rs:

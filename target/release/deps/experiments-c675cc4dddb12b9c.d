@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c675cc4dddb12b9c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-c675cc4dddb12b9c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

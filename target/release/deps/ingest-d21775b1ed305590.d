@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest-d21775b1ed305590.d: crates/bench/benches/ingest.rs
+
+/root/repo/target/release/deps/ingest-d21775b1ed305590: crates/bench/benches/ingest.rs
+
+crates/bench/benches/ingest.rs:

@@ -5,7 +5,7 @@
 
 use davide::apps::workload::AppKind;
 use davide::sched::{
-    davide_partitions, simulate, EasyBackfill, EnergyLedger, Job, PartitionedQueue,
+    davide_partitions, simulate, CapSchedule, EasyBackfill, EnergyLedger, Job, PartitionedQueue,
     PlacementStrategy, SimConfig,
 };
 
@@ -59,7 +59,7 @@ fn partitioned_submissions_flow_through_the_whole_stack() {
         &trace,
         &mut EasyBackfill::power_aware().with_aging(3_600.0),
         SimConfig::davide()
-            .with_cap(70_000.0, true)
+            .with_cap_schedule(CapSchedule::constant(70_000.0), true)
             .with_placement(PlacementStrategy::LeafAware),
     );
     assert_eq!(out.completed.len(), 4, "all admitted jobs complete");

@@ -6,7 +6,9 @@ use davide::core::capping::{evaluate, PiCapController};
 use davide::core::node::{ComputeNode, NodeLoad};
 use davide::core::units::{Seconds, Watts};
 use davide::core::Cluster;
-use davide::sched::{report, simulate, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator};
+use davide::sched::{
+    report, simulate, CapSchedule, EasyBackfill, SimConfig, WorkloadConfig, WorkloadGenerator,
+};
 
 #[test]
 fn pilot_system_validates_and_hits_envelope() {
@@ -69,17 +71,17 @@ fn proactive_dispatch_avoids_the_throttling_reactive_pays() {
     let reactive = simulate(
         &trace,
         &mut EasyBackfill::new(),
-        SimConfig::davide().with_cap(cap, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), true),
     );
     let proactive = simulate(
         &trace,
         &mut EasyBackfill::power_aware(),
-        SimConfig::davide().with_cap(cap, false),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), false),
     );
     let combined = simulate(
         &trace,
         &mut EasyBackfill::power_aware(),
-        SimConfig::davide().with_cap(cap, true),
+        SimConfig::davide().with_cap_schedule(CapSchedule::constant(cap), true),
     );
 
     let r_re = report(&reactive);
