@@ -528,6 +528,78 @@ mod tests {
     }
 
     #[test]
+    fn ladder_boundary_error_is_in_band_and_resets_timers() {
+        let mut ctl =
+            LadderCapController::new(Watts(1000.0), vec![1.0, 0.8, 0.6], Watts(10.0), 2.0);
+        // 1 s of overcap accrued…
+        assert_eq!(ctl.observe(Watts(1011.0), Seconds(1.0)), 0);
+        // …then an error of exactly +band: inside the hysteresis band,
+        // so the sustain timer clears and the next step down needs the
+        // full 2 s again.
+        assert_eq!(ctl.observe(Watts(1010.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.observe(Watts(1011.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.level(), 0, "boundary sample cleared the overcap timer");
+        assert_eq!(ctl.observe(Watts(1011.0), Seconds(1.0)), -1);
+        assert_eq!(ctl.level(), 1);
+
+        // Same at the lower edge: exactly −band is in-band and clears
+        // the headroom timer.
+        assert_eq!(ctl.observe(Watts(700.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.observe(Watts(990.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.observe(Watts(700.0), Seconds(1.0)), 0);
+        assert_eq!(ctl.level(), 1, "boundary sample cleared the headroom timer");
+        assert_eq!(ctl.observe(Watts(700.0), Seconds(1.0)), 1);
+        assert_eq!(ctl.level(), 0);
+    }
+
+    #[test]
+    fn ladder_windup_clamp_rails_are_exact_and_recovery_is_prompt() {
+        let mut ctl = LadderCapController::new(Watts(1000.0), vec![1.0, 0.5], Watts(10.0), 1.0);
+        // Hours over cap: the integral saturates exactly at the clamp.
+        for _ in 0..100_000 {
+            ctl.observe(Watts(3000.0), Seconds(1.0));
+        }
+        assert_eq!(ctl.integral(), ctl.windup_limit, "positive rail");
+        assert_eq!(ctl.level(), 1);
+        // The saturated integral must not delay recovery: one sustain
+        // period of deep headroom steps straight back up.
+        assert_eq!(ctl.observe(Watts(400.0), Seconds(1.0)), 1);
+        assert_eq!(ctl.level(), 0);
+        // Hours of idle discharge it to the negative rail, exactly.
+        for _ in 0..100_000 {
+            ctl.observe(Watts(0.0), Seconds(1.0));
+        }
+        assert_eq!(ctl.integral(), -ctl.windup_limit, "negative rail");
+    }
+
+    #[test]
+    fn ladder_probe_up_guard_holds_after_cap_drop() {
+        let mut ctl =
+            LadderCapController::new(Watts(1000.0), vec![1.0, 0.8, 0.6], Watts(10.0), 2.0);
+        // Drive to the bottom rung at 1200 W under a 1000 W cap.
+        for _ in 0..8 {
+            ctl.observe(Watts(1200.0), Seconds(1.0));
+        }
+        assert_eq!(ctl.level(), 2);
+        // The rack manager drops the budget. 700 W now reads as
+        // headroom (error −60 < −band), but the projection at the next
+        // rung — 700 · 0.8/0.6 ≈ 933 W — does not clear 760 − 10 W, so
+        // the guard holds no matter how long the headroom sustains.
+        ctl.set_cap(Watts(760.0));
+        for _ in 0..10 {
+            assert_eq!(ctl.observe(Watts(700.0), Seconds(1.0)), 0);
+        }
+        assert_eq!(ctl.level(), 2, "probe-up guard holds after the drop");
+        // A genuinely loose cap lets the same measurements climb back.
+        ctl.set_cap(Watts(1300.0));
+        let climbed: i32 = (0..6)
+            .map(|_| ctl.observe(Watts(700.0), Seconds(1.0)))
+            .sum();
+        assert_eq!(climbed, 2, "climbs one rung per sustain period");
+        assert_eq!(ctl.level(), 0);
+    }
+
+    #[test]
     fn ladder_floor_is_respected() {
         let mut ctl = LadderCapController::new(Watts(500.0), vec![1.0, 0.7, 0.5], Watts(10.0), 0.0);
         for _ in 0..10 {

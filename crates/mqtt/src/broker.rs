@@ -170,7 +170,32 @@ pub struct BrokerStats {
     pub dropped: AtomicU64,
     /// QoS 1 PUBLISHes acknowledged.
     pub acked: AtomicU64,
+    /// PUBLISHes discarded by an installed fault hook.
+    pub injected_drops: AtomicU64,
+    /// Extra deliveries generated by an installed fault hook.
+    pub injected_dups: AtomicU64,
 }
+
+/// Verdict returned by a [fault hook](Broker::set_fault_hook) for one
+/// PUBLISH: deliver it normally, silently lose it (a lossy link between
+/// the energy gateway and the broker), or deliver it twice (a QoS 1
+/// retransmission whose original was not actually lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishFate {
+    /// Normal fan-out.
+    Deliver,
+    /// The packet never reaches the broker: no retained-store update,
+    /// no delivery. Counted in [`BrokerStats::injected_drops`].
+    Drop,
+    /// The packet is processed twice back-to-back (duplicate QoS 1
+    /// delivery). Counted once in [`BrokerStats::injected_dups`].
+    Duplicate,
+}
+
+/// A fault-injection hook consulted once per PUBLISH, before any broker
+/// state is touched. Deterministic harnesses install closures driven by
+/// a seeded RNG.
+pub type FaultHook = Box<dyn FnMut(&str) -> PublishFate + Send>;
 
 /// The broker: cheaply cloneable handle, safe to share across threads.
 ///
@@ -192,6 +217,9 @@ pub struct BrokerStats {
 pub struct Broker {
     state: Arc<Mutex<BrokerState>>,
     stats: Arc<BrokerStats>,
+    // Kept outside `state` so a hook can never deadlock against the
+    // broker lock, and so installing one is race-free with publishes.
+    fault: Arc<Mutex<Option<FaultHook>>>,
     next_client: Arc<AtomicU64>,
     queue_depth: usize,
 }
@@ -213,9 +241,30 @@ impl Broker {
         Broker {
             state: Arc::new(Mutex::new(BrokerState::default())),
             stats: Arc::new(BrokerStats::default()),
+            fault: Arc::new(Mutex::new(None)),
             next_client: Arc::new(AtomicU64::new(1)),
             queue_depth,
         }
+    }
+
+    /// Install (or clear, with `None`) a fault-injection hook consulted
+    /// once per PUBLISH with the topic; see [`PublishFate`]. The hook
+    /// runs before the retained store or any subscriber queue is
+    /// touched, so a dropped packet leaves no trace beyond the
+    /// [`BrokerStats::injected_drops`] counter.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.fault.lock() = hook;
+    }
+
+    /// The retained payload currently stored for `topic`, if any.
+    /// Checkers use this to compare the broker's durable command state
+    /// against what the plant actually applied.
+    pub fn retained_get(&self, topic: &str) -> Option<Bytes> {
+        self.state
+            .lock()
+            .retained
+            .get(topic)
+            .map(|m| m.payload.clone())
     }
 
     /// Connect a client; returns its handle.
@@ -265,13 +314,16 @@ impl Broker {
         st.trie.remove(&levels, client);
         st.trie.insert(&levels, SubEntry { client, qos });
 
-        // Replay retained messages matching the new filter.
-        let matches: Vec<Message> = st
+        // Replay retained messages matching the new filter, in topic
+        // order — the map iterates in per-process random order, and
+        // replay order must not leak that nondeterminism to sessions.
+        let mut matches: Vec<Message> = st
             .retained
             .values()
             .filter(|m| filter_matches(filter, &m.topic))
             .cloned()
             .collect();
+        matches.sort_unstable_by(|a, b| a.topic.cmp(&b.topic));
         if let Some(cs) = st.clients.get(&client) {
             for mut m in matches {
                 m.retain = true;
@@ -311,6 +363,31 @@ impl Broker {
         validate_topic(topic)?;
         self.stats.published.fetch_add(1, Ordering::Relaxed);
 
+        // Fault injection: decide the packet's fate before touching any
+        // broker state (the hook lock is never held together with the
+        // state lock).
+        let fate = match self.fault.lock().as_mut() {
+            Some(hook) => hook(topic),
+            None => PublishFate::Deliver,
+        };
+        match fate {
+            PublishFate::Deliver => {}
+            PublishFate::Drop => {
+                self.stats.injected_drops.fetch_add(1, Ordering::Relaxed);
+                return Ok(0);
+            }
+            PublishFate::Duplicate => {
+                self.stats.injected_dups.fetch_add(1, Ordering::Relaxed);
+                let first = self.fan_out(topic, &payload, qos, retain);
+                self.fan_out(topic, &payload, qos, retain);
+                return Ok(first);
+            }
+        }
+        Ok(self.fan_out(topic, &payload, qos, retain))
+    }
+
+    /// One pass of retained-store update + subscriber fan-out.
+    fn fan_out(&self, topic: &str, payload: &Bytes, qos: QoS, retain: bool) -> usize {
         let mut st = self.state.lock();
         if retain {
             if payload.is_empty() {
@@ -360,7 +437,7 @@ impl Broker {
         if qos == QoS::AtLeastOnce {
             self.stats.acked.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(reached)
+        reached
     }
 
     /// Look up a client's chosen id string (diagnostics).
@@ -547,6 +624,73 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1, "single delivery after re-subscribe");
         assert_eq!(sub.try_recv().unwrap().qos, QoS::AtLeastOnce);
+    }
+
+    #[test]
+    fn fault_hook_drops_and_duplicates() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("davide/#", QoS::AtMostOnce).unwrap();
+        // Drop everything under davide/node00, duplicate node01.
+        broker.set_fault_hook(Some(Box::new(|topic: &str| {
+            if topic.starts_with("davide/node00") {
+                PublishFate::Drop
+            } else if topic.starts_with("davide/node01") {
+                PublishFate::Duplicate
+            } else {
+                PublishFate::Deliver
+            }
+        })));
+        let n = publ
+            .publish("davide/node00/power", payload("1"), QoS::AtMostOnce, true)
+            .unwrap();
+        assert_eq!(n, 0, "dropped before fan-out");
+        assert_eq!(broker.retained_count(), 0, "drop precedes retained store");
+        publ.publish("davide/node01/power", payload("2"), QoS::AtMostOnce, false)
+            .unwrap();
+        publ.publish("davide/node02/power", payload("3"), QoS::AtMostOnce, false)
+            .unwrap();
+        let got: Vec<_> = std::iter::from_fn(|| sub.try_recv()).collect();
+        assert_eq!(got.len(), 3, "one dup + one normal");
+        assert_eq!(&got[0].payload[..], b"2");
+        assert_eq!(&got[1].payload[..], b"2");
+        assert_eq!(&got[2].payload[..], b"3");
+        assert_eq!(broker.stats().injected_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(broker.stats().injected_dups.load(Ordering::Relaxed), 1);
+        // Clearing the hook restores normal delivery.
+        broker.set_fault_hook(None);
+        let n = publ
+            .publish("davide/node00/power", payload("4"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn retained_get_reads_store() {
+        let broker = Broker::default();
+        let publ = broker.connect("ctl");
+        assert_eq!(broker.retained_get("davide/node00/ctl/speed"), None);
+        publ.publish(
+            "davide/node00/ctl/speed",
+            payload("0.8589"),
+            QoS::AtLeastOnce,
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            broker.retained_get("davide/node00/ctl/speed").as_deref(),
+            Some(&b"0.8589"[..])
+        );
+        // Empty retained payload clears the slot.
+        publ.publish(
+            "davide/node00/ctl/speed",
+            Bytes::new(),
+            QoS::AtMostOnce,
+            true,
+        )
+        .unwrap();
+        assert_eq!(broker.retained_get("davide/node00/ctl/speed"), None);
     }
 
     #[test]

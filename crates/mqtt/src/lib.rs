@@ -26,7 +26,7 @@ pub mod session;
 pub mod topic;
 
 pub use bridge::Bridge;
-pub use broker::{Broker, BrokerError, BrokerStats, Message};
+pub use broker::{Broker, BrokerError, BrokerStats, FaultHook, Message, PublishFate};
 pub use client::Client;
 pub use codec::{CodecError, Packet, QoS};
 pub use framed::{ConnState, ServerConnection};

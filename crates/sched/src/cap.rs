@@ -261,6 +261,40 @@ mod tests {
     }
 
     #[test]
+    fn day_night_midnight_wrap() {
+        let s = CapSchedule::day_night(10_000.0, 20_000.0);
+        // Midnight itself, a second before it, and negative time are
+        // all night hours; the boundary search crosses the day seam.
+        assert_eq!(s.cap_at(DAY_S), Some(20_000.0));
+        assert_eq!(s.cap_at(DAY_S - 1.0), Some(20_000.0));
+        assert_eq!(s.cap_at(-1.0), Some(20_000.0), "negative time folds");
+        assert_eq!(s.next_cap_boundary(DAY_S), Some(DAY_S + 8.0 * 3600.0));
+        assert_eq!(
+            s.next_cap_boundary(DAY_S - 1.0),
+            Some(DAY_S + 8.0 * 3600.0),
+            "just before midnight the next change is past the seam"
+        );
+    }
+
+    #[test]
+    fn piecewise_first_offset_after_zero_wraps() {
+        // No segment starts at phase 0: before the first offset the
+        // final segment of the previous period is in force.
+        let s = CapSchedule::piecewise(1000.0, vec![(250.0, 111.0), (750.0, 222.0)]);
+        assert_eq!(s.cap_at(0.0), Some(222.0), "pre-first-offset wraps");
+        assert_eq!(s.cap_at(250.0), Some(111.0));
+        assert_eq!(s.cap_at(1000.0), Some(222.0), "period seam wraps too");
+        assert_eq!(s.cap_at(2250.0), Some(111.0), "later periods repeat");
+        assert_eq!(s.next_cap_boundary(0.0), Some(250.0));
+        assert_eq!(
+            s.next_cap_boundary(750.0),
+            Some(1250.0),
+            "the next change after the last offset is in the next period"
+        );
+        assert_eq!(s.next_cap_boundary(-100.0), Some(250.0));
+    }
+
+    #[test]
     #[should_panic(expected = "period must be positive")]
     fn piecewise_rejects_bad_period() {
         CapSchedule::piecewise(0.0, vec![(0.0, 1.0)]);

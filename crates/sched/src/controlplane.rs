@@ -160,6 +160,30 @@ pub struct ControlPlaneReport {
     pub online_mape_pct: f64,
     /// Node-seconds a busy node ran without fresh telemetry.
     pub stale_node_s: f64,
+    /// Telemetry samples the store accepted.
+    pub samples_stored: u64,
+    /// Telemetry samples rejected as stale (duplicated or reordered
+    /// delivery behind the series tail).
+    pub samples_stale_dropped: u64,
+}
+
+/// Externally observable per-node state, for harnesses and invariant
+/// checkers that need to compare the loop's live view against ground
+/// truth without reaching into private fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub node: u32,
+    /// End time of the last ingested frame; `NEG_INFINITY` before any.
+    pub last_seen_s: f64,
+    /// Mean power of the last ingested frame, watts.
+    pub measured_w: f64,
+    /// Speed factor the node's ladder controller currently commands.
+    pub speed: f64,
+    /// Ladder level (0 = nominal).
+    pub level: usize,
+    /// Job currently placed here.
+    pub job: Option<JobId>,
 }
 
 /// Per-node live state as the control plane sees it.
@@ -203,6 +227,8 @@ pub struct ControlPlane {
     steps_down: u64,
     steps_up: u64,
     stale_node_s: f64,
+    samples_stored: u64,
+    samples_stale_dropped: u64,
 }
 
 impl ControlPlane {
@@ -248,7 +274,48 @@ impl ControlPlane {
             steps_down: 0,
             steps_up: 0,
             stale_node_s: 0.0,
+            samples_stored: 0,
+            samples_stale_dropped: 0,
         })
+    }
+
+    /// The configuration the loop was armed with.
+    pub fn config(&self) -> &ControlPlaneConfig {
+        &self.cfg
+    }
+
+    /// Snapshot the per-node live view (one entry per node, in id
+    /// order).
+    pub fn snapshot(&self) -> Vec<NodeSnapshot> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeSnapshot {
+                node: i as u32,
+                last_seen_s: n.last_seen_s,
+                measured_w: n.measured_w,
+                speed: n.controller.speed(),
+                level: n.controller.level(),
+                job: n.job,
+            })
+            .collect()
+    }
+
+    /// Best current estimate of `node`'s draw at `now`: fresh telemetry
+    /// within the deadline, otherwise the prediction for whatever runs
+    /// there (the stale-telemetry fallback). `None` for unknown ids.
+    pub fn node_estimate(&self, node: u32, now: f64) -> Option<f64> {
+        self.nodes
+            .get(node as usize)
+            .map(|n| self.node_power_estimate(n, now))
+    }
+
+    /// The loop's current per-node power prediction for a running job,
+    /// or `None` if the job is not running.
+    pub fn predicted_power(&self, id: JobId) -> Option<f64> {
+        self.running
+            .get(&id)
+            .map(|rj| self.predictor.predict(&rj.job))
     }
 
     /// Queue a job; its power prediction is (re)made by the loop's own
@@ -319,6 +386,8 @@ impl ControlPlane {
             steps_up: self.steps_up,
             online_mape_pct: self.predictor.online_mape(),
             stale_node_s: self.stale_node_s,
+            samples_stored: self.samples_stored,
+            samples_stale_dropped: self.samples_stale_dropped,
         }
     }
 
@@ -333,11 +402,21 @@ impl ControlPlane {
                 continue;
             }
             let id = self.db.resolve(&f.topic);
-            self.db
+            let stored = self
+                .db
                 .append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
+            self.samples_stored += stored as u64;
+            self.samples_stale_dropped += (f.frame.watts.len() - stored) as u64;
+            if stored == 0 {
+                // Entirely stale (a duplicate or badly delayed frame):
+                // the live view must not move backwards on it.
+                continue;
+            }
             let node = &mut self.nodes[node_id as usize];
             node.series = Some(id);
-            node.last_seen_s = f.frame.t0_s + f.frame.dt_s * f.frame.watts.len() as f64;
+            node.last_seen_s = node
+                .last_seen_s
+                .max(f.frame.t0_s + f.frame.dt_s * f.frame.watts.len() as f64);
             node.measured_w = f.frame.mean_w();
         }
     }
@@ -468,7 +547,10 @@ impl ControlPlane {
             .filter(|(_, n)| n.job.is_none())
             .map(|(i, _)| i as u32)
             .collect();
-        let running: Vec<RunningSummary> = self
+        // The map iterates in per-process random order; sort so float
+        // accumulation downstream (and thus every admission decision)
+        // is reproducible run to run.
+        let mut running: Vec<RunningSummary> = self
             .running
             .values()
             .map(|rj| {
@@ -485,6 +567,7 @@ impl ControlPlane {
                 }
             })
             .collect();
+        running.sort_unstable_by_key(|r| r.id);
         let view = ClusterView {
             now,
             free_nodes: free_nodes.len() as u32,

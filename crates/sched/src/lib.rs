@@ -35,7 +35,9 @@ pub mod workload;
 
 pub use accounting::{EnergyLedger, Tariff};
 pub use cap::CapSchedule;
-pub use controlplane::{ControlMode, ControlPlane, ControlPlaneConfig, ControlPlaneReport};
+pub use controlplane::{
+    ControlMode, ControlPlane, ControlPlaneConfig, ControlPlaneReport, NodeSnapshot,
+};
 pub use job::{Job, JobId, JobState};
 pub use metrics::{report, SimReport};
 pub use partition::{davide_partitions, Partition, PartitionedQueue};

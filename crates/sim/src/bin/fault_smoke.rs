@@ -1,0 +1,96 @@
+//! CI fault-injection smoke: run the canned scenario set, assert zero
+//! invariant violations, prove determinism (same seed → same digest,
+//! different seed → different digest), and prove the checker has teeth
+//! by running the two seeded-regression demos that MUST violate.
+//!
+//! Exit code 0 only when all of the above hold.
+
+use davide_sim::scenario::{canned, open_loop_overcap_demo, stale_fallback_regression_demo};
+use davide_sim::{run, Scenario};
+
+fn main() {
+    let seed = 2026;
+    let mut failed = false;
+
+    println!("── canned scenarios (must hold every invariant) ──");
+    println!(
+        "{:<24} {:>5} {:>9} {:>9} {:>7} {:>7} {:>6} {:>10}",
+        "scenario", "jobs", "frames", "suppr", "stale_s", "ovcap_s", "viol", "digest"
+    );
+    for sc in canned(seed) {
+        let out = run(&sc);
+        let ok = out.violations.is_empty();
+        failed |= !ok;
+        println!(
+            "{:<24} {:>5} {:>9} {:>9} {:>7.0} {:>7.0} {:>6} {:>#10x}",
+            out.scenario,
+            out.report.jobs_completed,
+            out.truth.frames_delivered,
+            out.truth.frames_suppressed,
+            out.report.stale_node_s,
+            out.truth.overcap_s,
+            out.violations.len(),
+            out.log.digest() & 0xffff_ffff,
+        );
+        for v in &out.violations {
+            println!("    VIOLATION {v}");
+        }
+    }
+
+    println!("── determinism ──");
+    let sc = canned(seed).remove(1);
+    let (a, b) = (run(&sc), run(&sc));
+    let rerun_ok = a.log == b.log && a.log.digest() == b.log.digest();
+    let mut reseeded = sc.clone();
+    reseeded.seed = seed + 1;
+    let c = run(&reseeded);
+    let diverge_ok = c.log.digest() != a.log.digest();
+    println!(
+        "same seed rerun: {} ({} events, digest {:#x})",
+        if rerun_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        a.log.len(),
+        a.log.digest()
+    );
+    println!(
+        "seed+1: {}",
+        if diverge_ok {
+            "diverges (as it must)"
+        } else {
+            "IDENTICAL (suspicious)"
+        }
+    );
+    failed |= !rerun_ok || !diverge_ok;
+
+    println!("── seeded regressions (checker must catch) ──");
+    failed |= !expect_violation(open_loop_overcap_demo(seed), "cap");
+    failed |= !expect_violation(stale_fallback_regression_demo(seed), "stale-fallback");
+
+    if failed {
+        println!("fault-smoke: FAIL");
+        std::process::exit(1);
+    }
+    println!("fault-smoke: OK");
+}
+
+fn expect_violation(sc: Scenario, invariant: &str) -> bool {
+    let out = run(&sc);
+    let hits = out
+        .violations
+        .iter()
+        .filter(|v| v.invariant == invariant)
+        .count();
+    println!(
+        "{:<36} {} `{invariant}` violations ({})",
+        out.scenario,
+        hits,
+        if hits > 0 { "caught" } else { "MISSED" }
+    );
+    if let Some(v) = out.violations.iter().find(|v| v.invariant == invariant) {
+        println!("    first: {v}");
+    }
+    hits > 0
+}

@@ -1,0 +1,852 @@
+//! The harness: a fault-injecting synthetic plant around the real loop.
+//!
+//! One [`run`] builds the full production stack — in-process MQTT
+//! broker, [`ControlPlane`] with its ingest/store/predictor/actuators —
+//! and drives it from a virtual clock: gateways render noisy per-node
+//! power frames from plant ground truth, the scenario's fault script
+//! mangles them (loss, duplication, reordering, clock faults, broker
+//! restart, node death), DVFS commands flow back and reshape the plant.
+//! The [`InvariantChecker`] audits every control period against ground
+//! truth the loop cannot see, and every externally meaningful action
+//! lands in the [`EventLog`], which is bit-identical across reruns of
+//! one seed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use davide_core::rng::Rng;
+use davide_mqtt::{Broker, PublishFate, QoS};
+use davide_predictor::ModelKind;
+use davide_sched::{
+    CapSchedule, ControlPlane, ControlPlaneConfig, ControlPlaneReport, JobId, OnlinePowerPredictor,
+    PowerPredictor, WorkloadConfig, WorkloadGenerator,
+};
+use davide_telemetry::gateway::{power_topic, SampleFrame};
+use parking_lot::Mutex;
+
+use crate::clock::VirtualClock;
+use crate::invariants::{
+    CheckerConfig, FinalTruth, InvariantChecker, JobTruth, StoreModel, TickTruth, Violation,
+};
+use crate::log::{Event, EventLog, FrameFate};
+use crate::scenario::{Fault, Scenario};
+
+/// Ground-truth accounting a run hands back (the plant's view, which
+/// the control plane never sees).
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Facility energy, joules.
+    pub total_energy_j: f64,
+    /// Energy drawn by nodes with no job, joules.
+    pub idle_energy_j: f64,
+    /// Per-node energy, joules.
+    pub per_node_energy_j: Vec<f64>,
+    /// True time above the cap, seconds.
+    pub overcap_s: f64,
+    /// True energy above the cap, joules.
+    pub overcap_energy_j: f64,
+    /// Per-job truth ledgers, in placement order.
+    pub jobs: Vec<JobTruth>,
+    /// Jobs killed by node deaths.
+    pub aborted_jobs: u64,
+    /// Gateway frames that reached the broker (duplicates once).
+    pub frames_delivered: u64,
+    /// Gateway frames suppressed or lost by the fault script.
+    pub frames_suppressed: u64,
+    /// Final virtual time, seconds.
+    pub makespan_s: f64,
+}
+
+/// Everything one harness run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Scenario name, echoed for reports.
+    pub scenario: String,
+    /// The loop's own end-of-run report.
+    pub report: ControlPlaneReport,
+    /// The deterministic event log.
+    pub log: EventLog,
+    /// Every invariant violation the checker found (empty on a healthy
+    /// run).
+    pub violations: Vec<Violation>,
+    /// Plant ground truth.
+    pub truth: GroundTruth,
+}
+
+/// A frame-loss/duplication rule compiled for the broker fault hook.
+#[derive(Debug, Clone, Copy)]
+struct LossRule {
+    node: Option<u32>,
+    p_drop: f64,
+    p_dup: f64,
+    from_s: f64,
+    until_s: f64,
+}
+
+/// State shared with the broker's fault hook. The hook runs inside
+/// `publish`; the harness sets `t_s` each tick and takes the fate the
+/// hook recorded right after each gateway publish.
+struct HookState {
+    rng: Rng,
+    t_s: f64,
+    rules: Vec<LossRule>,
+    last: Option<PublishFate>,
+}
+
+/// A reordered frame waiting in the injector's delay line.
+struct DelayedFrame {
+    due_s: f64,
+    node: u32,
+    frame: SampleFrame,
+    /// True end of the window the frame measured (freshness truth).
+    true_end_s: f64,
+}
+
+/// A job on the plant: ground truth the control plane cannot see.
+struct PlantJob {
+    id: JobId,
+    nodes: Vec<u32>,
+    /// True mean per-node power at full speed, after drift.
+    node_w: f64,
+    /// Work left, in nominal-speed seconds.
+    remaining_s: f64,
+}
+
+fn window_active(from_s: f64, until_s: f64, t: f64) -> bool {
+    from_s <= t && t < until_s
+}
+
+/// Standard normal via Box–Muller on the plant RNG (same recipe as the
+/// E22 replay plant, so plants are comparable across harnesses).
+fn gauss(rng: &mut Rng) -> f64 {
+    let u1 = rng.uniform().max(1e-12);
+    let u2 = rng.uniform();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Node id from `davide/node{NN}/power/{channel}` topics; `None`
+/// otherwise (the hook must leave control traffic alone).
+fn parse_power_node(topic: &str) -> Option<u32> {
+    let mut parts = topic.split('/');
+    if parts.next() != Some("davide") {
+        return None;
+    }
+    let node = parts.next()?.strip_prefix("node")?;
+    if parts.next() != Some("power") {
+        return None;
+    }
+    node.parse().ok()
+}
+
+/// Execute one scenario to completion and return the outcome. Pure in
+/// the seed: no wall clock, no global state — two calls with an equal
+/// [`Scenario`] return bit-identical event logs.
+pub fn run(sc: &Scenario) -> RunOutcome {
+    assert!(sc.n_nodes >= 1 && sc.tick_s > 0.0 && sc.sample_dt_s > 0.0);
+    let n = sc.n_nodes as usize;
+    let tick = sc.tick_s;
+
+    // ── Trace and predictor, exactly as the E22 replay builds them. ──
+    let workload = WorkloadConfig {
+        users: 12,
+        mean_interarrival_s: sc.mean_interarrival_s,
+        max_nodes: sc.max_job_nodes.min(sc.n_nodes),
+        mean_walltime_s: sc.mean_walltime_s,
+        ..WorkloadConfig::default()
+    };
+    let mut gen = WorkloadGenerator::new(workload.clone(), sc.seed);
+    let history = gen.trace(sc.n_history);
+    let mut trace = gen.trace(sc.n_jobs);
+    let t_base = trace.first().map(|j| j.submit_s).unwrap_or(0.0);
+    for j in &mut trace {
+        j.submit_s -= t_base;
+    }
+    let base = PowerPredictor::from_kind(ModelKind::linreg(), &history, workload.users as usize);
+    let predictor = OnlinePowerPredictor::new(base, 0.995, 1000.0);
+
+    // ── The real stack under test. ──
+    let mut cfg = ControlPlaneConfig::davide(sc.mode, sc.n_nodes, CapSchedule::constant(sc.cap_w));
+    if sc.disable_stale_fallback {
+        // Regression knob: the loop stops noticing staleness while the
+        // checker keeps auditing against the nominal deadline.
+        cfg.telemetry_deadline_s = 1e18;
+    } else {
+        cfg.telemetry_deadline_s = sc.deadline_s;
+    }
+    let band_w = cfg.band_w;
+    let sustain_s = cfg.sustain_s;
+    let idle_w = cfg.idle_node_power_w;
+    let broker = Broker::new(1 << 16);
+    let mut cp = ControlPlane::new(&broker, cfg, predictor).expect("subscribe on fresh broker");
+    let mut ctl_watch = broker.connect("plant-gateways");
+    ctl_watch
+        .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
+        .expect("subscribe ctl");
+    let gateway = broker.connect("plant-publisher");
+
+    // ── Fault hook: loss and duplication on the gateway→broker hop. ──
+    let rules: Vec<LossRule> = sc
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            Fault::FrameLoss {
+                node,
+                p,
+                from_s,
+                until_s,
+            } => Some(LossRule {
+                node,
+                p_drop: p,
+                p_dup: 0.0,
+                from_s,
+                until_s,
+            }),
+            Fault::Duplicate {
+                node,
+                p,
+                from_s,
+                until_s,
+            } => Some(LossRule {
+                node,
+                p_drop: 0.0,
+                p_dup: p,
+                from_s,
+                until_s,
+            }),
+            _ => None,
+        })
+        .collect();
+    let hook_state = Arc::new(Mutex::new(HookState {
+        rng: Rng::seed_from(sc.seed ^ 0xd1b5_4a32_d192_ed03),
+        t_s: 0.0,
+        rules,
+        last: None,
+    }));
+    {
+        let state = Arc::clone(&hook_state);
+        broker.set_fault_hook(Some(Box::new(move |topic: &str| {
+            let mut st = state.lock();
+            let Some(node) = parse_power_node(topic) else {
+                return PublishFate::Deliver;
+            };
+            let t = st.t_s;
+            let mut fate = PublishFate::Deliver;
+            for k in 0..st.rules.len() {
+                let r = st.rules[k];
+                if !window_active(r.from_s, r.until_s, t) || r.node.is_some_and(|rn| rn != node) {
+                    continue;
+                }
+                if r.p_drop > 0.0 && st.rng.chance(r.p_drop) {
+                    fate = PublishFate::Drop;
+                }
+                if r.p_dup > 0.0 && st.rng.chance(r.p_dup) && fate == PublishFate::Deliver {
+                    fate = PublishFate::Duplicate;
+                }
+            }
+            st.last = Some(fate);
+            fate
+        })));
+    }
+
+    // ── Plant state. ──
+    let mut clock = VirtualClock::new(tick);
+    let mut plant_rng = Rng::seed_from(sc.seed ^ 0x9e37_79b9);
+    let mut inject_rng = Rng::seed_from(sc.seed ^ 0xa076_1d64_78bd_642f);
+    let mut speeds = vec![1.0f64; n];
+    let mut node_draw_w = vec![idle_w; n];
+    let mut dead = vec![false; n];
+    let mut clock_offset = vec![0.0f64; n];
+    let mut clock_faulted = vec![false; n];
+    let mut delivered_until = vec![f64::NEG_INFINITY; n];
+    let mut dirty: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut per_node_energy = vec![0.0f64; n];
+    let mut step_fired = vec![false; sc.faults.len()];
+    let mut plant: Vec<PlantJob> = Vec::new();
+    let mut delay_buf: Vec<DelayedFrame> = Vec::new();
+    let mut jobs: Vec<JobTruth> = Vec::new();
+    let mut job_index: HashMap<JobId, usize> = HashMap::new();
+    let by_id: HashMap<JobId, davide_sched::Job> =
+        trace.iter().map(|j| (j.id, j.clone())).collect();
+    let drift = |job: &davide_sched::Job| sc.app_drift[job.app as usize];
+
+    let mut model = StoreModel::new(n);
+    let mut checker = InvariantChecker::new(CheckerConfig {
+        n_nodes: sc.n_nodes,
+        cap_w: sc.cap_w,
+        band_w,
+        sustain_s,
+        deadline_s: sc.deadline_s,
+        cap_grace_s: sc.cap_grace_s,
+        tick_s: tick,
+        noise: sc.noise,
+        sample_dt_s: sc.sample_dt_s,
+    });
+    let mut log = EventLog::new();
+
+    let mut broker_down = false;
+    let mut next_submit = 0usize;
+    let mut total_energy_j = 0.0;
+    let mut idle_energy_j = 0.0;
+    let mut overcap_s = 0.0;
+    let mut overcap_energy_j = 0.0;
+    let mut frames_delivered = 0u64;
+    let mut frames_suppressed = 0u64;
+    let samples = (tick / sc.sample_dt_s).round().max(1.0) as usize;
+
+    // Deliver one frame through the broker, attribute its fate, and
+    // mirror what the store is entitled to absorb.
+    let publish_frame = |t: f64,
+                         node: u32,
+                         frame: &SampleFrame,
+                         true_end_s: f64,
+                         late: bool,
+                         log: &mut EventLog,
+                         model: &mut StoreModel,
+                         delivered_until: &mut [f64],
+                         dirty: &mut [Vec<(f64, f64)>],
+                         frames_delivered: &mut u64,
+                         frames_suppressed: &mut u64| {
+        hook_state.lock().t_s = t;
+        let _ = gateway.publish(
+            &power_topic(node, "node"),
+            frame.encode(),
+            QoS::AtMostOnce,
+            false,
+        );
+        let fate = hook_state
+            .lock()
+            .last
+            .take()
+            .expect("hook sees every power publish");
+        let logged = match fate {
+            PublishFate::Drop => FrameFate::Lost,
+            PublishFate::Duplicate => FrameFate::Duplicated,
+            PublishFate::Deliver if late => FrameFate::DeliveredLate,
+            PublishFate::Deliver => FrameFate::Delivered,
+        };
+        let deliveries = match fate {
+            PublishFate::Drop => 0,
+            PublishFate::Deliver => 1,
+            PublishFate::Duplicate => 2,
+        };
+        for _ in 0..deliveries {
+            model.deliver(node as usize, frame.t0_s, frame.dt_s, &frame.watts);
+        }
+        if deliveries > 0 {
+            let i = node as usize;
+            delivered_until[i] = delivered_until[i].max(true_end_s);
+            *frames_delivered += 1;
+        } else {
+            *frames_suppressed += 1;
+        }
+        if logged != FrameFate::Delivered {
+            let span = frame.dt_s * frame.watts.len() as f64;
+            dirty[node as usize].push((true_end_s - span - tick, t + tick));
+        }
+        log.push(Event::Frame {
+            t_ns: (t * 1e9).round() as u64,
+            node,
+            t0_bits: frame.t0_s.to_bits(),
+            n: frame.watts.len() as u32,
+            fate: logged,
+        });
+    };
+
+    loop {
+        let t = clock.now_s();
+        let t_ns = clock.now_ns();
+        let mut reconnect_tick = false;
+
+        // ── Fault lifecycle at t: broker, nodes, clocks. ──
+        let broker_down_now = sc.faults.iter().any(|f| {
+            matches!(*f, Fault::BrokerRestart { from_s, until_s } if window_active(from_s, until_s, t))
+        });
+        if broker_down_now && !broker_down {
+            broker_down = true;
+            log.push(Event::BrokerDown { t_ns });
+            // Node-agent sessions drop; agents fail safe to nominal
+            // speed until the retained replay restores the limits.
+            ctl_watch.disconnect();
+            for s in speeds.iter_mut() {
+                *s = 1.0;
+            }
+        } else if !broker_down_now && broker_down {
+            broker_down = false;
+            reconnect_tick = true;
+            ctl_watch = broker.connect("plant-gateways");
+            ctl_watch
+                .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
+                .expect("resubscribe ctl");
+            log.push(Event::BrokerUp {
+                t_ns,
+                replayed: ctl_watch.pending() as u32,
+            });
+        }
+        if broker_down {
+            for d in dirty.iter_mut() {
+                d.push((t - tick, t + tick));
+            }
+        }
+
+        for node in 0..n {
+            let was_dead = dead[node];
+            let dead_now = sc.faults.iter().any(|f| {
+                matches!(*f, Fault::NodeDeath { node: dn, at_s, revive_s }
+                    if dn as usize == node && window_active(at_s, revive_s, t))
+            });
+            dead[node] = dead_now;
+            if dead_now && !was_dead {
+                log.push(Event::NodeDown {
+                    t_ns,
+                    node: node as u32,
+                });
+            } else if !dead_now && was_dead {
+                log.push(Event::NodeUp {
+                    t_ns,
+                    node: node as u32,
+                });
+            }
+            if dead_now {
+                dirty[node].push((t - tick, t + tick));
+            }
+        }
+
+        for (fi, f) in sc.faults.iter().enumerate() {
+            match *f {
+                Fault::ClockSkew {
+                    node,
+                    ppm,
+                    from_s,
+                    until_s,
+                } if window_active(from_s, until_s, t) => {
+                    let i = node as usize;
+                    clock_offset[i] += ppm * 1e-6 * tick;
+                    clock_faulted[i] = true;
+                }
+                Fault::ClockStep {
+                    node,
+                    offset_s,
+                    at_s,
+                } if t >= at_s && !step_fired[fi] => {
+                    step_fired[fi] = true;
+                    let i = node as usize;
+                    clock_offset[i] += offset_s;
+                    clock_faulted[i] = true;
+                    log.push(Event::ClockStep {
+                        t_ns,
+                        node,
+                        offset_bits: offset_s.to_bits(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for node in 0..n {
+            let skewing = sc.faults.iter().any(|f| {
+                matches!(*f, Fault::ClockSkew { node: sn, from_s, until_s, .. }
+                    if sn as usize == node && window_active(from_s, until_s, t))
+            });
+            if !skewing && clock_offset[node] != 0.0 {
+                // PTP servo pulls the clock back after the fault clears.
+                clock_offset[node] *= 0.5;
+                if clock_offset[node].abs() < 1e-3 {
+                    clock_offset[node] = 0.0;
+                }
+            }
+            if clock_offset[node] != 0.0 {
+                dirty[node].push((t - tick, t + tick));
+            }
+        }
+
+        // ── Gateways publish the window [t − tick, t). ──
+        if t > 0.0 {
+            let t0 = t - tick;
+            for node in 0..sc.n_nodes {
+                let i = node as usize;
+                let suppressed = if dead[i] {
+                    Some(FrameFate::Dead)
+                } else if broker_down {
+                    Some(FrameFate::BrokerDown)
+                } else if sc.faults.iter().any(|f| {
+                    matches!(*f, Fault::Dropout { node: dn, from_s, until_s }
+                        if dn == node && window_active(from_s, until_s, t))
+                }) {
+                    Some(FrameFate::Dropout)
+                } else {
+                    None
+                };
+                if let Some(fate) = suppressed {
+                    frames_suppressed += 1;
+                    dirty[i].push((t0 - tick, t + tick));
+                    log.push(Event::Frame {
+                        t_ns,
+                        node,
+                        t0_bits: (t0 + clock_offset[i]).to_bits(),
+                        n: 0,
+                        fate,
+                    });
+                    continue;
+                }
+                let w = node_draw_w[i];
+                let watts: Vec<f32> = (0..samples)
+                    .map(|_| {
+                        let nz = 1.0 + sc.noise * gauss(&mut plant_rng);
+                        (w * nz).max(0.0) as f32
+                    })
+                    .collect();
+                let frame = SampleFrame {
+                    t0_s: t0 + clock_offset[i],
+                    dt_s: sc.sample_dt_s,
+                    watts,
+                };
+                let delayed = sc.faults.iter().any(|f| {
+                    matches!(*f, Fault::Reorder { node: rn, from_s, until_s, .. }
+                        if rn == node && window_active(from_s, until_s, t))
+                }) && {
+                    let p = sc
+                        .faults
+                        .iter()
+                        .find_map(|f| match *f {
+                            Fault::Reorder {
+                                node: rn,
+                                p,
+                                from_s,
+                                until_s,
+                                ..
+                            } if rn == node && window_active(from_s, until_s, t) => Some(p),
+                            _ => None,
+                        })
+                        .unwrap_or(0.0);
+                    inject_rng.chance(p)
+                };
+                if delayed {
+                    let delay_ticks = sc
+                        .faults
+                        .iter()
+                        .find_map(|f| match *f {
+                            Fault::Reorder {
+                                node: rn,
+                                delay_ticks,
+                                from_s,
+                                until_s,
+                                ..
+                            } if rn == node && window_active(from_s, until_s, t) => {
+                                Some(delay_ticks)
+                            }
+                            _ => None,
+                        })
+                        .unwrap_or(1);
+                    log.push(Event::Frame {
+                        t_ns,
+                        node,
+                        t0_bits: frame.t0_s.to_bits(),
+                        n: frame.watts.len() as u32,
+                        fate: FrameFate::Delayed,
+                    });
+                    dirty[i].push((t0 - tick, t + (delay_ticks as f64 + 1.0) * tick));
+                    delay_buf.push(DelayedFrame {
+                        due_s: t + delay_ticks as f64 * tick,
+                        node,
+                        frame,
+                        true_end_s: t,
+                    });
+                    continue;
+                }
+                publish_frame(
+                    t,
+                    node,
+                    &frame,
+                    t,
+                    false,
+                    &mut log,
+                    &mut model,
+                    &mut delivered_until,
+                    &mut dirty,
+                    &mut frames_delivered,
+                    &mut frames_suppressed,
+                );
+            }
+        }
+        // Due delayed frames land now, out of order (unless the broker
+        // is down, in which case they stay queued at the gateway).
+        if !broker_down {
+            let due: Vec<DelayedFrame> = {
+                let mut held = Vec::new();
+                let mut landing = Vec::new();
+                for df in delay_buf.drain(..) {
+                    if df.due_s <= t && !dead[df.node as usize] {
+                        landing.push(df);
+                    } else {
+                        held.push(df);
+                    }
+                }
+                delay_buf = held;
+                landing
+            };
+            for df in due {
+                publish_frame(
+                    t,
+                    df.node,
+                    &df.frame,
+                    df.true_end_s,
+                    true,
+                    &mut log,
+                    &mut model,
+                    &mut delivered_until,
+                    &mut dirty,
+                    &mut frames_delivered,
+                    &mut frames_suppressed,
+                );
+            }
+        }
+
+        // ── Arrivals. ──
+        while next_submit < trace.len() && trace[next_submit].submit_s <= t {
+            cp.submit(trace[next_submit].clone());
+            next_submit += 1;
+        }
+
+        // ── Plant completions and death aborts. ──
+        let mut completions: Vec<(JobId, f64)> = Vec::new();
+        plant.retain(|pj| {
+            let killer = pj.nodes.iter().find(|&&nd| dead[nd as usize]);
+            if let Some(&killer) = killer {
+                completions.push((pj.id, t));
+                let rec = &mut jobs[job_index[&pj.id]];
+                rec.end_s = t;
+                rec.aborted = true;
+                for &nd in &pj.nodes {
+                    speeds[nd as usize] = 1.0;
+                }
+                log.push(Event::Abort {
+                    t_ns,
+                    job: pj.id,
+                    node: killer,
+                });
+                return false;
+            }
+            if pj.remaining_s <= 1e-9 {
+                completions.push((pj.id, t));
+                let rec = &mut jobs[job_index[&pj.id]];
+                rec.end_s = t;
+                for &nd in &pj.nodes {
+                    speeds[nd as usize] = 1.0;
+                }
+                log.push(Event::Complete { t_ns, job: pj.id });
+                return false;
+            }
+            true
+        });
+
+        // ── One control period of the real loop. ──
+        let placements = cp.tick(t, &completions);
+        for p in &placements {
+            let job = &by_id[&p.job];
+            job_index.insert(p.job, jobs.len());
+            jobs.push(JobTruth {
+                id: p.job,
+                start_s: t,
+                end_s: f64::NAN,
+                nodes: p.nodes.clone(),
+                energy_j: 0.0,
+                clean: true,
+                aborted: false,
+            });
+            log.push(Event::Place {
+                t_ns,
+                job: p.job,
+                nodes: p.nodes.clone(),
+            });
+            plant.push(PlantJob {
+                id: p.job,
+                nodes: p.nodes.clone(),
+                node_w: job.true_power_w * drift(job),
+                remaining_s: job.true_runtime_s,
+            });
+        }
+
+        // ── Apply DVFS commands (live, or retained replay on
+        //    reconnect). ──
+        for msg in ctl_watch.drain() {
+            let node = {
+                let mut parts = msg.topic.split('/');
+                parts.next();
+                parts
+                    .next()
+                    .and_then(|s| s.strip_prefix("node"))
+                    .and_then(|s| s.parse::<u32>().ok())
+            };
+            if let (Some(node), Ok(speed)) = (
+                node,
+                std::str::from_utf8(&msg.payload)
+                    .unwrap_or("")
+                    .parse::<f64>(),
+            ) {
+                if node < sc.n_nodes {
+                    let applied = speed.clamp(0.1, 1.0);
+                    speeds[node as usize] = applied;
+                    checker.on_speed(t, node, reconnect_tick);
+                    log.push(Event::Speed {
+                        t_ns,
+                        node,
+                        speed_bits: applied.to_bits(),
+                        replayed: reconnect_tick,
+                    });
+                }
+            }
+        }
+
+        if next_submit >= trace.len()
+            && plant.is_empty()
+            && cp.queue_len() == 0
+            && delay_buf.is_empty()
+        {
+            break;
+        }
+
+        // ── Advance the plant over [t, t + tick). ──
+        for (i, w) in node_draw_w.iter_mut().enumerate() {
+            *w = if dead[i] { 0.0 } else { idle_w };
+        }
+        for pj in plant.iter_mut() {
+            let speed = pj
+                .nodes
+                .iter()
+                .map(|&nd| speeds[nd as usize])
+                .fold(1.0, f64::min);
+            for &nd in &pj.nodes {
+                if !dead[nd as usize] {
+                    node_draw_w[nd as usize] = idle_w + speed * (pj.node_w - idle_w).max(0.0);
+                }
+            }
+            pj.remaining_s -= tick * speed;
+        }
+        let sys_w: f64 = node_draw_w.iter().sum();
+        total_energy_j += sys_w * tick;
+        let mut busy_nodes = vec![false; n];
+        for pj in &plant {
+            let job_e: f64 = pj
+                .nodes
+                .iter()
+                .map(|&nd| {
+                    busy_nodes[nd as usize] = true;
+                    node_draw_w[nd as usize] * tick
+                })
+                .sum();
+            jobs[job_index[&pj.id]].energy_j += job_e;
+        }
+        for i in 0..n {
+            per_node_energy[i] += node_draw_w[i] * tick;
+            if !busy_nodes[i] {
+                idle_energy_j += node_draw_w[i] * tick;
+            }
+        }
+        if sys_w > sc.cap_w {
+            overcap_s += tick;
+            overcap_energy_j += (sys_w - sc.cap_w) * tick;
+        }
+
+        // ── Audit the period. ──
+        checker.on_tick(
+            t,
+            tick,
+            &cp,
+            &TickTruth {
+                sys_w,
+                broker_down,
+                delivered_until: &delivered_until,
+                dead: &dead,
+                clock_faulted: &clock_faulted,
+            },
+        );
+
+        clock.advance();
+        assert!(
+            clock.now_s() < 30.0 * 86_400.0,
+            "scenario {:?} failed to converge: queue={} plant={}",
+            sc.name,
+            cp.queue_len(),
+            plant.len()
+        );
+    }
+
+    let t_end = clock.now_s();
+    // Classify jobs: clean means no fault activity touched any of its
+    // nodes for its whole (slightly widened) window.
+    for j in jobs.iter_mut() {
+        if j.end_s.is_nan() {
+            j.end_s = t_end;
+        }
+        let (a, b) = (j.start_s - tick, j.end_s + tick);
+        let touched = j.nodes.iter().any(|&nd| {
+            dirty[nd as usize]
+                .iter()
+                .any(|&(from, until)| from < b && a < until)
+        });
+        j.clean = !touched && !j.aborted;
+    }
+
+    let mut report = cp.report();
+    report.total_energy_j = total_energy_j;
+    report.overcap_energy_j = overcap_energy_j;
+    report.overcap_s = overcap_s;
+
+    let truth = GroundTruth {
+        total_energy_j,
+        idle_energy_j,
+        per_node_energy_j: per_node_energy,
+        overcap_s,
+        overcap_energy_j,
+        aborted_jobs: jobs.iter().filter(|j| j.aborted).count() as u64,
+        frames_delivered,
+        frames_suppressed,
+        makespan_s: t_end,
+        jobs,
+    };
+    let violations = checker.finish(
+        &cp,
+        &broker,
+        &report,
+        &model,
+        &FinalTruth {
+            total_energy_j: truth.total_energy_j,
+            per_node_energy_j: &truth.per_node_energy_j,
+            idle_energy_j: truth.idle_energy_j,
+            jobs: &truth.jobs,
+            t_s: t_end,
+        },
+    );
+    // Detach the hook so the broker (shared handles) cannot call into
+    // freed harness state.
+    broker.set_fault_hook(None);
+
+    RunOutcome {
+        scenario: sc.name.clone(),
+        report,
+        log,
+        violations,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn baseline_scenario_is_clean_and_deterministic() {
+        let sc = Scenario::base("unit_baseline", 11);
+        let a = run(&sc);
+        assert_eq!(
+            a.violations,
+            Vec::new(),
+            "baseline must hold every invariant"
+        );
+        assert_eq!(a.report.jobs_completed as usize, sc.n_jobs);
+        assert!(a.truth.total_energy_j > 0.0);
+        let b = run(&sc);
+        assert_eq!(a.log, b.log, "same seed, same scenario → same event log");
+        assert_eq!(a.log.digest(), b.log.digest());
+    }
+}

@@ -1,0 +1,38 @@
+//! # davide-sim
+//!
+//! Deterministic fault-injection harness for the full telemetry →
+//! control-plane loop: energy-gateway frames over the real in-process
+//! MQTT broker, `telemetry::ingest` into the management store, and the
+//! `sched::controlplane` actuators — driven through scripted fault
+//! scenarios with a virtual clock and the workspace's seeded RNG, so a
+//! scenario re-run with the same seed produces a **bit-identical event
+//! log**.
+//!
+//! * [`scenario`] — the fault-script DSL: per-gateway sample loss and
+//!   dropout windows, duplicated/reordered frames, PTP clock skew and
+//!   step, broker restart with retained-message replay, node death
+//!   mid-job; plus the canned scenario set CI smokes.
+//! * [`clock`] — the virtual clock ([`core::time::SimTime`]-backed, no
+//!   wall time anywhere in the loop).
+//! * [`log`] — the structured event log and its FNV-64 digest, the
+//!   artifact two runs of one seed must reproduce bit for bit.
+//! * [`invariants`] — the checker layer: envelope compliance within the
+//!   controller's overshoot budget, per-job energy conservation, the
+//!   stale-telemetry fallback, and retained DVFS command convergence.
+//! * [`harness`] — the plant + fault injector that wires it together
+//!   and returns a [`harness::RunOutcome`].
+//!
+//! [`core::time::SimTime`]: davide_core::time::SimTime
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod harness;
+pub mod invariants;
+pub mod log;
+pub mod scenario;
+
+pub use harness::{run, GroundTruth, RunOutcome};
+pub use invariants::Violation;
+pub use log::{Event, EventLog, FrameFate};
+pub use scenario::{canned, Fault, Scenario};

@@ -25,10 +25,13 @@ use rayon::prelude::*;
 pub struct IngestStats {
     /// Frames decoded and appended.
     pub frames: u64,
-    /// Samples appended across all frames.
+    /// Samples actually stored across all frames.
     pub samples: u64,
     /// Payloads that failed [`SampleFrame::decode`] and were skipped.
     pub malformed: u64,
+    /// Samples the store rejected as stale (duplicated or reordered
+    /// delivery landing behind the series tail).
+    pub stale_dropped: u64,
 }
 
 /// A decoded frame still attached to its source topic.
@@ -96,8 +99,9 @@ impl FrameIngestor {
         let frames = self.drain_frames();
         for f in &frames {
             let id = db.resolve(&f.topic);
-            db.append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
-            self.stats.samples += f.frame.watts.len() as u64;
+            let stored = db.append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
+            self.stats.samples += stored as u64;
+            self.stats.stale_dropped += (f.frame.watts.len() - stored) as u64;
         }
         self.stats.frames += frames.len() as u64;
         frames.len()
@@ -107,9 +111,11 @@ impl FrameIngestor {
     /// batch out across shards. Returns the number of frames ingested.
     pub fn drain_into_sharded(&mut self, db: &mut ShardedTsDb) -> usize {
         let frames = self.drain_frames();
-        let samples = db.ingest_batch(&frames);
+        let stored = db.ingest_batch(&frames);
+        let offered: u64 = frames.iter().map(|f| f.frame.watts.len() as u64).sum();
         self.stats.frames += frames.len() as u64;
-        self.stats.samples += samples;
+        self.stats.samples += stored;
+        self.stats.stale_dropped += offered - stored;
         frames.len()
     }
 }
@@ -159,21 +165,26 @@ impl ShardedTsDb {
 
     /// Ingest a decoded batch: shards run in parallel, each appending
     /// the frames that hash to it (one bulk append per frame). Returns
-    /// the number of samples appended.
+    /// the number of samples actually stored (stale points rejected by
+    /// a shard are not counted).
     pub fn ingest_batch(&mut self, batch: &[DecodedFrame]) -> u64 {
         let n = self.shards.len();
         self.shards
             .par_iter_mut()
             .enumerate()
-            .for_each(|(i, shard)| {
+            .map(|(i, shard)| {
+                let mut stored = 0u64;
                 for f in batch {
                     if shard_index(&f.topic, n) == i {
                         let id = shard.resolve(&f.topic);
-                        shard.append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
+                        stored +=
+                            shard.append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts)
+                                as u64;
                     }
                 }
-            });
-        batch.iter().map(|f| f.frame.watts.len() as u64).sum()
+                stored
+            })
+            .sum()
     }
 
     /// Flush rollup accumulators on every shard.
@@ -286,6 +297,40 @@ mod tests {
         assert_eq!(ing.stats().malformed, 1);
         assert_eq!(db.count("t/good"), 10);
         assert_eq!(db.count("t/bad"), 0);
+    }
+
+    #[test]
+    fn duplicated_and_reordered_frames_counted_as_stale() {
+        let broker = Broker::default();
+        let mut ing = FrameIngestor::subscribe(&broker, "mgmt", &["t/#"]).unwrap();
+        let pub_client = broker.connect("p");
+        let newer = SampleFrame {
+            t0_s: 10.0,
+            dt_s: 1.0,
+            watts: vec![100.0; 5],
+        };
+        let older = SampleFrame {
+            t0_s: 0.0,
+            dt_s: 1.0,
+            watts: vec![50.0; 5],
+        };
+        // Deliver out of order: newer first, then the delayed older
+        // frame, then an exact duplicate of the newer one.
+        for f in [&newer, &older, &newer] {
+            pub_client
+                .publish("t/power", f.encode(), QoS::AtMostOnce, false)
+                .unwrap();
+        }
+        let mut db = TsDb::new();
+        assert_eq!(ing.drain_into(&mut db), 3);
+        let stats = ing.stats();
+        assert_eq!(stats.frames, 3);
+        // All 5 samples of the first frame land; the older frame is
+        // entirely stale; the duplicate re-appends only its final
+        // boundary sample (t == series tail).
+        assert_eq!(stats.samples, 6); // 5 from the first, 1 boundary
+        assert_eq!(stats.stale_dropped, 9); // all 5 older + 4 duplicate
+        assert_eq!(db.count("t/power"), 6);
     }
 
     #[test]

@@ -322,12 +322,14 @@ impl TsDb {
 
     /// Append one observation by interned id (timestamps must be
     /// nondecreasing per series; out-of-order points are dropped, as in
-    /// production TSDBs). Allocation-free in steady state.
+    /// production TSDBs). Returns whether the point was stored, so lossy
+    /// ingest paths can account for what a degraded link cost them.
+    /// Allocation-free in steady state.
     #[inline]
-    pub fn append_id(&mut self, id: SeriesId, t: f64, v: f64) {
+    pub fn append_id(&mut self, id: SeriesId, t: f64, v: f64) -> bool {
         let s = &mut self.series[id.index()];
         if t < s.last_t {
-            return;
+            return false;
         }
         s.last_t = t;
         s.count += 1;
@@ -335,6 +337,7 @@ impl TsDb {
         for r in &mut s.rollups {
             r.push(t, v);
         }
+        true
     }
 
     /// Append one observation by name (resolves, then [`Self::append_id`]).
@@ -348,18 +351,21 @@ impl TsDb {
     /// interned id: one monotonicity check, one eviction step, bulk
     /// column extends, and closed-form rollup accumulation. Frames that
     /// start before the series tail (or run backwards) fall back to the
-    /// per-sample path, which drops the stale points.
-    pub fn append_frame_id(&mut self, id: SeriesId, t0: f64, dt: f64, values: &[f32]) {
+    /// per-sample path, which drops the stale points. Returns the number
+    /// of samples actually stored (`values.len()` on the fast path), so
+    /// callers can account for samples lost to reordering faults.
+    pub fn append_frame_id(&mut self, id: SeriesId, t0: f64, dt: f64, values: &[f32]) -> usize {
         let n = values.len();
         if n == 0 {
-            return;
+            return 0;
         }
         let s = &mut self.series[id.index()];
         if t0 < s.last_t || dt < 0.0 {
+            let mut stored = 0;
             for (i, &v) in values.iter().enumerate() {
-                self.append_id(id, t0 + i as f64 * dt, v as f64);
+                stored += usize::from(self.append_id(id, t0 + i as f64 * dt, v as f64));
             }
-            return;
+            return stored;
         }
         s.last_t = t0 + (n - 1) as f64 * dt;
         s.count += n as u64;
@@ -367,6 +373,7 @@ impl TsDb {
         for r in &mut s.rollups {
             r.push_frame(t0, dt, values);
         }
+        n
     }
 
     /// Bulk-append a frame by name (resolves, then [`Self::append_frame_id`]).

@@ -1,8 +1,6 @@
 //! Property-based tests (proptest) on the invariants that hold across
 //! the whole stack.
 
-// String-keyed TsDb shims stay covered here until they are removed.
-#![allow(deprecated)]
 use davide::apps::cg::{conjugate_gradient, LinearOp};
 use davide::apps::fft::fft_inplace;
 use davide::apps::gemm::Matrix;
@@ -230,16 +228,17 @@ proptest! {
         values in proptest::collection::vec(0.0f64..4000.0, 10..200),
     ) {
         let mut db = TsDb::with_capacity(10_000, 1_000);
+        let sid = db.resolve("s");
         for (i, &v) in values.iter().enumerate() {
-            db.append("s", i as f64 * 0.1, v);
+            db.append_id(sid, i as f64 * 0.1, v);
         }
         db.flush();
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        for p in db.query("s", Resolution::Second, 0.0, 1e9) {
+        for p in db.query_id(sid, Resolution::Second, 0.0, 1e9) {
             prop_assert!(p.v >= lo - 1e-9 && p.v <= hi + 1e-9);
         }
-        prop_assert_eq!(db.count("s"), values.len() as u64);
+        prop_assert_eq!(db.count_id(sid), values.len() as u64);
     }
 
     /// A `SampleFrame` survives the wire byte-exactly: encode ∘ decode
@@ -318,6 +317,102 @@ proptest! {
             buf.put_f32_le(i as f32);
         }
         prop_assert!(SampleFrame::decode(Bytes::from(buf.to_vec())).is_none());
+    }
+
+    /// The MQTT wire decoder survives arbitrary garbage: it yields
+    /// packets, asks for more bytes, or reports a codec error — it
+    /// never panics and never loops without consuming input.
+    #[test]
+    fn mqtt_decode_survives_garbage(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use bytes::BytesMut;
+        use davide::mqtt::codec::decode;
+        let mut buf = BytesMut::from(&raw[..]);
+        // Each Ok(Some) consumes at least a header byte, so the stream
+        // drains in at most len(raw) iterations.
+        for _ in 0..=raw.len() {
+            match decode(&mut buf) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// encode ∘ decode is the identity on every packet kind the stack
+    /// uses, and the decoder consumes exactly the encoded bytes.
+    #[test]
+    fn mqtt_codec_roundtrip(
+        kind in 0usize..11,
+        topic in topic_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        id in 1u16..u16::MAX,
+        flags in 0u8..8,
+    ) {
+        use bytes::{Bytes, BytesMut};
+        use davide::mqtt::codec::{decode, encode};
+        use davide::mqtt::{Packet, QoS};
+        let qos = if flags & 1 == 0 { QoS::AtMostOnce } else { QoS::AtLeastOnce };
+        let pkt = match kind {
+            0 => Packet::Connect {
+                client_id: topic,
+                keep_alive: id,
+                clean_session: flags & 2 != 0,
+            },
+            1 => Packet::ConnAck { session_present: flags & 2 != 0, code: flags },
+            2 => Packet::Publish {
+                topic,
+                payload: Bytes::from(payload),
+                qos,
+                retain: flags & 2 != 0,
+                dup: flags & 4 != 0,
+                // Present iff QoS > 0 — the wire format has no id slot
+                // at QoS 0.
+                packet_id: (qos != QoS::AtMostOnce).then_some(id),
+            },
+            3 => Packet::PubAck { packet_id: id },
+            4 => Packet::Subscribe {
+                packet_id: id,
+                filters: vec![(topic, qos), ("davide/#".into(), QoS::AtMostOnce)],
+            },
+            5 => Packet::SubAck { packet_id: id, return_codes: vec![0, 1, 0x80] },
+            6 => Packet::Unsubscribe { packet_id: id, filters: vec![topic] },
+            7 => Packet::UnsubAck { packet_id: id },
+            8 => Packet::PingReq,
+            9 => Packet::PingResp,
+            _ => Packet::Disconnect,
+        };
+        let mut buf = BytesMut::new();
+        encode(&pkt, &mut buf);
+        let back = decode(&mut buf).expect("well-formed").expect("complete");
+        prop_assert_eq!(back, pkt);
+        prop_assert!(buf.is_empty(), "decoder consumes the exact packet");
+    }
+
+    /// Every strict truncation of a valid wire packet is incomplete:
+    /// the stream decoder returns Ok(None) (waiting for the rest) and
+    /// leaves the buffer untouched — it never fabricates a packet.
+    #[test]
+    fn mqtt_decode_waits_on_truncation(
+        topic in topic_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_seed in 0usize..10_000,
+    ) {
+        use bytes::{Bytes, BytesMut};
+        use davide::mqtt::codec::{decode, encode};
+        use davide::mqtt::{Packet, QoS};
+        let pkt = Packet::Publish {
+            topic,
+            payload: Bytes::from(payload),
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            dup: false,
+            packet_id: Some(7),
+        };
+        let mut wire = BytesMut::new();
+        encode(&pkt, &mut wire);
+        let cut = cut_seed % wire.len(); // strictly shorter than full
+        let mut buf = BytesMut::from(&wire[..cut]);
+        prop_assert!(decode(&mut buf).expect("prefix is never malformed").is_none());
+        prop_assert_eq!(buf.len(), cut, "incomplete input is left untouched");
     }
 
     /// MQTT session packet ids are unique among in-flight publishes for

@@ -2,8 +2,6 @@
 //! rack gateways → rack broker → bridge → site broker → time-series DB
 //! → profiler/accounting queries.
 
-// String-keyed TsDb shims stay covered here until they are removed.
-#![allow(deprecated)]
 use davide::core::rng::Rng;
 use davide::mqtt::{Bridge, Broker, QoS};
 use davide::telemetry::gateway::{EnergyGateway, SampleFrame};
@@ -36,7 +34,8 @@ fn rack_to_site_to_database_pipeline() {
     let mut frames = 0;
     for m in ingest.drain() {
         let f = SampleFrame::decode(m.payload).unwrap();
-        db.append_frame(&m.topic, f.t0_s, f.dt_s, &f.watts);
+        let sid = db.resolve(&m.topic);
+        db.append_frame_id(sid, f.t0_s, f.dt_s, &f.watts);
         frames += 1;
     }
     assert_eq!(frames, 200, "two nodes × 100 frames");
@@ -45,17 +44,15 @@ fn rack_to_site_to_database_pipeline() {
     // Query side: per-node mean power at 1-second rollup.
     let keys = db.keys();
     assert_eq!(keys.len(), 2);
-    let m0 = db
-        .mean("davide/node00/power/node", Resolution::Second, 0.0, 1e9)
-        .unwrap();
-    let m1 = db
-        .mean("davide/node01/power/node", Resolution::Second, 0.0, 1e9)
-        .unwrap();
+    let s0 = db.resolve("davide/node00/power/node");
+    let s1 = db.resolve("davide/node01/power/node");
+    let m0 = db.mean_id(s0, Resolution::Second, 0.0, 1e9).unwrap();
+    let m1 = db.mean_id(s1, Resolution::Second, 0.0, 1e9).unwrap();
     assert!((m0 - 1500.0).abs() < 20.0, "node00 mean {m0}");
     assert!((m1 - 1700.0).abs() < 20.0, "node01 mean {m1}");
 
     // Energy query over the observed window ≈ power × 1 s.
-    let e0 = db.energy_j("davide/node00/power/node", 0.0, 1e9);
+    let e0 = db.energy_j_id(s0, 0.0, 1e9);
     assert!((e0 - 1500.0).abs() < 25.0, "≈1500 J: {e0}");
 }
 
@@ -66,10 +63,11 @@ fn profiler_works_on_database_extracts() {
     let wave = WorkloadWaveform::hpc_job(1600.0, 0.5);
     let truth = wave.render(10_000.0, 3.0, &mut gen);
     let mut db = TsDb::with_capacity(100_000, 10_000);
+    let sid = db.resolve("job42/power");
     for (i, &w) in truth.samples.iter().enumerate() {
-        db.append("job42/power", truth.time_of(i), w);
+        db.append_id(sid, truth.time_of(i), w);
     }
-    let points = db.query("job42/power", Resolution::Raw, 0.0, 3.0);
+    let points = db.query_id(sid, Resolution::Raw, 0.0, 3.0);
     assert_eq!(points.len(), truth.len());
     // Rebuild a trace from the DB extract.
     let trace = davide::core::power::PowerTrace::new(
