@@ -1,12 +1,15 @@
 //! E21 micro-benchmarks: the batched telemetry ingest path, plus an
 //! allocation-counting proof that the steady-state append path is
-//! heap-allocation-free. Run the proof without timing via
+//! heap-allocation-free and a guard that the `davide-obs` instruments
+//! stay within a 5 % overhead budget on the broker → TsDb drain. Run
+//! the proofs without timing via
 //! `cargo bench --bench ingest -- --test` (the CI smoke mode).
 
-// By-name TsDb paths are benchmarked deliberately against the id fast path.
-#![allow(deprecated)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use davide_telemetry::gateway::SampleFrame;
+use davide_mqtt::Broker;
+use davide_obs::ObsHub;
+use davide_telemetry::gateway::{power_topic, SampleFrame};
+use davide_telemetry::ingest::{FrameIngestor, IngestObs};
 use davide_telemetry::tsdb::TsDb;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,10 +104,13 @@ fn bench_append(c: &mut Criterion) {
         })
     });
 
+    // The by-name path: a string lookup in front of the same bulk
+    // append, the cost every caller pays when it has not interned ids.
     let (mut db, _, mut t0) = warmed_db();
     g.bench_function("bulk_append_frame_by_name_500", |b| {
         b.iter(|| {
-            db.append_frame("node00/power/node", t0, DT, &frame.watts);
+            let id = db.lookup(black_box("node00/power/node")).unwrap();
+            db.append_frame_id(id, t0, DT, &frame.watts);
             t0 += FRAME_LEN as f64 * DT;
         })
     });
@@ -127,7 +133,7 @@ fn bench_query(c: &mut Criterion) {
         })
     });
     g.bench_function("energy_window", |b| {
-        b.iter(|| db.energy_j("node00/power/node", black_box(w0), black_box(w1)))
+        b.iter(|| db.energy_j_id(id, black_box(w0), black_box(w1)))
     });
     g.finish();
 }
@@ -173,5 +179,125 @@ fn alloc_proof(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_append, bench_query, alloc_proof);
+/// Frames per timed sub-drain and sub-drains per floor estimate.
+const SUB_FRAMES: usize = 250;
+const SUB_DRAINS: usize = 12;
+
+/// Steady-state broker → ingest → TsDb drain floor: one warmed
+/// broker/ingestor/store, `SUB_DRAINS` publish-then-drain rounds of
+/// `SUB_FRAMES` frames each, returning the *minimum* sub-drain time.
+/// Publishes sit outside the clock; the raw ring is pre-grown to
+/// capacity so the timed path is the pure recycle path (no deque
+/// growth, no first-touch page faults). The min over many short drains
+/// is a far more stable estimator on a shared machine than one long
+/// drain.
+fn drain_floor(instrumented: bool) -> std::time::Duration {
+    let broker = Broker::new(1 << 16);
+    let mut ing = FrameIngestor::subscribe(&broker, "bench-agent", &["davide/+/power/#"]).unwrap();
+    if instrumented {
+        let hub = ObsHub::monotonic();
+        ing.set_obs(Some(IngestObs::new(&hub)));
+    }
+    let gw = broker.connect("bench-gw");
+    let watts = vec![1700.0f32; FRAME_LEN];
+
+    // Warm the raw ring to capacity (untimed, with pre-frame
+    // timestamps) so sub-drains recycle slots instead of growing.
+    let mut db = TsDb::with_capacity(SUB_FRAMES * FRAME_LEN, 1_000);
+    let id = db.resolve(&power_topic(0, "node"));
+    let mut tw = -((SUB_FRAMES * FRAME_LEN) as f64) * DT;
+    for _ in 0..SUB_FRAMES {
+        db.append_frame_id(id, tw, DT, &watts);
+        tw += FRAME_LEN as f64 * DT;
+    }
+
+    let mut t0 = 0.0;
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..SUB_DRAINS {
+        for _ in 0..SUB_FRAMES {
+            let frame = SampleFrame {
+                t0_s: t0,
+                dt_s: DT,
+                watts: watts.clone(),
+            };
+            gw.publish(
+                &power_topic(0, "node"),
+                frame.encode(),
+                davide_mqtt::QoS::AtMostOnce,
+                false,
+            )
+            .unwrap();
+            t0 += FRAME_LEN as f64 * DT;
+        }
+        let start = std::time::Instant::now();
+        let frames = ing.drain_into(&mut db);
+        let dt = start.elapsed();
+        assert_eq!(frames, SUB_FRAMES, "every frame lands");
+        best = best.min(dt);
+    }
+    best
+}
+
+/// The instrumentation-overhead guard: the full MQTT → TsDb drain with
+/// the obs stack armed (trace stamp, frame-age histogram, counters per
+/// frame) must stay within 5 % of the uninstrumented drain.
+///
+/// Each round measures the two variants back-to-back and the gate uses
+/// the *minimum per-round ratio*: paired measurements share whatever
+/// machine-wide drift is in force, so a noisy neighbour cannot fail the
+/// gate spuriously, while a real hot-path regression shows up in every
+/// round and survives the min.
+fn obs_overhead_guard(c: &mut Criterion) {
+    const ROUNDS: usize = 7;
+    let _ = drain_floor(false);
+    let _ = drain_floor(true);
+    let mut plain = std::time::Duration::MAX;
+    let mut inst = std::time::Duration::MAX;
+    let mut ratio = f64::INFINITY;
+    for r in 0..ROUNDS {
+        // Alternate ordering so neither variant always runs second.
+        let (a, b) = (drain_floor(r % 2 == 0), drain_floor(r % 2 != 0));
+        let (p, i) = if r % 2 == 0 { (b, a) } else { (a, b) };
+        plain = plain.min(p);
+        inst = inst.min(i);
+        ratio = ratio.min(i.as_secs_f64() / p.as_secs_f64());
+    }
+    let overhead = ratio - 1.0;
+    println!(
+        "obs overhead: uninstrumented {:.1} µs, instrumented {:.1} µs, best paired ratio {:+.2} % over {} frames × {} samples per drain",
+        plain.as_secs_f64() * 1e6,
+        inst.as_secs_f64() * 1e6,
+        overhead * 100.0,
+        SUB_FRAMES,
+        FRAME_LEN,
+    );
+    assert!(
+        overhead <= 0.05,
+        "obs instrumentation overhead {:.2} % exceeds the 5 % budget",
+        overhead * 100.0
+    );
+
+    // Keep timed entries so both variants show up in bench listings.
+    let mut g = c.benchmark_group("e21_obs_overhead");
+    g.throughput(Throughput::Elements(
+        (SUB_DRAINS * SUB_FRAMES * FRAME_LEN) as u64,
+    ));
+    g.sample_size(10);
+    g.bench_function("drain_uninstrumented", |b| {
+        b.iter(|| drain_floor(black_box(false)))
+    });
+    g.bench_function("drain_instrumented", |b| {
+        b.iter(|| drain_floor(black_box(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_append,
+    bench_query,
+    alloc_proof,
+    obs_overhead_guard
+);
 criterion_main!(benches);

@@ -95,13 +95,17 @@ fn make_batch() -> Vec<DecodedFrame> {
             for (ci, ch) in CHANNELS.iter().enumerate() {
                 let base = 200.0 + 50.0 * ci as f32 + node as f32;
                 let watts: Vec<f32> = (0..FRAME_LEN).map(|i| base + (i % 17) as f32).collect();
+                let topic = power_topic(node, ch);
+                let frame = SampleFrame {
+                    t0_s: t0,
+                    dt_s: 2e-5,
+                    watts,
+                };
+                let trace_id = davide_obs::frame_trace_id(&topic, &frame.encode());
                 batch.push(DecodedFrame {
-                    topic: power_topic(node, ch),
-                    frame: SampleFrame {
-                        t0_s: t0,
-                        dt_s: 2e-5,
-                        watts,
-                    },
+                    topic,
+                    frame,
+                    trace_id,
                 });
             }
         }

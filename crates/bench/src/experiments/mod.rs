@@ -6,4 +6,5 @@ pub mod controlplane;
 pub mod ingest;
 pub mod management;
 pub mod monitoring;
+pub mod obs;
 pub mod system;

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E22, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E24, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -135,6 +135,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e22",
             title: "Closed-loop power control plane (Fig. 4)",
             run: controlplane::e22,
+        },
+        Experiment {
+            id: "e24",
+            title: "Self-instrumented control loop (obs stack)",
+            run: obs::e24,
         },
         Experiment {
             id: "f1",

@@ -12,6 +12,7 @@
 
 use crate::node::{ComputeNode, NodeLoad};
 use crate::units::{Seconds, Watts};
+use davide_obs::{Counter, Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one controller step, for logging/metrics.
@@ -211,6 +212,26 @@ impl LadderCapController {
         self.under_s = 0.0;
     }
 
+    /// [`Self::observe`] with capping instruments: the action and any
+    /// overcap excursion land in `obs`'s counters/histograms. Kept as a
+    /// separate method (rather than a field) so the controller stays
+    /// `PartialEq + Serialize` — checkpointable control state carries
+    /// no instrument handles.
+    pub fn observe_instrumented(&mut self, measured: Watts, dt: Seconds, obs: &CapObs) -> i32 {
+        let error = measured.0 - self.cap.0;
+        if error > 0.0 {
+            obs.overcap_w.record(error.round() as u64);
+        }
+        let action = self.observe(measured, dt);
+        obs.observations.inc();
+        match action {
+            -1 => obs.steps_down.inc(),
+            1 => obs.steps_up.inc(),
+            _ => {}
+        }
+        action
+    }
+
     /// Feed one measurement covering `dt`; returns the ladder action
     /// taken (−1 step down, 0 hold, +1 step up).
     pub fn observe(&mut self, measured: Watts, dt: Seconds) -> i32 {
@@ -244,6 +265,35 @@ impl LadderCapController {
             self.under_s = 0.0;
         }
         0
+    }
+}
+
+/// Capping instruments shared by every [`LadderCapController`] of a
+/// deployment: DVFS actuation counts and the overcap-excursion
+/// distribution, aggregated cluster-wide in the metrics registry.
+#[derive(Clone)]
+pub struct CapObs {
+    observations: Counter,
+    steps_down: Counter,
+    steps_up: Counter,
+    overcap_w: Histogram,
+}
+
+impl CapObs {
+    /// Capping instruments registered in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        CapObs {
+            observations: registry.counter("cap_observations_total"),
+            steps_down: registry.counter("cap_steps_down_total"),
+            steps_up: registry.counter("cap_steps_up_total"),
+            overcap_w: registry.histogram("cap_overcap_w"),
+        }
+    }
+}
+
+impl std::fmt::Debug for CapObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CapObs").finish_non_exhaustive()
     }
 }
 
@@ -479,6 +529,28 @@ mod tests {
         assert_eq!(ctl.observe(Watts(1700.0), Seconds(1.0)), -1);
         assert_eq!(ctl.level(), 1);
         assert!(ctl.speed() < 1.0);
+    }
+
+    #[test]
+    fn ladder_instrumented_observe_matches_plain_and_counts_actions() {
+        let registry = MetricsRegistry::new();
+        let obs = CapObs::new(&registry);
+        let mut plain = ladder_ctl(1500.0);
+        let mut inst = ladder_ctl(1500.0);
+        let trace = [1700.0, 1400.0, 1700.0, 1700.0, 1200.0, 1200.0, 1200.0];
+        for &w in &trace {
+            let a = plain.observe(Watts(w), Seconds(1.0));
+            let b = inst.observe_instrumented(Watts(w), Seconds(1.0), &obs);
+            assert_eq!(a, b, "instruments must not change control decisions");
+        }
+        assert_eq!(plain, inst, "controller state identical either way");
+        let count = |name: &str| registry.find_counter(name).unwrap().get();
+        assert_eq!(count("cap_observations_total"), trace.len() as u64);
+        assert_eq!(count("cap_steps_down_total"), 1);
+        assert_eq!(count("cap_steps_up_total"), 1);
+        let over = registry.find_histogram("cap_overcap_w").unwrap().snapshot();
+        assert_eq!(over.count, 3, "three samples exceeded the 1500 W cap");
+        assert_eq!(over.max, 200);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::codec::QoS;
 use crate::topic::{filter_matches, validate_filter, validate_topic, TopicError};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use davide_obs::{frame_trace_id, Counter, Gauge, ObsHub, Stage};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,6 +161,8 @@ struct BrokerState {
 }
 
 /// Delivery statistics, exposed on the `$SYS` topics of a real broker.
+/// Fault-injection counts (injected drops/dups) live in the metrics
+/// registry via [`BrokerObs`], not here.
 #[derive(Debug, Default)]
 pub struct BrokerStats {
     /// PUBLISH packets accepted.
@@ -170,10 +173,120 @@ pub struct BrokerStats {
     pub dropped: AtomicU64,
     /// QoS 1 PUBLISHes acknowledged.
     pub acked: AtomicU64,
-    /// PUBLISHes discarded by an installed fault hook.
-    pub injected_drops: AtomicU64,
-    /// Extra deliveries generated by an installed fault hook.
-    pub injected_dups: AtomicU64,
+}
+
+/// Per-topic delivery instruments, registered lazily on first sight of
+/// a topic (obs self-telemetry topics are excluded to bound
+/// cardinality — counting them would mint new metrics for every metric,
+/// a feedback loop).
+struct TopicObs {
+    published: Counter,
+    delivered: Counter,
+    retained: Gauge,
+}
+
+/// Broker-side observability: global and per-topic delivery counters,
+/// fault-injection counters, and causal-trace stamps for telemetry
+/// frames — all registered in the [`ObsHub`]'s metrics registry.
+///
+/// Installed with [`Broker::set_obs`]; brokers without one behave
+/// exactly as before (the hot path checks a mutex-guarded `Option`).
+pub struct BrokerObs {
+    hub: ObsHub,
+    /// Payload prefix identifying a telemetry `SampleFrame`; only such
+    /// publishes are causally traced. `None` disables tracing.
+    frame_magic: Option<Vec<u8>>,
+    published: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    injected_drops: Counter,
+    injected_dups: Counter,
+    retained_total: Gauge,
+    per_topic: HashMap<String, TopicObs>,
+}
+
+impl BrokerObs {
+    /// Broker instruments registered in `hub`'s registry. Publishes
+    /// whose payload starts with `frame_magic` get [`Stage`] trace
+    /// stamps (publish + deliver).
+    pub fn new(hub: &ObsHub, frame_magic: Option<&[u8]>) -> Self {
+        let r = &hub.registry;
+        BrokerObs {
+            hub: hub.clone(),
+            frame_magic: frame_magic.map(|m| m.to_vec()),
+            published: r.counter("mqtt_published_total"),
+            delivered: r.counter("mqtt_delivered_total"),
+            dropped: r.counter("mqtt_dropped_total"),
+            injected_drops: r.counter("mqtt_injected_drops_total"),
+            injected_dups: r.counter("mqtt_injected_dups_total"),
+            retained_total: r.gauge("mqtt_retained_messages"),
+            per_topic: HashMap::new(),
+        }
+    }
+
+    fn traceable(&self, topic: &str, payload: &[u8]) -> bool {
+        match &self.frame_magic {
+            Some(m) => payload.starts_with(m) && !topic.starts_with("davide/obs/"),
+            None => false,
+        }
+    }
+
+    fn topic_obs(&mut self, topic: &str) -> Option<&mut TopicObs> {
+        if topic.starts_with("davide/obs/") {
+            return None;
+        }
+        if !self.per_topic.contains_key(topic) {
+            let r = &self.hub.registry;
+            let t = TopicObs {
+                published: r.counter(&format!("mqtt_topic_published{{topic=\"{topic}\"}}")),
+                delivered: r.counter(&format!("mqtt_topic_delivered{{topic=\"{topic}\"}}")),
+                retained: r.gauge(&format!("mqtt_topic_retained{{topic=\"{topic}\"}}")),
+            };
+            self.per_topic.insert(topic.to_string(), t);
+        }
+        self.per_topic.get_mut(topic)
+    }
+
+    fn on_publish(&mut self, topic: &str, payload: &[u8]) {
+        self.published.inc();
+        if self.traceable(topic, payload) {
+            let now = self.hub.clock.now_s();
+            self.hub
+                .tracer
+                .stamp(frame_trace_id(topic, payload), Stage::BrokerPublish, now);
+        }
+        if let Some(t) = self.topic_obs(topic) {
+            t.published.inc();
+        }
+    }
+
+    fn on_deliver(&mut self, topic: &str, payload: &[u8]) {
+        self.delivered.inc();
+        if self.traceable(topic, payload) {
+            let now = self.hub.clock.now_s();
+            self.hub
+                .tracer
+                .stamp(frame_trace_id(topic, payload), Stage::SessionDeliver, now);
+        }
+        if let Some(t) = self.topic_obs(topic) {
+            t.delivered.inc();
+        }
+    }
+
+    fn on_retained(&mut self, topic: &str, present: bool, total: usize) {
+        self.retained_total.set(total as f64);
+        if let Some(t) = self.topic_obs(topic) {
+            t.retained.set(if present { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+impl std::fmt::Debug for BrokerObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerObs")
+            .field("topics", &self.per_topic.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Verdict returned by a [fault hook](Broker::set_fault_hook) for one
@@ -220,6 +333,9 @@ pub struct Broker {
     // Kept outside `state` so a hook can never deadlock against the
     // broker lock, and so installing one is race-free with publishes.
     fault: Arc<Mutex<Option<FaultHook>>>,
+    // Same isolation rationale as `fault`; obs code never touches the
+    // state lock.
+    obs: Arc<Mutex<Option<BrokerObs>>>,
     next_client: Arc<AtomicU64>,
     queue_depth: usize,
 }
@@ -242,9 +358,16 @@ impl Broker {
             state: Arc::new(Mutex::new(BrokerState::default())),
             stats: Arc::new(BrokerStats::default()),
             fault: Arc::new(Mutex::new(None)),
+            obs: Arc::new(Mutex::new(None)),
             next_client: Arc::new(AtomicU64::new(1)),
             queue_depth,
         }
+    }
+
+    /// Install (or clear) the broker's observability instruments; see
+    /// [`BrokerObs`].
+    pub fn set_obs(&self, obs: Option<BrokerObs>) {
+        *self.obs.lock() = obs;
     }
 
     /// Install (or clear, with `None`) a fault-injection hook consulted
@@ -362,6 +485,9 @@ impl Broker {
     ) -> Result<usize, BrokerError> {
         validate_topic(topic)?;
         self.stats.published.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.lock().as_mut() {
+            o.on_publish(topic, &payload);
+        }
 
         // Fault injection: decide the packet's fate before touching any
         // broker state (the hook lock is never held together with the
@@ -373,11 +499,15 @@ impl Broker {
         match fate {
             PublishFate::Deliver => {}
             PublishFate::Drop => {
-                self.stats.injected_drops.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs.lock().as_mut() {
+                    o.injected_drops.inc();
+                }
                 return Ok(0);
             }
             PublishFate::Duplicate => {
-                self.stats.injected_dups.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs.lock().as_mut() {
+                    o.injected_dups.inc();
+                }
                 let first = self.fan_out(topic, &payload, qos, retain);
                 self.fan_out(topic, &payload, qos, retain);
                 return Ok(first);
@@ -404,6 +534,9 @@ impl Broker {
                     },
                 );
             }
+            if let Some(o) = self.obs.lock().as_mut() {
+                o.on_retained(topic, !payload.is_empty(), st.retained.len());
+            }
         }
 
         let levels: Vec<&str> = topic.split('/').collect();
@@ -427,9 +560,15 @@ impl Broker {
                     Ok(()) => {
                         reached += 1;
                         self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = self.obs.lock().as_mut() {
+                            o.on_deliver(topic, payload);
+                        }
                     }
                     Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                         self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = self.obs.lock().as_mut() {
+                            o.dropped.inc();
+                        }
                     }
                 }
             }
@@ -629,6 +768,9 @@ mod tests {
     #[test]
     fn fault_hook_drops_and_duplicates() {
         let broker = Broker::default();
+        // Fault-injection counts surface through the metrics registry.
+        let (hub, _clock) = ObsHub::manual();
+        broker.set_obs(Some(BrokerObs::new(&hub, None)));
         let mut sub = broker.connect("agent");
         let publ = broker.connect("gateway");
         sub.subscribe("davide/#", QoS::AtMostOnce).unwrap();
@@ -656,14 +798,90 @@ mod tests {
         assert_eq!(&got[0].payload[..], b"2");
         assert_eq!(&got[1].payload[..], b"2");
         assert_eq!(&got[2].payload[..], b"3");
-        assert_eq!(broker.stats().injected_drops.load(Ordering::Relaxed), 1);
-        assert_eq!(broker.stats().injected_dups.load(Ordering::Relaxed), 1);
+        let drops = hub
+            .registry
+            .find_counter("mqtt_injected_drops_total")
+            .unwrap();
+        let dups = hub
+            .registry
+            .find_counter("mqtt_injected_dups_total")
+            .unwrap();
+        assert_eq!(drops.get(), 1);
+        assert_eq!(dups.get(), 1);
         // Clearing the hook restores normal delivery.
         broker.set_fault_hook(None);
         let n = publ
             .publish("davide/node00/power", payload("4"), QoS::AtMostOnce, false)
             .unwrap();
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn per_topic_instruments_track_published_delivered_retained() {
+        let broker = Broker::default();
+        let (hub, _clock) = ObsHub::manual();
+        broker.set_obs(Some(BrokerObs::new(&hub, None)));
+        let mut sub = broker.connect("agent");
+        let publ = broker.connect("gateway");
+        sub.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
+        for _ in 0..3 {
+            publ.publish(
+                "davide/node00/power/node",
+                payload("1700"),
+                QoS::AtMostOnce,
+                false,
+            )
+            .unwrap();
+        }
+        publ.publish(
+            "davide/node00/ctl/speed",
+            payload("0.9"),
+            QoS::AtMostOnce,
+            true,
+        )
+        .unwrap();
+        let r = &hub.registry;
+        let pt = |name: &str| r.find_counter(name).map(|c| c.get());
+        assert_eq!(
+            pt("mqtt_topic_published{topic=\"davide/node00/power/node\"}"),
+            Some(3)
+        );
+        assert_eq!(
+            pt("mqtt_topic_delivered{topic=\"davide/node00/power/node\"}"),
+            Some(3)
+        );
+        assert_eq!(
+            pt("mqtt_topic_published{topic=\"davide/node00/ctl/speed\"}"),
+            Some(1)
+        );
+        // Retained gauge flips with the retained store.
+        let text = r.render_text();
+        assert!(text.contains("mqtt_topic_retained{topic=\"davide/node00/ctl/speed\"} 1"));
+        assert!(text.contains("mqtt_retained_messages 1"));
+        publ.publish(
+            "davide/node00/ctl/speed",
+            Bytes::new(),
+            QoS::AtMostOnce,
+            true,
+        )
+        .unwrap();
+        let text = r.render_text();
+        assert!(text.contains("mqtt_topic_retained{topic=\"davide/node00/ctl/speed\"} 0"));
+        assert!(text.contains("mqtt_retained_messages 0"));
+        // Obs self-telemetry topics never mint per-topic series.
+        publ.publish(
+            "davide/obs/self/some_metric",
+            payload("1"),
+            QoS::AtMostOnce,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            pt("mqtt_topic_published{topic=\"davide/obs/self/some_metric\"}"),
+            None
+        );
+        // Global counters still see everything.
+        assert_eq!(r.find_counter("mqtt_published_total").unwrap().get(), 6);
     }
 
     #[test]

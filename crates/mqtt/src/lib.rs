@@ -26,8 +26,8 @@ pub mod session;
 pub mod topic;
 
 pub use bridge::Bridge;
-pub use broker::{Broker, BrokerError, BrokerStats, FaultHook, Message, PublishFate};
+pub use broker::{Broker, BrokerError, BrokerObs, BrokerStats, FaultHook, Message, PublishFate};
 pub use client::Client;
 pub use codec::{CodecError, Packet, QoS};
 pub use framed::{ConnState, ServerConnection};
-pub use session::{Session, SessionEvent, SessionState};
+pub use session::{Session, SessionEvent, SessionObs, SessionState};

@@ -11,6 +11,7 @@
 
 use crate::codec::{Packet, QoS};
 use bytes::Bytes;
+use davide_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 
 /// Session lifecycle states.
@@ -56,6 +57,31 @@ pub enum SessionEvent {
     Pong,
 }
 
+/// Session-side observability counters: QoS 1 reliability behaviour
+/// (retransmissions, expiries, acks) that the broker can't see.
+#[derive(Debug, Clone)]
+pub struct SessionObs {
+    publishes: Counter,
+    retransmits: Counter,
+    expired: Counter,
+    acks: Counter,
+    pings: Counter,
+}
+
+impl SessionObs {
+    /// Session instruments registered in `registry`; shared across all
+    /// sessions of one deployment (the counters aggregate).
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        SessionObs {
+            publishes: registry.counter("mqtt_session_publish_total"),
+            retransmits: registry.counter("mqtt_session_retransmit_total"),
+            expired: registry.counter("mqtt_session_expired_total"),
+            acks: registry.counter("mqtt_session_ack_total"),
+            pings: registry.counter("mqtt_session_ping_total"),
+        }
+    }
+}
+
 /// An in-flight QoS 1 message awaiting PUBACK.
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -85,6 +111,7 @@ pub struct Session {
     in_flight: HashMap<u16, InFlight>,
     last_activity_s: f64,
     ping_outstanding: bool,
+    obs: Option<SessionObs>,
 }
 
 impl Session {
@@ -100,7 +127,13 @@ impl Session {
             in_flight: HashMap::new(),
             last_activity_s: 0.0,
             ping_outstanding: false,
+            obs: None,
         }
+    }
+
+    /// Install (or clear) session observability counters.
+    pub fn set_obs(&mut self, obs: Option<SessionObs>) {
+        self.obs = obs;
     }
 
     /// Current state.
@@ -151,6 +184,9 @@ impl Session {
         retain: bool,
     ) -> Packet {
         self.last_activity_s = now_s;
+        if let Some(o) = &self.obs {
+            o.publishes.inc();
+        }
         let packet_id = if qos == QoS::AtLeastOnce {
             let id = self.alloc_packet_id();
             self.in_flight.insert(
@@ -227,6 +263,9 @@ impl Session {
             Packet::PubAck { packet_id } => {
                 self.last_activity_s = now_s;
                 if self.in_flight.remove(&packet_id).is_some() {
+                    if let Some(o) = &self.obs {
+                        o.acks.inc();
+                    }
                     (Some(SessionEvent::PublishAcked(packet_id)), None)
                 } else {
                     // Duplicate or stale ack: ignore per spec.
@@ -267,9 +306,15 @@ impl Session {
             if retries >= self.max_retries {
                 // Drop: deliverability is the transport's problem now.
                 self.in_flight.remove(&id);
+                if let Some(o) = &self.obs {
+                    o.expired.inc();
+                }
                 continue;
             }
             let f = self.in_flight.get_mut(&id).expect("present");
+            if let Some(o) = &self.obs {
+                o.retransmits.inc();
+            }
             f.retries += 1;
             f.sent_at_s = now_s;
             out.push(Packet::Publish {
@@ -285,6 +330,9 @@ impl Session {
         if !self.ping_outstanding && now_s - self.last_activity_s >= self.keep_alive_s * 0.75 {
             self.ping_outstanding = true;
             self.last_activity_s = now_s;
+            if let Some(o) = &self.obs {
+                o.pings.inc();
+            }
             out.push(Packet::PingReq);
         }
         out
@@ -377,6 +425,31 @@ mod tests {
         let out = s.poll(4.5);
         assert!(out.is_empty());
         assert_eq!(s.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn session_obs_counts_reliability_events() {
+        let registry = MetricsRegistry::new();
+        let mut s = connected_session();
+        s.set_obs(Some(SessionObs::new(&registry)));
+        s.retransmit_after_s = 1.0;
+        s.max_retries = 1;
+        let _ = s.publish_packet(0.0, "t", Bytes::from_static(b"p"), QoS::AtLeastOnce, false);
+        let _ = s.poll(1.5); // retransmit
+        let _ = s.poll(3.0); // exceeds max_retries → expired
+        let get = |n: &str| registry.find_counter(n).unwrap().get();
+        assert_eq!(get("mqtt_session_publish_total"), 1);
+        assert_eq!(get("mqtt_session_retransmit_total"), 1);
+        assert_eq!(get("mqtt_session_expired_total"), 1);
+        assert_eq!(get("mqtt_session_ack_total"), 0);
+        // An acked publish bumps the ack counter.
+        let pkt = s.publish_packet(4.0, "t", Bytes::from_static(b"q"), QoS::AtLeastOnce, false);
+        let id = match pkt {
+            Packet::Publish { packet_id, .. } => packet_id.unwrap(),
+            _ => unreachable!(),
+        };
+        let _ = s.handle(4.1, Packet::PubAck { packet_id: id });
+        assert_eq!(get("mqtt_session_ack_total"), 1);
     }
 
     #[test]

@@ -191,4 +191,42 @@ mod tests {
         assert!(filter_matches("davide/node03/#", t));
         assert!(!filter_matches("davide/+/temp/#", t));
     }
+
+    #[test]
+    fn obs_namespace_is_isolated_from_application_filters() {
+        // Self-telemetry lives at davide/obs/self/<metric>: the third
+        // level is the literal `self`, never `power`, so the standard
+        // application subscriptions cannot match it.
+        let obs = "davide/obs/self/ingest_frames_total";
+        assert!(validate_topic(obs).is_ok());
+        for app_filter in [
+            "davide/+/power/#",    // telemetry aggregators
+            "davide/+/power/node", // the control plane's node feed
+            "davide/node00/#",     // a per-node profiler
+            "davide/+/ctl/speed",  // DVFS command watchers
+            "davide/+/job/#",      // per-job accounting
+        ] {
+            assert!(
+                !filter_matches(app_filter, obs),
+                "{app_filter} must not see {obs}"
+            );
+        }
+        // The reserved filter sees the whole namespace, and nothing but.
+        assert!(filter_matches("davide/obs/#", obs));
+        assert!(filter_matches("davide/obs/self/+", obs));
+        assert!(!filter_matches("davide/obs/#", "davide/node00/power/node"));
+        // A cluster-wide `davide/#` firehose does see obs traffic —
+        // that is intentional (it asked for everything).
+        assert!(filter_matches("davide/#", obs));
+    }
+
+    #[test]
+    fn obs_metric_topics_are_single_level_safe() {
+        // Sanitised metric names must form exactly one topic level:
+        // wildcards and separators are not valid in a topic name, and a
+        // `+` at the metric position must not be publishable.
+        assert!(validate_topic("davide/obs/self/mqtt_published_total").is_ok());
+        assert!(validate_topic("davide/obs/self/metric+name").is_err());
+        assert!(validate_topic("davide/obs/self/metric#name").is_err());
+    }
 }

@@ -1,0 +1,439 @@
+//! Causal frame tracing across the telemetry → control pipeline.
+//!
+//! Each `SampleFrame` publication gets a deterministic trace id
+//! ([`frame_trace_id`], FNV-1a over topic + payload head) that every
+//! stage can recompute from data it already holds — no id field travels
+//! on the wire, so frame encoding and per-seed digests are untouched.
+//! Stages stamp timestamps into a fixed-capacity slot table; closing a
+//! trace folds its stage-to-stage lags into histograms and bumps a
+//! completion counter, while traces that never complete are counted by
+//! the furthest stage they reached — a per-stage frame-loss readout.
+
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use parking_lot::Mutex;
+
+/// Pipeline stages a frame passes through, in causal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Stage {
+    /// Broker accepted the publish.
+    BrokerPublish = 0,
+    /// A session queue received the fan-out copy.
+    SessionDeliver = 1,
+    /// Ingest decoded and appended the frame to the TsDb.
+    IngestAppend = 2,
+    /// The predictor consumed the window containing the frame.
+    PredictorUpdate = 3,
+    /// The scheduler tick that acted on the window ran.
+    SchedulerTick = 4,
+    /// The resulting DVFS command was published.
+    DvfsPublish = 5,
+}
+
+/// Number of [`Stage`] variants.
+pub const STAGE_COUNT: usize = 6;
+
+/// Stage names as they appear in metric labels.
+pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
+    "broker_publish",
+    "session_deliver",
+    "ingest_append",
+    "predictor_update",
+    "scheduler_tick",
+    "dvfs_publish",
+];
+
+/// How many payload bytes participate in the trace id. 24 bytes covers
+/// the `SampleFrame` wire header (magic, version, t0, dt, n), which is
+/// unique per (topic, frame) in any sane stream.
+pub const TRACE_ID_PAYLOAD_BYTES: usize = 24;
+
+/// Deterministic trace id for a frame publication: FNV-1a over the
+/// topic bytes, a 0xFF separator (valid topics are UTF-8, so this
+/// cannot collide with topic content), and the first
+/// [`TRACE_ID_PAYLOAD_BYTES`] payload bytes. Both the broker (raw
+/// publish) and ingest (raw delivered payload) hold exactly these
+/// inputs, so the id links the two without wire changes.
+pub fn frame_trace_id(topic: &str, payload: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in topic.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h = (h ^ 0xFF).wrapping_mul(FNV_PRIME);
+    for &b in payload.iter().take(TRACE_ID_PAYLOAD_BYTES) {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A finalised trace's payload, copied out of the table under the lock.
+#[derive(Clone, Copy)]
+struct Slot {
+    seen: u8,
+    t_ns: [u64; STAGE_COUNT],
+}
+
+/// Slot-table capacity (power of two). Bounded so the tracer never
+/// allocates after construction; a full probe window evicts the oldest
+/// resident, finalising it as lost.
+const CAPACITY: usize = 4096;
+const PROBE: usize = 16;
+
+/// Struct-of-arrays slot table: probing scans the packed `seen`/`ids`
+/// arrays (64 and 8 entries per cache line), so a stamp on the ingest
+/// hot path touches one or two lines instead of one per probed slot.
+struct Table {
+    seen: Box<[u8]>,
+    ids: Box<[u64]>,
+    t_ns: Box<[[u64; STAGE_COUNT]]>,
+}
+
+impl Table {
+    fn take(&mut self, i: usize) -> Slot {
+        let s = Slot {
+            seen: self.seen[i],
+            t_ns: self.t_ns[i],
+        };
+        self.seen[i] = 0;
+        s
+    }
+}
+
+/// Fixed-capacity causal tracer. All histograms and counters live in
+/// the [`MetricsRegistry`] passed at construction:
+///
+/// * `obs_trace_e2e_ns` — first-stamp to last-stamp latency of
+///   completed traces (the control-loop latency histogram).
+/// * `obs_trace_stage_ns{from=..,to=..}` — lag between consecutive
+///   stamped stages.
+/// * `obs_trace_completed_total` — traces closed normally.
+/// * `obs_trace_lost_total{last=..}` — traces that never completed,
+///   keyed by the furthest stage they reached.
+pub struct FrameTracer {
+    table: Mutex<Table>,
+    e2e: Histogram,
+    stage_lag: [Histogram; STAGE_COUNT - 1],
+    completed: Counter,
+    lost: [Counter; STAGE_COUNT],
+}
+
+impl FrameTracer {
+    /// A tracer registering its metrics in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let stage_lag = std::array::from_fn(|i| {
+            registry.histogram(&format!(
+                "obs_trace_stage_ns{{from=\"{}\",to=\"{}\"}}",
+                STAGE_NAMES[i],
+                STAGE_NAMES[i + 1]
+            ))
+        });
+        let lost = std::array::from_fn(|i| {
+            registry.counter(&format!(
+                "obs_trace_lost_total{{last=\"{}\"}}",
+                STAGE_NAMES[i]
+            ))
+        });
+        // Touch every page at construction: the zeroed allocations are
+        // otherwise backed lazily, and the page faults would land in
+        // the first few thousand stamp() calls on the ingest hot path.
+        let mut seen = vec![0u8; CAPACITY].into_boxed_slice();
+        let mut ids = vec![0u64; CAPACITY].into_boxed_slice();
+        let mut t_ns = vec![[0u64; STAGE_COUNT]; CAPACITY].into_boxed_slice();
+        unsafe {
+            for s in seen.iter_mut() {
+                std::ptr::write_volatile(s, 0);
+            }
+            for id in ids.iter_mut() {
+                std::ptr::write_volatile(id, 0);
+            }
+            for row in t_ns.iter_mut() {
+                std::ptr::write_volatile(&mut row[0], 0);
+            }
+        }
+        FrameTracer {
+            table: Mutex::new(Table { seen, ids, t_ns }),
+            e2e: registry.histogram("obs_trace_e2e_ns"),
+            stage_lag,
+            completed: registry.counter("obs_trace_completed_total"),
+            lost,
+        }
+    }
+
+    /// Stamp `stage` of trace `id` at `now_s` (clock seconds; stored as
+    /// integer nanoseconds). Creates the trace on first stamp; if the
+    /// probe window is full the displaced resident is finalised as lost.
+    pub fn stamp(&self, id: u64, stage: Stage, now_s: f64) {
+        let now_ns = (now_s * 1e9).round().max(0.0) as u64;
+        let lost_slot = {
+            let mut g = self.table.lock();
+            Self::stamp_in(&mut g, id, stage, now_ns)
+        };
+        if let Some(s) = lost_slot {
+            self.finalize_lost(&s);
+        }
+    }
+
+    /// Stamp `stage` for every id in `ids` at one shared timestamp,
+    /// taking the table lock once for the whole batch — the ingest
+    /// hot-path amortisation (a drained batch shares one drain instant
+    /// anyway). Displaced residents are finalised inline; the loss
+    /// counters are plain atomics, so no lock ordering is at stake.
+    pub fn stamp_batch(&self, stage: Stage, now_s: f64, ids: impl IntoIterator<Item = u64>) {
+        let now_ns = (now_s * 1e9).round().max(0.0) as u64;
+        let mut g = self.table.lock();
+        for id in ids {
+            if let Some(s) = Self::stamp_in(&mut g, id, stage, now_ns) {
+                self.finalize_lost(&s);
+            }
+        }
+    }
+
+    /// The probe/insert body shared by [`stamp`](Self::stamp) and
+    /// [`stamp_batch`](Self::stamp_batch); returns a displaced resident
+    /// for the caller to finalise as lost.
+    fn stamp_in(g: &mut Table, id: u64, stage: Stage, now_ns: u64) -> Option<Slot> {
+        let mask = CAPACITY - 1;
+        let start = (id as usize).wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as usize) & mask;
+        let mut lost_slot = None;
+        let mut free: Option<usize> = None;
+        let mut found: Option<usize> = None;
+        for k in 0..PROBE {
+            let i = (start + k) & mask;
+            if g.seen[i] == 0 {
+                if free.is_none() {
+                    free = Some(i);
+                }
+            } else if g.ids[i] == id {
+                found = Some(i);
+                break;
+            }
+        }
+        let i = match found {
+            Some(i) => i,
+            None => {
+                let i = free.unwrap_or(start);
+                if g.seen[i] != 0 {
+                    lost_slot = Some(g.take(i));
+                }
+                g.ids[i] = id;
+                g.seen[i] = 0;
+                i
+            }
+        };
+        if g.seen[i] & (1 << stage as usize) == 0 {
+            g.seen[i] |= 1 << stage as usize;
+            g.t_ns[i][stage as usize] = now_ns;
+        }
+        lost_slot
+    }
+
+    /// Whether trace `id` is currently resident (stamped, not closed).
+    pub fn is_resident(&self, id: u64) -> bool {
+        let g = self.table.lock();
+        let mask = CAPACITY - 1;
+        let start = (id as usize).wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as usize) & mask;
+        (0..PROBE).any(|k| {
+            let i = (start + k) & mask;
+            g.seen[i] != 0 && g.ids[i] == id
+        })
+    }
+
+    /// Close trace `id`: fold its lags into the histograms and count it
+    /// completed. No-op if the trace is not resident (already evicted).
+    pub fn close(&self, id: u64) {
+        let slot = {
+            let mut g = self.table.lock();
+            let mask = CAPACITY - 1;
+            let start = (id as usize).wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as usize) & mask;
+            let mut taken = None;
+            for k in 0..PROBE {
+                let i = (start + k) & mask;
+                if g.seen[i] != 0 && g.ids[i] == id {
+                    taken = Some(g.take(i));
+                    break;
+                }
+            }
+            taken
+        };
+        if let Some(s) = slot {
+            self.finalize_completed(&s);
+        }
+    }
+
+    /// Finalise every resident trace as lost (end-of-run accounting:
+    /// anything still open never made it through the loop).
+    pub fn flush(&self) {
+        let residents: Vec<Slot> = {
+            let mut g = self.table.lock();
+            let mut v = Vec::new();
+            for i in 0..CAPACITY {
+                if g.seen[i] != 0 {
+                    v.push(g.take(i));
+                }
+            }
+            v
+        };
+        for s in &residents {
+            self.finalize_lost(s);
+        }
+    }
+
+    /// Completed-trace count (readout convenience).
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    fn finalize_completed(&self, s: &Slot) {
+        let mut first = None;
+        let mut last = None;
+        let mut prev: Option<usize> = None;
+        for i in 0..STAGE_COUNT {
+            if s.seen & (1 << i) == 0 {
+                continue;
+            }
+            if first.is_none() {
+                first = Some(s.t_ns[i]);
+            }
+            last = Some(s.t_ns[i]);
+            if let Some(p) = prev {
+                // Consecutive stamped pair: attribute the lag to the
+                // (p, p+1) edge when adjacent; skipped stages fold the
+                // whole gap into the edge leaving the earlier stage.
+                let lag = s.t_ns[i].saturating_sub(s.t_ns[p]);
+                self.stage_lag[p.min(STAGE_COUNT - 2)].record(lag);
+            }
+            prev = Some(i);
+        }
+        if let (Some(a), Some(b)) = (first, last) {
+            self.e2e.record(b.saturating_sub(a));
+        }
+        self.completed.inc();
+    }
+
+    fn finalize_lost(&self, s: &Slot) {
+        let furthest = (0..STAGE_COUNT).rev().find(|&i| s.seen & (1 << i) != 0);
+        if let Some(i) = furthest {
+            self.lost[i].inc();
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameTracer")
+            .field("completed", &self.completed.get())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_id_is_deterministic_and_topic_sensitive() {
+        let p = [0xD5u8; 32];
+        let a = frame_trace_id("davide/node00/power/node", &p);
+        let b = frame_trace_id("davide/node00/power/node", &p);
+        let c = frame_trace_id("davide/node01/power/node", &p);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Only the first 24 payload bytes matter (the frame header).
+        let mut p2 = p;
+        p2[30] = 0;
+        assert_eq!(a, frame_trace_id("davide/node00/power/node", &p2));
+        let mut p3 = p;
+        p3[3] = 0;
+        assert_ne!(a, frame_trace_id("davide/node00/power/node", &p3));
+    }
+
+    #[test]
+    fn complete_trace_records_e2e_and_stage_lags() {
+        let r = Arc::new(MetricsRegistry::new());
+        let t = FrameTracer::new(&r);
+        let id = frame_trace_id("t", b"payload-header-bytes-....");
+        t.stamp(id, Stage::BrokerPublish, 1.0);
+        t.stamp(id, Stage::SessionDeliver, 1.0);
+        t.stamp(id, Stage::IngestAppend, 2.0);
+        t.stamp(id, Stage::SchedulerTick, 2.0);
+        t.stamp(id, Stage::DvfsPublish, 2.0);
+        assert!(t.is_resident(id));
+        t.close(id);
+        assert!(!t.is_resident(id));
+        assert_eq!(t.completed(), 1);
+        let e2e = r.find_histogram("obs_trace_e2e_ns").unwrap().snapshot();
+        assert_eq!(e2e.count, 1);
+        assert_eq!(e2e.max, 1_000_000_000);
+        // deliver → ingest carries the 1 s hop.
+        let lag = r
+            .find_histogram("obs_trace_stage_ns{from=\"session_deliver\",to=\"ingest_append\"}")
+            .unwrap()
+            .snapshot();
+        assert_eq!(lag.count, 1);
+        assert_eq!(lag.max, 1_000_000_000);
+    }
+
+    #[test]
+    fn duplicate_stamp_keeps_first_timestamp() {
+        let r = Arc::new(MetricsRegistry::new());
+        let t = FrameTracer::new(&r);
+        t.stamp(7, Stage::BrokerPublish, 1.0);
+        t.stamp(7, Stage::BrokerPublish, 5.0);
+        t.stamp(7, Stage::DvfsPublish, 2.0);
+        t.close(7);
+        let e2e = r.find_histogram("obs_trace_e2e_ns").unwrap().snapshot();
+        assert_eq!(e2e.max, 1_000_000_000);
+    }
+
+    #[test]
+    fn flush_counts_unclosed_traces_as_lost_by_furthest_stage() {
+        let r = Arc::new(MetricsRegistry::new());
+        let t = FrameTracer::new(&r);
+        t.stamp(1, Stage::BrokerPublish, 0.0);
+        t.stamp(2, Stage::BrokerPublish, 0.0);
+        t.stamp(2, Stage::SessionDeliver, 0.1);
+        t.flush();
+        assert_eq!(
+            r.find_counter("obs_trace_lost_total{last=\"broker_publish\"}")
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(
+            r.find_counter("obs_trace_lost_total{last=\"session_deliver\"}")
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(t.completed(), 0);
+        // Flushed slots are gone.
+        assert!(!t.is_resident(1));
+        t.flush();
+        assert_eq!(
+            r.find_counter("obs_trace_lost_total{last=\"broker_publish\"}")
+                .unwrap()
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn table_eviction_finalizes_displaced_trace_as_lost() {
+        let r = Arc::new(MetricsRegistry::new());
+        let t = FrameTracer::new(&r);
+        // Far more traces than capacity: evictions must not panic and
+        // must account every displaced trace as lost.
+        for id in 0..(2 * CAPACITY as u64) {
+            t.stamp(id, Stage::BrokerPublish, id as f64 * 1e-3);
+        }
+        t.flush();
+        let lost = r
+            .find_counter("obs_trace_lost_total{last=\"broker_publish\"}")
+            .unwrap()
+            .get();
+        assert_eq!(lost, 2 * CAPACITY as u64);
+    }
+}

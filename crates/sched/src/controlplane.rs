@@ -32,13 +32,14 @@ use crate::cap::CapSchedule;
 use crate::job::{Job, JobId};
 use crate::policy::{ClusterView, EasyBackfill, Policy, RunningSummary};
 use crate::power_predictor::OnlinePowerPredictor;
-use davide_core::capping::LadderCapController;
+use davide_core::capping::{CapObs, LadderCapController};
 use davide_core::units::{Seconds, Watts};
 use davide_mqtt::{Broker, BrokerError, Client, QoS};
-use davide_telemetry::ingest::FrameIngestor;
+use davide_obs::{Counter, Gauge, Histogram, ObsHub, Stage};
+use davide_telemetry::ingest::{DecodedFrame, FrameIngestor};
 use davide_telemetry::tsdb::{Resolution, SeriesId, TsDb};
 
-pub use replay::{replay, DropModel, ReplayConfig};
+pub use replay::{replay, replay_instrumented, DropModel, ReplayConfig, ReplayObs};
 
 /// Which halves of the loop are armed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +187,88 @@ pub struct NodeSnapshot {
     pub job: Option<JobId>,
 }
 
+/// Control-loop instruments: per-tick counters, the predictor-error
+/// distribution, frame age at ingest, and the causal-trace stamps for
+/// the loop-side pipeline stages (ingest append → predictor update →
+/// scheduler tick → DVFS publish). One instance per [`ControlPlane`];
+/// install with [`ControlPlane::set_obs`]. All metric handles are
+/// pre-registered so the per-tick cost is pure atomics.
+pub struct ControlPlaneObs {
+    hub: ObsHub,
+    cap: CapObs,
+    ticks: Counter,
+    frames: Counter,
+    samples_stored: Counter,
+    samples_stale: Counter,
+    predictor_abs_err_w: Histogram,
+    frame_age_ns: Histogram,
+    queue_jobs: Gauge,
+    running_jobs: Gauge,
+    /// Trace ids ingested this tick, closed when the tick retires.
+    pending: Vec<u64>,
+}
+
+impl ControlPlaneObs {
+    /// Control-loop instruments registered in `hub`'s registry.
+    pub fn new(hub: &ObsHub) -> Self {
+        let r = &hub.registry;
+        ControlPlaneObs {
+            cap: CapObs::new(r),
+            ticks: r.counter("ctl_ticks_total"),
+            frames: r.counter("ctl_frames_total"),
+            samples_stored: r.counter("ctl_samples_stored_total"),
+            samples_stale: r.counter("ctl_samples_stale_total"),
+            predictor_abs_err_w: r.histogram("ctl_predictor_abs_err_w"),
+            frame_age_ns: r.histogram("ctl_frame_age_ns"),
+            queue_jobs: r.gauge("ctl_queue_jobs"),
+            running_jobs: r.gauge("ctl_running_jobs"),
+            hub: hub.clone(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// One telemetry frame reached the store (`stored` of its samples
+    /// accepted): stamp the ingest stage and record its age — the lag
+    /// between the first sample's timestamp and the loop seeing it.
+    fn on_frame(&mut self, f: &DecodedFrame, stored: usize) {
+        let now = self.hub.clock.now_s();
+        self.hub.tracer.stamp(f.trace_id, Stage::IngestAppend, now);
+        self.pending.push(f.trace_id);
+        self.frames.inc();
+        self.samples_stored.add(stored as u64);
+        self.samples_stale
+            .add((f.frame.watts.len() - stored) as u64);
+        let age = now - f.frame.t0_s;
+        if age >= 0.0 {
+            self.frame_age_ns.record((age * 1e9).round() as u64);
+        }
+    }
+
+    /// Stamp `stage` on every frame ingested this tick.
+    fn stamp_pending(&self, stage: Stage) {
+        let now = self.hub.clock.now_s();
+        for &id in &self.pending {
+            self.hub.tracer.stamp(id, stage, now);
+        }
+    }
+
+    /// Retire the tick: close every trace it ingested, folding the
+    /// stage lags into the hub's latency histograms.
+    fn close_tick(&mut self) {
+        for id in self.pending.drain(..) {
+            self.hub.tracer.close(id);
+        }
+    }
+}
+
+impl std::fmt::Debug for ControlPlaneObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlaneObs")
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Per-node live state as the control plane sees it.
 struct NodeState {
     /// Interned series of this node's total-power topic, once seen.
@@ -229,6 +312,7 @@ pub struct ControlPlane {
     stale_node_s: f64,
     samples_stored: u64,
     samples_stale_dropped: u64,
+    obs: Option<ControlPlaneObs>,
 }
 
 impl ControlPlane {
@@ -276,12 +360,18 @@ impl ControlPlane {
             stale_node_s: 0.0,
             samples_stored: 0,
             samples_stale_dropped: 0,
+            obs: None,
         })
     }
 
     /// The configuration the loop was armed with.
     pub fn config(&self) -> &ControlPlaneConfig {
         &self.cfg
+    }
+
+    /// Arm the loop-side instruments; uninstrumented loops pay nothing.
+    pub fn set_obs(&mut self, obs: ControlPlaneObs) {
+        self.obs = Some(obs);
     }
 
     /// Snapshot the per-node live view (one entry per node, in id
@@ -353,11 +443,27 @@ impl ControlPlane {
         for &(id, end_s) in completions {
             self.complete(id, end_s);
         }
+        if let Some(obs) = &self.obs {
+            obs.ticks.inc();
+            // Completions just trained the predictor on this tick's
+            // telemetry: the frames' next causal hop.
+            obs.stamp_pending(Stage::PredictorUpdate);
+        }
         self.account_staleness(dt);
+        if let Some(obs) = &self.obs {
+            // The actuation pass (reactive ladder + dispatcher) begins.
+            obs.stamp_pending(Stage::SchedulerTick);
+        }
         if self.cfg.mode != ControlMode::OpenLoop {
             self.reactive_capping(now, dt);
         }
-        self.dispatch(now)
+        let placements = self.dispatch(now);
+        if let Some(obs) = &mut self.obs {
+            obs.queue_jobs.set(self.queue.len() as f64);
+            obs.running_jobs.set(self.running.len() as f64);
+            obs.close_tick();
+        }
+        placements
     }
 
     /// Build the report for everything observed so far. Energy-truth
@@ -407,6 +513,9 @@ impl ControlPlane {
                 .append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
             self.samples_stored += stored as u64;
             self.samples_stale_dropped += (f.frame.watts.len() - stored) as u64;
+            if let Some(obs) = &mut self.obs {
+                obs.on_frame(&f, stored);
+            }
             if stored == 0 {
                 // Entirely stale (a duplicate or badly delayed frame):
                 // the live view must not move backwards on it.
@@ -445,6 +554,13 @@ impl ControlPlane {
         } else {
             0.0
         };
+        if let Some(obs) = &self.obs {
+            if measured_nodes > 0 {
+                let predicted = self.predictor.predict(&rj.job);
+                obs.predictor_abs_err_w
+                    .record((predicted - observed_node_w).abs().round() as u64);
+            }
+        }
         if self.cfg.mode == ControlMode::ClosedLoop {
             self.predictor.observe(&rj.job, observed_node_w);
         } else {
@@ -514,7 +630,14 @@ impl ControlPlane {
             if (node.controller.cap.0 - budget).abs() > 1.0 {
                 node.controller.set_cap(Watts(budget));
             }
-            match node.controller.observe(Watts(node_w), Seconds(dt)) {
+            let action = match &self.obs {
+                Some(obs) => {
+                    node.controller
+                        .observe_instrumented(Watts(node_w), Seconds(dt), &obs.cap)
+                }
+                None => node.controller.observe(Watts(node_w), Seconds(dt)),
+            };
+            match action {
                 -1 => {
                     self.steps_down += 1;
                     commands.push((i, node.controller.speed()));
@@ -526,6 +649,7 @@ impl ControlPlane {
                 _ => {}
             }
         }
+        let actuated = !commands.is_empty();
         for (i, speed) in commands {
             // Retained so a gateway that reconnects sees the live limit.
             let _ = self.ctl.publish(
@@ -534,6 +658,13 @@ impl ControlPlane {
                 QoS::AtMostOnce,
                 true,
             );
+        }
+        if actuated {
+            if let Some(obs) = &self.obs {
+                // The commands are derived from the cluster view this
+                // tick's frames built: their final causal hop.
+                obs.stamp_pending(Stage::DvfsPublish);
+            }
         }
     }
 
@@ -653,8 +784,12 @@ pub mod replay {
     use crate::power_predictor::PowerPredictor;
     use crate::workload::{WorkloadConfig, WorkloadGenerator};
     use davide_core::rng::Rng;
+    use davide_mqtt::BrokerObs;
+    use davide_obs::{ManualClock, OBS_FILTER};
     use davide_predictor::ModelKind;
-    use davide_telemetry::gateway::{power_topic, SampleFrame};
+    use davide_telemetry::gateway::{power_topic, SampleFrame, FRAME_MAGIC};
+    use davide_telemetry::selfmon::SelfMonitor;
+    use std::sync::Arc;
 
     /// Telemetry-loss injection: every node goes dark on a fixed cycle.
     #[derive(Debug, Clone, Copy, PartialEq)]
@@ -696,6 +831,11 @@ pub mod replay {
         pub noise: f64,
         /// Telemetry-loss model.
         pub drop: DropModel,
+        /// Fraction of gateway power frames the broker's fault hook
+        /// drops in transit (0 = lossless). Unlike [`DropModel`], these
+        /// frames *reach* the broker first, so the causal tracer
+        /// accounts them as lost at the publish stage.
+        pub p_frame_drop: f64,
         /// RNG seed for plant noise.
         pub seed: u64,
     }
@@ -719,6 +859,7 @@ pub mod replay {
                 app_drift: [1.12, 0.88, 1.10, 0.90],
                 noise: 0.02,
                 drop: DropModel::None,
+                p_frame_drop: 0.0,
                 seed: 2022,
             }
         }
@@ -734,9 +875,55 @@ pub mod replay {
         id: JobId,
     }
 
+    /// Observability wiring for an instrumented replay: the shared hub
+    /// whose clock the plant drives from virtual time, plus the
+    /// self-telemetry store the registry is republished into over MQTT
+    /// (`davide/obs/#` → ordinary ingest) during the run.
+    pub struct ReplayObs {
+        /// Registry + tracer + clock shared by every instrument site.
+        pub hub: ObsHub,
+        clock: Arc<ManualClock>,
+        /// The stack's own metrics, round-tripped through the broker
+        /// and the frame codec like any node's power telemetry.
+        pub self_db: TsDb,
+        /// Obs samples the self-telemetry loop ingested.
+        pub self_samples: u64,
+    }
+
+    impl ReplayObs {
+        /// Fresh wiring over a manual clock at t = 0.
+        pub fn new() -> Self {
+            let (hub, clock) = ObsHub::manual();
+            ReplayObs {
+                hub,
+                clock,
+                self_db: TsDb::new(),
+                self_samples: 0,
+            }
+        }
+    }
+
+    impl Default for ReplayObs {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
     /// Run one full replay and return the report with ground-truth
     /// energy accounting filled in.
     pub fn replay(cfg: &ReplayConfig) -> ControlPlaneReport {
+        replay_instrumented(cfg, None)
+    }
+
+    /// [`replay`] with the self-instrumentation stack armed: broker and
+    /// control-plane instruments register in `obs.hub`, every stamp
+    /// reads the plant's virtual clock (so same seed ⇒ bit-identical
+    /// metrics), and the registry is periodically republished over the
+    /// replay broker and re-ingested into [`ReplayObs::self_db`].
+    pub fn replay_instrumented(
+        cfg: &ReplayConfig,
+        mut obs: Option<&mut ReplayObs>,
+    ) -> ControlPlaneReport {
         let mut gen = WorkloadGenerator::new(cfg.workload.clone(), cfg.seed);
         let history = gen.trace(cfg.n_history);
         let mut trace = gen.trace(cfg.n_jobs);
@@ -750,8 +937,43 @@ pub mod replay {
         let predictor = OnlinePowerPredictor::new(base, 0.995, 1000.0);
 
         let broker = Broker::new(1 << 16);
+        if cfg.p_frame_drop > 0.0 {
+            // Seeded in-transit loss on the gateway → broker hop, so
+            // frames vanish *after* the publish-stage trace stamp.
+            let p = cfg.p_frame_drop;
+            let drop_rng = std::sync::Mutex::new(Rng::seed_from(cfg.seed ^ 0xd1b5_4a32));
+            broker.set_fault_hook(Some(Box::new(move |topic: &str| {
+                if topic.starts_with("davide/node")
+                    && topic.contains("/power/")
+                    && drop_rng.lock().unwrap().chance(p)
+                {
+                    davide_mqtt::PublishFate::Drop
+                } else {
+                    davide_mqtt::PublishFate::Deliver
+                }
+            })));
+        }
         let mut cp = ControlPlane::new(&broker, cfg.control.clone(), predictor)
             .expect("subscribe on fresh broker");
+        let mut selfmon = None;
+        let mut obs_ingest = None;
+        if let Some(o) = obs.as_mut() {
+            broker.set_obs(Some(BrokerObs::new(
+                &o.hub,
+                Some(&FRAME_MAGIC.to_le_bytes()),
+            )));
+            cp.set_obs(ControlPlaneObs::new(&o.hub));
+            // Self-telemetry loop: registry → MQTT → ingest, every 12
+            // control periods.
+            selfmon = Some(
+                SelfMonitor::connect(&broker, "obs-selfmon", 12.0 * cfg.tick_s)
+                    .expect("selfmon connect"),
+            );
+            obs_ingest = Some(
+                FrameIngestor::subscribe(&broker, "obs-ingest", &[OBS_FILTER])
+                    .expect("subscribe obs"),
+            );
+        }
         let mut ctl_watch = broker.connect("plant-gateways");
         ctl_watch
             .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
@@ -775,6 +997,12 @@ pub mod replay {
         let samples = (cfg.tick_s / cfg.sample_dt_s).round().max(1.0) as usize;
 
         loop {
+            // 0. Every obs stamp this iteration reads the plant's
+            //    virtual clock.
+            if let Some(o) = obs.as_mut() {
+                o.clock.set(t);
+            }
+
             // 1. Gateways publish the window [t − tick, t) they just
             //    measured, unless their blackout window swallows it.
             if t > 0.0 {
@@ -836,6 +1064,17 @@ pub mod replay {
                 });
             }
 
+            // 4b. Pump the stack's own metrics through the broker and
+            //     drain them back like any other telemetry.
+            if let Some(o) = obs.as_mut() {
+                if let Some(mon) = selfmon.as_mut() {
+                    mon.pump(t, &o.hub.registry);
+                }
+                if let Some(ing) = obs_ingest.as_mut() {
+                    o.self_samples += ing.drain_into(&mut o.self_db) as u64;
+                }
+            }
+
             // 5. Apply DVFS commands the loop just published.
             for msg in ctl_watch.drain() {
                 if let (Some(node), Ok(speed)) = (
@@ -888,6 +1127,11 @@ pub mod replay {
             );
         }
 
+        if let Some(o) = obs.as_mut() {
+            // Whatever is still resident in the tracer never completed
+            // its causal chain: account it as lost at its last stage.
+            o.hub.tracer.flush();
+        }
         let mut report = cp.report();
         report.total_energy_j = total_energy_j;
         report.overcap_energy_j = overcap_energy_j;
@@ -1149,6 +1393,62 @@ mod tests {
             assert!(r.total_energy_j > 0.0);
             assert!(r.online_mape_pct > 0.0);
         }
+    }
+
+    #[test]
+    fn instrumented_replay_is_bit_identical_and_populates_metrics() {
+        use super::replay::{replay_instrumented, ReplayObs};
+        let mk_cfg = || {
+            let mut cfg =
+                ReplayConfig::e22(ControlMode::ClosedLoop, 8, CapSchedule::constant(9_000.0));
+            cfg.n_jobs = 15;
+            cfg.n_history = 400;
+            cfg
+        };
+        let run = || {
+            let mut obs = ReplayObs::new();
+            let r = replay_instrumented(&mk_cfg(), Some(&mut obs));
+            (r, obs)
+        };
+        let (r1, o1) = run();
+        let (r2, o2) = run();
+        assert_eq!(r1, r2, "same seed ⇒ same report");
+        assert_eq!(
+            o1.hub.registry.render_text(),
+            o2.hub.registry.render_text(),
+            "same seed ⇒ bit-identical metrics exposition"
+        );
+
+        let reg = &o1.hub.registry;
+        let counter = |n: &str| reg.find_counter(n).unwrap().get();
+        assert!(counter("ctl_ticks_total") > 0);
+        assert!(counter("ctl_frames_total") > 0);
+        assert!(
+            counter("obs_trace_completed_total") > 0,
+            "frames complete the causal chain"
+        );
+        let e2e = reg.find_histogram("obs_trace_e2e_ns").unwrap().snapshot();
+        assert!(e2e.count > 0, "control-loop latency is measured");
+        assert!(
+            reg.find_histogram("ctl_predictor_abs_err_w")
+                .unwrap()
+                .snapshot()
+                .count
+                > 0,
+            "completions feed the predictor-error distribution"
+        );
+
+        // The self-telemetry loop round-tripped the registry through
+        // the broker into a TsDb, like any node's power.
+        assert!(o1.self_samples > 0);
+        assert!(o1
+            .self_db
+            .lookup(&davide_obs::obs_topic("ctl_ticks_total"))
+            .is_some());
+
+        // Instrumentation must not change a single control decision.
+        let plain = replay(&mk_cfg());
+        assert_eq!(plain, r1, "instrumented and plain replays agree");
     }
 
     #[test]

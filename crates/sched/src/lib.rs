@@ -36,7 +36,8 @@ pub mod workload;
 pub use accounting::{EnergyLedger, Tariff};
 pub use cap::CapSchedule;
 pub use controlplane::{
-    ControlMode, ControlPlane, ControlPlaneConfig, ControlPlaneReport, NodeSnapshot,
+    ControlMode, ControlPlane, ControlPlaneConfig, ControlPlaneObs, ControlPlaneReport,
+    NodeSnapshot,
 };
 pub use job::{Job, JobId, JobState};
 pub use metrics::{report, SimReport};

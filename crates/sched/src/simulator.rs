@@ -59,38 +59,6 @@ impl SimConfig {
         self.reactive_capping = reactive;
         self
     }
-
-    /// Arm a constant power cap.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use with_cap_schedule(CapSchedule::constant(..))"
-    )]
-    pub fn with_cap(self, cap_w: f64, reactive: bool) -> Self {
-        self.with_cap_schedule(CapSchedule::constant(cap_w), reactive)
-    }
-
-    /// Arm a day/night cap pair (MS3-style, [15]): `day_w` during
-    /// 08:00–20:00, `night_w` otherwise.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use with_cap_schedule(CapSchedule::day_night(..))"
-    )]
-    pub fn with_day_night_cap(self, day_w: f64, night_w: f64, reactive: bool) -> Self {
-        self.with_cap_schedule(CapSchedule::day_night(day_w, night_w), reactive)
-    }
-
-    /// The envelope in force at simulated time `t_s`.
-    #[deprecated(since = "0.2.0", note = "use config.cap.cap_at(t_s)")]
-    pub fn cap_at(&self, t_s: f64) -> Option<f64> {
-        self.cap.cap_at(t_s)
-    }
-
-    /// The next instant strictly after `t_s` at which the envelope
-    /// changes; `None` for a static envelope.
-    #[deprecated(since = "0.2.0", note = "use config.cap.next_cap_boundary(t_s)")]
-    pub fn next_cap_boundary(&self, t_s: f64) -> Option<f64> {
-        self.cap.next_cap_boundary(t_s)
-    }
 }
 
 #[derive(Debug, Clone)]

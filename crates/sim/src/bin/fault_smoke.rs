@@ -1,11 +1,15 @@
 //! CI fault-injection smoke: run the canned scenario set, assert zero
 //! invariant violations, prove determinism (same seed → same digest,
-//! different seed → different digest), and prove the checker has teeth
-//! by running the two seeded-regression demos that MUST violate.
+//! different seed → different digest), prove the checker has teeth
+//! by running the two seeded-regression demos that MUST violate, and
+//! prove the self-instrumentation stack measures control-loop latency
+//! without perturbing determinism (bit-identical exposition per seed).
 //!
 //! Exit code 0 only when all of the above hold.
 
-use davide_sim::scenario::{canned, open_loop_overcap_demo, stale_fallback_regression_demo};
+use davide_sim::scenario::{
+    canned, obs_latency_probe, open_loop_overcap_demo, stale_fallback_regression_demo,
+};
 use davide_sim::{run, Scenario};
 
 fn main() {
@@ -68,6 +72,46 @@ fn main() {
     println!("── seeded regressions (checker must catch) ──");
     failed |= !expect_violation(open_loop_overcap_demo(seed), "cap");
     failed |= !expect_violation(stale_fallback_regression_demo(seed), "stale-fallback");
+
+    println!("── observability (latency measured, digest-neutral) ──");
+    let probe = obs_latency_probe(seed);
+    let (oa, ob) = (run(&probe), run(&probe));
+    let obs_ok = oa.violations.is_empty()
+        && oa.log.digest() == ob.log.digest()
+        && oa.obs.registry.render_text() == ob.obs.registry.render_text();
+    failed |= !obs_ok;
+    let age = oa
+        .obs
+        .registry
+        .find_histogram("ctl_frame_age_ns")
+        .expect("ctl_frame_age_ns registered")
+        .snapshot();
+    failed |= age.count == 0;
+    let counter = |n: &str| {
+        oa.obs
+            .registry
+            .find_counter(n)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    };
+    println!(
+        "frame age: n={} p50={:.1}s p99={:.1}s max={:.1}s | traces completed={} lost@publish={}",
+        age.count,
+        age.quantile(0.5) as f64 / 1e9,
+        age.quantile(0.99) as f64 / 1e9,
+        age.max as f64 / 1e9,
+        counter("obs_trace_completed_total"),
+        counter("obs_trace_lost_total{last=\"broker_publish\"}"),
+    );
+    println!(
+        "exposition: {} ({} bytes)",
+        if obs_ok {
+            "bit-identical across reruns"
+        } else {
+            "DIVERGED (or probe violated invariants)"
+        },
+        oa.obs.registry.render_text().len()
+    );
 
     if failed {
         println!("fault-smoke: FAIL");

@@ -15,13 +15,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use davide_core::rng::Rng;
-use davide_mqtt::{Broker, PublishFate, QoS};
+use davide_mqtt::{Broker, BrokerObs, PublishFate, QoS};
+use davide_obs::ObsHub;
 use davide_predictor::ModelKind;
 use davide_sched::{
-    CapSchedule, ControlPlane, ControlPlaneConfig, ControlPlaneReport, JobId, OnlinePowerPredictor,
-    PowerPredictor, WorkloadConfig, WorkloadGenerator,
+    CapSchedule, ControlPlane, ControlPlaneConfig, ControlPlaneObs, ControlPlaneReport, JobId,
+    OnlinePowerPredictor, PowerPredictor, WorkloadConfig, WorkloadGenerator,
 };
-use davide_telemetry::gateway::{power_topic, SampleFrame};
+use davide_telemetry::gateway::{power_topic, SampleFrame, FRAME_MAGIC};
 use parking_lot::Mutex;
 
 use crate::clock::VirtualClock;
@@ -71,6 +72,12 @@ pub struct RunOutcome {
     pub violations: Vec<Violation>,
     /// Plant ground truth.
     pub truth: GroundTruth,
+    /// The run's self-observability hub: every broker / ingest /
+    /// control-loop instrument, stamped off the virtual clock. Not part
+    /// of the event log, so the digest contract is untouched — but the
+    /// rendered exposition is itself bit-identical across reruns of one
+    /// seed.
+    pub obs: ObsHub,
 }
 
 /// A frame-loss/duplication rule compiled for the broker fault hook.
@@ -178,6 +185,12 @@ pub fn run(sc: &Scenario) -> RunOutcome {
     let idle_w = cfg.idle_node_power_w;
     let broker = Broker::new(1 << 16);
     let mut cp = ControlPlane::new(&broker, cfg, predictor).expect("subscribe on fresh broker");
+    // Self-instrumentation is always armed: every stamp reads the
+    // virtual clock, and nothing here draws RNG or touches the event
+    // log, so per-seed digests are exactly what they were without it.
+    let (hub, obs_clock) = ObsHub::manual();
+    broker.set_obs(Some(BrokerObs::new(&hub, Some(&FRAME_MAGIC.to_le_bytes()))));
+    cp.set_obs(ControlPlaneObs::new(&hub));
     let mut ctl_watch = broker.connect("plant-gateways");
     ctl_watch
         .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
@@ -355,6 +368,7 @@ pub fn run(sc: &Scenario) -> RunOutcome {
     loop {
         let t = clock.now_s();
         let t_ns = clock.now_ns();
+        obs_clock.set(t);
         let mut reconnect_tick = false;
 
         // ── Fault lifecycle at t: broker, nodes, clocks. ──
@@ -819,6 +833,9 @@ pub fn run(sc: &Scenario) -> RunOutcome {
     // Detach the hook so the broker (shared handles) cannot call into
     // freed harness state.
     broker.set_fault_hook(None);
+    // Anything still resident in the tracer never completed the loop:
+    // account it as lost at whatever stage it last reached.
+    hub.tracer.flush();
 
     RunOutcome {
         scenario: sc.name.clone(),
@@ -826,6 +843,7 @@ pub fn run(sc: &Scenario) -> RunOutcome {
         log,
         violations,
         truth,
+        obs: hub,
     }
 }
 
@@ -848,5 +866,45 @@ mod tests {
         let b = run(&sc);
         assert_eq!(a.log, b.log, "same seed, same scenario → same event log");
         assert_eq!(a.log.digest(), b.log.digest());
+    }
+
+    #[test]
+    fn obs_latency_probe_measures_latency_and_is_bit_identical() {
+        let sc = crate::scenario::obs_latency_probe(11);
+        let a = run(&sc);
+        let b = run(&sc);
+        assert_eq!(a.violations, Vec::new(), "probe holds every invariant");
+        assert_eq!(a.log.digest(), b.log.digest());
+        assert_eq!(
+            a.obs.registry.render_text(),
+            b.obs.registry.render_text(),
+            "same seed ⇒ bit-identical metrics exposition"
+        );
+
+        // Control-loop latency (frame age at actuation) is a measured,
+        // non-degenerate distribution: ordinary frames are one control
+        // period old, reordered ones several.
+        let age = a
+            .obs
+            .registry
+            .find_histogram("ctl_frame_age_ns")
+            .unwrap()
+            .snapshot();
+        assert!(age.count > 0, "latency histogram must not be empty");
+        let tick_ns = (sc.tick_s * 1e9) as u64;
+        assert!(
+            age.max >= 2 * tick_ns,
+            "reordered frames must show up as multi-tick latency (max {} ns)",
+            age.max
+        );
+
+        // The causal chains complete, and the injected frame loss is
+        // visible as traces that never progressed past broker publish.
+        let counter = |n: &str| a.obs.registry.find_counter(n).unwrap().get();
+        assert!(counter("obs_trace_completed_total") > 0);
+        assert!(
+            counter("obs_trace_lost_total{last=\"broker_publish\"}") > 0,
+            "frame loss surfaces as per-stage trace loss"
+        );
     }
 }

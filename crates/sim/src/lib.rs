@@ -35,4 +35,4 @@ pub mod scenario;
 pub use harness::{run, GroundTruth, RunOutcome};
 pub use invariants::Violation;
 pub use log::{Event, EventLog, FrameFate};
-pub use scenario::{canned, Fault, Scenario};
+pub use scenario::{canned, obs_latency_probe, Fault, Scenario};

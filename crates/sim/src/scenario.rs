@@ -299,6 +299,40 @@ pub fn canned(seed: u64) -> Vec<Scenario> {
     set
 }
 
+/// The self-observability probe: a reorder-heavy script so the
+/// control-loop latency distribution (frame age at actuation, plus the
+/// per-stage trace lags) has real spread — most frames arrive one
+/// control period old, delayed ones several. The instrumentation stack
+/// runs off the harness's virtual clock, so the rendered metrics
+/// exposition of this scenario must be **bit-identical** across reruns
+/// of one seed, and the latency histogram must be non-empty.
+pub fn obs_latency_probe(seed: u64) -> Scenario {
+    let mut s = Scenario::base("obs_latency_probe", seed);
+    s.faults = vec![
+        Fault::Reorder {
+            node: 0,
+            p: 0.6,
+            delay_ticks: 4,
+            from_s: 50.0,
+            until_s: 900.0,
+        },
+        Fault::Reorder {
+            node: 3,
+            p: 0.4,
+            delay_ticks: 2,
+            from_s: 50.0,
+            until_s: 900.0,
+        },
+        Fault::FrameLoss {
+            node: None,
+            p: 0.1,
+            from_s: 50.0,
+            until_s: 900.0,
+        },
+    ];
+    s
+}
+
 /// The seeded-regression demo INV-CAP must catch: an open loop (no
 /// reactive ladder) admitting against predictions that the plant then
 /// overshoots by 30 % under a cap with no slack. A correct closed loop

@@ -22,7 +22,10 @@
 //!   correlation primitive profilers use;
 //! * [`ingest`] — management-node side: MQTT frames drained into the
 //!   [`tsdb`] store with one bulk append per frame, optionally sharded
-//!   across cores.
+//!   across cores;
+//! * [`selfmon`] — the `davide-obs` self-telemetry bridge's MQTT
+//!   adapter: the metrics registry republished as ordinary one-sample
+//!   frames on the reserved `davide/obs/#` namespace.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod hazards;
 pub mod ingest;
 pub mod monitor;
 pub mod profiler;
+pub mod selfmon;
 pub mod sensors;
 pub mod spectral;
 pub mod tsdb;
@@ -48,9 +52,10 @@ pub use decimation::Decimator;
 pub use energy::EnergyIntegrator;
 pub use gateway::{EnergyGateway, SampleFrame};
 pub use hazards::{fleet_outliers, scan_trace, Hazard, HazardConfig};
-pub use ingest::{FrameIngestor, IngestStats, ShardedTsDb};
+pub use ingest::{FrameIngestor, IngestObs, IngestStats, ShardedTsDb};
 pub use monitor::MonitorChain;
 pub use profiler::{detect_phases, PhaseSegment, ProfilerConfig};
+pub use selfmon::{MqttMetricSink, SelfMonitor};
 pub use sensors::PowerSensor;
 pub use spectral::{welch_psd, Spectrum};
 pub use tsdb::{Resolution, SeriesId, TsDb};

@@ -14,10 +14,8 @@
 //!
 //! * **Interned series handles.** [`TsDb::resolve`] interns a series
 //!   name once and returns a copyable [`SeriesId`]; all appends and
-//!   queries can then go through the `_id` methods, which never hash a
-//!   string or allocate. The string-keyed methods remain as thin
-//!   `#[deprecated]` shims (lookup by `&str`, no `to_string` unless the
-//!   series is new) for one release.
+//!   queries go through the `_id` methods, which never hash a string or
+//!   allocate ([`TsDb::lookup`] maps a name to its id read-only).
 //! * **Columnar rings.** Each series stores timestamps (`f64`) and
 //!   values (`f32`) in separate ring buffers, halving raw-sample memory
 //!   versus `(f64, f64)` pairs and making bulk copies cache-friendly.
@@ -29,7 +27,7 @@
 //!   boundaries are computed from `t0`/`dt` arithmetic, so samples are
 //!   accumulated in contiguous runs with no per-sample `floor`).
 //! * **Binary-search range queries.** Timestamps are nondecreasing by
-//!   construction (stale points are dropped), so [`TsDb::query`] finds
+//!   construction (stale points are dropped), so [`TsDb::query_id`] finds
 //!   window bounds with `partition_point` instead of scanning the ring.
 
 use std::collections::{HashMap, VecDeque};
@@ -340,13 +338,6 @@ impl TsDb {
         true
     }
 
-    /// Append one observation by name (resolves, then [`Self::append_id`]).
-    #[deprecated(since = "0.2.0", note = "resolve() once and use append_id")]
-    pub fn append(&mut self, key: &str, t: f64, v: f64) {
-        let id = self.resolve(key);
-        self.append_id(id, t, v);
-    }
-
     /// Bulk-append a whole frame of uniformly-spaced samples by
     /// interned id: one monotonicity check, one eviction step, bulk
     /// column extends, and closed-form rollup accumulation. Frames that
@@ -376,13 +367,6 @@ impl TsDb {
         n
     }
 
-    /// Bulk-append a frame by name (resolves, then [`Self::append_frame_id`]).
-    #[deprecated(since = "0.2.0", note = "resolve() once and use append_frame_id")]
-    pub fn append_frame(&mut self, key: &str, t0: f64, dt: f64, values: &[f32]) {
-        let id = self.resolve(key);
-        self.append_frame_id(id, t0, dt, values);
-    }
-
     /// Flush rollup accumulators (call before querying rollups for data
     /// that has not crossed a bucket boundary yet).
     pub fn flush(&mut self) {
@@ -403,24 +387,9 @@ impl TsDb {
         k
     }
 
-    /// Total observations absorbed for a series.
-    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use count_id")]
-    pub fn count(&self, key: &str) -> u64 {
-        self.lookup(key).map_or(0, |id| self.count_id(id))
-    }
-
     /// Total observations absorbed, by interned id.
     pub fn count_id(&self, id: SeriesId) -> u64 {
         self.series[id.index()].count
-    }
-
-    /// Range query at a resolution.
-    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use query_id")]
-    pub fn query(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
-        match self.lookup(key) {
-            Some(id) => self.query_id(id, res, t0, t1),
-            None => Vec::new(),
-        }
     }
 
     /// Latest raw observation of a series, if any — the staleness probe
@@ -441,13 +410,6 @@ impl TsDb {
             Resolution::Second => s.rollups[0].ring.range(t0, t1),
             Resolution::Minute => s.rollups[1].ring.range(t0, t1),
         }
-    }
-
-    /// Mean of a series over a window at a resolution (no allocation).
-    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use mean_id")]
-    pub fn mean(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
-        let id = self.lookup(key)?;
-        self.mean_id(id, res, t0, t1)
     }
 
     /// Mean of a series over a window at a resolution, by interned id
@@ -473,19 +435,9 @@ impl TsDb {
         }
     }
 
-    /// Energy (rectangle rule over raw points' spacing) in a window —
-    /// the accounting query. Windows with fewer than two raw points
-    /// integrate to 0. No allocation.
-    #[deprecated(since = "0.2.0", note = "lookup() the SeriesId and use energy_j_id")]
-    pub fn energy_j(&self, key: &str, t0: f64, t1: f64) -> f64 {
-        let Some(id) = self.lookup(key) else {
-            return 0.0;
-        };
-        self.energy_j_id(id, t0, t1)
-    }
-
-    /// Energy in a window by interned id (rectangle rule over raw
-    /// points' spacing). No allocation.
+    /// Energy (rectangle rule over raw points' spacing) in a window by
+    /// interned id — the accounting query. Windows with fewer than two
+    /// raw points integrate to 0. No allocation.
     pub fn energy_j_id(&self, id: SeriesId, t0: f64, t1: f64) -> f64 {
         let raw = &self.series[id.index()].raw;
         let (a, b) = raw.bounds(t0, t1);
@@ -507,40 +459,65 @@ impl TsDb {
 
 #[cfg(test)]
 mod tests {
-    // The shims stay covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
+
+    // Test-local string-keyed conveniences over the id-keyed API.
+    fn append(db: &mut TsDb, key: &str, t: f64, v: f64) {
+        let id = db.resolve(key);
+        db.append_id(id, t, v);
+    }
+    fn append_frame(db: &mut TsDb, key: &str, t0: f64, dt: f64, values: &[f32]) {
+        let id = db.resolve(key);
+        db.append_frame_id(id, t0, dt, values);
+    }
+    fn count(db: &TsDb, key: &str) -> u64 {
+        db.lookup(key).map_or(0, |id| db.count_id(id))
+    }
+    fn query(db: &TsDb, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
+        db.lookup(key)
+            .map_or_else(Vec::new, |id| db.query_id(id, res, t0, t1))
+    }
+    fn mean(db: &TsDb, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
+        db.mean_id(db.lookup(key)?, res, t0, t1)
+    }
+    fn energy_j(db: &TsDb, key: &str, t0: f64, t1: f64) -> f64 {
+        db.lookup(key).map_or(0.0, |id| db.energy_j_id(id, t0, t1))
+    }
 
     #[test]
     fn append_and_raw_query() {
         let mut db = TsDb::new();
         for i in 0..100 {
-            db.append("node00/power/node", i as f64 * 0.1, 1000.0 + i as f64);
+            append(
+                &mut db,
+                "node00/power/node",
+                i as f64 * 0.1,
+                1000.0 + i as f64,
+            );
         }
-        assert_eq!(db.count("node00/power/node"), 100);
-        let pts = db.query("node00/power/node", Resolution::Raw, 2.0, 4.0);
+        assert_eq!(count(&db, "node00/power/node"), 100);
+        let pts = query(&db, "node00/power/node", Resolution::Raw, 2.0, 4.0);
         assert_eq!(pts.len(), 20);
         assert_eq!(pts[0].t, 2.0);
-        assert!(db.query("missing", Resolution::Raw, 0.0, 1e9).is_empty());
+        assert!(query(&db, "missing", Resolution::Raw, 0.0, 1e9).is_empty());
     }
 
     #[test]
     fn out_of_order_points_dropped() {
         let mut db = TsDb::new();
-        db.append("s", 10.0, 1.0);
-        db.append("s", 5.0, 2.0); // stale: dropped
-        db.append("s", 11.0, 3.0);
-        assert_eq!(db.count("s"), 2);
+        append(&mut db, "s", 10.0, 1.0);
+        append(&mut db, "s", 5.0, 2.0); // stale: dropped
+        append(&mut db, "s", 11.0, 3.0);
+        assert_eq!(count(&db, "s"), 2);
     }
 
     #[test]
     fn raw_ring_evicts_oldest() {
         let mut db = TsDb::with_capacity(10, 100);
         for i in 0..25 {
-            db.append("s", i as f64, i as f64);
+            append(&mut db, "s", i as f64, i as f64);
         }
-        let pts = db.query("s", Resolution::Raw, 0.0, 100.0);
+        let pts = query(&db, "s", Resolution::Raw, 0.0, 100.0);
         assert_eq!(pts.len(), 10);
         assert_eq!(pts[0].t, 15.0, "oldest retained is t=15");
     }
@@ -551,10 +528,10 @@ mod tests {
         // 10 samples per second for 5 s, value = second index.
         for i in 0..50 {
             let t = i as f64 * 0.1;
-            db.append("s", t, t.floor());
+            append(&mut db, "s", t, t.floor());
         }
         db.flush();
-        let pts = db.query("s", Resolution::Second, 0.0, 10.0);
+        let pts = query(&db, "s", Resolution::Second, 0.0, 10.0);
         assert_eq!(pts.len(), 5);
         for (k, p) in pts.iter().enumerate() {
             assert!((p.v - k as f64).abs() < 1e-9, "bucket {k}: {}", p.v);
@@ -566,10 +543,10 @@ mod tests {
     fn minute_rollup_spans_seconds() {
         let mut db = TsDb::new();
         for i in 0..180 {
-            db.append("s", i as f64, if i < 60 { 100.0 } else { 200.0 });
+            append(&mut db, "s", i as f64, if i < 60 { 100.0 } else { 200.0 });
         }
         db.flush();
-        let pts = db.query("s", Resolution::Minute, 0.0, 1e9);
+        let pts = query(&db, "s", Resolution::Minute, 0.0, 1e9);
         assert_eq!(pts.len(), 3);
         assert!((pts[0].v - 100.0).abs() < 1e-9);
         assert!((pts[1].v - 200.0).abs() < 1e-9);
@@ -579,9 +556,9 @@ mod tests {
     fn energy_query_matches_constant_power() {
         let mut db = TsDb::new();
         for i in 0..=100 {
-            db.append("s", i as f64 * 0.01, 1500.0);
+            append(&mut db, "s", i as f64 * 0.01, 1500.0);
         }
-        let e = db.energy_j("s", 0.0, 2.0);
+        let e = energy_j(&db, "s", 0.0, 2.0);
         assert!((e - 1500.0).abs() < 16.0, "≈1500 J over 1 s: {e}");
     }
 
@@ -594,19 +571,23 @@ mod tests {
             dt_s: 2e-5,
             watts: vec![1700.0; 500],
         };
-        db.append_frame("node03/power/node", frame.t0_s, frame.dt_s, &frame.watts);
-        assert_eq!(db.count("node03/power/node"), 500);
-        let mean = db
-            .mean("node03/power/node", Resolution::Raw, 100.0, 100.01)
-            .unwrap();
-        assert!((mean - 1700.0).abs() < 1e-9);
+        append_frame(
+            &mut db,
+            "node03/power/node",
+            frame.t0_s,
+            frame.dt_s,
+            &frame.watts,
+        );
+        assert_eq!(count(&db, "node03/power/node"), 500);
+        let m = mean(&db, "node03/power/node", Resolution::Raw, 100.0, 100.01).unwrap();
+        assert!((m - 1700.0).abs() < 1e-9);
     }
 
     #[test]
     fn keys_sorted() {
         let mut db = TsDb::new();
-        db.append("b", 0.0, 1.0);
-        db.append("a", 0.0, 1.0);
+        append(&mut db, "b", 0.0, 1.0);
+        append(&mut db, "a", 0.0, 1.0);
         assert_eq!(db.keys(), vec!["a".to_string(), "b".to_string()]);
     }
 
@@ -619,7 +600,7 @@ mod tests {
         assert_eq!(db.lookup("never-seen"), None);
         assert_eq!(db.name(id), Some("node01/power/cpu0"));
         db.append_id(id, 1.0, 500.0);
-        db.append("node01/power/cpu0", 2.0, 700.0);
+        append(&mut db, "node01/power/cpu0", 2.0, 700.0);
         assert_eq!(db.count_id(id), 2);
         let pts = db.query_id(id, Resolution::Raw, 0.0, 10.0);
         assert_eq!(pts.len(), 2);
@@ -636,18 +617,18 @@ mod tests {
         let (t0, dt) = (58.3, 0.013);
 
         let mut bulk = TsDb::new();
-        bulk.append_frame("s", t0, dt, &vals);
+        append_frame(&mut bulk, "s", t0, dt, &vals);
         let mut scalar = TsDb::new();
         for (i, &v) in vals.iter().enumerate() {
-            scalar.append("s", t0 + i as f64 * dt, v as f64);
+            append(&mut scalar, "s", t0 + i as f64 * dt, v as f64);
         }
         bulk.flush();
         scalar.flush();
 
-        assert_eq!(bulk.count("s"), scalar.count("s"));
+        assert_eq!(count(&bulk, "s"), count(&scalar, "s"));
         for res in [Resolution::Raw, Resolution::Second, Resolution::Minute] {
-            let a = bulk.query("s", res, 0.0, 1e9);
-            let b = scalar.query("s", res, 0.0, 1e9);
+            let a = query(&bulk, "s", res, 0.0, 1e9);
+            let b = query(&scalar, "s", res, 0.0, 1e9);
             assert_eq!(a.len(), b.len(), "{res:?} point counts");
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.t, y.t, "{res:?} timestamps bit-identical");
@@ -659,12 +640,12 @@ mod tests {
     #[test]
     fn stale_frame_falls_back_and_drops() {
         let mut db = TsDb::new();
-        db.append("s", 10.0, 1.0);
+        append(&mut db, "s", 10.0, 1.0);
         // Frame starting in the past: the first 5 samples (t < 10) are
         // stale and dropped, the rest land.
-        db.append_frame("s", 5.0, 1.0, &[9.0; 8]);
-        assert_eq!(db.count("s"), 1 + 3);
-        let pts = db.query("s", Resolution::Raw, 0.0, 1e9);
+        append_frame(&mut db, "s", 5.0, 1.0, &[9.0; 8]);
+        assert_eq!(count(&db, "s"), 1 + 3);
+        let pts = query(&db, "s", Resolution::Raw, 0.0, 1e9);
         assert_eq!(pts.len(), 4);
         assert_eq!(pts[1].t, 10.0);
     }
@@ -675,13 +656,13 @@ mod tests {
         // SAME bucket re-open it and emit a second rollup point at the
         // same bucket midpoint. Both are retained, in arrival order.
         let mut db = TsDb::new();
-        db.append("s", 0.1, 10.0);
-        db.append("s", 0.2, 20.0);
+        append(&mut db, "s", 0.1, 10.0);
+        append(&mut db, "s", 0.2, 20.0);
         db.flush();
-        db.append("s", 0.3, 40.0);
-        db.append("s", 0.4, 60.0);
+        append(&mut db, "s", 0.3, 40.0);
+        append(&mut db, "s", 0.4, 60.0);
         db.flush();
-        let pts = db.query("s", Resolution::Second, 0.0, 1.0);
+        let pts = query(&db, "s", Resolution::Second, 0.0, 1.0);
         assert_eq!(pts.len(), 2, "two partial means for bucket 0");
         assert_eq!(pts[0].t, 0.5);
         assert_eq!(pts[1].t, 0.5);
@@ -689,37 +670,37 @@ mod tests {
         assert!((pts[1].v - 50.0).abs() < 1e-9);
         // Double flush with nothing accumulated adds nothing.
         db.flush();
-        assert_eq!(db.query("s", Resolution::Second, 0.0, 1.0).len(), 2);
+        assert_eq!(query(&db, "s", Resolution::Second, 0.0, 1.0).len(), 2);
     }
 
     #[test]
     fn query_straddling_eviction_boundary() {
         let mut db = TsDb::with_capacity(8, 100);
         for i in 0..20 {
-            db.append("s", i as f64, i as f64);
+            append(&mut db, "s", i as f64, i as f64);
         }
         // Points 0..12 evicted; a window straddling the boundary only
         // returns the retained suffix.
-        let pts = db.query("s", Resolution::Raw, 5.0, 15.0);
+        let pts = query(&db, "s", Resolution::Raw, 5.0, 15.0);
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].t, 12.0);
         assert_eq!(pts[2].t, 14.0);
         // Window entirely inside the evicted region is empty.
-        assert!(db.query("s", Resolution::Raw, 0.0, 12.0).is_empty());
+        assert!(query(&db, "s", Resolution::Raw, 0.0, 12.0).is_empty());
         // Count still reflects everything absorbed.
-        assert_eq!(db.count("s"), 20);
+        assert_eq!(count(&db, "s"), 20);
     }
 
     #[test]
     fn energy_single_point_window_is_zero() {
         let mut db = TsDb::new();
-        db.append("s", 1.0, 1000.0);
-        assert_eq!(db.energy_j("s", 0.0, 10.0), 0.0);
-        db.append("s", 2.0, 1000.0);
+        append(&mut db, "s", 1.0, 1000.0);
+        assert_eq!(energy_j(&db, "s", 0.0, 10.0), 0.0);
+        append(&mut db, "s", 2.0, 1000.0);
         // Window clipping to one point also integrates to zero.
-        assert_eq!(db.energy_j("s", 1.5, 10.0), 0.0);
-        assert!((db.energy_j("s", 0.0, 10.0) - 1000.0).abs() < 1e-9);
-        assert_eq!(db.energy_j("missing", 0.0, 10.0), 0.0);
+        assert_eq!(energy_j(&db, "s", 1.5, 10.0), 0.0);
+        assert!((energy_j(&db, "s", 0.0, 10.0) - 1000.0).abs() < 1e-9);
+        assert_eq!(energy_j(&db, "missing", 0.0, 10.0), 0.0);
     }
 
     #[test]
@@ -731,9 +712,9 @@ mod tests {
         }
         assert_eq!(
             db.mean_id(id, Resolution::Raw, 0.0, 2.0),
-            db.mean("s", Resolution::Raw, 0.0, 2.0)
+            mean(&db, "s", Resolution::Raw, 0.0, 2.0)
         );
-        assert_eq!(db.energy_j_id(id, 0.0, 2.0), db.energy_j("s", 0.0, 2.0));
+        assert_eq!(db.energy_j_id(id, 0.0, 2.0), energy_j(&db, "s", 0.0, 2.0));
         let last = db.last_id(id).unwrap();
         assert_eq!(last.t, 1.0);
         assert_eq!(last.v, 1500.0);
@@ -745,11 +726,11 @@ mod tests {
     fn frame_larger_than_capacity_keeps_tail() {
         let mut db = TsDb::with_capacity(16, 100);
         let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
-        db.append_frame("s", 0.0, 1.0, &vals);
-        let pts = db.query("s", Resolution::Raw, 0.0, 1e9);
+        append_frame(&mut db, "s", 0.0, 1.0, &vals);
+        let pts = query(&db, "s", Resolution::Raw, 0.0, 1e9);
         assert_eq!(pts.len(), 16);
         assert_eq!(pts[0].t, 84.0);
         assert_eq!(pts[15].v, 99.0);
-        assert_eq!(db.count("s"), 100);
+        assert_eq!(count(&db, "s"), 100);
     }
 }
