@@ -1,14 +1,19 @@
-//! Criterion benches for the monitoring chain (experiments E3–E5):
-//! sensor front-end, ADC digitisation, decimation variants, full-chain
-//! acquisition and energy integration.
+//! Criterion benches for the monitoring chain (experiments E3–E5,
+//! E25): sensor front-end, ADC digitisation, decimation variants,
+//! full-chain acquisition and energy integration, and the full-rate
+//! acquisition path (scalar reference vs blocked kernels).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use davide_core::power::PowerTrace;
 use davide_core::rng::Rng;
-use davide_telemetry::adc::SarAdc;
+use davide_core::time::SimTime;
+use davide_telemetry::acquisition::{AcquisitionConfig, AcquisitionRig, DspMode};
+use davide_telemetry::adc::{AdcMux, SarAdc};
 use davide_telemetry::decimation::{
     boxcar_decimate, design_lowpass_fir, fir_decimate, pick_decimate,
 };
 use davide_telemetry::gateway::SampleFrame;
+use davide_telemetry::kernels::{boxcar_block, AdcKernel, PolyphaseFir};
 use davide_telemetry::monitor::MonitorChain;
 use davide_telemetry::sensors::PowerSensor;
 use davide_telemetry::{EnergyIntegrator, WorkloadWaveform};
@@ -97,10 +102,111 @@ fn bench_integration(c: &mut Criterion) {
     g.finish();
 }
 
+/// The gateway's full 8-channel mux scan: every channel gets its own
+/// ripple tone, mirroring the E25 channel profiles.
+fn bench_adc_mux(c: &mut Criterion) {
+    let mux = AdcMux::gateway_scan();
+    let signals: Vec<Box<dyn Fn(f64) -> f64>> = (0..mux.channels as usize)
+        .map(|ch| {
+            let (base, tone_hz) = match ch {
+                0 => (1700.0, 50.0),
+                1 | 2 => (300.0, 120.0),
+                3..=6 => (350.0, 90.0 + 10.0 * ch as f64),
+                _ => (100.0, 200.0),
+            };
+            Box::new(move |t: f64| {
+                base + 0.05 * base * (2.0 * std::f64::consts::PI * tone_hz * t).sin()
+            }) as Box<dyn Fn(f64) -> f64>
+        })
+        .collect();
+    let refs: Vec<&dyn Fn(f64) -> f64> = signals.iter().map(|b| b.as_ref()).collect();
+    let duration_s = 0.1;
+    let total = (mux.per_channel_rate() * duration_s).round() as u64 * mux.channels as u64;
+    let mut g = c.benchmark_group("e25_adc_mux");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("sample_all_8ch", |b| {
+        let mut rng = Rng::seed_from(7);
+        b.iter(|| mux.sample_all(black_box(&refs), duration_s, &mut rng));
+    });
+    g.finish();
+}
+
+/// The E25 DSP hot loop at frame granularity — the seed per-sample
+/// `f64` path vs the blocked `f32` kernels — and the polyphase FIR
+/// against its textbook form. Same block size the acquisition driver
+/// uses (8000 raw samples → one 500-sample frame).
+fn bench_acquisition_kernels(c: &mut Criterion) {
+    const BLOCK: usize = 8_000;
+    let adc = SarAdc::am335x_power_channel();
+    let kernel = AdcKernel::new(&adc);
+    let mut rng = Rng::seed_from(8);
+    let raw_f64: Vec<f64> = (0..BLOCK).map(|_| rng.uniform_in(1500.0, 1900.0)).collect();
+    let raw_f32: Vec<f32> = raw_f64.iter().map(|&v| v as f32).collect();
+    let trace = PowerTrace::new(SimTime::ZERO, 1.25e-6, raw_f64);
+
+    let mut g = c.benchmark_group("e25_kernels");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("digitise_decimate_scalar_f64", |b| {
+        b.iter(|| {
+            let dig = adc.digitise(black_box(&trace));
+            boxcar_decimate(&dig, 16)
+        });
+    });
+    let (mut dig, mut dec) = (Vec::with_capacity(BLOCK), Vec::with_capacity(BLOCK / 16));
+    g.bench_function("digitise_decimate_blocked_f32", |b| {
+        b.iter(|| {
+            kernel.digitise_block(black_box(&raw_f32), &mut dig);
+            boxcar_block(&dig, 16, &mut dec);
+            black_box(dec.last().copied())
+        });
+    });
+    let h = design_lowpass_fir(63, 0.02);
+    let pf = PolyphaseFir::new(&h, 16);
+    let mut out = Vec::with_capacity(BLOCK / 16);
+    g.bench_function("fir63_16x_polyphase_blocked", |b| {
+        b.iter(|| {
+            pf.decimate_block(black_box(&raw_f32), &mut out);
+            black_box(out.last().copied())
+        });
+    });
+    g.finish();
+}
+
+/// The whole acquisition pipeline — synth → digitise → decimate →
+/// MQTT publish → ingest → sharded TsDb — scalar reference vs blocked
+/// kernels, at a 2-gateway scale that keeps criterion iterations
+/// sub-second. Each iteration builds a fresh rig (template rendering,
+/// broker setup); that fixed cost is identical for both variants, so
+/// the measured scalar/blocked gap understates the kernel speedup —
+/// E25 reports the isolated per-stage numbers.
+fn bench_acquisition_pipeline(c: &mut Criterion) {
+    let cfg = AcquisitionConfig {
+        nodes: 2,
+        duration_s: 0.05,
+        ..AcquisitionConfig::full_rate()
+    };
+    let mut g = c.benchmark_group("e25_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cfg.raw_samples()));
+    for (name, mode) in [
+        ("end_to_end_scalar", DspMode::Scalar),
+        ("end_to_end_blocked", DspMode::Blocked),
+    ] {
+        let cfg = cfg.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| AcquisitionRig::new(black_box(cfg.clone()), mode).run());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     telemetry,
     bench_decimation,
     bench_sensor_adc,
-    bench_integration
+    bench_integration,
+    bench_adc_mux,
+    bench_acquisition_kernels,
+    bench_acquisition_pipeline
 );
 criterion_main!(telemetry);

@@ -1,6 +1,7 @@
 //! Experiment implementations, grouped by the paper section they
 //! reproduce.
 
+pub mod acquisition;
 pub mod applications;
 pub mod controlplane;
 pub mod ingest;

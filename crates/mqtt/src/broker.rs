@@ -516,6 +516,115 @@ impl Broker {
         Ok(self.fan_out(topic, &payload, qos, retain))
     }
 
+    /// Publish a batch of non-retained QoS 0 messages with one state-lock
+    /// acquisition for the whole batch.
+    ///
+    /// Per-publish semantics are preserved message by message — topic
+    /// validation, `published` stats, [`BrokerObs::on_publish`], the
+    /// fault hook's per-packet fate, delivery counting — but the three
+    /// broker locks (obs, fault, state) are each taken once instead of
+    /// once per message. At the full-rate acquisition scale (36 000
+    /// frames per simulated second from 45 gateways) the per-publish
+    /// lock traffic is a measurable fraction of the fan-in cost; this
+    /// is the EG's bulk path. Messages are fanned out in slice order,
+    /// so inter-batch ordering is exactly what a publish loop produces.
+    ///
+    /// Returns the total number of subscriber deliveries across the
+    /// batch. Errors on the first invalid topic, before any message is
+    /// published.
+    pub(crate) fn publish_batch(&self, msgs: &[(String, Bytes)]) -> Result<usize, BrokerError> {
+        for (topic, _) in msgs {
+            validate_topic(topic)?;
+        }
+        self.stats
+            .published
+            .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        // One fault-hook lock: decide every packet's fate up front (the
+        // hook must see one call per message, same as the loop form).
+        let fates: Option<Vec<PublishFate>> = {
+            let mut guard = self.fault.lock();
+            guard
+                .as_mut()
+                .map(|hook| msgs.iter().map(|(topic, _)| hook(topic)).collect())
+        };
+        // One obs lock and one state lock for the whole batch (same
+        // state → obs acquisition order as the per-publish path never
+        // holds both, so no ordering hazard is introduced).
+        let mut obs = self.obs.lock();
+        if let Some(o) = obs.as_mut() {
+            for (topic, payload) in msgs {
+                o.on_publish(topic, payload);
+            }
+        }
+        let mut st = self.state.lock();
+        let mut reached = 0;
+        let mut targets = Vec::new();
+        for (i, (topic, payload)) in msgs.iter().enumerate() {
+            match fates.as_ref().map_or(PublishFate::Deliver, |f| f[i]) {
+                PublishFate::Deliver => {
+                    reached += self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
+                }
+                PublishFate::Drop => {
+                    if let Some(o) = obs.as_mut() {
+                        o.injected_drops.inc();
+                    }
+                }
+                PublishFate::Duplicate => {
+                    if let Some(o) = obs.as_mut() {
+                        o.injected_dups.inc();
+                    }
+                    reached += self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
+                    self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
+                }
+            }
+        }
+        Ok(reached)
+    }
+
+    /// Non-retained QoS 0 fan-out with the state (and obs) locks already
+    /// held — the per-message body of [`Broker::publish_batch`].
+    /// `targets` is caller-owned scratch so the batch loop reuses one
+    /// match buffer.
+    fn fan_out_locked(
+        &self,
+        st: &mut BrokerState,
+        obs: &mut Option<BrokerObs>,
+        topic: &str,
+        payload: &Bytes,
+        targets: &mut Vec<(u64, QoS)>,
+    ) -> usize {
+        let levels: Vec<&str> = topic.split('/').collect();
+        targets.clear();
+        st.trie.collect(&levels, topic.starts_with('$'), targets);
+        let mut reached = 0;
+        for &(client, sub_qos) in targets.iter() {
+            if let Some(cs) = st.clients.get(&client) {
+                let m = Message {
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    qos: QoS::AtMostOnce.min(sub_qos),
+                    retain: false,
+                };
+                match cs.sender.try_send(m) {
+                    Ok(()) => {
+                        reached += 1;
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = obs.as_mut() {
+                            o.on_deliver(topic, payload);
+                        }
+                    }
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = obs.as_mut() {
+                            o.dropped.inc();
+                        }
+                    }
+                }
+            }
+        }
+        reached
+    }
+
     /// One pass of retained-store update + subscriber fan-out.
     fn fan_out(&self, topic: &str, payload: &Bytes, qos: QoS, retain: bool) -> usize {
         let mut st = self.state.lock();
@@ -909,6 +1018,72 @@ mod tests {
         )
         .unwrap();
         assert_eq!(broker.retained_get("davide/node00/ctl/speed"), None);
+    }
+
+    #[test]
+    fn publish_batch_matches_publish_loop() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        sub.subscribe("davide/+/power/#", QoS::AtMostOnce).unwrap();
+        let publ = broker.connect("gateway");
+        let batch: Vec<(String, Bytes)> = (0..5)
+            .map(|i| {
+                (
+                    format!("davide/node0{i}/power/node"),
+                    payload(&i.to_string()),
+                )
+            })
+            .collect();
+        let reached = publ.publish_batch(&batch).unwrap();
+        assert_eq!(reached, 5);
+        let got = sub.drain();
+        assert_eq!(got.len(), 5);
+        // Delivery is in slice order with per-message semantics intact.
+        for (i, m) in got.iter().enumerate() {
+            assert_eq!(m.topic, batch[i].0);
+            assert_eq!(m.payload, batch[i].1);
+            assert_eq!(m.qos, QoS::AtMostOnce);
+            assert!(!m.retain);
+        }
+        assert_eq!(broker.stats().published.load(Ordering::Relaxed), 5);
+        assert_eq!(broker.stats().delivered.load(Ordering::Relaxed), 5);
+        // An invalid topic fails the whole batch up front.
+        assert!(publ
+            .publish_batch(&[("bad/#/topic".to_string(), Bytes::new())])
+            .is_err());
+    }
+
+    #[test]
+    fn publish_batch_honours_fault_hook_per_message() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        sub.subscribe("davide/#", QoS::AtMostOnce).unwrap();
+        broker.set_fault_hook(Some(Box::new(|topic: &str| {
+            if topic.contains("node00") {
+                PublishFate::Drop
+            } else if topic.contains("node01") {
+                PublishFate::Duplicate
+            } else {
+                PublishFate::Deliver
+            }
+        })));
+        let publ = broker.connect("gateway");
+        let batch: Vec<(String, Bytes)> = (0..3)
+            .map(|i| (format!("davide/node0{i}/power/node"), payload("x")))
+            .collect();
+        // Drop counts 0, duplicate counts its first fan-out, deliver 1.
+        let reached = publ.publish_batch(&batch).unwrap();
+        assert_eq!(reached, 2);
+        let got = sub.drain();
+        let topics: Vec<&str> = got.iter().map(|m| m.topic.as_str()).collect();
+        assert_eq!(
+            topics,
+            [
+                "davide/node01/power/node",
+                "davide/node01/power/node",
+                "davide/node02/power/node"
+            ]
+        );
     }
 
     #[test]

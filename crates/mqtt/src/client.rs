@@ -44,6 +44,14 @@ impl Client {
         self.broker.publish(topic, payload, qos, retain)
     }
 
+    /// Publish a batch of non-retained QoS 0 messages with one broker
+    /// lock acquisition for the whole batch — the bulk path for
+    /// telemetry frame fan-in (see `Broker::publish_batch`). Returns
+    /// the total subscriber deliveries across the batch.
+    pub fn publish_batch(&self, msgs: &[(String, Bytes)]) -> Result<usize, BrokerError> {
+        self.broker.publish_batch(msgs)
+    }
+
     /// Convenience: publish a UTF-8 string payload at QoS 0.
     pub fn publish_str(&self, topic: &str, payload: &str) -> Result<usize, BrokerError> {
         self.publish(

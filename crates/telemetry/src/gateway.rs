@@ -9,7 +9,7 @@
 
 use crate::clock::{ClockServo, Oscillator, SyncProtocol};
 use crate::monitor::MonitorChain;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use davide_core::power::PowerTrace;
 use davide_core::rng::Rng;
 use davide_mqtt::{Broker, Client, QoS};
@@ -49,47 +49,72 @@ fn put_f32_slice_le(buf: &mut BytesMut, vals: &[f32]) {
 }
 
 /// Bulk little-endian read of `n` `f32`s from `bytes` (must hold at
-/// least `4 * n` bytes). Safe byte-exact conversion; the compiler turns
-/// the chunked loop into wide copies on little-endian targets.
-fn get_f32_slice_le(bytes: &[u8], n: usize) -> Vec<f32> {
-    bytes[..4 * n]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect()
+/// least `4 * n` bytes) into caller-owned scratch. Safe byte-exact
+/// conversion; the compiler turns the chunked loop into wide copies on
+/// little-endian targets.
+fn get_f32_slice_le(bytes: &[u8], n: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(n);
+    out.extend(
+        bytes[..4 * n]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
 }
 
 impl SampleFrame {
     /// Serialise to the wire payload (little-endian binary). The sample
     /// block is written with one bulk copy, not a per-sample loop.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(24 + 4 * self.watts.len());
+        Self::encode_parts(self.t0_s, self.dt_s, &self.watts)
+    }
+
+    /// Serialise a frame from borrowed parts — the acquisition hot
+    /// path's form of [`SampleFrame::encode`]: samples stay in the
+    /// caller's scratch buffer and go straight onto the wire, so no
+    /// owned `SampleFrame` (and no sample copy) is ever built.
+    pub fn encode_parts(t0_s: f64, dt_s: f64, watts: &[f32]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24 + 4 * watts.len());
         buf.put_u32_le(FRAME_MAGIC);
-        buf.put_f64_le(self.t0_s);
-        buf.put_f64_le(self.dt_s);
-        buf.put_u32_le(self.watts.len() as u32);
-        put_f32_slice_le(&mut buf, &self.watts);
+        buf.put_f64_le(t0_s);
+        buf.put_f64_le(dt_s);
+        buf.put_u32_le(watts.len() as u32);
+        put_f32_slice_le(&mut buf, watts);
         buf.freeze()
     }
 
     /// Parse a wire payload; `None` on malformed input (bad magic,
     /// truncated header or body, or a declared length whose byte size
     /// overflows).
-    pub fn decode(mut payload: Bytes) -> Option<SampleFrame> {
-        if payload.remaining() < 24 {
-            return None;
-        }
-        if payload.get_u32_le() != FRAME_MAGIC {
-            return None;
-        }
-        let t0_s = payload.get_f64_le();
-        let dt_s = payload.get_f64_le();
-        let n = payload.get_u32_le() as usize;
-        let need = n.checked_mul(4)?;
-        if payload.remaining() < need {
-            return None;
-        }
-        let watts = get_f32_slice_le(&payload, n);
+    pub fn decode(payload: Bytes) -> Option<SampleFrame> {
+        let mut watts = Vec::new();
+        let (t0_s, dt_s) = Self::decode_into(&payload, &mut watts)?;
         Some(SampleFrame { t0_s, dt_s, watts })
+    }
+
+    /// Parse a wire payload into caller-owned sample scratch, returning
+    /// `(t0_s, dt_s)`. This is the ingest hot path's form of
+    /// [`SampleFrame::decode`]: the scratch buffer is reused across
+    /// frames, so the steady state never allocates per frame. On
+    /// malformed input returns `None` and leaves `watts` cleared.
+    pub fn decode_into(payload: &[u8], watts: &mut Vec<f32>) -> Option<(f64, f64)> {
+        watts.clear();
+        if payload.len() < 24 {
+            return None;
+        }
+        if u32::from_le_bytes(payload[0..4].try_into().expect("checked length")) != FRAME_MAGIC {
+            return None;
+        }
+        let t0_s = f64::from_le_bytes(payload[4..12].try_into().expect("checked length"));
+        let dt_s = f64::from_le_bytes(payload[12..20].try_into().expect("checked length"));
+        let n = u32::from_le_bytes(payload[20..24].try_into().expect("checked length")) as usize;
+        let need = n.checked_mul(4)?;
+        let body = &payload[24..];
+        if body.len() < need {
+            return None;
+        }
+        get_f32_slice_le(body, n, watts);
+        Some((t0_s, dt_s))
     }
 
     /// Energy of this frame (left-rectangle).

@@ -108,12 +108,41 @@ impl IngestObs {
             .tracer
             .stamp_batch(Stage::IngestAppend, now, frames.iter().map(|f| f.trace_id));
         for f in frames {
-            let age_s = now - f.frame.t0_s;
-            if age_s >= 0.0 {
-                self.frame_age.record((age_s * 1e9).round() as u64);
-            }
+            self.record_age(now, f.frame.t0_s);
         }
-        self.frames.add(frames.len() as u64);
+        self.count_appended(frames.len() as u64, stored, offered);
+    }
+
+    /// [`IngestObs::on_frames_appended`] for the scratch-decoded ingest
+    /// path, where frames never materialise as [`DecodedFrame`]s: the
+    /// caller hands over the parallel trace-id and `t0` arrays it
+    /// accumulated while appending. Identical instrument updates.
+    pub fn on_frames_appended_parts(
+        &self,
+        trace_ids: &[u64],
+        t0s: &[f64],
+        stored: u64,
+        offered: u64,
+    ) {
+        let now = self.hub.clock.now_s();
+        self.hub
+            .tracer
+            .stamp_batch(Stage::IngestAppend, now, trace_ids.iter().copied());
+        for &t0 in t0s {
+            self.record_age(now, t0);
+        }
+        self.count_appended(trace_ids.len() as u64, stored, offered);
+    }
+
+    fn record_age(&self, now: f64, t0_s: f64) {
+        let age_s = now - t0_s;
+        if age_s >= 0.0 {
+            self.frame_age.record((age_s * 1e9).round() as u64);
+        }
+    }
+
+    fn count_appended(&self, frames: u64, stored: u64, offered: u64) {
+        self.frames.add(frames);
         self.samples.add(stored);
         self.stale.add(offered - stored);
     }
@@ -139,6 +168,12 @@ pub struct FrameIngestor {
     client: Client,
     stats: IngestStats,
     obs: Option<IngestObs>,
+    // Scratch reused across [`FrameIngestor::drain_into`] calls so the
+    // single-store hot path decodes and appends without a per-frame
+    // `Vec<f32>` (or any other steady-state) allocation.
+    watts_scratch: Vec<f32>,
+    ids_scratch: Vec<u64>,
+    t0s_scratch: Vec<f64>,
 }
 
 impl FrameIngestor {
@@ -153,6 +188,9 @@ impl FrameIngestor {
             client,
             stats: IngestStats::default(),
             obs: None,
+            watts_scratch: Vec::new(),
+            ids_scratch: Vec::new(),
+            t0s_scratch: Vec::new(),
         })
     }
 
@@ -180,38 +218,91 @@ impl FrameIngestor {
 
     /// Drain every queued message into `db`: one bulk append per frame.
     /// Returns the number of frames ingested.
+    ///
+    /// Frames are decoded straight into the ingestor's reusable scratch
+    /// with [`SampleFrame::decode_into`] and appended from there, so
+    /// the steady state allocates nothing per frame — the decoded
+    /// samples never materialise as an owned `Vec<f32>`.
     pub fn drain_into(&mut self, db: &mut TsDb) -> usize {
-        let frames = self.drain_frames();
+        let msgs = self.client.drain();
+        let malformed_before = self.stats.malformed;
         let mut stored_total = 0u64;
         let mut offered_total = 0u64;
-        for f in &frames {
-            let id = db.resolve(&f.topic);
-            let stored = db.append_frame_id(id, f.frame.t0_s, f.frame.dt_s, &f.frame.watts);
-            stored_total += stored as u64;
-            offered_total += f.frame.watts.len() as u64;
+        self.ids_scratch.clear();
+        self.t0s_scratch.clear();
+        for m in &msgs {
+            let trace_id = frame_trace_id(&m.topic, &m.payload);
+            match SampleFrame::decode_into(&m.payload, &mut self.watts_scratch) {
+                Some((t0_s, dt_s)) => {
+                    let id = db.resolve(&m.topic);
+                    let stored = db.append_frame_id(id, t0_s, dt_s, &self.watts_scratch);
+                    stored_total += stored as u64;
+                    offered_total += self.watts_scratch.len() as u64;
+                    self.ids_scratch.push(trace_id);
+                    self.t0s_scratch.push(t0_s);
+                }
+                None => self.stats.malformed += 1,
+            }
         }
+        let frames = self.ids_scratch.len();
         self.stats.samples += stored_total;
         self.stats.stale_dropped += offered_total - stored_total;
-        self.stats.frames += frames.len() as u64;
+        self.stats.frames += frames as u64;
         if let Some(o) = &self.obs {
-            o.on_frames_appended(&frames, stored_total, offered_total);
+            o.on_batch(frames, self.stats.malformed - malformed_before);
+            o.on_frames_appended_parts(
+                &self.ids_scratch,
+                &self.t0s_scratch,
+                stored_total,
+                offered_total,
+            );
         }
-        frames.len()
+        frames
     }
 
-    /// Drain every queued message into a sharded store, fanning the
-    /// batch out across shards. Returns the number of frames ingested.
+    /// Drain every queued message into a sharded store, each frame
+    /// routed to its owning shard by topic hash. Returns the number of
+    /// frames ingested.
+    ///
+    /// Like [`Self::drain_into`], frames decode straight into the
+    /// ingestor's reusable scratch and are appended from there — the
+    /// steady state allocates nothing per frame. (Callers that want
+    /// the shard-parallel batch form can still pair
+    /// [`Self::drain_frames`] with [`ShardedTsDb::ingest_batch`].)
     pub fn drain_into_sharded(&mut self, db: &mut ShardedTsDb) -> usize {
-        let frames = self.drain_frames();
-        let stored = db.ingest_batch(&frames);
-        let offered: u64 = frames.iter().map(|f| f.frame.watts.len() as u64).sum();
-        self.stats.frames += frames.len() as u64;
-        self.stats.samples += stored;
-        self.stats.stale_dropped += offered - stored;
-        if let Some(o) = &self.obs {
-            o.on_frames_appended(&frames, stored, offered);
+        let msgs = self.client.drain();
+        let malformed_before = self.stats.malformed;
+        let mut stored_total = 0u64;
+        let mut offered_total = 0u64;
+        self.ids_scratch.clear();
+        self.t0s_scratch.clear();
+        for m in &msgs {
+            let trace_id = frame_trace_id(&m.topic, &m.payload);
+            match SampleFrame::decode_into(&m.payload, &mut self.watts_scratch) {
+                Some((t0_s, dt_s)) => {
+                    let stored = db.append_frame(&m.topic, t0_s, dt_s, &self.watts_scratch);
+                    stored_total += stored as u64;
+                    offered_total += self.watts_scratch.len() as u64;
+                    self.ids_scratch.push(trace_id);
+                    self.t0s_scratch.push(t0_s);
+                }
+                None => self.stats.malformed += 1,
+            }
         }
-        frames.len()
+        let frames = self.ids_scratch.len();
+        self.stats.samples += stored_total;
+        self.stats.stale_dropped += offered_total - stored_total;
+        self.stats.frames += frames as u64;
+        if let Some(o) = &self.obs {
+            o.on_batch(frames, self.stats.malformed - malformed_before);
+            o.on_frames_appended_parts(
+                &self.ids_scratch,
+                &self.t0s_scratch,
+                stored_total,
+                offered_total,
+            );
+        }
+        frames
     }
 }
 
@@ -256,6 +347,17 @@ impl ShardedTsDb {
     /// The shard a series key lives in.
     pub fn shard_of(&self, key: &str) -> usize {
         shard_index(key, self.shards.len())
+    }
+
+    /// Bulk-append one frame, routed to its owning shard by topic
+    /// hash. The borrowed-slice twin of [`Self::ingest_batch`] for
+    /// callers that decode into scratch and never materialise owned
+    /// frames. Returns the number of samples stored.
+    pub fn append_frame(&mut self, topic: &str, t0_s: f64, dt_s: f64, watts: &[f32]) -> usize {
+        let n = self.shards.len();
+        let shard = &mut self.shards[shard_index(topic, n)];
+        let id = shard.resolve(topic);
+        shard.append_frame_id(id, t0_s, dt_s, watts)
     }
 
     /// Ingest a decoded batch: shards run in parallel, each appending

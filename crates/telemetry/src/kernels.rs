@@ -1,0 +1,617 @@
+//! Full-rate DSP kernels for the acquisition hot path.
+//!
+//! At design scale the front end is 45 nodes × 8 muxed channels ×
+//! 800 kS/s ≈ 288 MS/s (§III-A1). The general-purpose models in
+//! [`crate::adc`] and [`crate::decimation`] — per-sample `f64`
+//! quantisation with a division per call, window sums through iterator
+//! chains, a fresh `Vec` per stage — are fine for fidelity experiments
+//! but cannot carry that aggregate rate. This module provides the hot
+//! loops as chunked, cache-blocked `f32` kernels over caller-owned
+//! scratch buffers (zero steady-state allocation), in two variants
+//! each:
+//!
+//! * a **scalar reference** (`*_scalar`) — the simple, obviously
+//!   correct per-output loop, retained forever as the semantic spec;
+//! * a **blocked kernel** (`*_block`) — processes [`LANES`] independent
+//!   outputs concurrently so the compiler autovectorizes the
+//!   element-wise work and breaks the floating-point add latency chain
+//!   with [`LANES`] parallel accumulators.
+//!
+//! **Bit-exactness.** The blocked kernels are bit-identical to their
+//! scalar references by construction: they never reassociate the
+//! arithmetic of any single output. Quantisation is element-wise
+//! (order-free); window sums and polyphase dot products keep each
+//! output's accumulation order exactly as the scalar loop performs it —
+//! the blocked variants only interleave *independent* outputs, which
+//! IEEE-754 evaluates identically regardless of lane count. That is
+//! also why the `wide-kernels` feature (32-lane blocks instead of 8)
+//! cannot change a single bit of output. The property tests at the
+//! bottom of this file pin the equivalence for arbitrary lengths,
+//! factors and tail remainders.
+//!
+//! The kernels speak `f32` because that is the wire format
+//! ([`crate::gateway::SampleFrame`] carries `f32` watts): quantising
+//! straight into the payload precision removes a whole `f64 → f32`
+//! conversion pass. A 12-bit code (≤ 4096 distinct values) is exactly
+//! representable in `f32`, so no acquisition information is lost.
+
+use crate::adc::SarAdc;
+
+/// Outputs processed per blocked-kernel iteration. 8 matches one AVX2
+/// `f32` vector; the `wide-kernels` feature widens to 32 (four
+/// vectors' worth of independent accumulator chains) for wider cores.
+/// Lane count never affects results — see the module docs.
+pub const LANES: usize = if cfg!(feature = "wide-kernels") {
+    32
+} else {
+    8
+};
+
+/// Precomputed quantise/reconstruct constants for one [`SarAdc`]
+/// configuration: the hot loop multiplies by a cached reciprocal
+/// instead of dividing by the LSB each sample (the division in
+/// [`SarAdc::quantise`] costs more than the rest of the sample's
+/// arithmetic combined).
+#[derive(Debug, Clone, Copy)]
+pub struct AdcKernel {
+    /// Watts at code 0.
+    min: f32,
+    /// Watts at the top code.
+    max: f32,
+    /// `1 / lsb`, the cached reciprocal.
+    inv_lsb: f32,
+    /// LSB in watts.
+    lsb: f32,
+    /// Highest code as `f32` (codes ≤ 2^24 are exact).
+    max_code: f32,
+}
+
+impl AdcKernel {
+    /// Kernel constants for an ADC configuration.
+    pub fn new(adc: &SarAdc) -> Self {
+        let lsb = adc.lsb() as f32;
+        AdcKernel {
+            min: adc.full_scale_min as f32,
+            max: adc.full_scale_max as f32,
+            inv_lsb: 1.0 / lsb,
+            lsb,
+            max_code: (adc.codes() - 1) as f32,
+        }
+    }
+
+    /// Quantise one analog watt value and reconstruct the reported
+    /// watts — the scalar spec both variants implement. Uses the
+    /// multiply-by-reciprocal form, rounding to the nearest code by
+    /// exponent alignment: adding and subtracting 2^23 forces an `f32`
+    /// in `[0, 2^23)` onto the integer grid under round-to-nearest-
+    /// even. `f32::round` would be a library call on baseline x86-64
+    /// (no SSE4.1 `roundps`) and block vectorization; the alignment
+    /// trick is two `addps`-class ops. RNE vs `round`'s half-away tie
+    /// break and the `f32` reciprocal together keep results within one
+    /// code of the `f64` [`SarAdc::quantise`] path, differing only on
+    /// values at a code boundary.
+    #[inline]
+    pub fn digitise_one(&self, watts: f32) -> f32 {
+        /// 2^23 — smallest positive `f32` magnitude with ulp = 1.
+        const ROUND_MAGIC: f32 = 8_388_608.0;
+        let clamped = watts.max(self.min).min(self.max);
+        let scaled = (clamped - self.min) * self.inv_lsb;
+        let code = ((scaled + ROUND_MAGIC) - ROUND_MAGIC).min(self.max_code);
+        self.min + code * self.lsb
+    }
+
+    /// Scalar reference: digitise `input` into `out` (cleared first),
+    /// one sample at a time.
+    pub fn digitise_scalar(&self, input: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(input.iter().map(|&w| self.digitise_one(w)));
+    }
+
+    /// Blocked kernel: identical arithmetic per element, grouped into
+    /// [`LANES`]-wide chunks of straight-line array code the compiler
+    /// turns into vector clamp/mul/round sequences. Tail samples run
+    /// the scalar spec.
+    pub fn digitise_block(&self, input: &[f32], out: &mut Vec<f32>) {
+        // Size the output once and write lanes in place — per-chunk
+        // `extend` bookkeeping would cost more than the arithmetic.
+        // No `clear()` first: every slot is overwritten below, and
+        // clear-then-resize would memset the whole buffer each call.
+        out.resize(input.len(), 0.0);
+        for (o, c) in out.chunks_exact_mut(LANES).zip(input.chunks_exact(LANES)) {
+            for (dst, &w) in o.iter_mut().zip(c) {
+                *dst = self.digitise_one(w);
+            }
+        }
+        let tail = input.len() - input.len() % LANES;
+        for (dst, &w) in out[tail..].iter_mut().zip(&input[tail..]) {
+            *dst = self.digitise_one(w);
+        }
+    }
+}
+
+/// Scalar reference boxcar: `out[i]` is the mean of input window
+/// `[i*m, (i+1)*m)`, summed in ascending index order. The tail
+/// `input.len() % m` samples are dropped, exactly like
+/// [`crate::decimation::boxcar_decimate`].
+pub fn boxcar_scalar(input: &[f32], m: usize, out: &mut Vec<f32>) {
+    assert!(m >= 1, "decimation factor must be ≥ 1");
+    let inv = 1.0f32 / m as f32;
+    out.clear();
+    out.reserve(input.len() / m);
+    for w in input.chunks_exact(m) {
+        let mut acc = 0.0f32;
+        for &x in w {
+            acc += x;
+        }
+        out.push(acc * inv);
+    }
+}
+
+/// Blocked boxcar: [`LANES`] windows reduced concurrently. Each
+/// window's sum still runs in ascending index order (bit-exact vs
+/// [`boxcar_scalar`]); the lanes are *independent* windows, so the `k`
+/// loop advances [`LANES`] accumulator chains per step instead of
+/// stalling on one add's latency.
+pub fn boxcar_block(input: &[f32], m: usize, out: &mut Vec<f32>) {
+    assert!(m >= 1, "decimation factor must be ≥ 1");
+    let inv = 1.0f32 / m as f32;
+    let n_out = input.len() / m;
+    out.clear();
+    out.reserve(n_out);
+    let mut i = 0;
+    while i + LANES <= n_out {
+        let base = i * m;
+        let mut acc = [0.0f32; LANES];
+        for k in 0..m {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += input[base + j * m + k];
+            }
+        }
+        for a in acc {
+            out.push(a * inv);
+        }
+        i += LANES;
+    }
+    for w in input[i * m..n_out * m].chunks_exact(m) {
+        let mut acc = 0.0f32;
+        for &x in w {
+            acc += x;
+        }
+        out.push(acc * inv);
+    }
+}
+
+/// An anti-alias FIR decimator restructured as per-phase dot products.
+///
+/// The textbook form ([`crate::decimation::fir_decimate`]) walks all
+/// `T` taps for every output. The polyphase form splits `h` into `m`
+/// phases `h_p[j] = h[j·m + p]` so each output is a sum of `m` short
+/// dot products; the blocked kernel evaluates [`LANES`] outputs per
+/// pass with one broadcast coefficient per step.
+///
+/// Output semantics match `fir_decimate`: output `i` is centred on
+/// input `i·m` with a `taps/2` look-back, and outputs whose window is
+/// cut short by either stream edge renormalise over the taps that have
+/// samples. **Accumulation order is phase-major** (phase `p` outer,
+/// taps-within-phase `j` inner) in *both* variants — that order is this
+/// kernel's spec, and the reason scalar and blocked agree bit for bit.
+/// Against the tap-major `f64` `fir_decimate` the result agrees only to
+/// rounding (different association, different precision).
+#[derive(Debug, Clone)]
+pub struct PolyphaseFir {
+    /// Taps in `f32`, original tap order.
+    h: Vec<f32>,
+    /// Decimation factor (number of phases).
+    m: usize,
+    /// Centre offset, `taps / 2`.
+    half: usize,
+}
+
+impl PolyphaseFir {
+    /// Build from `f64` taps (e.g.
+    /// [`crate::decimation::design_lowpass_fir`]) and factor `m`.
+    pub fn new(h: &[f64], m: usize) -> Self {
+        assert!(m >= 1, "decimation factor must be ≥ 1");
+        assert!(!h.is_empty(), "FIR needs at least one tap");
+        PolyphaseFir {
+            h: h.iter().map(|&v| v as f32).collect(),
+            m,
+            half: h.len() / 2,
+        }
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Decimation factor.
+    pub fn factor(&self) -> usize {
+        self.m
+    }
+
+    /// Output count for an input length (mirrors `fir_decimate`).
+    pub fn out_len(&self, input_len: usize) -> usize {
+        input_len / self.m
+    }
+
+    /// First output index whose full tap window is in range, and one
+    /// past the last: outputs in `lo..hi` need no edge handling.
+    fn interior(&self, input_len: usize) -> (usize, usize) {
+        let n_out = self.out_len(input_len);
+        // Need i*m ≥ half  and  i*m + (taps-1-half) < len.
+        let lo = self.half.div_ceil(self.m);
+        let fwd = self.h.len() - 1 - self.half;
+        let hi = (input_len.saturating_sub(fwd).saturating_sub(1) / self.m + 1).min(n_out);
+        (lo.min(hi), hi)
+    }
+
+    /// One edge output (partial window): phase-major accumulation over
+    /// the in-range taps, renormalised by their summed weight — the
+    /// same edge treatment as `fir_decimate`. Shared by both variants,
+    /// so edges are bit-exact trivially.
+    fn edge_output(&self, input: &[f32], i: usize) -> f32 {
+        let c = (i * self.m) as isize - self.half as isize;
+        let mut acc = 0.0f32;
+        let mut wsum = 0.0f32;
+        for p in 0..self.m {
+            let mut k = p;
+            while k < self.h.len() {
+                let idx = c + k as isize;
+                if idx >= 0 && (idx as usize) < input.len() {
+                    acc += self.h[k] * input[idx as usize];
+                    wsum += self.h[k];
+                }
+                k += self.m;
+            }
+        }
+        if wsum.abs() > 1e-12 {
+            acc / wsum
+        } else {
+            acc
+        }
+    }
+
+    /// Scalar reference: every output via phase-major dot products.
+    pub fn decimate_scalar(&self, input: &[f32], out: &mut Vec<f32>) {
+        let n_out = self.out_len(input.len());
+        out.clear();
+        out.reserve(n_out);
+        let (lo, hi) = self.interior(input.len());
+        for i in 0..lo {
+            out.push(self.edge_output(input, i));
+        }
+        for i in lo..hi {
+            let base = i * self.m - self.half;
+            let mut acc = 0.0f32;
+            for p in 0..self.m {
+                let mut k = p;
+                while k < self.h.len() {
+                    acc += self.h[k] * input[base + k];
+                    k += self.m;
+                }
+            }
+            out.push(acc);
+        }
+        for i in hi..n_out {
+            out.push(self.edge_output(input, i));
+        }
+    }
+
+    /// Blocked kernel: interior outputs in [`LANES`]-wide groups. For
+    /// each tap the coefficient is broadcast across the lanes and the
+    /// [`LANES`] input loads stride by `m` — per-output accumulation
+    /// order stays phase-major, identical to [`Self::decimate_scalar`].
+    pub fn decimate_block(&self, input: &[f32], out: &mut Vec<f32>) {
+        let n_out = self.out_len(input.len());
+        out.clear();
+        out.reserve(n_out);
+        let (lo, hi) = self.interior(input.len());
+        for i in 0..lo {
+            out.push(self.edge_output(input, i));
+        }
+        let mut i = lo;
+        while i + LANES <= hi {
+            let base = i * self.m - self.half;
+            let mut acc = [0.0f32; LANES];
+            for p in 0..self.m {
+                let mut k = p;
+                while k < self.h.len() {
+                    let hk = self.h[k];
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += hk * input[base + j * self.m + k];
+                    }
+                    k += self.m;
+                }
+            }
+            out.extend_from_slice(&acc);
+            i += LANES;
+        }
+        for i in i..hi {
+            let base = i * self.m - self.half;
+            let mut acc = 0.0f32;
+            for p in 0..self.m {
+                let mut k = p;
+                while k < self.h.len() {
+                    acc += self.h[k] * input[base + k];
+                    k += self.m;
+                }
+            }
+            out.push(acc);
+        }
+        for i in hi..n_out {
+            out.push(self.edge_output(input, i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decimation::{boxcar_decimate, design_lowpass_fir, fir_decimate};
+    use davide_core::power::PowerTrace;
+    use davide_core::rng::Rng;
+    use davide_core::time::SimTime;
+    use proptest::prelude::*;
+
+    fn adc() -> SarAdc {
+        SarAdc::am335x_power_channel()
+    }
+
+    #[test]
+    fn digitise_matches_f64_model_within_one_lsb() {
+        let adc = adc();
+        let k = AdcKernel::new(&adc);
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..10_000 {
+            let w = rng.uniform_in(-100.0, 4100.0);
+            let fast = k.digitise_one(w as f32) as f64;
+            let slow = adc.to_watts(adc.quantise(w));
+            assert!(
+                (fast - slow).abs() <= adc.lsb() + 1e-3,
+                "w={w}: kernel {fast} vs model {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn digitise_block_bit_exact_including_tails() {
+        let k = AdcKernel::new(&adc());
+        let mut rng = Rng::seed_from(2);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for n in [0, 1, 7, LANES - 1, LANES, LANES + 1, 1000, 1003] {
+            let input: Vec<f32> = (0..n)
+                .map(|_| rng.uniform_in(-50.0, 4200.0) as f32)
+                .collect();
+            k.digitise_scalar(&input, &mut a);
+            k.digitise_block(&input, &mut b);
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn boxcar_block_bit_exact_and_drops_tail() {
+        let mut rng = Rng::seed_from(3);
+        let input: Vec<f32> = (0..1605)
+            .map(|_| rng.uniform_in(0.0, 4000.0) as f32)
+            .collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for m in [1, 2, 3, 7, 16, 100, 2000] {
+            boxcar_scalar(&input, m, &mut a);
+            boxcar_block(&input, m, &mut b);
+            assert_eq!(a.len(), input.len() / m, "m={m}");
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "m={m}"
+            );
+            assert_eq!(a.len(), b.len(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn boxcar_kernel_tracks_f64_decimator() {
+        let mut rng = Rng::seed_from(4);
+        let input: Vec<f32> = (0..8000)
+            .map(|_| rng.uniform_in(1000.0, 2000.0) as f32)
+            .collect();
+        let tr = PowerTrace::new(
+            SimTime::ZERO,
+            1.25e-6,
+            input.iter().map(|&v| v as f64).collect(),
+        );
+        let slow = boxcar_decimate(&tr, 16);
+        let mut fast = Vec::new();
+        boxcar_block(&input, 16, &mut fast);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow.samples) {
+            assert!((*f as f64 - s).abs() < 1e-2, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn polyphase_block_bit_exact_and_tracks_fir_decimate() {
+        let h = design_lowpass_fir(63, 0.02);
+        let pf = PolyphaseFir::new(&h, 16);
+        assert_eq!(pf.taps(), 63);
+        assert_eq!(pf.factor(), 16);
+        let mut rng = Rng::seed_from(5);
+        let input: Vec<f32> = (0..3217)
+            .map(|_| rng.uniform_in(900.0, 1100.0) as f32)
+            .collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        pf.decimate_scalar(&input, &mut a);
+        pf.decimate_block(&input, &mut b);
+        assert_eq!(a.len(), pf.out_len(input.len()));
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.len(), b.len());
+
+        let tr = PowerTrace::new(
+            SimTime::ZERO,
+            1.25e-6,
+            input.iter().map(|&v| v as f64).collect(),
+        );
+        let slow = fir_decimate(&tr, &h, 16);
+        assert_eq!(a.len(), slow.len());
+        for (f, s) in a.iter().zip(&slow.samples) {
+            assert!((*f as f64 - s).abs() < 0.05, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn polyphase_dc_gain_is_unity() {
+        let h = design_lowpass_fir(101, 0.02);
+        let pf = PolyphaseFir::new(&h, 16);
+        let input = vec![777.0f32; 10_000];
+        let mut out = Vec::new();
+        pf.decimate_block(&input, &mut out);
+        for &s in &out {
+            assert!((s - 777.0).abs() < 1e-2, "s={s}");
+        }
+    }
+
+    #[test]
+    fn kernels_reuse_scratch_without_reallocating() {
+        let k = AdcKernel::new(&adc());
+        let input = vec![1700.0f32; 8192];
+        let mut out = Vec::with_capacity(8192);
+        k.digitise_block(&input, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        for _ in 0..100 {
+            k.digitise_block(&input, &mut out);
+            boxcar_block(&input, 16, &mut out);
+            k.digitise_block(&input, &mut out);
+        }
+        assert_eq!(out.capacity(), cap, "steady state never regrows");
+        assert_eq!(out.as_ptr(), ptr, "steady state never reallocates");
+    }
+
+    proptest! {
+        /// Blocked digitise is bit-exact vs the scalar reference for
+        /// arbitrary lengths (all tail remainders) and values.
+        #[test]
+        fn prop_digitise_bit_exact(
+            input in proptest::collection::vec(-500.0f32..4500.0, 0..300),
+        ) {
+            let k = AdcKernel::new(&adc());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            k.digitise_scalar(&input, &mut a);
+            k.digitise_block(&input, &mut b);
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+
+        /// Blocked boxcar is bit-exact vs the scalar reference for
+        /// arbitrary lengths, factors and tail remainders.
+        #[test]
+        fn prop_boxcar_bit_exact(
+            input in proptest::collection::vec(0.0f32..4000.0, 0..400),
+            m in 1usize..24,
+        ) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            boxcar_scalar(&input, m, &mut a);
+            boxcar_block(&input, m, &mut b);
+            prop_assert_eq!(a.len(), input.len() / m);
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+
+        /// Blocked polyphase FIR is bit-exact vs the scalar reference
+        /// for arbitrary lengths, factors and odd tap counts (edge
+        /// windows on both stream ends included).
+        #[test]
+        fn prop_polyphase_bit_exact(
+            input in proptest::collection::vec(0.0f32..2000.0, 0..400),
+            m in 1usize..12,
+            half_taps in 1usize..24,
+        ) {
+            let h = design_lowpass_fir(2 * half_taps + 1, 0.1);
+            let pf = PolyphaseFir::new(&h, m);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            pf.decimate_scalar(&input, &mut a);
+            pf.decimate_block(&input, &mut b);
+            prop_assert_eq!(a.len(), pf.out_len(input.len()));
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+
+        /// The streaming `Decimator` honours its pending-window
+        /// contract under arbitrary chunkings: concatenated output is
+        /// bit-identical to the batch function over the whole stream,
+        /// and `pending()` always reports the partial tail the batch
+        /// call would have dropped.
+        #[test]
+        fn prop_streaming_decimator_pending_contract(
+            samples in proptest::collection::vec(0.0f64..4000.0, 1..500),
+            m in 1usize..20,
+            sizes in proptest::collection::vec(1usize..97, 1..8),
+        ) {
+            use crate::decimation::{boxcar_remainder, Decimator};
+            let tr = PowerTrace::new(SimTime::ZERO, 1e-5, samples.clone());
+            let batch = boxcar_decimate(&tr, m);
+            let mut dec = Decimator::boxcar(m);
+            let mut out = Vec::new();
+            let mut i = 0;
+            let mut k = 0;
+            while i < samples.len() {
+                let sz = sizes[k % sizes.len()].min(samples.len() - i);
+                dec.push(&samples[i..i + sz], &mut out);
+                i += sz;
+                k += 1;
+                prop_assert_eq!(dec.pending(), boxcar_remainder(i, m));
+            }
+            dec.finish(&mut out);
+            prop_assert_eq!(out, batch.samples);
+        }
+    }
+}
+
+/// Quick per-stage cost probe for kernel work (not a correctness
+/// test): `cargo test --release -p davide-telemetry stage_timing --
+/// --ignored --nocapture` prints ns/sample for each hot-loop stage at
+/// the E25 block size. The criterion benches in `davide-bench` are
+/// the maintained numbers; this exists for fast iteration while
+/// editing this file.
+#[cfg(test)]
+mod timing {
+    use super::*;
+    use std::time::Instant;
+
+    fn per_sample(elapsed_ns: f64, reps: usize, n: usize) -> f64 {
+        elapsed_ns / (reps as f64 * n as f64)
+    }
+
+    #[test]
+    #[ignore]
+    fn stage_timing() {
+        const BLOCK: usize = 8_000;
+        const REPS: usize = 36_000; // 288 M samples, one E25's worth
+        let k = AdcKernel::new(&SarAdc::am335x_power_channel());
+        let tpl: Vec<f32> = (0..BLOCK).map(|i| 1700.0 + (i % 37) as f32).collect();
+        let mut raw = Vec::with_capacity(BLOCK);
+        let mut dig = Vec::with_capacity(BLOCK);
+        let mut dec = Vec::with_capacity(BLOCK / 16);
+
+        let t = Instant::now();
+        for r in 0..REPS {
+            raw.clear();
+            let w = (r % 7) as f32;
+            raw.extend(tpl.iter().map(|&v| v + w));
+        }
+        let fill = per_sample(t.elapsed().as_nanos() as f64, REPS, BLOCK);
+        let t = Instant::now();
+        for _ in 0..REPS {
+            k.digitise_block(&raw, &mut dig);
+        }
+        let digitise = per_sample(t.elapsed().as_nanos() as f64, REPS, BLOCK);
+        let t = Instant::now();
+        for _ in 0..REPS {
+            boxcar_block(&dig, 16, &mut dec);
+        }
+        let boxcar = per_sample(t.elapsed().as_nanos() as f64, REPS, BLOCK);
+        println!("fill:     {fill:.2} ns/sample");
+        println!("digitise: {digitise:.2} ns/sample");
+        println!("boxcar:   {boxcar:.2} ns/sample");
+    }
+}

@@ -14,6 +14,10 @@
 //!   decimators, plus the aliasing strawman and a Goertzel analyser;
 //! * [`clock`] — oscillator drift and NTP/PTP discipline (sub-µs with
 //!   hardware timestamps);
+//! * [`kernels`] — the same DSP stages as cache-blocked `f32` hot-loop
+//!   kernels (bit-exact blocked variants) for the full-rate
+//!   acquisition path; [`acquisition`] — the 45-gateway × 8-channel
+//!   full-rate driver built on them;
 //! * [`monitor`] — complete chains: DAVIDE EG, HDEEM, PowerInsight,
 //!   ArduPower, IPMI — used by experiment E3;
 //! * [`gateway`] — the EG proper: acquisition + PTP timestamps + MQTT
@@ -29,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod acquisition;
 pub mod adc;
 pub mod calibration;
 pub mod clock;
@@ -38,6 +43,7 @@ pub mod events;
 pub mod gateway;
 pub mod hazards;
 pub mod ingest;
+pub mod kernels;
 pub mod monitor;
 pub mod profiler;
 pub mod selfmon;
@@ -46,6 +52,7 @@ pub mod spectral;
 pub mod tsdb;
 pub mod waveform;
 
+pub use acquisition::{AcquisitionConfig, AcquisitionReport, AcquisitionRig};
 pub use calibration::{calibrate, standard_calibration, Calibration};
 pub use clock::{run_sync_sim, SyncProtocol, SyncStats};
 pub use decimation::Decimator;
