@@ -165,7 +165,42 @@ fn alloc_proof(c: &mut Criterion) {
         sample_allocs, 0,
         "steady-state append_id allocated {sample_allocs} times in {FRAME_LEN} samples"
     );
-    println!("alloc proof: 0 heap allocations across 100 bulk frames + {FRAME_LEN} scalar appends");
+
+    // Same proof with tiering armed: sealing happens in compact(),
+    // which may allocate (block encode, segment buffers) — the append
+    // path itself must stay heap-free between compactions.
+    let mut tdb = davide_telemetry::TsDb::with_config(davide_telemetry::TsDbConfig {
+        raw_capacity: 100_000,
+        rollup_capacity: 1_000,
+        tiering: Some(davide_telemetry::TieringConfig {
+            seal_block: 1024,
+            hot_retain: Some(4096),
+            ..davide_telemetry::TieringConfig::default()
+        }),
+        ..davide_telemetry::TsDbConfig::default()
+    })
+    .expect("mem-only tiering is infallible");
+    let tid = tdb.resolve("node00/power/node");
+    let mut tt0 = 0.0;
+    for _ in 0..250 {
+        tdb.append_frame_id(tid, tt0, DT, &watts);
+        tt0 += FRAME_LEN as f64 * DT;
+    }
+    tdb.compact();
+    let before = allocations();
+    for _ in 0..100 {
+        tdb.append_frame_id(tid, tt0, DT, &watts);
+        tt0 += FRAME_LEN as f64 * DT;
+    }
+    let tiered_allocs = allocations() - before;
+    assert_eq!(
+        tiered_allocs, 0,
+        "tiered append_frame_id allocated {tiered_allocs} times in 100 frames"
+    );
+    println!(
+        "alloc proof: 0 heap allocations across 100 bulk frames + {FRAME_LEN} scalar appends \
+         + 100 tiered frames"
+    );
 
     // Keep a timed entry so the proof shows up in bench listings.
     let mut g = c.benchmark_group("e21_alloc_proof");

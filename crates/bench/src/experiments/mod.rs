@@ -8,4 +8,5 @@ pub mod ingest;
 pub mod management;
 pub mod monitoring;
 pub mod obs;
+pub mod storage;
 pub mod system;

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E25, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E26, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -14,7 +14,7 @@ pub mod experiments;
 
 /// One experiment: id, title, and the function that prints its report.
 pub struct Experiment {
-    /// Identifier (`e1`…`e25`, `f1`, `f4`).
+    /// Identifier (`e1`…`e26`, `f1`, `f4`).
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
@@ -145,6 +145,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e25",
             title: "Full-rate acquisition (45 EGs × 8 ch × 800 kS/s)",
             run: acquisition::e25,
+        },
+        Experiment {
+            id: "e26",
+            title: "Tiered Gorilla-compressed TsDb (storage engine)",
+            run: storage::e26,
         },
         Experiment {
             id: "f1",

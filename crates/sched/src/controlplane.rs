@@ -166,6 +166,12 @@ pub struct ControlPlaneReport {
     /// Telemetry samples rejected as stale (duplicated or reordered
     /// delivery behind the series tail).
     pub samples_stale_dropped: u64,
+    /// Job-completion mean-power windows whose telemetry was truncated
+    /// by retention (the window starts before the earliest point the
+    /// store still holds for that node). With tiering enabled the
+    /// compressed tiers hold far more history, so this stays 0 much
+    /// longer.
+    pub truncated_mean_windows: u64,
 }
 
 /// Externally observable per-node state, for harnesses and invariant
@@ -312,6 +318,7 @@ pub struct ControlPlane {
     stale_node_s: f64,
     samples_stored: u64,
     samples_stale_dropped: u64,
+    truncated_mean_windows: u64,
     obs: Option<ControlPlaneObs>,
 }
 
@@ -323,6 +330,19 @@ impl ControlPlane {
         broker: &Broker,
         cfg: ControlPlaneConfig,
         predictor: OnlinePowerPredictor,
+    ) -> Result<Self, BrokerError> {
+        Self::with_db(broker, cfg, predictor, TsDb::new())
+    }
+
+    /// [`ControlPlane::new`] with an injected telemetry store — the hook
+    /// for running the loop over a tiered [`TsDb`] (the caller builds it
+    /// from a [`davide_telemetry::TsDbConfig`], handling any disk-tier
+    /// I/O error itself).
+    pub fn with_db(
+        broker: &Broker,
+        cfg: ControlPlaneConfig,
+        predictor: OnlinePowerPredictor,
+        db: TsDb,
     ) -> Result<Self, BrokerError> {
         let ingest = FrameIngestor::subscribe(broker, "control-plane", &["davide/+/power/node"])?;
         let ctl = broker.connect("control-plane-actuator");
@@ -344,7 +364,7 @@ impl ControlPlane {
             cfg,
             ingest,
             ctl,
-            db: TsDb::new(),
+            db,
             nodes,
             queue: Vec::new(),
             running: HashMap::new(),
@@ -360,6 +380,7 @@ impl ControlPlane {
             stale_node_s: 0.0,
             samples_stored: 0,
             samples_stale_dropped: 0,
+            truncated_mean_windows: 0,
             obs: None,
         })
     }
@@ -494,6 +515,7 @@ impl ControlPlane {
             stale_node_s: self.stale_node_s,
             samples_stored: self.samples_stored,
             samples_stale_dropped: self.samples_stale_dropped,
+            truncated_mean_windows: self.truncated_mean_windows,
         }
     }
 
@@ -528,6 +550,9 @@ impl ControlPlane {
                 .max(f.frame.t0_s + f.frame.dt_s * f.frame.watts.len() as f64);
             node.measured_w = f.frame.mean_w();
         }
+        // Seal/demote outside the append path; a no-op for untiered
+        // stores.
+        self.db.compact();
     }
 
     /// Retire a finished job: free its nodes and feed the telemetry-
@@ -543,7 +568,15 @@ impl ControlPlane {
             let node = &mut self.nodes[n as usize];
             node.job = None;
             if let Some(series) = node.series {
-                if let Some(m) = self.db.mean_id(series, Resolution::Raw, rj.start_s, end_s) {
+                let (mean, coverage) =
+                    self.db
+                        .mean_id_with_coverage(series, Resolution::Raw, rj.start_s, end_s);
+                if !coverage.is_complete() {
+                    // Retention truncated the window: the mean is over
+                    // partial history. Still usable, but accounted.
+                    self.truncated_mean_windows += 1;
+                }
+                if let Some(m) = mean {
                     mean_sum += m;
                     measured_nodes += 1;
                 }

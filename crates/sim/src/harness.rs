@@ -23,6 +23,7 @@ use davide_sched::{
     OnlinePowerPredictor, PowerPredictor, WorkloadConfig, WorkloadGenerator,
 };
 use davide_telemetry::gateway::{power_topic, SampleFrame, FRAME_MAGIC};
+use davide_telemetry::{TsDb, TsDbConfig};
 use parking_lot::Mutex;
 
 use crate::clock::VirtualClock;
@@ -149,6 +150,14 @@ fn parse_power_node(topic: &str) -> Option<u32> {
 /// the seed: no wall clock, no global state — two calls with an equal
 /// [`Scenario`] return bit-identical event logs.
 pub fn run(sc: &Scenario) -> RunOutcome {
+    run_with_db_config(sc, TsDbConfig::default())
+}
+
+/// [`run`] with an explicit telemetry-store configuration for the
+/// control plane — the hook the tiered-storage proof uses to show the
+/// event-log digest of every canned scenario is unchanged when the
+/// store seals, compresses and demotes under the loop.
+pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
     assert!(sc.n_nodes >= 1 && sc.tick_s > 0.0 && sc.sample_dt_s > 0.0);
     let n = sc.n_nodes as usize;
     let tick = sc.tick_s;
@@ -184,7 +193,9 @@ pub fn run(sc: &Scenario) -> RunOutcome {
     let sustain_s = cfg.sustain_s;
     let idle_w = cfg.idle_node_power_w;
     let broker = Broker::new(1 << 16);
-    let mut cp = ControlPlane::new(&broker, cfg, predictor).expect("subscribe on fresh broker");
+    let db = TsDb::with_config(db_cfg).expect("telemetry store (disk tier open)");
+    let mut cp =
+        ControlPlane::with_db(&broker, cfg, predictor, db).expect("subscribe on fresh broker");
     // Self-instrumentation is always armed: every stamp reads the
     // virtual clock, and nothing here draws RNG or touches the event
     // log, so per-seed digests are exactly what they were without it.

@@ -32,7 +32,7 @@ pub mod invariants;
 pub mod log;
 pub mod scenario;
 
-pub use harness::{run, GroundTruth, RunOutcome};
+pub use harness::{run, run_with_db_config, GroundTruth, RunOutcome};
 pub use invariants::Violation;
 pub use log::{Event, EventLog, FrameFate};
 pub use scenario::{canned, obs_latency_probe, Fault, Scenario};

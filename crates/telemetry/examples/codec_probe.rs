@@ -1,0 +1,103 @@
+//! Dev probe: per-corpus compression ratios and decode throughput for
+//! the storage codec. Not part of any experiment gate — E26 is the
+//! gated version (`cargo run -p davide-bench --bin experiments -- e26`).
+
+use davide_telemetry::storage::{decode_block_into, encode_block};
+use std::time::Instant;
+
+fn quantise_boxcar(w: f64, lsb: f64) -> f64 {
+    (w / lsb).round().clamp(0.0, 4095.0) * lsb
+}
+
+fn main() {
+    let lsb = 4000.0f64 / 4095.0;
+    let frame = 500usize;
+    let frames = 40usize;
+    let n = frame * frames;
+    let dt = 2e-5f64;
+
+    // Timestamps exactly as extend_uniform computes them, per frame.
+    let ts: Vec<f64> = (0..n)
+        .map(|i| {
+            let (round, k) = (i / frame, i % frame);
+            let t0 = 10.0 + round as f64 * 0.01 + 3.7e-7;
+            t0 + k as f64 * dt
+        })
+        .collect();
+
+    let mk = |tone_amp: f64, noise: f64, seed: u64| -> Vec<f32> {
+        let mut state = seed;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        (0..n)
+            .map(|i| {
+                let k = i % frame;
+                let mut acc = 0.0;
+                for r in 0..16 {
+                    let t = (k * 16 + r) as f64 / 800_000.0;
+                    let w = 1700.0
+                        + tone_amp * (2.0 * std::f64::consts::PI * 50.0 * t).sin()
+                        + noise * rng();
+                    acc += quantise_boxcar(w, lsb);
+                }
+                (acc / 16.0) as f32
+            })
+            .collect()
+    };
+
+    let corpora = [
+        ("flat rail, no noise  ", mk(0.0, 0.0, 7)),
+        ("tone 85W, no noise   ", mk(85.0, 0.0, 7)),
+        ("tone 85W, noise 17W  ", mk(85.0, 17.0 * 3.46, 7)), // uniform→σ match
+    ];
+    for (name, vs) in &corpora {
+        let mut bytes = Vec::new();
+        for f in 0..frames {
+            let a = f * frame;
+            encode_block(&ts[a..a + frame], &vs[a..a + frame], &mut bytes);
+        }
+        let ratio = (n * 12) as f64 / bytes.len() as f64;
+        println!(
+            "{name}: {:>5.2} bits/pt  ratio {ratio:>5.1}x",
+            bytes.len() as f64 * 8.0 / n as f64
+        );
+    }
+
+    // Decode throughput on 1024-point blocks, per corpus.
+    for (name, tone, noise) in [
+        ("flat ", 0.0, 0.0),
+        ("tone ", 85.0, 0.0),
+        ("noisy", 85.0, 17.0 * 3.46),
+    ] {
+        let vs = mk(tone, noise, 7);
+        let block = 1024usize;
+        let mut blocks: Vec<Vec<u8>> = Vec::new();
+        let mut a = 0;
+        while a + block <= n {
+            let mut b = Vec::new();
+            encode_block(&ts[a..a + block], &vs[a..a + block], &mut b);
+            blocks.push(b);
+            a += block;
+        }
+        let (mut dts, mut dvs) = (Vec::new(), Vec::new());
+        let t = Instant::now();
+        let reps = 2000;
+        let mut total = 0u64;
+        for _ in 0..reps {
+            for b in &blocks {
+                dts.clear();
+                dvs.clear();
+                total += decode_block_into(b, &mut dts, &mut dvs).unwrap() as u64;
+            }
+        }
+        let el = t.elapsed().as_secs_f64();
+        println!(
+            "decode {name}: {:.0} M samples/s ({total} samples in {el:.3} s)",
+            total as f64 / el / 1e6
+        );
+    }
+}

@@ -16,7 +16,8 @@
 //! needed.
 
 use crate::gateway::SampleFrame;
-use crate::tsdb::{Point, Resolution, TsDb};
+use crate::storage::{RangeQuery, TierStats};
+use crate::tsdb::{Point, Resolution, TsDb, TsDbConfig};
 use davide_mqtt::{Broker, BrokerError, Client, Message, QoS};
 use davide_obs::{frame_trace_id, Counter, Histogram, ObsHub, Stage};
 use rayon::prelude::*;
@@ -248,6 +249,9 @@ impl FrameIngestor {
         self.stats.samples += stored_total;
         self.stats.stale_dropped += offered_total - stored_total;
         self.stats.frames += frames as u64;
+        if frames > 0 {
+            db.compact();
+        }
         if let Some(o) = &self.obs {
             o.on_batch(frames, self.stats.malformed - malformed_before);
             o.on_frames_appended_parts(
@@ -293,6 +297,9 @@ impl FrameIngestor {
         self.stats.samples += stored_total;
         self.stats.stale_dropped += offered_total - stored_total;
         self.stats.frames += frames as u64;
+        if frames > 0 {
+            db.compact();
+        }
         if let Some(o) = &self.obs {
             o.on_batch(frames, self.stats.malformed - malformed_before);
             o.on_frames_appended_parts(
@@ -337,6 +344,47 @@ impl ShardedTsDb {
                 .map(|_| TsDb::with_capacity(raw_capacity, rollup_capacity))
                 .collect(),
         }
+    }
+
+    /// A sharded store from a full [`TsDbConfig`]. When the tiering
+    /// policy names a disk directory, each shard gets its own
+    /// `shard-<i>` subdirectory (shards never share segment files), and
+    /// any history left there by a previous process is recovered.
+    pub fn with_config(n_shards: usize, cfg: TsDbConfig) -> std::io::Result<Self> {
+        let n = n_shards.max(1);
+        let shards = (0..n)
+            .map(|i| {
+                let mut shard_cfg = cfg.clone();
+                if let Some(t) = &mut shard_cfg.tiering {
+                    if let Some(d) = &mut t.disk {
+                        d.dir = d.dir.join(format!("shard-{i}"));
+                    }
+                }
+                TsDb::with_config(shard_cfg)
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ShardedTsDb { shards })
+    }
+
+    /// Run one compaction pass on every shard in parallel — seal
+    /// overfull hot rings into compressed blocks and demote over-budget
+    /// blocks to disk. Returns `true` if any shard changed. Shards are
+    /// independent, so this is a plain rayon fan-out.
+    pub fn compact(&mut self) -> bool {
+        self.shards
+            .par_iter_mut()
+            .map(|s| s.compact())
+            .reduce(|a, b| a | b)
+            .unwrap_or(false)
+    }
+
+    /// Aggregated tier occupancy across all shards.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut st = TierStats::default();
+        for s in &self.shards {
+            st.merge(&s.tier_stats());
+        }
+        st
     }
 
     /// Number of shards.
@@ -410,6 +458,16 @@ impl ShardedTsDb {
         match shard.lookup(key) {
             Some(id) => shard.query_id(id, res, t0, t1),
             None => Vec::new(),
+        }
+    }
+
+    /// Range query with per-tier coverage accounting (routed to the
+    /// owning shard).
+    pub fn query_range(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> RangeQuery {
+        let shard = &self.shards[self.shard_of(key)];
+        match shard.lookup(key) {
+            Some(id) => shard.query_range_id(id, res, t0, t1),
+            None => RangeQuery::default(),
         }
     }
 

@@ -27,6 +27,9 @@
 //! * [`ingest`] — management-node side: MQTT frames drained into the
 //!   [`tsdb`] store with one bulk append per frame, optionally sharded
 //!   across cores;
+//! * [`storage`] — the tiered storage engine behind [`tsdb`]: sealed
+//!   Gorilla-compressed blocks, an in-memory compressed tier, on-disk
+//!   segment files, and the block-skipping range scan;
 //! * [`selfmon`] — the `davide-obs` self-telemetry bridge's MQTT
 //!   adapter: the metrics registry republished as ordinary one-sample
 //!   frames on the reserved `davide/obs/#` namespace.
@@ -49,6 +52,7 @@ pub mod profiler;
 pub mod selfmon;
 pub mod sensors;
 pub mod spectral;
+pub mod storage;
 pub mod tsdb;
 pub mod waveform;
 
@@ -65,5 +69,8 @@ pub use profiler::{detect_phases, PhaseSegment, ProfilerConfig};
 pub use selfmon::{MqttMetricSink, SelfMonitor};
 pub use sensors::PowerSensor;
 pub use spectral::{welch_psd, Spectrum};
-pub use tsdb::{Resolution, SeriesId, TsDb};
+pub use storage::{
+    DiskTierConfig, QueryCoverage, RangeQuery, StorageObs, TierStats, TieringConfig,
+};
+pub use tsdb::{Resolution, SeriesId, TsDb, TsDbConfig};
 pub use waveform::WorkloadWaveform;

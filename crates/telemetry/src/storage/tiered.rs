@@ -1,0 +1,523 @@
+//! Tier engine: seal policy, budgets, demotion and the block-skipping
+//! range scan that is the single query path for raw series data.
+//!
+//! Lifecycle of a point: it lands in the hot ring (zero-alloc append),
+//! is **sealed** into a compressed [`SealedBlock`] once the ring holds
+//! `hot_retain + seal_block` points (sealing drains the *oldest* run,
+//! outside the append path), lives in the compressed in-memory tier
+//! until the memory budget forces **demotion** to a disk segment, and
+//! is finally **evicted** (and counted) when the disk budget drops its
+//! segment file — or immediately on demotion when no disk tier is
+//! configured. Every transition is driven by [`crate::TsDb::compact`],
+//! never by an append.
+
+use std::collections::VecDeque;
+
+use super::block::SealedBlock;
+use super::codec::{decode_block_into, MAX_BLOCK_POINTS};
+use super::disk::{DiskScan, DiskTier, DiskTierConfig};
+use crate::tsdb::Point;
+
+/// Seal/demote policy for a tiered store. `None` tiering on
+/// [`crate::TsDbConfig`] keeps the store hot-ring-only (the PR 5
+/// behavior, bit for bit).
+#[derive(Debug, Clone)]
+pub struct TieringConfig {
+    /// Points per sealed block (clamped to 1..=65535). Larger blocks
+    /// compress better; smaller blocks skip tighter on scans.
+    pub seal_block: usize,
+    /// Points kept hot (uncompressed) per series; sealing triggers once
+    /// a ring exceeds `hot_retain + seal_block`. Defaults to half the
+    /// raw ring capacity.
+    pub hot_retain: Option<usize>,
+    /// Budget for the compressed in-memory tier (payload bytes, all
+    /// series). Overflow demotes oldest blocks to disk — or evicts them,
+    /// with accounting, when no disk tier is configured.
+    pub mem_budget_bytes: usize,
+    /// Optional cold tier.
+    pub disk: Option<DiskTierConfig>,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        TieringConfig {
+            seal_block: 1024,
+            hot_retain: None,
+            mem_budget_bytes: 256 << 20,
+            disk: None,
+        }
+    }
+}
+
+/// Where the points answering a range query came from — and whether the
+/// window reached past everything still retained. `evicted == true`
+/// means the store *lost* points that may have fallen in the window, so
+/// the caller (monitor, profiler, E12 accounting) is looking at
+/// truncated history, not complete history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCoverage {
+    /// Points served from the hot ring.
+    pub hot: usize,
+    /// Points decoded from compressed in-memory blocks.
+    pub compressed: usize,
+    /// Points decoded from on-disk segments.
+    pub disk: usize,
+    /// The window starts before the earliest retained point AND this
+    /// series has dropped points (ring overwrite before tiering, budget
+    /// eviction, or a dropped segment file).
+    pub evicted: bool,
+}
+
+impl QueryCoverage {
+    /// Total points the query produced.
+    pub fn total(&self) -> usize {
+        self.hot + self.compressed + self.disk
+    }
+
+    /// True when no requested history could have been lost.
+    pub fn is_complete(&self) -> bool {
+        !self.evicted
+    }
+}
+
+/// A range query result: the points plus where they came from.
+#[derive(Debug, Clone, Default)]
+pub struct RangeQuery {
+    /// Chronological points in `[t0, t1)`.
+    pub points: Vec<Point>,
+    /// Per-tier provenance and truncation flag.
+    pub coverage: QueryCoverage,
+}
+
+/// Point-in-time tier occupancy, aggregated across series (and across
+/// shards by [`crate::ShardedTsDb::tier_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierStats {
+    /// Points currently in hot rings.
+    pub hot_points: u64,
+    /// Hot-ring payload bytes (12 bytes per point: f64 ts + f32 value).
+    pub hot_bytes: u64,
+    /// Compressed in-memory blocks.
+    pub compressed_blocks: u64,
+    /// Points in compressed in-memory blocks.
+    pub compressed_points: u64,
+    /// Compressed in-memory payload bytes.
+    pub compressed_bytes: u64,
+    /// Live on-disk segment files.
+    pub disk_segments: u64,
+    /// Blocks in live segment files.
+    pub disk_blocks: u64,
+    /// Points in live segment files.
+    pub disk_points: u64,
+    /// Bytes in live segment files (headers included).
+    pub disk_bytes: u64,
+    /// Points sealed out of hot rings since open (monotonic).
+    pub sealed_points: u64,
+    /// Points dropped from the store since open (monotonic).
+    pub evicted_points: u64,
+    /// Demotion/scan I/O or decode failures since open (monotonic).
+    pub io_errors: u64,
+}
+
+impl TierStats {
+    /// Compression ratio achieved on everything sealed: uncompressed
+    /// payload size of the compressed+disk points over their stored
+    /// bytes. 1.0 when nothing is sealed yet.
+    pub fn compression_ratio(&self) -> f64 {
+        let stored = self.compressed_bytes + self.disk_bytes;
+        if stored == 0 {
+            return 1.0;
+        }
+        ((self.compressed_points + self.disk_points) * 12) as f64 / stored as f64
+    }
+
+    /// Fold another shard's stats into this one.
+    pub fn merge(&mut self, o: &TierStats) {
+        self.hot_points += o.hot_points;
+        self.hot_bytes += o.hot_bytes;
+        self.compressed_blocks += o.compressed_blocks;
+        self.compressed_points += o.compressed_points;
+        self.compressed_bytes += o.compressed_bytes;
+        self.disk_segments += o.disk_segments;
+        self.disk_blocks += o.disk_blocks;
+        self.disk_points += o.disk_points;
+        self.disk_bytes += o.disk_bytes;
+        self.sealed_points += o.sealed_points;
+        self.evicted_points += o.evicted_points;
+        self.io_errors += o.io_errors;
+    }
+}
+
+/// Per-series compressed in-memory tier.
+#[derive(Debug, Default)]
+struct SeriesMem {
+    blocks: VecDeque<SealedBlock>,
+    points: u64,
+}
+
+/// The engine behind a tiered [`crate::TsDb`]: compressed tiers,
+/// budgets, eviction accounting and seal scratch. Owned by the store,
+/// driven only from [`crate::TsDb::compact`].
+#[derive(Debug)]
+pub(crate) struct TierEngine {
+    pub(crate) cfg: TieringConfig,
+    hot_retain: usize,
+    mem: Vec<SeriesMem>,
+    evicted: Vec<u64>,
+    pub(crate) disk: Option<DiskTier>,
+    mem_bytes: usize,
+    sealed_points: u64,
+    demoted_blocks: u64,
+    io_errors: u64,
+    /// Seal staging: `compact` copies a ring's oldest run here (the ring
+    /// is a deque, the codec wants slices), reused across every seal.
+    pub(crate) scratch_ts: Vec<f64>,
+    pub(crate) scratch_vs: Vec<f32>,
+}
+
+impl TierEngine {
+    pub(crate) fn new(mut cfg: TieringConfig, raw_capacity: usize) -> Self {
+        cfg.seal_block = cfg.seal_block.clamp(1, MAX_BLOCK_POINTS);
+        let hot_retain = cfg.hot_retain.unwrap_or(raw_capacity / 2).max(1);
+        TierEngine {
+            cfg,
+            hot_retain,
+            mem: Vec::new(),
+            evicted: Vec::new(),
+            disk: None,
+            mem_bytes: 0,
+            sealed_points: 0,
+            demoted_blocks: 0,
+            io_errors: 0,
+            scratch_ts: Vec::new(),
+            scratch_vs: Vec::new(),
+        }
+    }
+
+    /// Ring length at which sealing triggers.
+    pub(crate) fn seal_trigger(&self) -> usize {
+        self.hot_retain + self.cfg.seal_block
+    }
+
+    /// Points drained per seal.
+    pub(crate) fn seal_len(&self) -> usize {
+        self.cfg.seal_block
+    }
+
+    pub(crate) fn ensure_series(&mut self, n: usize) {
+        if self.mem.len() < n {
+            self.mem.resize_with(n, SeriesMem::default);
+            self.evicted.resize(n, 0);
+        }
+    }
+
+    /// Seal the staged scratch run as one block of `series`.
+    pub(crate) fn commit_seal(&mut self, series: usize) {
+        let block = SealedBlock::seal(&self.scratch_ts, &self.scratch_vs);
+        self.sealed_points += block.n as u64;
+        self.mem_bytes += block.size_bytes();
+        let s = &mut self.mem[series];
+        s.points += block.n as u64;
+        s.blocks.push_back(block);
+    }
+
+    /// Demote oldest compressed blocks until the memory budget holds,
+    /// writing one segment file for the whole batch (or evicting it,
+    /// with accounting, when no disk tier exists), then enforce the disk
+    /// budget. Returns true if any blocks moved or dropped.
+    pub(crate) fn demote_over_budget(&mut self, names: &[String]) -> bool {
+        let mut batch: Vec<(u32, SealedBlock)> = Vec::new();
+        while self.mem_bytes > self.cfg.mem_budget_bytes {
+            // Oldest front block across all series goes first, so the
+            // batch stays chronological per series.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, s) in self.mem.iter().enumerate() {
+                if let Some(b) = s.blocks.front() {
+                    if best.is_none_or(|(_, t)| b.t_min < t) {
+                        best = Some((i, b.t_min));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let s = &mut self.mem[i];
+            let block = s.blocks.pop_front().expect("front checked");
+            s.points -= block.n as u64;
+            self.mem_bytes -= block.size_bytes();
+            batch.push((i as u32, block));
+        }
+        let mut changed = !batch.is_empty();
+        if !batch.is_empty() {
+            match &mut self.disk {
+                Some(disk) => {
+                    if disk.demote(&batch, names).is_err() {
+                        self.io_errors += 1;
+                        for (i, b) in &batch {
+                            self.evicted[*i as usize] += b.n as u64;
+                        }
+                    } else {
+                        self.demoted_blocks += batch.len() as u64;
+                    }
+                }
+                None => {
+                    for (i, b) in &batch {
+                        self.evicted[*i as usize] += b.n as u64;
+                    }
+                }
+            }
+        }
+        if let Some(disk) = &mut self.disk {
+            let before: u64 = self.evicted.iter().sum();
+            disk.enforce_budget(&mut self.evicted);
+            changed |= self.evicted.iter().sum::<u64>() != before;
+        }
+        changed
+    }
+
+    /// Pre-positioned iterator over this series' overlapping compressed
+    /// in-memory blocks.
+    pub(crate) fn mem_scan(
+        &self,
+        series: usize,
+        t0: f64,
+    ) -> Option<std::collections::vec_deque::Iter<'_, SealedBlock>> {
+        let s = self.mem.get(series)?;
+        let start = s.blocks.partition_point(|b| b.t_max < t0);
+        Some(s.blocks.range(start..))
+    }
+
+    pub(crate) fn disk_scan(&self, series: usize, t0: f64, t1: f64) -> Option<DiskScan<'_>> {
+        Some(self.disk.as_ref()?.scan(series, t0, t1))
+    }
+
+    /// Points this series has lost to budget eviction (compressed or
+    /// disk tier).
+    pub(crate) fn lost_points(&self, series: usize) -> u64 {
+        self.evicted.get(series).copied().unwrap_or(0)
+    }
+
+    /// Earliest timestamp still retained in a compressed tier for this
+    /// series (disk is always older than the in-memory tier).
+    pub(crate) fn first_retained_t(&self, series: usize) -> Option<f64> {
+        if let Some(t) = self.disk.as_ref().and_then(|d| d.first_retained_t(series)) {
+            return Some(t);
+        }
+        self.mem.get(series)?.blocks.front().map(|b| b.t_min)
+    }
+
+    /// Engine-side stats (hot-ring occupancy is added by the store).
+    pub(crate) fn stats(&self) -> TierStats {
+        let mut st = TierStats {
+            compressed_bytes: self.mem_bytes as u64,
+            sealed_points: self.sealed_points,
+            evicted_points: self.evicted.iter().sum(),
+            io_errors: self.io_errors,
+            ..TierStats::default()
+        };
+        for s in &self.mem {
+            st.compressed_blocks += s.blocks.len() as u64;
+            st.compressed_points += s.points;
+        }
+        if let Some(disk) = &self.disk {
+            let (bytes, blocks, points, segments) = disk.totals();
+            st.disk_bytes = bytes;
+            st.disk_blocks = blocks;
+            st.disk_points = points;
+            st.disk_segments = segments;
+        }
+        st
+    }
+}
+
+/// Iterator-based range scan across all three tiers, chronological
+/// (disk → compressed → hot), yielding [`Point`]s for the half-open
+/// window `[t0, t1)`.
+///
+/// Compressed blocks are decoded **only** when their `[t_min, t_max]`
+/// overlaps the window (binary-searched start, early stop) into a
+/// per-scan scratch buffer that is allocated lazily — a scan that never
+/// touches a compressed tier (the common monitoring query, and every
+/// query on an untiered store) allocates nothing — and reused across
+/// blocks, so there is no per-block allocation and never a
+/// full-segment decompression.
+pub struct TieredScan<'a> {
+    t0: f64,
+    t1: f64,
+    disk: Option<DiskScan<'a>>,
+    mem: Option<std::collections::vec_deque::Iter<'a, SealedBlock>>,
+    hot_ts: std::collections::vec_deque::Iter<'a, f64>,
+    hot_vs: std::collections::vec_deque::Iter<'a, f32>,
+    buf: Vec<u8>,
+    ts: Vec<f64>,
+    vs: Vec<f32>,
+    pos: usize,
+    end: usize,
+    from_disk: bool,
+    tally: QueryCoverage,
+    errors: u32,
+}
+
+impl<'a> TieredScan<'a> {
+    pub(crate) fn new(
+        t0: f64,
+        t1: f64,
+        disk: Option<DiskScan<'a>>,
+        mem: Option<std::collections::vec_deque::Iter<'a, SealedBlock>>,
+        hot_ts: std::collections::vec_deque::Iter<'a, f64>,
+        hot_vs: std::collections::vec_deque::Iter<'a, f32>,
+    ) -> Self {
+        TieredScan {
+            t0,
+            t1,
+            disk,
+            mem,
+            hot_ts,
+            hot_vs,
+            buf: Vec::new(),
+            ts: Vec::new(),
+            vs: Vec::new(),
+            pos: 0,
+            end: 0,
+            from_disk: false,
+            tally: QueryCoverage::default(),
+            errors: 0,
+        }
+    }
+
+    /// Per-tier points yielded so far (`evicted` is filled in by the
+    /// store, which owns the loss accounting).
+    pub fn coverage(&self) -> QueryCoverage {
+        self.tally
+    }
+
+    /// Blocks skipped because of an I/O or decode failure (0 on any
+    /// healthy store).
+    pub fn skipped_blocks(&self) -> u32 {
+        self.errors
+    }
+
+    /// Decode `self.buf`'s block, window it, and charge the windowed
+    /// span to the owning tier's tally up front (block granularity, so
+    /// the per-point paths stay branch-free).
+    fn window_decoded(&mut self) {
+        self.ts.clear();
+        self.vs.clear();
+        if decode_block_into(&self.buf, &mut self.ts, &mut self.vs).is_err() {
+            self.errors += 1;
+            self.pos = 0;
+            self.end = 0;
+            return;
+        }
+        self.pos = self.ts.partition_point(|&t| t < self.t0);
+        self.end = self.ts.partition_point(|&t| t < self.t1);
+        if self.from_disk {
+            self.tally.disk += self.end - self.pos;
+        } else {
+            self.tally.compressed += self.end - self.pos;
+        }
+    }
+
+    /// Pull blocks (disk first, then in-memory) until one decodes with
+    /// points inside the window; false once both block tiers are
+    /// exhausted and only the hot tail remains.
+    fn advance_block(&mut self) -> bool {
+        loop {
+            if let Some(d) = self.disk.as_mut() {
+                match d.next_block(&mut self.buf) {
+                    Some(Ok(())) => {
+                        self.from_disk = true;
+                        self.window_decoded();
+                        if self.pos < self.end {
+                            return true;
+                        }
+                        continue;
+                    }
+                    Some(Err(_)) => {
+                        self.errors += 1;
+                        continue;
+                    }
+                    None => {
+                        self.disk = None;
+                        continue;
+                    }
+                }
+            }
+            if let Some(m) = self.mem.as_mut() {
+                match m.next() {
+                    Some(b) if b.t_min < self.t1 => {
+                        if b.t_max < self.t0 {
+                            continue;
+                        }
+                        self.buf.clear();
+                        self.buf.extend_from_slice(&b.bytes);
+                        self.from_disk = false;
+                        self.window_decoded();
+                        if self.pos < self.end {
+                            return true;
+                        }
+                        continue;
+                    }
+                    _ => {
+                        self.mem = None;
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+    }
+
+    /// Fold every windowed point in chronological order, visiting each
+    /// decoded block as a pair of slices. The accumulation order — and
+    /// therefore every f64 fold built on it (means, energy integrals)
+    /// — is identical to the [`Iterator`] path; what this drops is the
+    /// per-point call, bounds-check and tier-branch machinery, which is
+    /// what the ≥100 M samples/s range-scan budget (E26) goes to
+    /// otherwise.
+    pub fn fold_points<B>(&mut self, init: B, mut f: impl FnMut(B, f64, f64) -> B) -> B {
+        let mut acc = init;
+        loop {
+            for (&t, &v) in self.ts[self.pos..self.end]
+                .iter()
+                .zip(&self.vs[self.pos..self.end])
+            {
+                acc = f(acc, t, v as f64);
+            }
+            self.pos = self.end;
+            if !self.advance_block() {
+                break;
+            }
+        }
+        while let (Some(&t), Some(&v)) = (self.hot_ts.next(), self.hot_vs.next()) {
+            self.tally.hot += 1;
+            acc = f(acc, t, v as f64);
+        }
+        acc
+    }
+}
+
+impl Iterator for TieredScan<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        loop {
+            if self.pos < self.end {
+                let p = Point {
+                    t: self.ts[self.pos],
+                    v: self.vs[self.pos] as f64,
+                };
+                self.pos += 1;
+                return Some(p);
+            }
+            if self.advance_block() {
+                continue;
+            }
+            return match (self.hot_ts.next(), self.hot_vs.next()) {
+                (Some(&t), Some(&v)) => {
+                    self.tally.hot += 1;
+                    Some(Point { t, v: v as f64 })
+                }
+                _ => None,
+            };
+        }
+    }
+}

@@ -31,6 +31,10 @@
 //!   window bounds with `partition_point` instead of scanning the ring.
 
 use std::collections::{HashMap, VecDeque};
+use std::io;
+
+use crate::storage::tiered::TierEngine;
+use crate::storage::{DiskTier, QueryCoverage, RangeQuery, TierStats, TieredScan, TieringConfig};
 
 /// One (timestamp, value) observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,15 +82,19 @@ struct Ring<V> {
     ts: VecDeque<f64>,
     vs: VecDeque<V>,
     capacity: usize,
+    /// Points overwritten by the ring before anything could seal them —
+    /// lost history, surfaced through [`QueryCoverage::evicted`].
+    evicted: u64,
 }
 
 impl<V: SampleValue> Ring<V> {
-    fn new(capacity: usize) -> Self {
-        let pre = capacity.min(4096);
+    fn new(capacity: usize, prealloc: usize) -> Self {
+        let pre = capacity.min(prealloc);
         Ring {
             ts: VecDeque::with_capacity(pre),
             vs: VecDeque::with_capacity(pre),
             capacity,
+            evicted: 0,
         }
     }
 
@@ -95,6 +103,7 @@ impl<V: SampleValue> Ring<V> {
         if self.ts.len() == self.capacity {
             self.ts.pop_front();
             self.vs.pop_front();
+            self.evicted += 1;
         }
         self.ts.push_back(t);
         self.vs.push_back(v);
@@ -108,6 +117,7 @@ impl<V: SampleValue> Ring<V> {
         let skip = n.saturating_sub(self.capacity);
         let kept = n - skip;
         let overflow = (self.ts.len() + kept).saturating_sub(self.capacity);
+        self.evicted += (skip + overflow.min(self.ts.len())) as u64;
         if overflow >= self.ts.len() {
             self.ts.clear();
             self.vs.clear();
@@ -149,10 +159,10 @@ struct Rollup {
 }
 
 impl Rollup {
-    fn new(bucket_s: f64, capacity: usize) -> Self {
+    fn new(bucket_s: f64, capacity: usize, prealloc: usize) -> Self {
         Rollup {
             bucket_s,
-            ring: Ring::new(capacity),
+            ring: Ring::new(capacity, prealloc),
             acc_sum: 0.0,
             acc_n: 0,
             acc_bucket: i64::MIN,
@@ -242,10 +252,13 @@ struct Series {
 }
 
 impl Series {
-    fn new(raw_cap: usize, roll_cap: usize) -> Self {
+    fn new(raw_cap: usize, roll_cap: usize, prealloc: usize) -> Self {
         Series {
-            raw: Ring::new(raw_cap),
-            rollups: vec![Rollup::new(1.0, roll_cap), Rollup::new(60.0, roll_cap)],
+            raw: Ring::new(raw_cap, prealloc),
+            rollups: vec![
+                Rollup::new(1.0, roll_cap, prealloc),
+                Rollup::new(60.0, roll_cap, prealloc),
+            ],
             count: 0,
             last_t: f64::NEG_INFINITY,
         }
@@ -263,6 +276,34 @@ pub enum Resolution {
     Minute,
 }
 
+/// Full store configuration: ring sizes (the PR 5 cache-tuning
+/// constants, lifted out of the code) plus the optional tiering policy.
+#[derive(Debug, Clone)]
+pub struct TsDbConfig {
+    /// Hot raw points retained per series.
+    pub raw_capacity: usize,
+    /// Rollup buckets retained per series per resolution.
+    pub rollup_capacity: usize,
+    /// Ring pre-allocation cap (was hardcoded to 4096 by PR 5's cache
+    /// tuning): rings reserve `min(capacity, ring_prealloc)` up front.
+    pub ring_prealloc: usize,
+    /// Tiered-storage policy; `None` keeps the store hot-ring-only.
+    pub tiering: Option<TieringConfig>,
+}
+
+impl Default for TsDbConfig {
+    /// The PR 5 defaults: 100k raw points and 100k rollup buckets per
+    /// series, 4096-slot pre-allocation, no tiering.
+    fn default() -> Self {
+        TsDbConfig {
+            raw_capacity: 100_000,
+            rollup_capacity: 100_000,
+            ring_prealloc: 4096,
+            tiering: None,
+        }
+    }
+}
+
 /// The store: keyed by series name (e.g. `node03/power/node`), with
 /// interned [`SeriesId`] handles for the allocation-free hot path.
 #[derive(Debug, Default)]
@@ -270,8 +311,8 @@ pub struct TsDb {
     ids: HashMap<String, SeriesId>,
     names: Vec<String>,
     series: Vec<Series>,
-    raw_capacity: usize,
-    rollup_capacity: usize,
+    cfg: TsDbConfig,
+    tier: Option<TierEngine>,
 }
 
 impl TsDb {
@@ -282,15 +323,61 @@ impl TsDb {
         Self::with_capacity(100_000, 100_000)
     }
 
-    /// Store with explicit per-series capacities.
+    /// Store with explicit per-series capacities (no tiering).
     pub fn with_capacity(raw: usize, rollup: usize) -> Self {
-        TsDb {
+        Self::with_config(TsDbConfig {
+            raw_capacity: raw,
+            rollup_capacity: rollup,
+            tiering: None,
+            ..TsDbConfig::default()
+        })
+        .expect("untiered construction is infallible")
+    }
+
+    /// Store from a full [`TsDbConfig`]. With a disk tier configured
+    /// this opens the segment directory and **recovers** any history a
+    /// previous process left there (series are re-interned by name), so
+    /// the only fallible part is disk-tier I/O.
+    pub fn with_config(cfg: TsDbConfig) -> io::Result<Self> {
+        let mut db = TsDb {
             ids: HashMap::new(),
             names: Vec::new(),
             series: Vec::new(),
-            raw_capacity: raw,
-            rollup_capacity: rollup,
+            cfg,
+            tier: None,
+        };
+        if let Some(tcfg) = db.cfg.tiering.clone() {
+            let mut engine = TierEngine::new(tcfg, db.cfg.raw_capacity);
+            if let Some(dcfg) = engine.cfg.disk.clone() {
+                let ids = &mut db.ids;
+                let names = &mut db.names;
+                let series = &mut db.series;
+                let cfg = &db.cfg;
+                let disk = DiskTier::open(&dcfg, |name| {
+                    if let Some(id) = ids.get(name) {
+                        return id.0;
+                    }
+                    let id = SeriesId(series.len() as u32);
+                    ids.insert(name.to_string(), id);
+                    names.push(name.to_string());
+                    series.push(Series::new(
+                        cfg.raw_capacity,
+                        cfg.rollup_capacity,
+                        cfg.ring_prealloc,
+                    ));
+                    id.0
+                })?;
+                engine.ensure_series(db.series.len());
+                engine.disk = Some(disk);
+            }
+            db.tier = Some(engine);
         }
+        Ok(db)
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &TsDbConfig {
+        &self.cfg
     }
 
     /// Intern a series name, creating the series on first sight.
@@ -303,8 +390,11 @@ impl TsDb {
         let id = SeriesId(self.series.len() as u32);
         self.ids.insert(key.to_string(), id);
         self.names.push(key.to_string());
-        self.series
-            .push(Series::new(self.raw_capacity, self.rollup_capacity));
+        self.series.push(Series::new(
+            self.cfg.raw_capacity,
+            self.cfg.rollup_capacity,
+            self.cfg.ring_prealloc,
+        ));
         id
     }
 
@@ -402,58 +492,198 @@ impl TsDb {
         }
     }
 
-    /// Range query by interned id.
-    pub fn query_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
-        let s = &self.series[id.index()];
+    /// Run one seal/demote/budget pass over every series. This is the
+    /// ONLY place points leave the hot rings for the compressed tiers —
+    /// appends never compress — so drivers call it from drain/tick
+    /// sites, outside the append path. A single branch when tiering is
+    /// disabled (the zero-alloc ingest guard covers that path).
+    /// Returns true if any points were sealed, demoted or evicted.
+    pub fn compact(&mut self) -> bool {
+        let Some(engine) = self.tier.as_mut() else {
+            return false;
+        };
+        engine.ensure_series(self.series.len());
+        let trigger = engine.seal_trigger();
+        let k = engine.seal_len();
+        let mut changed = false;
+        for (i, s) in self.series.iter_mut().enumerate() {
+            while s.raw.ts.len() >= trigger {
+                // The ring is a deque (possibly wrapped); stage the
+                // oldest run in the engine's reusable scratch slices.
+                engine.scratch_ts.clear();
+                engine.scratch_ts.extend(s.raw.ts.iter().take(k).copied());
+                engine.scratch_vs.clear();
+                engine.scratch_vs.extend(s.raw.vs.iter().take(k).copied());
+                engine.commit_seal(i);
+                s.raw.ts.drain(..k);
+                s.raw.vs.drain(..k);
+                changed = true;
+            }
+        }
+        changed | engine.demote_over_budget(&self.names)
+    }
+
+    /// Iterator-based raw range scan over all three tiers, chronological
+    /// (disk → compressed → hot). The single query path: every raw query
+    /// below is built on it. Compressed blocks are decoded only when
+    /// they overlap `[t0, t1)`, into a per-scan scratch that is lazily
+    /// allocated (a purely-hot scan allocates nothing) and reused across
+    /// blocks.
+    pub fn scan_id(&self, id: SeriesId, t0: f64, t1: f64) -> TieredScan<'_> {
+        let idx = id.index();
+        let s = &self.series[idx];
+        let (a, b) = s.raw.bounds(t0, t1);
+        let (disk, mem) = match &self.tier {
+            Some(e) => (e.disk_scan(idx, t0, t1), e.mem_scan(idx, t0)),
+            None => (None, None),
+        };
+        TieredScan::new(
+            t0,
+            t1,
+            disk,
+            mem,
+            s.raw.ts.range(a..b),
+            s.raw.vs.range(a..b),
+        )
+    }
+
+    /// Has this series lost history that a window starting at `t0`
+    /// could have included?
+    fn evicted_before(&self, idx: usize, t0: f64) -> bool {
+        let s = &self.series[idx];
+        let lost = s.raw.evicted + self.tier.as_ref().map_or(0, |e| e.lost_points(idx));
+        if lost == 0 {
+            return false;
+        }
+        let first_retained = self
+            .tier
+            .as_ref()
+            .and_then(|e| e.first_retained_t(idx))
+            .or_else(|| s.raw.ts.front().copied())
+            .unwrap_or(f64::INFINITY);
+        t0 < first_retained
+    }
+
+    /// Range query with provenance: the points plus a
+    /// [`QueryCoverage`] telling the caller which tiers answered and
+    /// whether the window reached past retained history (truncated vs
+    /// complete — the E12 accounting distinction). Rollup resolutions
+    /// are hot-ring only by design; their coverage reports `hot` counts
+    /// and the rollup ring's own eviction state.
+    pub fn query_range_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> RangeQuery {
         match res {
-            Resolution::Raw => s.raw.range(t0, t1),
-            Resolution::Second => s.rollups[0].ring.range(t0, t1),
-            Resolution::Minute => s.rollups[1].ring.range(t0, t1),
+            Resolution::Raw => {
+                let mut scan = self.scan_id(id, t0, t1);
+                let points = scan.fold_points(Vec::new(), |mut points, t, v| {
+                    points.push(Point { t, v });
+                    points
+                });
+                let mut coverage = scan.coverage();
+                coverage.evicted = self.evicted_before(id.index(), t0);
+                RangeQuery { points, coverage }
+            }
+            Resolution::Second | Resolution::Minute => {
+                let ring =
+                    &self.series[id.index()].rollups[usize::from(res == Resolution::Minute)].ring;
+                let points = ring.range(t0, t1);
+                let coverage = QueryCoverage {
+                    hot: points.len(),
+                    evicted: ring.evicted > 0
+                        && t0 < ring.ts.front().copied().unwrap_or(f64::INFINITY),
+                    ..QueryCoverage::default()
+                };
+                RangeQuery { points, coverage }
+            }
         }
     }
 
-    /// Mean of a series over a window at a resolution, by interned id
-    /// (no allocation).
+    /// Range query by interned id (points only; see
+    /// [`TsDb::query_range_id`] for coverage).
+    pub fn query_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
+        match res {
+            Resolution::Raw => self.scan_id(id, t0, t1).collect(),
+            Resolution::Second => self.series[id.index()].rollups[0].ring.range(t0, t1),
+            Resolution::Minute => self.series[id.index()].rollups[1].ring.range(t0, t1),
+        }
+    }
+
+    /// Mean of a series over a window at a resolution, by interned id.
+    /// Raw means fold the tiered scan in chronological order — the same
+    /// sequential f64 accumulation as the hot-only path, so results are
+    /// bit-identical whether or not the window spans compressed tiers.
     pub fn mean_id(&self, id: SeriesId, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
-        let s = &self.series[id.index()];
-        let (sum, n) = match res {
+        self.mean_id_with_coverage(id, res, t0, t1).0
+    }
+
+    /// [`TsDb::mean_id`] plus the provenance of the points that made
+    /// the mean, so accounting callers can flag truncated windows.
+    pub fn mean_id_with_coverage(
+        &self,
+        id: SeriesId,
+        res: Resolution,
+        t0: f64,
+        t1: f64,
+    ) -> (Option<f64>, QueryCoverage) {
+        match res {
             Resolution::Raw => {
-                let (a, b) = s.raw.bounds(t0, t1);
-                let sum: f64 = s.raw.vs.range(a..b).map(|&v| v as f64).sum();
-                (sum, b - a)
+                let mut scan = self.scan_id(id, t0, t1);
+                let (sum, n) =
+                    scan.fold_points((0.0f64, 0usize), |(sum, n), _t, v| (sum + v, n + 1));
+                let mut coverage = scan.coverage();
+                coverage.evicted = self.evicted_before(id.index(), t0);
+                let mean = if n == 0 { None } else { Some(sum / n as f64) };
+                (mean, coverage)
             }
             Resolution::Second | Resolution::Minute => {
-                let ring = &s.rollups[usize::from(res == Resolution::Minute)].ring;
+                let ring =
+                    &self.series[id.index()].rollups[usize::from(res == Resolution::Minute)].ring;
                 let (a, b) = ring.bounds(t0, t1);
-                (ring.vs.range(a..b).sum::<f64>(), b - a)
+                let n = b - a;
+                let coverage = QueryCoverage {
+                    hot: n,
+                    evicted: ring.evicted > 0
+                        && t0 < ring.ts.front().copied().unwrap_or(f64::INFINITY),
+                    ..QueryCoverage::default()
+                };
+                let mean = if n == 0 {
+                    None
+                } else {
+                    Some(ring.vs.range(a..b).sum::<f64>() / n as f64)
+                };
+                (mean, coverage)
             }
-        };
-        if n == 0 {
-            None
-        } else {
-            Some(sum / n as f64)
         }
     }
 
     /// Energy (rectangle rule over raw points' spacing) in a window by
-    /// interned id — the accounting query. Windows with fewer than two
-    /// raw points integrate to 0. No allocation.
+    /// interned id — the accounting query, folded over the tiered scan
+    /// in chronological order (bit-identical to the hot-only fold).
+    /// Windows with fewer than two raw points integrate to 0.
     pub fn energy_j_id(&self, id: SeriesId, t0: f64, t1: f64) -> f64 {
-        let raw = &self.series[id.index()].raw;
-        let (a, b) = raw.bounds(t0, t1);
-        if b - a < 2 {
-            return 0.0;
-        }
-        let mut acc = 0.0;
-        let mut it = raw.ts.range(a..b).zip(raw.vs.range(a..b));
-        let (&first_t, &first_v) = it.next().expect("b - a >= 2");
-        let (mut prev_t, mut prev_v) = (first_t, first_v);
-        for (&t, &v) in it {
-            acc += prev_v as f64 * (t - prev_t);
-            prev_t = t;
-            prev_v = v;
-        }
+        let (acc, _) = self.scan_id(id, t0, t1).fold_points(
+            (0.0f64, None::<(f64, f64)>),
+            |(acc, prev), t, v| match prev {
+                Some((pt, pv)) => (acc + pv * (t - pt), Some((t, v))),
+                None => (acc, Some((t, v))),
+            },
+        );
         acc
+    }
+
+    /// Point-in-time tier occupancy across every series (hot ring
+    /// counts always; compressed/disk fields populated when tiering is
+    /// enabled).
+    pub fn tier_stats(&self) -> TierStats {
+        let mut st = self
+            .tier
+            .as_ref()
+            .map_or_else(TierStats::default, |e| e.stats());
+        for s in &self.series {
+            st.hot_points += s.raw.ts.len() as u64;
+            st.evicted_points += s.raw.evicted;
+        }
+        st.hot_bytes = st.hot_points * 12;
+        st
     }
 }
 

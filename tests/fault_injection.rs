@@ -5,7 +5,8 @@
 //! the invariants too.
 
 use davide_sim::scenario::{canned, open_loop_overcap_demo, stale_fallback_regression_demo};
-use davide_sim::{run, Event, Fault, Scenario};
+use davide_sim::{run, run_with_db_config, Event, Fault, Scenario};
+use davide_telemetry::{TieringConfig, TsDbConfig};
 use proptest::prelude::*;
 
 #[test]
@@ -24,6 +25,41 @@ fn canned_scenarios_hold_every_invariant() {
             sc.name
         );
         assert!(out.truth.total_energy_j > 0.0);
+    }
+}
+
+#[test]
+fn tiering_leaves_every_canned_digest_unchanged() {
+    // The tiered-storage determinism contract: running the whole
+    // fault-injection stack over a store that aggressively seals hot
+    // points into Gorilla-compressed blocks (64-point blocks, 64
+    // points kept hot) produces bit-identical event logs — the loop's
+    // telemetry means fold the same chronological f64 sequence whether
+    // the points come from the hot ring or from decoded blocks.
+    let tiered = TsDbConfig {
+        tiering: Some(TieringConfig {
+            seal_block: 64,
+            hot_retain: Some(64),
+            ..TieringConfig::default()
+        }),
+        ..TsDbConfig::default()
+    };
+    for sc in canned(2026) {
+        let base = run(&sc);
+        let with_tiers = run_with_db_config(&sc, tiered.clone());
+        assert_eq!(
+            base.log.digest(),
+            with_tiers.log.digest(),
+            "{}: tiering must not change the event log",
+            sc.name
+        );
+        assert_eq!(base.log, with_tiers.log, "{}", sc.name);
+        assert!(
+            with_tiers.violations.is_empty(),
+            "{}: {:?}",
+            sc.name,
+            with_tiers.violations
+        );
     }
 }
 
