@@ -1,0 +1,220 @@
+//! End-to-end smoke check of the query front-end, wired into CI next
+//! to the e22/e24/e25/e26 smoke steps.
+//!
+//! Boots a sharded store + simulated accounting state behind a
+//! [`QueryService`], starts the HTTP server, and exercises every
+//! endpoint through the real socket — including the differential
+//! property (HTTP body == direct service answer, byte for byte) and
+//! the error paths. Exits nonzero on the first failed check.
+
+use std::process::ExitCode;
+
+use davide_api::{
+    ApiServer, ApiServerConfig, HttpClient, JobProfileRequest, JobRollupRequest, QueryRequest,
+    QueryService, QueryServiceConfig, UserRollupRequest,
+};
+use davide_obs::ObsHub;
+use davide_sched::{
+    simulate, Fcfs, PlacementStrategy, SimConfig, WorkloadConfig, WorkloadGenerator,
+};
+use davide_telemetry::gateway::power_topic;
+use davide_telemetry::{Resolution, ShardedTsDb};
+
+fn check(ok: bool, what: &str) -> bool {
+    if ok {
+        println!("  ok: {what}");
+    } else {
+        println!("  FAIL: {what}");
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    println!("api_smoke: building store + accounting state");
+    let hub = ObsHub::monotonic();
+    let svc = QueryService::over_store(
+        ShardedTsDb::new(4, 1 << 16, 1 << 12),
+        &hub,
+        QueryServiceConfig::default(),
+    );
+
+    // A small simulated campaign feeds the ledger and the job index.
+    let mut gen = WorkloadGenerator::new(WorkloadConfig::default(), 0xD1CE);
+    let trace = gen.trace(16);
+    let outcome = simulate(
+        &trace,
+        &mut Fcfs,
+        SimConfig::davide().with_placement(PlacementStrategy::FirstFit),
+    );
+    svc.ingest_outcome(&outcome, |n| power_topic(n, "node"));
+
+    // Telemetry covering the first completed job's runtime window, so
+    // measured rollups and profiles have something to integrate.
+    let Some(job) = outcome
+        .completed
+        .iter()
+        .find(|j| outcome.placements.get(&j.id).is_some_and(|p| !p.is_empty()))
+    else {
+        println!("  FAIL: simulation produced no placed job");
+        return ExitCode::FAILURE;
+    };
+    let (t0, t1) = (job.start_s.unwrap_or(0.0), job.end_s.unwrap_or(0.0));
+    let dt = ((t1 - t0) / 512.0).max(1e-3);
+    let watts: Vec<f32> = (0..512)
+        .map(|i| 1500.0 + 200.0 * ((i as f32) * 0.05).sin())
+        .collect();
+    {
+        let store = svc.store();
+        let mut store = store.write();
+        for &node in &outcome.placements[&job.id] {
+            store.append_frame(&power_topic(node, "node"), t0, dt, &watts);
+        }
+    }
+    let series = power_topic(outcome.placements[&job.id][0], "node");
+
+    let server = match ApiServer::start(svc.clone(), ApiServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("  FAIL: server did not start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("api_smoke: serving on {}", server.addr());
+    let mut client = match HttpClient::connect(server.addr()) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL: client did not connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = true;
+    let run = |c: &mut HttpClient, method: &str, path: &str, body: &str| -> (u16, String) {
+        c.request(method, path, body)
+            .unwrap_or_else(|e| panic!("{method} {path}: transport error: {e}"))
+    };
+
+    // --- happy paths, each checked against the direct service call.
+    let (status, body) = run(&mut client, "GET", "/health", "");
+    ok &= check(status == 200, "GET /health is 200");
+    ok &= check(
+        body == serde_json::to_string(&svc.health().to_value()),
+        "health body matches direct call",
+    );
+
+    let (status, body) = run(&mut client, "GET", "/metrics", "");
+    ok &= check(status == 200, "GET /metrics is 200");
+    ok &= check(
+        body.contains("api_requests_total"),
+        "metrics expose api counters",
+    );
+
+    let q = QueryRequest::series(davide_api::QueryOp::Mean, &series, Resolution::Raw, t0, t1);
+    let (status, body) = run(
+        &mut client,
+        "POST",
+        "/v1/query",
+        &serde_json::to_string(&q.to_value()),
+    );
+    ok &= check(status == 200, "POST /v1/query is 200");
+    let direct = serde_json::to_string(&svc.query(&q).expect("direct query").to_value());
+    ok &= check(body == direct, "query body bit-identical to direct call");
+    ok &= check(
+        svc.cache_stats().hits >= 1,
+        "repeated aggregate hit the rollup cache",
+    );
+
+    let filter_q = QueryRequest::filter(
+        davide_api::QueryOp::Energy,
+        "davide/+/power/node",
+        Resolution::Raw,
+        t0,
+        t1,
+    );
+    let (status, body) = run(
+        &mut client,
+        "POST",
+        "/v1/query",
+        &serde_json::to_string(&filter_q.to_value()),
+    );
+    ok &= check(status == 200, "filter query is 200");
+    ok &= check(
+        body == serde_json::to_string(&svc.query(&filter_q).expect("filter").to_value()),
+        "filter body bit-identical to direct call",
+    );
+
+    let r = UserRollupRequest { user_id: None };
+    let (status, body) = run(
+        &mut client,
+        "POST",
+        "/v1/rollup/user",
+        &serde_json::to_string(&r.to_value()),
+    );
+    ok &= check(status == 200, "POST /v1/rollup/user is 200");
+    let direct = svc.rollup_user(&r).expect("direct rollup");
+    ok &= check(
+        body == serde_json::to_string(&direct.to_value()),
+        "user rollup bit-identical to direct call",
+    );
+    ok &= check(!direct.users.is_empty(), "user rollup is populated");
+
+    let r = JobRollupRequest {
+        job_id: job.id,
+        measured: true,
+    };
+    let (status, body) = run(
+        &mut client,
+        "POST",
+        "/v1/rollup/job",
+        &serde_json::to_string(&r.to_value()),
+    );
+    ok &= check(status == 200, "POST /v1/rollup/job is 200");
+    let direct = svc.rollup_job(&r).expect("direct job rollup");
+    ok &= check(
+        body == serde_json::to_string(&direct.to_value()),
+        "job rollup bit-identical to direct call",
+    );
+    ok &= check(
+        direct.measured_energy_j.unwrap_or(0.0) > 0.0,
+        "measured job energy integrates to > 0",
+    );
+
+    let r = JobProfileRequest {
+        job_id: job.id,
+        decimate: 8,
+    };
+    let (status, body) = run(
+        &mut client,
+        "POST",
+        "/v1/profile/job",
+        &serde_json::to_string(&r.to_value()),
+    );
+    ok &= check(status == 200, "POST /v1/profile/job is 200");
+    let direct = svc.profile_job(&r).expect("direct profile");
+    ok &= check(
+        body == serde_json::to_string(&direct.to_value()),
+        "profile bit-identical to direct call",
+    );
+    ok &= check(
+        direct.profiles.iter().all(|p| !p.watts.is_empty()),
+        "profiles carry decimated samples",
+    );
+
+    // --- error paths (each answer closes the connection; reconnect).
+    let (status, _) = run(&mut client, "POST", "/v1/query", "{not json");
+    ok &= check(status == 400, "invalid JSON body is 400");
+    let mut client = HttpClient::connect(server.addr()).expect("reconnect");
+    let (status, _) = run(&mut client, "GET", "/v1/nope", "");
+    ok &= check(status == 404, "unknown path is 404");
+    let (status, _) = run(&mut client, "GET", "/v1/query", "");
+    ok &= check(status == 405, "GET on a POST endpoint is 405");
+
+    server.stop();
+    if ok {
+        println!("api_smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("api_smoke: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,187 @@
+//! HTTP load generator for experiment E27: boots a self-contained
+//! store + [`QueryService`] + [`ApiServer`] in one process and hammers
+//! it with keep-alive client threads issuing cached-aggregate queries.
+//!
+//! ```text
+//! loadgen [--threads N] [--seconds S] [--workers W] [--ingest] [--smoke]
+//! ```
+//!
+//! `--ingest` runs a concurrent writer appending telemetry frames to
+//! the same store for the whole run, so the reported rate shows the
+//! read path under ingest pressure. `--smoke` shrinks everything for
+//! CI. Prints one summary line:
+//!
+//! ```text
+//! loadgen: <total> requests in <s> s = <rate> req/s (<threads> threads, errors=<n>)
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use davide_api::{
+    ApiServer, ApiServerConfig, HttpClient, QueryOp, QueryRequest, QueryService, QueryServiceConfig,
+};
+use davide_obs::ObsHub;
+use davide_telemetry::gateway::power_topic;
+use davide_telemetry::{Resolution, ShardedTsDb};
+
+const NODES: u32 = 16;
+const WINDOW_S: f64 = 60.0;
+
+struct Args {
+    threads: usize,
+    seconds: f64,
+    workers: usize,
+    ingest: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        threads: 4,
+        seconds: 5.0,
+        workers: 4,
+        ingest: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => a.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(a.threads),
+            "--seconds" => a.seconds = it.next().and_then(|v| v.parse().ok()).unwrap_or(a.seconds),
+            "--workers" => a.workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(a.workers),
+            "--ingest" => a.ingest = true,
+            "--smoke" => {
+                a.threads = 2;
+                a.seconds = 1.0;
+                a.workers = 2;
+            }
+            other => {
+                eprintln!("loadgen: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    a.threads = a.threads.max(1);
+    a.workers = a.workers.max(1);
+    a.seconds = a.seconds.max(0.1);
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let hub = ObsHub::monotonic();
+    let svc = QueryService::over_store(
+        ShardedTsDb::new(4, 1 << 16, 1 << 12),
+        &hub,
+        QueryServiceConfig::default(),
+    );
+
+    // Preload every node series with one minute of 1 kS/s power data.
+    let watts: Vec<f32> = (0..60_000)
+        .map(|i| 1500.0 + 250.0 * ((i as f32) * 0.002).sin())
+        .collect();
+    {
+        let store = svc.store();
+        let mut store = store.write();
+        for node in 0..NODES {
+            store.append_frame(&power_topic(node, "node"), 0.0, 1e-3, &watts);
+        }
+    }
+
+    let server = ApiServer::start(
+        svc.clone(),
+        ApiServerConfig {
+            workers: args.workers,
+            ..ApiServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    // Optional concurrent ingest: frames appended past the preloaded
+    // window so running queries keep their cached answers valid while
+    // the store genuinely absorbs writes.
+    let ingest_thread = args.ingest.then(|| {
+        let stop = stop.clone();
+        let store = svc.store();
+        std::thread::spawn(move || {
+            let chunk: Vec<f32> = vec![1500.0; 4096];
+            let mut t = WINDOW_S;
+            while !stop.load(Ordering::Relaxed) {
+                {
+                    let mut s = store.write();
+                    for node in 0..NODES {
+                        s.append_frame(&power_topic(node, "ingest"), t, 1e-3, &chunk);
+                    }
+                }
+                t += chunk.len() as f64 * 1e-3;
+            }
+        })
+    });
+
+    let t_start = Instant::now();
+    let deadline = t_start + Duration::from_secs_f64(args.seconds);
+    let bodies: Vec<String> = (0..NODES)
+        .map(|node| {
+            let q = QueryRequest::series(
+                QueryOp::Mean,
+                &power_topic(node, "node"),
+                Resolution::Raw,
+                0.0,
+                WINDOW_S,
+            );
+            serde_json::to_string(&q.to_value())
+        })
+        .collect();
+
+    let mut clients = Vec::with_capacity(args.threads);
+    for tid in 0..args.threads {
+        let requests = requests.clone();
+        let errors = errors.clone();
+        let bodies = bodies.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut c = HttpClient::connect(addr).expect("client connect");
+            let mut i = tid;
+            while Instant::now() < deadline {
+                let body = &bodies[i % bodies.len()];
+                i += 1;
+                match c.request("POST", "/v1/query", body) {
+                    Ok((200, _)) => {
+                        requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) | Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        // The server closes on errors; reconnect.
+                        if let Ok(nc) = HttpClient::connect(addr) {
+                            c = nc;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for t in clients {
+        let _ = t.join();
+    }
+    let elapsed = t_start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(t) = ingest_thread {
+        let _ = t.join();
+    }
+    server.stop();
+
+    let total = requests.load(Ordering::Relaxed);
+    let errs = errors.load(Ordering::Relaxed);
+    println!(
+        "loadgen: {total} requests in {elapsed:.2} s = {:.0} req/s ({} threads, errors={errs})",
+        total as f64 / elapsed,
+        args.threads,
+    );
+    if errs > 0 {
+        std::process::exit(1);
+    }
+}

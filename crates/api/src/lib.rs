@@ -1,0 +1,45 @@
+//! # davide-api
+//!
+//! The unified query front-end of the D.A.V.I.D.E. management node:
+//! the one read-path surface through which accounting and monitoring
+//! consumers see the cluster (§III-B of the paper describes the
+//! management stack this front-end caps).
+//!
+//! Two layers:
+//!
+//! * [`service`] — [`QueryService`], a typed, versioned API over any
+//!   [`davide_telemetry::SeriesRead`] store plus the scheduler's
+//!   [`davide_sched::accounting::EnergyLedger`]: point/range/aggregate
+//!   series queries with [`davide_telemetry::QueryCoverage`]
+//!   provenance, per-user and per-job energy rollups, decimated job
+//!   power profiles with phase detection, health and tier statistics.
+//!   Aggregate answers are memoised in a watermark-invalidated LRU
+//!   cache so repeated accounting queries never re-scan history.
+//! * [`http`] — [`ApiServer`], a std-only blocking HTTP/1.1 server
+//!   (thread pool over `TcpListener`, no async runtime) exposing the
+//!   service at `/health`, `/metrics`, `/v1/query`,
+//!   `/v1/rollup/{user,job}` and `/v1/profile/job`. Every JSON body is
+//!   produced by the same deterministic serializer the typed layer
+//!   uses, so an HTTP answer is bit-identical to the direct
+//!   [`QueryService`] call it wraps — a property the differential
+//!   tests in `tests/api_http.rs` enforce.
+//!
+//! [`types`] holds the request/response DTOs shared by both layers and
+//! [`client`] a minimal keep-alive HTTP client used by the test suite
+//! and the `loadgen` / `api_smoke` binaries.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod service;
+pub mod types;
+
+pub use client::HttpClient;
+pub use http::{ApiServer, ApiServerConfig, RunningServer};
+pub use service::{CacheStats, JobIndex, JobRecord, QueryService, QueryServiceConfig};
+pub use types::{
+    ApiError, HealthResponse, JobProfileRequest, JobProfileResponse, JobRollupRequest,
+    JobRollupResponse, QueryOp, QueryRequest, QueryResponse, SeriesAnswer, UserRollup,
+    UserRollupRequest, UserRollupResponse, API_VERSION,
+};

@@ -1,0 +1,744 @@
+//! The versioned wire types of the `/v1` query surface.
+//!
+//! Every request and response is a typed struct with an explicit,
+//! hand-written mapping to a [`serde_json::Value`] tree (the vendored
+//! `serde` is a marker facade, so conversions are spelled out rather
+//! than derived). Serialisation is **deterministic** — object members
+//! sort, floats use shortest round-trip formatting — which is what lets
+//! the differential tests assert an HTTP body is bit-identical to
+//! serialising the same [`QueryService`](crate::QueryService) answer
+//! in-process.
+//!
+//! Versioning policy: the version string is baked into the HTTP path
+//! (`/v1/...`) and echoed in every response body. Additive changes
+//! (new optional request fields, new response members) stay `v1`;
+//! anything that changes the meaning or type of an existing member
+//! ships as `/v2` alongside, never in place.
+
+use davide_telemetry::tsdb::Point;
+use davide_telemetry::{QueryCoverage, Resolution, TierStats};
+use serde_json::{object, Value};
+
+/// The wire-format version this module speaks, echoed in every
+/// response and baked into the HTTP path.
+pub const API_VERSION: &str = "v1";
+
+/// A request the service rejected, with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// Malformed body, unknown field value, missing member (HTTP 400).
+    BadRequest(String),
+    /// The named entity does not exist (HTTP 404).
+    NotFound(String),
+}
+
+impl ApiError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::NotFound(_) => 404,
+        }
+    }
+
+    /// The response body for this error.
+    pub fn to_value(&self) -> Value {
+        let msg = match self {
+            ApiError::BadRequest(m) | ApiError::NotFound(m) => m.as_str(),
+        };
+        object([("version", API_VERSION.into()), ("error", msg.into())])
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+fn bad(msg: impl Into<String>) -> ApiError {
+    ApiError::BadRequest(msg.into())
+}
+
+fn req_member<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ApiError> {
+    v.get(key).ok_or_else(|| bad(format!("missing `{key}`")))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, ApiError> {
+    req_member(v, key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("`{key}` must be a number")))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, ApiError> {
+    req_member(v, key)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer")))
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(m) if m.is_null() => Ok(None),
+        Some(m) => m
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("`{key}` must be a string"))),
+    }
+}
+
+/// Resolution as its wire name.
+pub fn resolution_name(res: Resolution) -> &'static str {
+    match res {
+        Resolution::Raw => "raw",
+        Resolution::Second => "second",
+        Resolution::Minute => "minute",
+    }
+}
+
+/// Parse a wire resolution name.
+pub fn resolution_from_name(s: &str) -> Result<Resolution, ApiError> {
+    match s {
+        "raw" => Ok(Resolution::Raw),
+        "second" => Ok(Resolution::Second),
+        "minute" => Ok(Resolution::Minute),
+        other => Err(bad(format!("unknown resolution `{other}`"))),
+    }
+}
+
+/// [`QueryCoverage`] as a wire object.
+pub fn coverage_to_value(c: &QueryCoverage) -> Value {
+    object([
+        ("hot", c.hot.into()),
+        ("compressed", c.compressed.into()),
+        ("disk", c.disk.into()),
+        ("evicted", c.evicted.into()),
+    ])
+}
+
+/// [`TierStats`] as a wire object.
+pub fn tier_stats_to_value(st: &TierStats) -> Value {
+    object([
+        ("hot_points", st.hot_points.into()),
+        ("hot_bytes", st.hot_bytes.into()),
+        ("compressed_blocks", st.compressed_blocks.into()),
+        ("compressed_points", st.compressed_points.into()),
+        ("compressed_bytes", st.compressed_bytes.into()),
+        ("disk_segments", st.disk_segments.into()),
+        ("disk_blocks", st.disk_blocks.into()),
+        ("disk_points", st.disk_points.into()),
+        ("disk_bytes", st.disk_bytes.into()),
+        ("sealed_points", st.sealed_points.into()),
+        ("evicted_points", st.evicted_points.into()),
+        ("io_errors", st.io_errors.into()),
+    ])
+}
+
+fn points_to_value(points: &[Point]) -> Value {
+    Value::Array(
+        points
+            .iter()
+            .map(|p| Value::Array(vec![p.t.into(), p.v.into()]))
+            .collect(),
+    )
+}
+
+/// The aggregate a `/v1/query` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOp {
+    /// The raw/rollup points in the window.
+    Points,
+    /// Mean over the window.
+    Mean,
+    /// Energy (rectangle rule) over the window.
+    Energy,
+    /// Latest observation (window ignored).
+    Last,
+}
+
+impl QueryOp {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryOp::Points => "points",
+            QueryOp::Mean => "mean",
+            QueryOp::Energy => "energy",
+            QueryOp::Last => "last",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Result<Self, ApiError> {
+        match s {
+            "points" => Ok(QueryOp::Points),
+            "mean" => Ok(QueryOp::Mean),
+            "energy" => Ok(QueryOp::Energy),
+            "last" => Ok(QueryOp::Last),
+            other => Err(bad(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+/// `/v1/query`: one aggregate over one series or an MQTT-style filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// What to compute.
+    pub op: QueryOp,
+    /// A single series name (exactly one of `series`/`filter`).
+    pub series: Option<String>,
+    /// An MQTT-style filter (`davide/+/power/#`) selecting many series.
+    pub filter: Option<String>,
+    /// Resolution to answer at.
+    pub resolution: Resolution,
+    /// Window start, seconds (inclusive).
+    pub t0: f64,
+    /// Window end, seconds (exclusive).
+    pub t1: f64,
+}
+
+impl QueryRequest {
+    /// A point query for one series over a window.
+    pub fn series(op: QueryOp, series: &str, res: Resolution, t0: f64, t1: f64) -> Self {
+        QueryRequest {
+            op,
+            series: Some(series.to_string()),
+            filter: None,
+            resolution: res,
+            t0,
+            t1,
+        }
+    }
+
+    /// A multi-series query for everything matching `filter`.
+    pub fn filter(op: QueryOp, filter: &str, res: Resolution, t0: f64, t1: f64) -> Self {
+        QueryRequest {
+            op,
+            series: None,
+            filter: Some(filter.to_string()),
+            resolution: res,
+            t0,
+            t1,
+        }
+    }
+
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("op".to_string(), self.op.name().into());
+        m.insert(
+            "resolution".to_string(),
+            resolution_name(self.resolution).into(),
+        );
+        m.insert("t0".to_string(), self.t0.into());
+        m.insert("t1".to_string(), self.t1.into());
+        if let Some(s) = &self.series {
+            m.insert("series".to_string(), s.as_str().into());
+        }
+        if let Some(f) = &self.filter {
+            m.insert("filter".to_string(), f.as_str().into());
+        }
+        Value::Object(m)
+    }
+
+    /// Parse and validate a wire request.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let op = QueryOp::from_name(
+            req_member(v, "op")?
+                .as_str()
+                .ok_or_else(|| bad("`op` must be a string"))?,
+        )?;
+        let resolution = match v.get("resolution") {
+            None => Resolution::Raw,
+            Some(r) => resolution_from_name(
+                r.as_str()
+                    .ok_or_else(|| bad("`resolution` must be a string"))?,
+            )?,
+        };
+        let series = opt_str(v, "series")?;
+        let filter = opt_str(v, "filter")?;
+        match (&series, &filter) {
+            (None, None) => return Err(bad("one of `series`/`filter` is required")),
+            (Some(_), Some(_)) => return Err(bad("`series` and `filter` are exclusive")),
+            _ => {}
+        }
+        let t0 = req_f64(v, "t0")?;
+        let t1 = req_f64(v, "t1")?;
+        if !t0.is_finite() || !t1.is_finite() || t1 < t0 {
+            return Err(bad("window must be finite with t1 >= t0"));
+        }
+        Ok(QueryRequest {
+            op,
+            series,
+            filter,
+            resolution,
+            t0,
+            t1,
+        })
+    }
+}
+
+/// One series' slice of a [`QueryResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesAnswer {
+    /// Series name.
+    pub series: String,
+    /// Points (op `points`).
+    pub points: Option<Vec<Point>>,
+    /// Scalar aggregate (ops `mean` / `energy`).
+    pub value: Option<f64>,
+    /// Latest observation (op `last`).
+    pub last: Option<Point>,
+    /// Provenance of this series' answer.
+    pub coverage: QueryCoverage,
+}
+
+impl SeriesAnswer {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(&str, Value)> = vec![
+            ("series", self.series.as_str().into()),
+            ("coverage", coverage_to_value(&self.coverage)),
+        ];
+        if let Some(p) = &self.points {
+            pairs.push(("points", points_to_value(p)));
+        }
+        if let Some(x) = self.value {
+            pairs.push(("value", x.into()));
+        }
+        if let Some(p) = &self.last {
+            pairs.push(("last", Value::Array(vec![p.t.into(), p.v.into()])));
+        }
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// `/v1/query` answer: per-series results plus merged coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The op that was computed.
+    pub op: QueryOp,
+    /// Matching series in sorted name order.
+    pub series: Vec<SeriesAnswer>,
+    /// Coverage merged over every answering series
+    /// ([`QueryCoverage::merge`] semantics: counts add, `evicted` ORs).
+    pub coverage: QueryCoverage,
+}
+
+impl QueryResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            ("op", self.op.name().into()),
+            (
+                "series",
+                Value::Array(self.series.iter().map(|s| s.to_value()).collect()),
+            ),
+            ("coverage", coverage_to_value(&self.coverage)),
+        ])
+    }
+}
+
+/// `/v1/rollup/user`: one user's account, or all users ranked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserRollupRequest {
+    /// Restrict to one user; `None` ranks everyone by energy.
+    pub user_id: Option<u32>,
+}
+
+impl UserRollupRequest {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        match self.user_id {
+            Some(u) => object([("user_id", u.into())]),
+            None => object([]),
+        }
+    }
+
+    /// Parse a wire request.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let user_id = match v.get("user_id") {
+            None => None,
+            Some(m) if m.is_null() => None,
+            Some(m) => Some(
+                m.as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| bad("`user_id` must be a u32"))?,
+            ),
+        };
+        Ok(UserRollupRequest { user_id })
+    }
+}
+
+/// One user's rolled-up account on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserRollup {
+    /// User id.
+    pub user_id: u32,
+    /// Jobs charged.
+    pub jobs: usize,
+    /// Energy-to-solution total, joules.
+    pub energy_j: f64,
+    /// Node-seconds consumed.
+    pub node_seconds: f64,
+    /// Charge at the service tariff.
+    pub cost: f64,
+    /// Mean per-node power, watts.
+    pub mean_power_w: f64,
+}
+
+impl UserRollup {
+    fn to_value(&self) -> Value {
+        object([
+            ("user_id", self.user_id.into()),
+            ("jobs", self.jobs.into()),
+            ("energy_j", self.energy_j.into()),
+            ("node_seconds", self.node_seconds.into()),
+            ("cost", self.cost.into()),
+            ("mean_power_w", self.mean_power_w.into()),
+        ])
+    }
+}
+
+/// `/v1/rollup/user` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserRollupResponse {
+    /// One entry for a targeted request; everyone (descending energy)
+    /// otherwise.
+    pub users: Vec<UserRollup>,
+}
+
+impl UserRollupResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            (
+                "users",
+                Value::Array(self.users.iter().map(|u| u.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// `/v1/rollup/job`: one job's energy account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRollupRequest {
+    /// Job to roll up.
+    pub job_id: u64,
+    /// Also integrate the job's node power series from the store
+    /// (`TsDb::energy_j_id` per series over the job's runtime window).
+    pub measured: bool,
+}
+
+impl JobRollupRequest {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("job_id", self.job_id.into()),
+            ("measured", self.measured.into()),
+        ])
+    }
+
+    /// Parse a wire request.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let job_id = req_u64(v, "job_id")?;
+        let measured = match v.get("measured") {
+            None => false,
+            Some(m) => m
+                .as_bool()
+                .ok_or_else(|| bad("`measured` must be a boolean"))?,
+        };
+        Ok(JobRollupRequest { job_id, measured })
+    }
+}
+
+/// `/v1/rollup/job` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRollupResponse {
+    /// Job id.
+    pub job_id: u64,
+    /// Submitting user.
+    pub user_id: u32,
+    /// Nodes the job ran on.
+    pub nodes: usize,
+    /// Start of the runtime window, seconds.
+    pub start_s: f64,
+    /// End of the runtime window, seconds.
+    pub end_s: f64,
+    /// Energy the accounting ledger attributes to the job, joules.
+    pub ledger_energy_j: Option<f64>,
+    /// Energy integrated from the job's telemetry series, joules
+    /// (requested via `measured`).
+    pub measured_energy_j: Option<f64>,
+    /// Provenance of the measured integration (merged over the job's
+    /// series) when `measured` was requested.
+    pub coverage: Option<QueryCoverage>,
+    /// Ledger charge at the service tariff.
+    pub cost: f64,
+}
+
+impl JobRollupResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        let mut pairs: Vec<(&str, Value)> = vec![
+            ("version", API_VERSION.into()),
+            ("job_id", self.job_id.into()),
+            ("user_id", self.user_id.into()),
+            ("nodes", self.nodes.into()),
+            ("start_s", self.start_s.into()),
+            ("end_s", self.end_s.into()),
+            ("cost", self.cost.into()),
+        ];
+        if let Some(e) = self.ledger_energy_j {
+            pairs.push(("ledger_energy_j", e.into()));
+        }
+        if let Some(e) = self.measured_energy_j {
+            pairs.push(("measured_energy_j", e.into()));
+        }
+        if let Some(c) = &self.coverage {
+            pairs.push(("coverage", coverage_to_value(c)));
+        }
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// `/v1/profile/job`: the decimated power profile of a finished job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProfileRequest {
+    /// Job to profile.
+    pub job_id: u64,
+    /// Decimation factor applied to each node series (boxcar means; 1
+    /// keeps raw rate).
+    pub decimate: usize,
+}
+
+impl JobProfileRequest {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("decimate", self.decimate.into()),
+            ("job_id", self.job_id.into()),
+        ])
+    }
+
+    /// Parse a wire request.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let job_id = req_u64(v, "job_id")?;
+        let decimate = match v.get("decimate") {
+            None => 1,
+            Some(m) => m
+                .as_u64()
+                .filter(|&d| (1..=1_000_000).contains(&d))
+                .ok_or_else(|| bad("`decimate` must be in 1..=1000000"))?
+                as usize,
+        };
+        Ok(JobProfileRequest { job_id, decimate })
+    }
+}
+
+/// One detected phase on the wire (times are trace-relative seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDto {
+    /// Phase start.
+    pub t0: f64,
+    /// Phase end.
+    pub t1: f64,
+    /// Mean power, watts.
+    pub mean_w: f64,
+    /// Phase energy, joules.
+    pub energy_j: f64,
+}
+
+impl PhaseDto {
+    fn to_value(&self) -> Value {
+        object([
+            ("t0", self.t0.into()),
+            ("t1", self.t1.into()),
+            ("mean_w", self.mean_w.into()),
+            ("energy_j", self.energy_j.into()),
+        ])
+    }
+}
+
+/// One node series' decimated profile inside a [`JobProfileResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesProfile {
+    /// Series name.
+    pub series: String,
+    /// Time of the first decimated sample, seconds.
+    pub t0: f64,
+    /// Decimated sample spacing, seconds.
+    pub dt: f64,
+    /// Decimated power samples, watts.
+    pub watts: Vec<f64>,
+    /// Phases detected on the decimated profile.
+    pub phases: Vec<PhaseDto>,
+}
+
+impl SeriesProfile {
+    fn to_value(&self) -> Value {
+        object([
+            ("series", self.series.as_str().into()),
+            ("t0", self.t0.into()),
+            ("dt", self.dt.into()),
+            (
+                "watts",
+                Value::Array(self.watts.iter().map(|&w| w.into()).collect()),
+            ),
+            (
+                "phases",
+                Value::Array(self.phases.iter().map(|p| p.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// `/v1/profile/job` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProfileResponse {
+    /// Job id.
+    pub job_id: u64,
+    /// One profile per node series, sorted by series name.
+    pub profiles: Vec<SeriesProfile>,
+    /// Coverage merged over every profiled series.
+    pub coverage: QueryCoverage,
+}
+
+impl JobProfileResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            ("job_id", self.job_id.into()),
+            (
+                "profiles",
+                Value::Array(self.profiles.iter().map(|p| p.to_value()).collect()),
+            ),
+            ("coverage", coverage_to_value(&self.coverage)),
+        ])
+    }
+}
+
+/// `/health` answer: liveness plus a store summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the service answers at all.
+    pub status: &'static str,
+    /// Known series count.
+    pub series: usize,
+    /// Jobs indexed for rollup/profile queries.
+    pub jobs: usize,
+    /// Point-in-time tier occupancy of the backing store.
+    pub tier: TierStats,
+}
+
+impl HealthResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            ("status", self.status.into()),
+            ("series", self.series.into()),
+            ("jobs", self.jobs.into()),
+            ("tier", tier_stats_to_value(&self.tier)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_request_roundtrip() {
+        let req = QueryRequest::series(
+            QueryOp::Mean,
+            "node00/power/node",
+            Resolution::Raw,
+            0.0,
+            10.0,
+        );
+        let v = req.to_value();
+        let back = QueryRequest::from_value(&v).unwrap();
+        assert_eq!(back, req);
+        let filt = QueryRequest::filter(
+            QueryOp::Points,
+            "davide/+/power/#",
+            Resolution::Second,
+            1.0,
+            2.0,
+        );
+        assert_eq!(QueryRequest::from_value(&filt.to_value()).unwrap(), filt);
+    }
+
+    #[test]
+    fn query_request_validation() {
+        let bad_cases = [
+            r#"{"op":"mean","t0":0,"t1":1}"#,
+            r#"{"op":"mean","series":"s","filter":"f","t0":0,"t1":1}"#,
+            r#"{"op":"nope","series":"s","t0":0,"t1":1}"#,
+            r#"{"op":"mean","series":"s","t0":5,"t1":1}"#,
+            r#"{"op":"mean","series":"s","resolution":"hourly","t0":0,"t1":1}"#,
+            r#"{"op":"mean","series":7,"t0":0,"t1":1}"#,
+        ];
+        for body in bad_cases {
+            let v = serde_json::from_str(body).unwrap();
+            let err = QueryRequest::from_value(&v).unwrap_err();
+            assert_eq!(err.status(), 400, "{body}");
+        }
+    }
+
+    #[test]
+    fn responses_serialise_deterministically() {
+        let resp = QueryResponse {
+            op: QueryOp::Points,
+            series: vec![SeriesAnswer {
+                series: "s".into(),
+                points: Some(vec![Point { t: 1.0, v: 2.5 }]),
+                value: None,
+                last: None,
+                coverage: QueryCoverage {
+                    hot: 1,
+                    ..QueryCoverage::default()
+                },
+            }],
+            coverage: QueryCoverage {
+                hot: 1,
+                ..QueryCoverage::default()
+            },
+        };
+        let a = serde_json::to_string(&resp.to_value());
+        let b = serde_json::to_string(&resp.clone().to_value());
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\":\"v1\""));
+        assert!(a.contains("\"points\":[[1,2.5]]"));
+    }
+
+    #[test]
+    fn rollup_requests_parse() {
+        let v = serde_json::from_str(r#"{"user_id":10}"#).unwrap();
+        assert_eq!(UserRollupRequest::from_value(&v).unwrap().user_id, Some(10));
+        let v = serde_json::from_str("{}").unwrap();
+        assert_eq!(UserRollupRequest::from_value(&v).unwrap().user_id, None);
+        let v = serde_json::from_str(r#"{"job_id":3,"measured":true}"#).unwrap();
+        let r = JobRollupRequest::from_value(&v).unwrap();
+        assert_eq!((r.job_id, r.measured), (3, true));
+        let v = serde_json::from_str(r#"{"job_id":-1}"#).unwrap();
+        assert!(JobRollupRequest::from_value(&v).is_err());
+        let v = serde_json::from_str(r#"{"job_id":1,"decimate":0}"#).unwrap();
+        assert!(JobProfileRequest::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn error_bodies_carry_status() {
+        let e = ApiError::NotFound("job 9".into());
+        assert_eq!(e.status(), 404);
+        let s = serde_json::to_string(&e.to_value());
+        assert_eq!(s, r#"{"error":"job 9","version":"v1"}"#);
+    }
+}

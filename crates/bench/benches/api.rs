@@ -1,0 +1,94 @@
+//! E27 micro-benchmarks: the query-service hot paths the 1 M QPS gate
+//! runs on — a cached rollup hit, the cache-miss recompute it
+//! amortises, and the full request → JSON response round trip one HTTP
+//! worker performs per request. Run the assertions without timing via
+//! `cargo bench --bench api -- --test` (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use davide_api::{QueryOp, QueryRequest, QueryService, QueryServiceConfig};
+use davide_obs::ObsHub;
+use davide_telemetry::gateway::power_topic;
+use davide_telemetry::{Resolution, ShardedTsDb};
+
+const NODES: u32 = 16;
+const WINDOW_S: f64 = 60.0;
+
+fn preloaded_service(cache_capacity: usize) -> QueryService<ShardedTsDb> {
+    let hub = ObsHub::monotonic();
+    let svc = QueryService::over_store(
+        ShardedTsDb::new(4, 1 << 16, 1 << 12),
+        &hub,
+        QueryServiceConfig {
+            cache_capacity,
+            ..QueryServiceConfig::default()
+        },
+    );
+    let watts: Vec<f32> = (0..60_000)
+        .map(|i| 1500.0 + 250.0 * ((i as f32) * 0.002).sin())
+        .collect();
+    let store = svc.store();
+    let mut s = store.write();
+    for node in 0..NODES {
+        s.append_frame(&power_topic(node, "node"), 0.0, 1e-3, &watts);
+    }
+    drop(s);
+    svc
+}
+
+fn mean_query(node: u32) -> QueryRequest {
+    QueryRequest::series(
+        QueryOp::Mean,
+        &power_topic(node, "node"),
+        Resolution::Raw,
+        0.0,
+        WINDOW_S,
+    )
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e27_service");
+    g.throughput(Throughput::Elements(1));
+
+    // The E27 QPS gate path: every query a watermark-validated hit.
+    let svc = preloaded_service(4096);
+    let queries: Vec<QueryRequest> = (0..NODES).map(mean_query).collect();
+    for q in &queries {
+        svc.query(q).expect("warm");
+    }
+    let mut i = 0usize;
+    g.bench_function("cached_rollup_hit", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(svc.query(black_box(q)).expect("hit"))
+        })
+    });
+    assert!(
+        svc.cache_stats().misses <= u64::from(NODES),
+        "hit path must not miss"
+    );
+
+    // Same query with caching disabled: the full 60 k-point re-scan
+    // each repeated accounting query would otherwise pay.
+    let uncached = preloaded_service(0);
+    let q0 = mean_query(0);
+    g.bench_function("uncached_rescan", |b| {
+        b.iter(|| black_box(uncached.query(black_box(&q0)).expect("scan")))
+    });
+
+    // The per-request work of one HTTP worker: parse the JSON body,
+    // answer, serialise the response.
+    let body = serde_json::to_string(&mean_query(0).to_value());
+    g.bench_function("json_roundtrip", |b| {
+        b.iter(|| {
+            let v = serde_json::from_str(black_box(&body)).expect("parse");
+            let req = QueryRequest::from_value(&v).expect("validate");
+            let resp = svc.query(&req).expect("answer");
+            black_box(serde_json::to_string(&resp.to_value()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

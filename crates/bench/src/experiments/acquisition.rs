@@ -131,14 +131,17 @@ pub fn e25() {
     }
 
     // Sanity: the store carries plausible node power on both paths.
+    use davide_telemetry::SeriesRead;
     let key = "davide/node00/power/node";
     let mb = blocked_rig
         .db()
-        .mean(key, davide_telemetry::tsdb::Resolution::Raw, 0.0, 1e18)
+        .series_mean(key, davide_telemetry::tsdb::Resolution::Raw, 0.0, 1e18)
+        .0
         .expect("series present");
     let ms = scalar_rig
         .db()
-        .mean(key, davide_telemetry::tsdb::Resolution::Raw, 0.0, 1e18)
+        .series_mean(key, davide_telemetry::tsdb::Resolution::Raw, 0.0, 1e18)
+        .0
         .expect("series present");
     println!("\nspot check {key}: blocked {mb:.1} W, scalar {ms:.1} W");
     assert!((mb - 1700.0).abs() < 150.0, "plausible node power: {mb}");

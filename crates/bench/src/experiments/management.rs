@@ -10,7 +10,7 @@ use davide_core::units::{Seconds, Watts};
 use davide_predictor::{ModelKind, RlsPredictor};
 use davide_sched::{
     report, simulate, CapSchedule, EasyBackfill, EnergyLedger, Fcfs, PowerPredictor, SimConfig,
-    SimReport, Tariff, WorkloadConfig, WorkloadGenerator,
+    SimReport, WorkloadConfig, WorkloadGenerator,
 };
 
 /// E9 — node power capping: cap sweep, settle time, QoS cost, and the
@@ -244,17 +244,28 @@ pub fn e11() {
     println!("too hot\") keeps QoS while shaping when the power is drawn.");
 }
 
-/// E12 — per-job / per-user energy accounting.
+/// E12 — per-job / per-user energy accounting, served through the same
+/// [`QueryService`] rollup path the HTTP front-end exposes.
 pub fn e12() {
+    use davide_api::{JobRollupRequest, QueryService, QueryServiceConfig, UserRollupRequest};
+    use davide_telemetry::gateway::power_topic;
+    use davide_telemetry::TsDb;
+
     header("e12", "Energy accounting (EA) & attribution");
     let cfg = WorkloadConfig::default();
     let mut gen = WorkloadGenerator::new(cfg, 77);
     let trace = gen.trace(300);
     let out = simulate(&trace, &mut EasyBackfill::new(), SimConfig::davide());
-    let mut ledger = EnergyLedger::new();
-    ledger.ingest(&out);
+    let svc = QueryService::over_store(
+        TsDb::new(),
+        &davide_obs::ObsHub::monotonic(),
+        QueryServiceConfig::default(),
+    );
+    svc.ingest_outcome(&out, |n| power_topic(n, "node"));
 
     let total = out.total_energy_j();
+    let ledger = svc.ledger();
+    let ledger = ledger.read();
     let attributed = ledger.attributed_j();
     println!(
         "system energy {:.1} kWh = attributed {:.1} kWh (jobs) + {:.1} kWh (idle floor)",
@@ -264,23 +275,48 @@ pub fn e12() {
     );
     assert!((attributed + ledger.unattributed_j() - total).abs() < 1e-3);
     println!("conservation check: Σ per-job + idle = system ✓");
+    drop(ledger);
 
-    println!("\ntop 5 users by energy-to-solution:");
+    println!("\ntop 5 users by energy-to-solution (via /v1/rollup/user):");
     println!(
         "{:<8} {:>6} {:>10} {:>12} {:>12} {:>10}",
         "user", "jobs", "kWh", "node-hours", "W/node avg", "cost (€)"
     );
-    for (user, acct) in ledger.users_by_energy().into_iter().take(5) {
+    let rollup = svc
+        .rollup_user(&UserRollupRequest { user_id: None })
+        .expect("rollup");
+    for u in rollup.users.iter().take(5) {
         println!(
             "user{:<4} {:>6} {:>10.1} {:>12.1} {:>12.0} {:>10.2}",
-            user,
-            acct.jobs,
-            acct.energy_j / 3.6e6,
-            acct.node_seconds / 3600.0,
-            acct.mean_power_per_node(),
-            acct.cost(Tariff::default())
+            u.user_id,
+            u.jobs,
+            u.energy_j / 3.6e6,
+            u.node_seconds / 3600.0,
+            u.mean_power_w,
+            u.cost
         );
     }
+    // Spot-check one job through the same typed path.
+    let heaviest = rollup.users.first().expect("users exist").user_id;
+    let job = out
+        .completed
+        .iter()
+        .find(|j| j.user_id == heaviest)
+        .expect("heaviest user completed a job");
+    let jr = svc
+        .rollup_job(&JobRollupRequest {
+            job_id: job.id,
+            measured: false,
+        })
+        .expect("job rollup");
+    println!(
+        "\njob {} (user{}): ledger {:.2} kWh, cost €{:.2} (via /v1/rollup/job)",
+        jr.job_id,
+        jr.user_id,
+        jr.ledger_energy_j.unwrap_or(0.0) / 3.6e6,
+        jr.cost
+    );
+    assert!(jr.ledger_energy_j.unwrap_or(0.0) > 0.0);
 }
 
 /// E13 — energy-proportionality APIs: node shaped to the job.

@@ -2,6 +2,7 @@
 //! reproduce.
 
 pub mod acquisition;
+pub mod api;
 pub mod applications;
 pub mod controlplane;
 pub mod ingest;

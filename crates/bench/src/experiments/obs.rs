@@ -105,7 +105,7 @@ pub fn e24() {
     println!(
         "\nself-telemetry: {} obs samples round-tripped over MQTT into {} series",
         obs.self_samples,
-        obs.self_db.keys().len(),
+        davide_telemetry::SeriesRead::series_names(&obs.self_db).len(),
     );
 
     assert!(age.count > 0, "latency distribution must be measured");

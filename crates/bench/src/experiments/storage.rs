@@ -25,7 +25,7 @@ use super::controlplane::SMOKE_ENV;
 use crate::header;
 use davide_telemetry::acquisition::{AcquisitionConfig, AcquisitionRig, DspMode};
 use davide_telemetry::tsdb::{Resolution, TsDb};
-use davide_telemetry::{DiskTierConfig, TieringConfig, TsDbConfig};
+use davide_telemetry::{DiskTierConfig, SeriesRead, TieringConfig, TsDbConfig};
 use std::time::Instant;
 
 fn smoke() -> bool {
@@ -176,13 +176,14 @@ fn replay_gates() {
         "the per-shard memory budget must push blocks to the disk tier"
     );
 
-    // Bit-exact differential: every series, full history.
-    let keys = tiered.db().keys();
-    assert_eq!(keys, reference.db().keys());
+    // Bit-exact differential: every series, full history, through the
+    // unified SeriesRead surface both stores serve.
+    let keys = tiered.db().series_names();
+    assert_eq!(keys, reference.db().series_names());
     let mut compared = 0u64;
     for key in &keys {
-        let a = tiered.db().query_range(key, Resolution::Raw, 0.0, 1e18);
-        let b = reference.db().query_range(key, Resolution::Raw, 0.0, 1e18);
+        let a = tiered.db().series_range(key, Resolution::Raw, 0.0, 1e18);
+        let b = reference.db().series_range(key, Resolution::Raw, 0.0, 1e18);
         assert!(!a.coverage.evicted, "{key}: tiered store lost history");
         assert_eq!(a.points.len(), b.points.len(), "{key}");
         for (x, y) in a.points.iter().zip(&b.points) {
@@ -190,8 +191,11 @@ fn replay_gates() {
             assert_eq!(x.v.to_bits(), y.v.to_bits(), "{key}");
         }
         compared += a.points.len() as u64;
-        let ma = tiered.db().mean(key, Resolution::Raw, 0.0, 1e18);
-        let mb = reference.db().mean(key, Resolution::Raw, 0.0, 1e18);
+        let ma = tiered.db().series_mean(key, Resolution::Raw, 0.0, 1e18).0;
+        let mb = reference
+            .db()
+            .series_mean(key, Resolution::Raw, 0.0, 1e18)
+            .0;
         assert_eq!(ma.map(f64::to_bits), mb.map(f64::to_bits), "{key}");
     }
     assert_eq!(

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E26, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E27, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -150,6 +150,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e26",
             title: "Tiered Gorilla-compressed TsDb (storage engine)",
             run: storage::e26,
+        },
+        Experiment {
+            id: "e27",
+            title: "Unified query API: service QPS, HTTP, interference",
+            run: api::e27,
         },
         Experiment {
             id: "f1",

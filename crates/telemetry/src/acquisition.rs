@@ -35,6 +35,7 @@ use crate::adc::SarAdc;
 use crate::gateway::{power_topic, SampleFrame, CHANNELS};
 use crate::ingest::{FrameIngestor, ShardedTsDb};
 use crate::kernels::{boxcar_block, AdcKernel};
+use crate::read::SeriesRead;
 use crate::storage::TieringConfig;
 use crate::tsdb::TsDbConfig;
 use bytes::Bytes;
@@ -501,10 +502,11 @@ impl AcquisitionRig {
         };
         for key in self.db.keys() {
             mix(key.as_bytes());
-            mix(&self.db.count(&key).to_le_bytes());
+            mix(&self.db.series_watermark(&key).to_le_bytes());
             let mean = self
                 .db
-                .mean(&key, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .series_mean(&key, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .0
                 .unwrap_or(f64::NAN);
             mix(&mean.to_bits().to_le_bytes());
         }
@@ -537,7 +539,10 @@ mod tests {
         let keys = rig.db().keys();
         assert_eq!(keys.len(), 3 * 8, "one series per node/channel");
         for k in &keys {
-            assert_eq!(rig.db().count(k), (cfg.frame_len() * rounds) as u64);
+            assert_eq!(
+                rig.db().series_watermark(k),
+                (cfg.frame_len() * rounds) as u64
+            );
         }
     }
 
@@ -553,11 +558,13 @@ mod tests {
         for k in blocked.db().keys() {
             let mb = blocked
                 .db()
-                .mean(&k, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .series_mean(&k, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .0
                 .unwrap();
             let ms = scalar
                 .db()
-                .mean(&k, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .series_mean(&k, crate::tsdb::Resolution::Raw, 0.0, 1e18)
+                .0
                 .unwrap();
             // f32 multiply-by-reciprocal quantisation vs f64 division
             // can land one code apart; means stay within ~an LSB.

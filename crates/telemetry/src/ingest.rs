@@ -397,6 +397,11 @@ impl ShardedTsDb {
         shard_index(key, self.shards.len())
     }
 
+    /// The shard that owns a key, for read-path delegation.
+    pub(crate) fn owning_shard(&self, key: &str) -> &TsDb {
+        &self.shards[self.shard_of(key)]
+    }
+
     /// Bulk-append one frame, routed to its owning shard by topic
     /// hash. The borrowed-slice twin of [`Self::ingest_batch`] for
     /// callers that decode into scratch and never materialise owned
@@ -447,42 +452,50 @@ impl ShardedTsDb {
     }
 
     /// Total observations absorbed for a series.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-off accessor shape; use `SeriesRead::series_watermark`"
+    )]
     pub fn count(&self, key: &str) -> u64 {
-        let shard = &self.shards[self.shard_of(key)];
-        shard.lookup(key).map_or(0, |id| shard.count_id(id))
+        crate::read::SeriesRead::series_watermark(self, key)
     }
 
     /// Range query at a resolution (routed to the owning shard).
+    #[deprecated(
+        since = "0.1.0",
+        note = "drops coverage provenance; use `SeriesRead::series_range`"
+    )]
     pub fn query(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Vec<Point> {
-        let shard = &self.shards[self.shard_of(key)];
-        match shard.lookup(key) {
-            Some(id) => shard.query_id(id, res, t0, t1),
-            None => Vec::new(),
-        }
+        crate::read::SeriesRead::series_range(self, key, res, t0, t1).points
     }
 
     /// Range query with per-tier coverage accounting (routed to the
     /// owning shard).
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-off accessor shape; use `SeriesRead::series_range` \
+                (and `series_range_filter` for coverage merged across shards)"
+    )]
     pub fn query_range(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> RangeQuery {
-        let shard = &self.shards[self.shard_of(key)];
-        match shard.lookup(key) {
-            Some(id) => shard.query_range_id(id, res, t0, t1),
-            None => RangeQuery::default(),
-        }
+        crate::read::SeriesRead::series_range(self, key, res, t0, t1)
     }
 
     /// Mean over a window at a resolution.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drops coverage provenance; use `SeriesRead::series_mean`"
+    )]
     pub fn mean(&self, key: &str, res: Resolution, t0: f64, t1: f64) -> Option<f64> {
-        let shard = &self.shards[self.shard_of(key)];
-        shard.mean_id(shard.lookup(key)?, res, t0, t1)
+        crate::read::SeriesRead::series_mean(self, key, res, t0, t1).0
     }
 
     /// Energy over a window (accounting query).
+    #[deprecated(
+        since = "0.1.0",
+        note = "drops coverage provenance; use `SeriesRead::series_energy_j`"
+    )]
     pub fn energy_j(&self, key: &str, t0: f64, t1: f64) -> f64 {
-        let shard = &self.shards[self.shard_of(key)];
-        shard
-            .lookup(key)
-            .map_or(0.0, |id| shard.energy_j_id(id, t0, t1))
+        crate::read::SeriesRead::series_energy_j(self, key, t0, t1).0
     }
 }
 
@@ -490,6 +503,7 @@ impl ShardedTsDb {
 mod tests {
     use super::*;
     use crate::gateway::{power_topic, EnergyGateway};
+    use crate::read::SeriesRead;
     use crate::waveform::WorkloadWaveform;
     use bytes::Bytes;
     use davide_core::rng::Rng;
@@ -609,17 +623,17 @@ mod tests {
         assert_eq!(sharded.keys().len(), 6);
         for key in flat.keys() {
             let id = flat.lookup(&key).unwrap();
-            assert_eq!(flat.count_id(id), sharded.count(&key));
+            assert_eq!(flat.count_id(id), sharded.series_watermark(&key));
             for res in [Resolution::Raw, Resolution::Second] {
                 assert_eq!(
                     flat.query_id(id, res, 0.0, 1e9),
-                    sharded.query(&key, res, 0.0, 1e9),
+                    sharded.series_range(&key, res, 0.0, 1e9).points,
                     "{key} at {res:?}"
                 );
             }
             let (ef, es) = (
                 flat.energy_j_id(id, 0.0, 1e9),
-                sharded.energy_j(&key, 0.0, 1e9),
+                sharded.series_energy_j(&key, 0.0, 1e9).0,
             );
             assert!((ef - es).abs() < 1e-12);
         }

@@ -49,6 +49,7 @@ pub mod ingest;
 pub mod kernels;
 pub mod monitor;
 pub mod profiler;
+pub mod read;
 pub mod selfmon;
 pub mod sensors;
 pub mod spectral;
@@ -66,6 +67,7 @@ pub use hazards::{fleet_outliers, scan_trace, Hazard, HazardConfig};
 pub use ingest::{FrameIngestor, IngestObs, IngestStats, ShardedTsDb};
 pub use monitor::MonitorChain;
 pub use profiler::{detect_phases, PhaseSegment, ProfilerConfig};
+pub use read::{FilterRangeQuery, SeriesRead};
 pub use selfmon::{MqttMetricSink, SelfMonitor};
 pub use sensors::PowerSensor;
 pub use spectral::{welch_psd, Spectrum};

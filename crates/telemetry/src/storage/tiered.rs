@@ -78,6 +78,18 @@ impl QueryCoverage {
     pub fn is_complete(&self) -> bool {
         !self.evicted
     }
+
+    /// Fold another coverage into this one: per-tier point counts add,
+    /// and the truncation flag is sticky (`evicted` ORs). This is how
+    /// multi-series and multi-shard queries aggregate provenance — a
+    /// merged answer is complete only if *every* contributing series on
+    /// *every* shard was complete.
+    pub fn merge(&mut self, o: &QueryCoverage) {
+        self.hot += o.hot;
+        self.compressed += o.compressed;
+        self.disk += o.disk;
+        self.evicted |= o.evicted;
+    }
 }
 
 /// A range query result: the points plus where they came from.

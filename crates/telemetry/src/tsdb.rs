@@ -660,14 +660,29 @@ impl TsDb {
     /// in chronological order (bit-identical to the hot-only fold).
     /// Windows with fewer than two raw points integrate to 0.
     pub fn energy_j_id(&self, id: SeriesId, t0: f64, t1: f64) -> f64 {
-        let (acc, _) = self.scan_id(id, t0, t1).fold_points(
+        self.energy_j_id_with_coverage(id, t0, t1).0
+    }
+
+    /// [`TsDb::energy_j_id`] plus the provenance of the integrated
+    /// points, so accounting callers can tell a true zero from a window
+    /// whose history was evicted before it could be billed.
+    pub fn energy_j_id_with_coverage(
+        &self,
+        id: SeriesId,
+        t0: f64,
+        t1: f64,
+    ) -> (f64, QueryCoverage) {
+        let mut scan = self.scan_id(id, t0, t1);
+        let (acc, _) = scan.fold_points(
             (0.0f64, None::<(f64, f64)>),
             |(acc, prev), t, v| match prev {
                 Some((pt, pv)) => (acc + pv * (t - pt), Some((t, v))),
                 None => (acc, Some((t, v))),
             },
         );
-        acc
+        let mut coverage = scan.coverage();
+        coverage.evicted = self.evicted_before(id.index(), t0);
+        (acc, coverage)
     }
 
     /// Point-in-time tier occupancy across every series (hot ring

@@ -2,14 +2,15 @@
 //!
 //! Provides `crossbeam::channel::{bounded, unbounded}` with the
 //! `Sender`/`Receiver` methods this workspace uses, implemented over
-//! `std::sync::mpsc`. The one semantic difference from upstream —
-//! `std`'s `Receiver` is not `Sync` — does not matter for the
-//! in-process broker, which owns each receiver from a single client.
+//! `std::sync::mpsc`. Like upstream (and unlike bare `mpsc`), the
+//! channel is MPMC: `Receiver` clones share one queue — each message
+//! is delivered to exactly one of the cloned receivers — which is what
+//! the HTTP front-end's worker pool relies on.
 
 pub mod channel {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
     use std::time::Duration;
 
     /// Sending half of a channel.
@@ -37,10 +38,20 @@ pub mod channel {
         }
     }
 
-    /// Receiving half of a channel.
+    /// Receiving half of a channel. Clones share the queue (MPMC):
+    /// each message reaches exactly one receiver.
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
         queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+                queued: Arc::clone(&self.queued),
+            }
+        }
     }
 
     impl<T> std::fmt::Debug for Receiver<T> {
@@ -74,6 +85,10 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::send`]: all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
     /// Error returned by [`Receiver::recv_timeout`].
     #[derive(Debug, PartialEq, Eq)]
     pub enum RecvTimeoutError {
@@ -92,11 +107,25 @@ pub mod channel {
                 inner: tx,
                 queued: Arc::clone(&queued),
             },
-            Receiver { inner: rx, queued },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+                queued,
+            },
         )
     }
 
     impl<T> Sender<T> {
+        /// Blocking send; waits for space, fails only on disconnect.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self.inner.send(msg) {
+                Ok(()) => {
+                    self.queued.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(mpsc::SendError(m)) => Err(SendError(m)),
+            }
+        }
+
         /// Non-blocking send; fails when full or disconnected.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
             match self.inner.try_send(msg) {
@@ -131,7 +160,7 @@ pub mod channel {
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            match self.inner.try_recv() {
+            match self.inner.lock().expect("channel poisoned").try_recv() {
                 Ok(m) => {
                     self.took_one();
                     Ok(m)
@@ -142,15 +171,29 @@ pub mod channel {
         }
 
         /// Blocking receive until a message or disconnect.
+        ///
+        /// With cloned receivers the queue lock is held while waiting;
+        /// worker pools should prefer [`Receiver::recv_timeout`] so
+        /// siblings get their turn at the queue.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let m = self.inner.recv().map_err(|_| RecvError)?;
+            let m = self
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .recv()
+                .map_err(|_| RecvError)?;
             self.took_one();
             Ok(m)
         }
 
         /// Blocking receive with a deadline.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            match self.inner.recv_timeout(timeout) {
+            let got = self
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .recv_timeout(timeout);
+            match got {
                 Ok(m) => {
                     self.took_one();
                     Ok(m)
@@ -177,6 +220,26 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx) = bounded(8);
+            let rx2 = rx.clone();
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            let mut got = vec![
+                rx.recv().unwrap(),
+                rx2.recv().unwrap(),
+                rx.try_recv().unwrap(),
+                rx2.try_recv().unwrap(),
+            ];
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            drop(rx);
+            drop(rx2);
+            assert_eq!(tx.send(9), Err(SendError(9)));
         }
 
         #[test]
