@@ -1,0 +1,114 @@
+//! E28 — the petaflops-class federated simulation: the full D.A.V.I.D.E.
+//! deployment shape (§II: racks of 45 nodes behind per-rack management
+//! networks, §III-A2: one facility power budget) as a multi-rack
+//! discrete-event run. Every rack is a complete telemetry →
+//! control-plane stack on its own broker; MQTT bridges fan rack
+//! telemetry into a site broker where a federator splits the global
+//! budget into per-rack cap grants, rebalanced on demand shifts.
+//!
+//! Gates: the sized run must cover ≥ 1000 nodes and ≥ 50 000 jobs,
+//! hold every per-rack *and* federation-level invariant, conserve
+//! energy between the site ledger and the rack ledgers, and be
+//! bit-identically reproducible (one digest over all rack logs plus
+//! the federation log). `--smoke` shrinks it to 200 nodes / 5000 jobs
+//! for CI; the gates are the same.
+
+use crate::experiments::controlplane::SMOKE_ENV;
+use crate::header;
+use davide_sim::federation::{run_federated_with_db_config, FedScenario};
+use davide_telemetry::{TieringConfig, TsDbConfig};
+
+fn smoke() -> bool {
+    std::env::var_os(SMOKE_ENV).is_some()
+}
+
+/// E28 — federated multi-rack run under one global power budget.
+pub fn e28() {
+    header(
+        "e28",
+        "Federated petaflops-class sim (multi-rack, global budget)",
+    );
+    // Full: 23 racks × 45 nodes = 1035 nodes (the paper's pilot rack
+    // scaled to the petaflops target), 50 002 jobs over a simulated day
+    // and a half. Smoke: 5 racks × 40 nodes = 200 nodes, 5000 jobs.
+    let (n_racks, nodes_per_rack, jobs_per_rack) = if smoke() {
+        (5, 40, 1000)
+    } else {
+        (23, 45, 2174)
+    };
+    let fs = FedScenario::sized("e28", 2026, n_racks, nodes_per_rack, jobs_per_rack);
+    let n_nodes = n_racks * nodes_per_rack as usize;
+    let n_jobs = n_racks * jobs_per_rack;
+    println!(
+        "{n_racks} racks × {nodes_per_rack} nodes = {n_nodes} nodes, {n_jobs} jobs, \
+         budget {:.0} kW, rebalance {:.0}s{}",
+        fs.global_budget_w / 1e3,
+        fs.rebalance_s,
+        if smoke() { "  [smoke]" } else { "" }
+    );
+
+    // Day-long runs want bounded memory: every rack's store runs the
+    // tiered engine (seal + compress; no disk tier, so nothing leaks
+    // outside the process).
+    let db = TsDbConfig {
+        tiering: Some(TieringConfig::default()),
+        ..TsDbConfig::default()
+    };
+    let out = run_federated_with_db_config(&fs, db.clone());
+
+    println!(
+        "\n{:<12} {:>6} {:>9} {:>10} {:>9} {:>8} {:>6}",
+        "rack", "jobs", "energy", "makespan", "frames", "ovcap_s", "viol"
+    );
+    for r in &out.racks {
+        println!(
+            "{:<12} {:>6} {:>8.2}MWh {:>9.1}h {:>9} {:>8.0} {:>6}",
+            &r.scenario[r.scenario.len() - 6..],
+            r.report.jobs_completed,
+            r.truth.total_energy_j / 3.6e9,
+            r.truth.makespan_s / 3600.0,
+            r.truth.frames_delivered,
+            r.truth.overcap_s,
+            r.violations.len(),
+        );
+    }
+    let jobs_done: u64 = out.racks.iter().map(|r| r.report.jobs_completed).sum();
+    let racks_energy = out.racks_energy_j();
+    println!(
+        "\nsite: {jobs_done} jobs, {:.2} MWh (Σ racks {:.2} MWh), {} rebalances, \
+         {} grant events",
+        out.global_energy_j / 3.6e9,
+        racks_energy / 3.6e9,
+        out.rebalances,
+        out.fed_log.len(),
+    );
+
+    // ── Gates. ──
+    assert!(n_nodes >= if smoke() { 200 } else { 1000 }, "node floor");
+    assert!(n_jobs >= if smoke() { 5000 } else { 50_000 }, "job floor");
+    assert_eq!(jobs_done as usize, n_jobs, "every job must complete");
+    let violations = out.all_violations();
+    assert!(
+        violations.is_empty(),
+        "E28 must hold every invariant, got {}: first {}",
+        violations.len(),
+        violations[0].1
+    );
+    assert!(
+        (out.global_energy_j - racks_energy).abs() <= 1e-9 * racks_energy + 1e-6,
+        "site ledger must equal the sum of rack ledgers"
+    );
+    assert!(out.rebalances > 0, "the budget must be rebalanced");
+
+    // Determinism: the whole federation re-runs to the same digest.
+    let again = run_federated_with_db_config(&fs, db);
+    assert_eq!(
+        out.digest(),
+        again.digest(),
+        "E28 re-run diverged — the federation is not seed-pure"
+    );
+    println!(
+        "digest {:#018x} (bit-identical across re-runs)",
+        out.digest()
+    );
+}

@@ -5,20 +5,34 @@
 //! selected topics upstream to the site broker where the job scheduler
 //! and accounting subscribe. This is the standard MQTT bridging pattern
 //! (mosquitto's `connection` blocks), reimplemented over the in-process
-//! broker: filter-based forwarding, optional topic prefixing, and
-//! loop-safe one-directional pumps.
+//! broker: filter-based forwarding, optional topic prefixing, loop-safe
+//! one-directional pumps, and a restart-tolerant source session —
+//! [`disconnect_source`]/[`reconnect_source`] model the bridge losing
+//! its uplink when the source broker restarts, and the pump
+//! deduplicates the retained replay a resubscribe triggers, so each
+//! retained status value crosses the bridge **exactly once** no matter
+//! how many reconnects happen in between.
+//!
+//! [`disconnect_source`]: Bridge::disconnect_source
+//! [`reconnect_source`]: Bridge::reconnect_source
 
 use crate::broker::{Broker, BrokerError};
 use crate::client::Client;
 use crate::codec::QoS;
 use crate::topic::validate_filter;
+use bytes::Bytes;
 use std::collections::HashMap;
 
 /// A one-directional bridge pumping matching messages from a source
 /// broker to a destination broker.
 pub struct Bridge {
+    /// Handle kept so the source session can be rebuilt after a broker
+    /// restart.
+    source_broker: Broker,
     source: Client,
     destination: Client,
+    name: String,
+    filters: Vec<String>,
     /// Prefix prepended to forwarded topics (e.g. `rack0`).
     pub prefix: Option<String>,
     forwarded: u64,
@@ -26,6 +40,12 @@ pub struct Bridge {
     // small (nodes × channels), so after warm-up the pump loop
     // republishes without re-formatting a String per message.
     topic_cache: HashMap<String, String>,
+    // Source topic → last retained payload forwarded. A resubscribe
+    // after reconnect replays the retained store into the fresh
+    // session; values already forwarded are dropped here so downstream
+    // sees each retained state exactly once.
+    retained_seen: HashMap<String, Bytes>,
+    source_connected: bool,
 }
 
 impl Bridge {
@@ -47,12 +67,22 @@ impl Bridge {
         }
         let dst_client = destination.connect(format!("bridge-{name}-out"));
         Ok(Bridge {
+            source_broker: source.clone(),
             source: src_client,
             destination: dst_client,
+            name: name.to_string(),
+            filters: filters.iter().map(|f| f.to_string()).collect(),
             prefix: prefix.map(str::to_string),
             forwarded: 0,
             topic_cache: HashMap::new(),
+            retained_seen: HashMap::new(),
+            source_connected: true,
         })
+    }
+
+    /// The bridge's configured name (client ids are derived from it).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Messages forwarded so far.
@@ -60,13 +90,64 @@ impl Bridge {
         self.forwarded
     }
 
+    /// True while the source-side session is up.
+    pub fn source_connected(&self) -> bool {
+        self.source_connected
+    }
+
+    /// Drop the source-side session, as a source-broker restart would:
+    /// undelivered messages are lost with the session and nothing is
+    /// pumped until [`reconnect_source`](Self::reconnect_source).
+    pub fn disconnect_source(&mut self) {
+        if self.source_connected {
+            self.source.disconnect();
+            self.source_connected = false;
+        }
+    }
+
+    /// Re-establish the source session after a restart: reconnect,
+    /// resubscribe every configured filter (triggering the broker's
+    /// retained replay into the fresh session). The next
+    /// [`pump`](Self::pump) forwards only retained values that have not
+    /// already crossed the bridge.
+    pub fn reconnect_source(&mut self) -> Result<(), BrokerError> {
+        if self.source_connected {
+            return Ok(());
+        }
+        let mut src = self
+            .source_broker
+            .connect(format!("bridge-{}-in", self.name));
+        for f in &self.filters {
+            src.subscribe(f, QoS::AtLeastOnce)?;
+        }
+        self.source = src;
+        self.source_connected = true;
+        Ok(())
+    }
+
     /// Drain everything queued on the source side and republish it
     /// downstream. Returns the number of messages forwarded. Prefixed
     /// topics are built once per distinct source topic and cached, so
-    /// the steady-state pump republishes without allocating.
+    /// the steady-state pump republishes without allocating. Retained
+    /// messages are forwarded at most once per distinct value: the
+    /// replay a post-restart resubscribe triggers is dropped when that
+    /// exact state already crossed the bridge.
     pub fn pump(&mut self) -> usize {
+        if !self.source_connected {
+            return 0;
+        }
         let mut n = 0;
         while let Some(msg) = self.source.try_recv() {
+            if msg.retain {
+                // Exactly-once for retained state: skip a value we
+                // already forwarded (retained replays repeat the last
+                // value per topic on every resubscribe).
+                if self.retained_seen.get(&msg.topic) == Some(&msg.payload) {
+                    continue;
+                }
+                self.retained_seen
+                    .insert(msg.topic.clone(), msg.payload.clone());
+            }
             // Never re-forward retained replays of our own destination
             // side: a one-directional bridge cannot loop, but retained
             // replays at subscribe time would double-deliver old state.
@@ -107,6 +188,7 @@ mod tests {
         let site = Broker::default();
         let mut bridge =
             Bridge::connect(&rack, &site, "rack0", &["davide/+/power/#"], Some("rack0")).unwrap();
+        assert_eq!(bridge.name(), "rack0");
 
         let mut site_agent = site.connect("site-accounting");
         site_agent
@@ -212,5 +294,74 @@ mod tests {
         let a = Broker::default();
         let b = Broker::default();
         assert!(Bridge::connect(&a, &b, "x", &["bad/#/filter"], None).is_err());
+    }
+
+    #[test]
+    fn disconnected_source_pumps_nothing_until_reconnect() {
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge = Bridge::connect(&rack, &site, "r0", &["davide/#"], None).unwrap();
+        let mut down = site.connect("down");
+        down.subscribe("davide/#", QoS::AtMostOnce).unwrap();
+
+        bridge.disconnect_source();
+        assert!(!bridge.source_connected());
+        let gw = rack.connect("eg");
+        gw.publish("davide/n0/x", payload("lost"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(bridge.pump(), 0, "no session, nothing to pump");
+
+        bridge.reconnect_source().unwrap();
+        assert!(bridge.source_connected());
+        // The non-retained message published during the outage is gone
+        // with the old session (MQTT semantics: lost, not duplicated).
+        assert_eq!(bridge.pump(), 0);
+        gw.publish("davide/n0/x", payload("live"), QoS::AtMostOnce, false)
+            .unwrap();
+        assert_eq!(bridge.pump(), 1);
+        assert_eq!(&down.drain().pop().unwrap().payload[..], b"live");
+    }
+
+    #[test]
+    fn broker_restart_delivers_each_retained_message_exactly_once() {
+        // The fault-coverage regression for federation's downlinks: a
+        // retained cap grant must reach downstream exactly once across a
+        // source-broker restart, even though the resubscribe replays it.
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge = Bridge::connect(&rack, &site, "caps", &["fed/+/cap"], None).unwrap();
+        let mut down = site.connect("rack-ctl");
+        down.subscribe("fed/+/cap", QoS::AtMostOnce).unwrap();
+
+        let fed = rack.connect("federator");
+        fed.publish("fed/rack00/cap", payload("7200"), QoS::AtLeastOnce, true)
+            .unwrap();
+        assert_eq!(bridge.pump(), 1);
+
+        // Restart: the bridge's source session drops and comes back; the
+        // resubscribe replays the retained grant into the new session.
+        bridge.disconnect_source();
+        bridge.reconnect_source().unwrap();
+        assert_eq!(
+            bridge.pump(),
+            0,
+            "retained replay of an already-forwarded value must not re-cross"
+        );
+
+        // A *new* grant value does cross, once, and further restarts
+        // still replay only the latest value — also deduplicated.
+        fed.publish("fed/rack00/cap", payload("6800"), QoS::AtLeastOnce, true)
+            .unwrap();
+        assert_eq!(bridge.pump(), 1);
+        bridge.disconnect_source();
+        bridge.reconnect_source().unwrap();
+        bridge.disconnect_source();
+        bridge.reconnect_source().unwrap();
+        assert_eq!(bridge.pump(), 0);
+
+        let got: Vec<_> = down.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(got.len(), 2, "one delivery per distinct grant: {got:?}");
+        assert_eq!(&got[0][..], b"7200");
+        assert_eq!(&got[1][..], b"6800");
     }
 }

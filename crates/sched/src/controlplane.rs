@@ -452,6 +452,20 @@ impl ControlPlane {
         &self.db
     }
 
+    /// Replace the cap schedule at runtime. A federated deployment
+    /// grants each rack a share of the global budget and rebalances it
+    /// live; both the admission envelope and the reactive ladder read
+    /// the schedule through [`CapSchedule::cap_at`] every tick, so the
+    /// swap takes effect on the next control period.
+    pub fn set_cap_schedule(&mut self, cap: CapSchedule) {
+        self.cfg.cap = cap;
+    }
+
+    /// The cap the loop is enforcing at `now`, if any.
+    pub fn cap_at(&self, now: f64) -> Option<f64> {
+        self.cfg.cap.cap_at(now)
+    }
+
     /// One control period at time `now`: ingest telemetry, absorb
     /// `completions` (job id, end time) into the predictor, run the
     /// reactive ladder, then dispatch. Returns the placements started

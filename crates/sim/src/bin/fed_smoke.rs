@@ -1,0 +1,110 @@
+//! CI federation smoke: a small multi-rack run with a hostile fault
+//! mix, asserting the federation-level determinism and invariant
+//! contracts that `fault_smoke` asserts per rack.
+//!
+//! * three racks under one global budget, one rack taking a broker
+//!   restart mid-run (bridge sessions drop and reconnect, retained cap
+//!   grants replay exactly once) and one losing a node;
+//! * every per-rack and federation-level invariant must hold;
+//! * the digest over all rack logs plus the federation log must be
+//!   bit-identical across a re-run, and must move when reseeded.
+//!
+//! Exit code 0 only when all of the above hold.
+
+use davide_sim::federation::{run_federated, FedScenario};
+use davide_sim::Fault;
+
+fn scenario(seed: u64) -> FedScenario {
+    let mut fs = FedScenario::base("fed_smoke", seed, 3);
+    // Rack-specific fault scripts: a healthy rack, a broker restart,
+    // a node death — the federated analogues of the canned set.
+    fs.per_rack_faults = vec![
+        vec![],
+        vec![Fault::BrokerRestart {
+            from_s: 300.0,
+            until_s: 360.0,
+        }],
+        vec![Fault::NodeDeath {
+            node: 2,
+            at_s: 420.0,
+            revive_s: 900.0,
+        }],
+    ];
+    fs
+}
+
+fn main() {
+    let seed = 2026;
+    let mut failed = false;
+
+    let a = run_federated(&scenario(seed));
+    println!("── federated racks ──");
+    println!(
+        "{:<22} {:>5} {:>9} {:>9} {:>8} {:>6}",
+        "rack", "jobs", "frames", "suppr", "ovcap_s", "viol"
+    );
+    for r in &a.racks {
+        println!(
+            "{:<22} {:>5} {:>9} {:>9} {:>8.0} {:>6}",
+            r.scenario,
+            r.report.jobs_completed,
+            r.truth.frames_delivered,
+            r.truth.frames_suppressed,
+            r.truth.overcap_s,
+            r.violations.len(),
+        );
+    }
+    println!(
+        "site: {:.3} MWh vs Σ racks {:.3} MWh, {} rebalances, {} grants, {} fed violations",
+        a.global_energy_j / 3.6e9,
+        a.racks_energy_j() / 3.6e9,
+        a.rebalances,
+        a.fed_log.len(),
+        a.violations.len(),
+    );
+    let violations = a.all_violations();
+    for (scope, v) in &violations {
+        println!("    VIOLATION [{scope}] {v}");
+    }
+    failed |= !violations.is_empty();
+    failed |= a.rebalances == 0;
+
+    println!("── determinism ──");
+    let b = run_federated(&scenario(seed));
+    let rerun_ok = a.digest() == b.digest();
+    println!(
+        "same seed rerun: {} (digest {:#018x})",
+        if rerun_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        a.digest()
+    );
+    let c = run_federated(&scenario(seed + 1));
+    let diverge_ok = c.digest() != a.digest();
+    println!(
+        "seed+1: {}",
+        if diverge_ok {
+            "diverges (as it must)"
+        } else {
+            "IDENTICAL (suspicious)"
+        }
+    );
+    failed |= !rerun_ok || !diverge_ok;
+
+    // Energy conservation across the hierarchy.
+    let racks_j = a.racks_energy_j();
+    let energy_ok = (a.global_energy_j - racks_j).abs() <= 1e-9 * racks_j + 1e-6;
+    println!(
+        "── energy ──\nsite ledger vs Σ rack ledgers: {}",
+        if energy_ok { "conserved" } else { "LEAKED" }
+    );
+    failed |= !energy_ok;
+
+    if failed {
+        println!("fed-smoke: FAIL");
+        std::process::exit(1);
+    }
+    println!("fed-smoke: OK");
+}

@@ -1,20 +1,76 @@
-//! The harness's virtual clock.
+//! The lockstep-era tick clock — **deprecated** in favour of the
+//! event kernel.
 //!
-//! All loop time is integer nanoseconds ([`SimTime`]) advanced in fixed
-//! control periods; `f64` seconds handed to the control plane are
-//! derived from the integer state, so tick boundaries are exact and two
-//! runs can never diverge by float accumulation. No wall-clock source
-//! exists anywhere in the harness.
+//! Until the kernel refactor, every harness run advanced a
+//! [`VirtualClock`] in fixed control periods and swept all phases each
+//! tick. Time now lives in [`crate::kernel::EventQueue`]: the queue's
+//! `now()` *is* the virtual clock, advanced by event dispatch rather
+//! than by a blanket `advance()`, with the same integer-nanosecond
+//! exactness ([`SimTime`] throughout, no wall-clock source anywhere).
+//!
+//! # Migrating
+//!
+//! A lockstep loop over `VirtualClock` becomes a recurring event that
+//! reschedules itself one period ahead; the queue replaces both the
+//! clock and the loop:
+//!
+//! ```
+//! use davide_core::time::{SimDuration, SimTime};
+//! use davide_sim::kernel::{drive, phase, EventHandler, EventQueue};
+//!
+//! // Before (deprecated):
+//! //     let mut clock = VirtualClock::new(5.0);
+//! //     loop {
+//! //         let t = clock.now_s();
+//! //         step(t);
+//! //         if done { break; }
+//! //         clock.advance();
+//! //     }
+//!
+//! // After: the step is an event; the queue carries the time.
+//! struct Loop {
+//!     tick: SimDuration,
+//!     steps: u32,
+//! }
+//! impl EventHandler<()> for Loop {
+//!     fn handle(&mut self, q: &mut EventQueue<()>, t: SimTime, _class: u8, _ev: ()) {
+//!         self.steps += 1; // step(t.as_secs_f64());
+//!         if self.steps < 3 {
+//!             q.schedule(t + self.tick, phase::CONTROL, ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO, phase::CONTROL, ());
+//! let mut looper = Loop { tick: SimDuration::from_secs_f64(5.0), steps: 0 };
+//! drive(&mut q, &mut looper);
+//! assert_eq!(looper.steps, 3);
+//! assert_eq!(q.now(), SimTime::from_secs(10)); // exact tick boundaries, as before
+//! ```
+//!
+//! Tick boundaries stay exact under the kernel: `t + tick` is integer
+//! nanosecond addition, identical to `VirtualClock::advance`, so
+//! timestamps (and therefore event-log digests) are unchanged by the
+//! migration — the differential test in `tests/fault_injection.rs`
+//! pins exactly that.
 
 use davide_core::time::{SimDuration, SimTime};
 
 /// Fixed-period virtual clock.
+#[deprecated(
+    since = "0.8.0",
+    note = "time lives in `kernel::EventQueue` now: schedule a recurring \
+            event instead of advancing a clock (see the module docs for \
+            the migration recipe)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VirtualClock {
     now: SimTime,
     tick: SimDuration,
 }
 
+#[allow(deprecated)]
 impl VirtualClock {
     /// A clock at `t = 0` advancing by `tick_s` seconds per
     /// [`advance`](Self::advance).
@@ -54,6 +110,7 @@ impl VirtualClock {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -66,5 +123,31 @@ mod tests {
             assert_eq!(c.now_ns(), k * 5_000_000_000, "integer time never drifts");
         }
         assert_eq!(c.now_s(), 5_000_000.0);
+    }
+
+    #[test]
+    fn kernel_reproduces_virtual_clock_boundaries() {
+        // The migration contract: a self-rescheduling kernel event
+        // visits exactly the instants VirtualClock::advance produced.
+        use crate::kernel::{drive, phase, EventHandler, EventQueue};
+        struct Ticks(Vec<u64>);
+        impl EventHandler<()> for Ticks {
+            fn handle(&mut self, q: &mut EventQueue<()>, t: SimTime, _c: u8, _e: ()) {
+                self.0.push(t.0);
+                if self.0.len() < 1000 {
+                    q.schedule(t + SimDuration::from_secs_f64(5.0), phase::CONTROL, ());
+                }
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, phase::CONTROL, ());
+        let mut h = Ticks(Vec::new());
+        drive(&mut q, &mut h);
+
+        let mut c = VirtualClock::new(5.0);
+        for &t_ns in &h.0 {
+            assert_eq!(t_ns, c.now_ns());
+            c.advance();
+        }
     }
 }

@@ -1,0 +1,595 @@
+//! Multi-rack federation: N racks under one global power budget.
+//!
+//! Each rack is a complete single-rack stack — its own broker, gateway
+//! fleet, control plane, fault script and invariant checker (a
+//! [`RackSim`]) — and a *federator* stitches them into one site:
+//!
+//! * per-rack **uplink** bridges ([`davide_mqtt::Bridge`]) forward
+//!   `davide/+/power/node` frames onto the site broker under a
+//!   `rackNN/` prefix, where the federator's watch client measures
+//!   per-rack demand;
+//! * on a rebalance boundary the federator splits the global budget
+//!   with [`davide_core::budget::split_budget`] and publishes each
+//!   rack's grant as a **retained** `fed/rackNN/cap` message on the
+//!   site broker;
+//! * per-rack **downlink** bridges forward the grants back onto the
+//!   rack brokers, where the rack's control plane applies them as its
+//!   new cap ([`Event::CapApplied`] in the rack log,
+//!   [`Event::FedRebalance`] in the federation log).
+//!
+//! Everything runs on the same [`crate::kernel`] event queue as the
+//! racks themselves: the `Federate` phase sorts after every rack's
+//! control step and before any plant integrates, and a `FedAudit`
+//! phase event audits the global envelope after every per-rack audit
+//! of the same instant. Rack broker restarts tear the rack's uplink
+//! session down with it; the bridge's retained-replay deduplication
+//! guarantees a reconnect never double-delivers a cap grant.
+//!
+//! Determinism carries over wholesale: a [`FedScenario`] re-run with
+//! the same seed produces bit-identical rack logs *and* a bit-identical
+//! federation log, summarised in one [`FedOutcome::digest`].
+
+use bytes::Bytes;
+use davide_core::budget::{split_budget, SharingPolicy};
+use davide_core::rng::Rng;
+use davide_core::time::{SimDuration, SimTime};
+use davide_core::Watts;
+use davide_mqtt::{Bridge, Broker, Client, QoS};
+use davide_sched::{CapSchedule, ControlPlaneConfig};
+use davide_telemetry::gateway::SampleFrame;
+use davide_telemetry::TsDbConfig;
+
+use crate::harness::{RackSim, RunOutcome, SimEvent, World};
+use crate::invariants::Violation;
+use crate::kernel::{self, phase, EventQueue};
+use crate::log::{Event, EventLog};
+use crate::scenario::{Fault, Scenario};
+
+/// A federated scenario: one rack template stamped out `n_racks` times
+/// (each with its own derived seed and, optionally, its own fault
+/// script), plus the site-level budget policy.
+#[derive(Debug, Clone)]
+pub struct FedScenario {
+    /// Scenario name, for reports.
+    pub name: String,
+    /// Master seed; per-rack seeds and every federation decision derive
+    /// from it.
+    pub seed: u64,
+    /// Number of racks.
+    pub n_racks: usize,
+    /// The rack template: every rack runs this scenario (name, seed and
+    /// cap are overridden per rack).
+    pub rack: Scenario,
+    /// Per-rack fault scripts. Empty → every rack runs the template's
+    /// script; otherwise rack `i` runs entry `i % len`.
+    pub per_rack_faults: Vec<Vec<Fault>>,
+    /// Global facility budget, watts, split across racks.
+    pub global_budget_w: f64,
+    /// Per-rack grant floor, watts. Must clear a rack's idle draw or
+    /// the split starves an idle rack below feasibility.
+    pub floor_w: f64,
+    /// Rebalance period, seconds. Must be a whole multiple of the rack
+    /// control period.
+    pub rebalance_s: f64,
+    /// How the budget is split.
+    pub policy: SharingPolicy,
+}
+
+impl FedScenario {
+    /// A small federation built on [`Scenario::base`]: `n_racks` 6-node
+    /// racks under a global budget ~10 % tighter than the sum of the
+    /// racks' standalone caps, so rebalancing has real work to do.
+    pub fn base(name: &str, seed: u64, n_racks: usize) -> FedScenario {
+        FedScenario {
+            name: name.to_string(),
+            seed,
+            n_racks,
+            rack: Scenario::base(name, seed),
+            per_rack_faults: Vec::new(),
+            global_budget_w: 8_100.0 * n_racks as f64,
+            floor_w: 2_500.0,
+            rebalance_s: 60.0,
+            policy: SharingPolicy::DemandProportional,
+        }
+    }
+
+    /// The E28 shape: `n_racks` racks of `nodes_per_rack` nodes running
+    /// `jobs_per_rack` jobs each at a 30 s control period — the
+    /// petaflops-class sizing is 23 racks × 45 nodes ≥ 1000 nodes and
+    /// ≥ 50 000 jobs over a simulated day.
+    pub fn sized(
+        name: &str,
+        seed: u64,
+        n_racks: usize,
+        nodes_per_rack: u32,
+        jobs_per_rack: usize,
+    ) -> FedScenario {
+        let mut rack = Scenario::base(name, seed);
+        rack.n_nodes = nodes_per_rack;
+        rack.n_jobs = jobs_per_rack;
+        rack.tick_s = 30.0;
+        rack.sample_dt_s = 5.0;
+        rack.mean_walltime_s = 900.0;
+        rack.mean_interarrival_s = 45.0;
+        rack.max_job_nodes = 4;
+        rack.deadline_s = 90.0;
+        rack.cap_grace_s = 600.0;
+        rack.cap_w = 1_350.0 * nodes_per_rack as f64;
+        FedScenario {
+            name: name.to_string(),
+            seed,
+            n_racks,
+            rack,
+            per_rack_faults: Vec::new(),
+            global_budget_w: 1_200.0 * (nodes_per_rack as f64) * n_racks as f64,
+            floor_w: 400.0 * nodes_per_rack as f64,
+            rebalance_s: 120.0,
+            policy: SharingPolicy::DemandProportional,
+        }
+    }
+
+    /// Rack `i`'s concrete scenario: the template with a derived name,
+    /// an independently mixed seed, an even share of the budget as its
+    /// starting cap, and its own fault script when one is configured.
+    pub fn rack_scenario(&self, i: usize) -> Scenario {
+        let mut sc = self.rack.clone();
+        sc.name = format!("{}/rack{i:02}", self.name);
+        // Independent per-rack randomness: mix the rack index through
+        // the workspace RNG so rack streams never collide or correlate.
+        let mut mix =
+            Rng::seed_from(self.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        sc.seed = mix.next_u64();
+        sc.cap_w = self.global_budget_w / self.n_racks as f64;
+        if !self.per_rack_faults.is_empty() {
+            sc.faults = self.per_rack_faults[i % self.per_rack_faults.len()].clone();
+        }
+        sc
+    }
+}
+
+/// Everything a federated run produces: every rack's full
+/// [`RunOutcome`] plus the federation-level log, checks and energy
+/// ledger.
+#[derive(Debug)]
+pub struct FedOutcome {
+    /// Federated scenario name.
+    pub scenario: String,
+    /// Per-rack outcomes, rack order.
+    pub racks: Vec<RunOutcome>,
+    /// The federator's own event log ([`Event::FedRebalance`] entries).
+    pub fed_log: EventLog,
+    /// Federation-level violations (`"fed-split"`, `"fed-cap"`,
+    /// `"fed-energy"`).
+    pub violations: Vec<Violation>,
+    /// Site energy as the federator accounted it, joules.
+    pub global_energy_j: f64,
+    /// The global budget the run held, watts.
+    pub global_budget_w: f64,
+    /// Budget rebalances performed.
+    pub rebalances: u64,
+}
+
+impl FedOutcome {
+    /// One number summarising the whole federated run: FNV-1a over
+    /// every rack's log digest (rack order) and the federation log's
+    /// digest. Same seed → same digest, across the racks *and* the
+    /// federator's decisions.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let digests = self
+            .racks
+            .iter()
+            .map(|r| r.log.digest())
+            .chain(std::iter::once(self.fed_log.digest()));
+        for d in digests {
+            for b in d.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
+    /// Every violation in the run: federation-level ones first, then
+    /// each rack's, tagged with the rack scenario name.
+    pub fn all_violations(&self) -> Vec<(String, Violation)> {
+        let mut out: Vec<(String, Violation)> = self
+            .violations
+            .iter()
+            .map(|v| (self.scenario.clone(), v.clone()))
+            .collect();
+        for r in &self.racks {
+            out.extend(r.violations.iter().map(|v| (r.scenario.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Sum of the racks' ground-truth energy ledgers, joules.
+    pub fn racks_energy_j(&self) -> f64 {
+        self.racks.iter().map(|r| r.truth.total_energy_j).sum()
+    }
+}
+
+/// The site-level component: owns the site broker, the rack bridges,
+/// the demand ledger and the budget splitter. Driven by the kernel's
+/// `Federate`/`FedAudit` phase events.
+pub(crate) struct Federator {
+    uplinks: Vec<Bridge>,
+    downlinks: Vec<Bridge>,
+    /// Site-side subscriber to every rack's bridged power frames.
+    watch: Client,
+    /// Site-side publisher of retained cap grants.
+    grant: Client,
+    /// Last delivered mean draw per node per rack, watts (idle draw
+    /// until first telemetry).
+    node_demand_w: Vec<Vec<f64>>,
+    /// Grants currently in force, per rack.
+    caps_w: Vec<f64>,
+    tick_s: f64,
+    tick_dur: SimDuration,
+    rebalance_ns: u64,
+    budget_w: f64,
+    floor_w: f64,
+    policy: SharingPolicy,
+    /// Per-node ladder hysteresis band of the rack controllers — the
+    /// same slack the per-rack envelope check grants.
+    band_w: f64,
+    grace_s: f64,
+    log: EventLog,
+    violations: Vec<Violation>,
+    energy_j: f64,
+    overcap_streak_s: f64,
+    rebalances: u64,
+}
+
+impl Federator {
+    /// Wire the site: bridges onto every rack broker, watch + grant
+    /// clients on the site broker.
+    fn new(fs: &FedScenario, site: &Broker, racks: &[RackSim]) -> Federator {
+        let cfg = ControlPlaneConfig::davide(
+            fs.rack.mode,
+            fs.rack.n_nodes,
+            CapSchedule::constant(fs.rack.cap_w),
+        );
+        assert!(
+            fs.floor_w > cfg.idle_node_power_w * fs.rack.n_nodes as f64,
+            "floor {} W must clear a rack's idle draw",
+            fs.floor_w
+        );
+        let tick_dur = SimDuration::from_secs_f64(fs.rack.tick_s);
+        let rebalance_ns = SimDuration::from_secs_f64(fs.rebalance_s).0;
+        assert!(
+            rebalance_ns > 0 && rebalance_ns.is_multiple_of(tick_dur.0),
+            "rebalance period must be a whole multiple of the control period"
+        );
+        let mut uplinks = Vec::with_capacity(racks.len());
+        let mut downlinks = Vec::with_capacity(racks.len());
+        for (i, rack) in racks.iter().enumerate() {
+            uplinks.push(
+                Bridge::connect(
+                    &rack.broker,
+                    site,
+                    &format!("rack{i:02}-up"),
+                    &["davide/+/power/node"],
+                    Some(&format!("rack{i:02}")),
+                )
+                .expect("uplink filters are static"),
+            );
+            downlinks.push(
+                Bridge::connect(
+                    site,
+                    &rack.broker,
+                    &format!("rack{i:02}-down"),
+                    &[&format!("fed/rack{i:02}/cap")],
+                    None,
+                )
+                .expect("downlink filters are static"),
+            );
+        }
+        let mut watch = site.connect("federator-demand");
+        watch
+            .subscribe("+/davide/+/power/node", QoS::AtMostOnce)
+            .expect("subscribe bridged power");
+        let grant = site.connect("federator-grants");
+        Federator {
+            uplinks,
+            downlinks,
+            watch,
+            grant,
+            node_demand_w: vec![vec![cfg.idle_node_power_w; fs.rack.n_nodes as usize]; racks.len()],
+            caps_w: vec![fs.global_budget_w / racks.len() as f64; racks.len()],
+            tick_s: fs.rack.tick_s,
+            tick_dur,
+            rebalance_ns,
+            budget_w: fs.global_budget_w,
+            floor_w: fs.floor_w,
+            policy: fs.policy,
+            band_w: cfg.band_w,
+            grace_s: fs.rack.cap_grace_s,
+            log: EventLog::new(),
+            violations: Vec::new(),
+            energy_j: 0.0,
+            overcap_streak_s: 0.0,
+            rebalances: 0,
+        }
+    }
+
+    /// One federation period: track rack outages on the uplinks, pump
+    /// telemetry up, refresh the demand ledger, rebalance on the
+    /// boundary, pump grants down, and schedule the global audit.
+    pub(crate) fn federate(
+        &mut self,
+        q: &mut EventQueue<SimEvent>,
+        t: SimTime,
+        racks: &mut [RackSim],
+    ) {
+        let t_s = t.as_secs_f64();
+        let t_ns = t.0;
+
+        // Rack broker restarts take the bridge sessions with them.
+        for (i, rack) in racks.iter().enumerate() {
+            if rack.broker_down {
+                self.uplinks[i].disconnect_source();
+            } else if !self.uplinks[i].source_connected() {
+                self.uplinks[i]
+                    .reconnect_source()
+                    .expect("resubscribe uplink after rack restart");
+            }
+        }
+        for (i, rack) in racks.iter().enumerate() {
+            if !rack.broker_down {
+                self.uplinks[i].pump();
+            }
+        }
+
+        // Demand ledger: last delivered mean per node.
+        for m in self.watch.drain() {
+            let Some((rack, node)) = parse_bridged_power(&m.topic) else {
+                continue;
+            };
+            if rack >= self.node_demand_w.len() || node >= self.node_demand_w[rack].len() {
+                continue;
+            }
+            if let Some(frame) = SampleFrame::decode(m.payload) {
+                if !frame.watts.is_empty() {
+                    let mean = frame.watts.iter().map(|&w| w as f64).sum::<f64>()
+                        / frame.watts.len() as f64;
+                    self.node_demand_w[rack][node] = mean;
+                }
+            }
+        }
+
+        if t.0.is_multiple_of(self.rebalance_ns) {
+            self.rebalances += 1;
+            let demands: Vec<Watts> = self
+                .node_demand_w
+                .iter()
+                .map(|nodes| Watts(nodes.iter().sum()))
+                .collect();
+            let grants = split_budget(
+                Watts(self.budget_w),
+                &demands,
+                Watts(self.floor_w),
+                self.policy,
+            );
+            let granted: f64 = grants.iter().map(|g| g.0).sum();
+            if granted > self.budget_w + 1e-6 {
+                self.violations.push(Violation {
+                    invariant: "fed-split",
+                    t_s,
+                    detail: format!(
+                        "granted {granted:.3} W exceeds the {:.3} W budget",
+                        self.budget_w
+                    ),
+                });
+            }
+            for (i, g) in grants.iter().enumerate() {
+                if (g.0 - self.caps_w[i]).abs() <= 1e-6 {
+                    continue;
+                }
+                self.caps_w[i] = g.0;
+                // `{}` on f64 is the shortest round-trippable rendering,
+                // so the rack parses back the exact grant bits.
+                self.grant
+                    .publish(
+                        &format!("fed/rack{i:02}/cap"),
+                        Bytes::from(format!("{}", g.0).into_bytes()),
+                        QoS::AtLeastOnce,
+                        true,
+                    )
+                    .expect("site broker is never down");
+                self.log.push(Event::FedRebalance {
+                    t_ns,
+                    rack: i as u32,
+                    cap_bits: g.0.to_bits(),
+                });
+            }
+        }
+
+        for (i, rack) in racks.iter().enumerate() {
+            if !rack.broker_down {
+                self.downlinks[i].pump();
+            }
+        }
+
+        q.schedule(t + self.tick_dur, phase::FEDERATE, SimEvent::Federate);
+        q.schedule(t, phase::AUDIT, SimEvent::FedAudit);
+    }
+
+    /// Global audit of one instant, after every rack's own audit: sum
+    /// the draw of racks that integrated this period, accrue site
+    /// energy, and hold the global envelope `budget + busy·band`
+    /// within the grace window.
+    pub(crate) fn audit(&mut self, t: SimTime, racks: &[RackSim]) {
+        let t_s = t.as_secs_f64();
+        let mut sys_w = 0.0;
+        let mut busy = 0usize;
+        let mut advanced = false;
+        let mut visible = true;
+        for r in racks {
+            if r.advanced_at == Some(t) {
+                advanced = true;
+                sys_w += r.last_sys_w;
+                busy += r.last_busy;
+                if r.broker_down {
+                    visible = false;
+                }
+            }
+        }
+        if !advanced {
+            return;
+        }
+        self.energy_j += sys_w * self.tick_s;
+        // One extra watt of slack per rack, mirroring the per-rack
+        // check's float guard.
+        let allowed = self.budget_w + busy as f64 * self.band_w + racks.len() as f64;
+        if sys_w > allowed && visible {
+            self.overcap_streak_s += self.tick_s;
+            if self.overcap_streak_s > self.grace_s {
+                self.violations.push(Violation {
+                    invariant: "fed-cap",
+                    t_s,
+                    detail: format!(
+                        "site draw {sys_w:.1} W > allowed {allowed:.1} W for {:.0}s \
+                         (budget {:.1} W, {busy} busy nodes)",
+                        self.overcap_streak_s, self.budget_w
+                    ),
+                });
+                self.overcap_streak_s = 0.0;
+            }
+        } else {
+            self.overcap_streak_s = 0.0;
+        }
+    }
+
+    /// End-of-run federation checks against the racks' ground truth:
+    /// the site energy ledger must equal the sum of the per-rack
+    /// ledgers (same integrals, summed in a different order, so the
+    /// tolerance is float-roundoff-sized).
+    fn finish(mut self, racks: &[RunOutcome]) -> (EventLog, Vec<Violation>, f64, u64) {
+        let racks_energy: f64 = racks.iter().map(|r| r.truth.total_energy_j).sum();
+        let tol = 1e-9 * racks_energy.abs() + 1e-6;
+        if (self.energy_j - racks_energy).abs() > tol {
+            self.violations.push(Violation {
+                invariant: "fed-energy",
+                t_s: racks.iter().map(|r| r.truth.makespan_s).fold(0.0, f64::max),
+                detail: format!(
+                    "site ledger {:.3} J vs Σ rack ledgers {racks_energy:.3} J",
+                    self.energy_j
+                ),
+            });
+        }
+        (self.log, self.violations, self.energy_j, self.rebalances)
+    }
+}
+
+/// Rack and node ids from a bridged power topic
+/// (`rackNN/davide/nodeMM/power/node`).
+fn parse_bridged_power(topic: &str) -> Option<(usize, usize)> {
+    let mut parts = topic.split('/');
+    let rack = parts.next()?.strip_prefix("rack")?.parse().ok()?;
+    if parts.next() != Some("davide") {
+        return None;
+    }
+    let node = parts.next()?.strip_prefix("node")?.parse().ok()?;
+    if parts.next() != Some("power") || parts.next() != Some("node") || parts.next().is_some() {
+        return None;
+    }
+    Some((rack, node))
+}
+
+/// Execute a federated scenario to completion. Pure in the seed, like
+/// [`crate::run`]: bit-identical rack and federation logs per seed.
+pub fn run_federated(fs: &FedScenario) -> FedOutcome {
+    run_federated_with_db_config(fs, TsDbConfig::default())
+}
+
+/// [`run_federated`] with an explicit per-rack telemetry-store
+/// configuration (each rack's control plane gets its own clone — the
+/// knob E28 uses to run day-long federations under tiered storage).
+pub fn run_federated_with_db_config(fs: &FedScenario, db_cfg: TsDbConfig) -> FedOutcome {
+    assert!(fs.n_racks >= 1, "a federation needs at least one rack");
+    let site = Broker::new(1 << 16);
+    let racks: Vec<RackSim> = (0..fs.n_racks)
+        .map(|i| {
+            let mut r = RackSim::new(i, &fs.rack_scenario(i), db_cfg.clone());
+            r.enable_federation();
+            r
+        })
+        .collect();
+    let fed = Federator::new(fs, &site, &racks);
+
+    let mut q = EventQueue::new();
+    for r in &racks {
+        r.bootstrap(&mut q);
+    }
+    q.schedule(SimTime::ZERO, phase::FEDERATE, SimEvent::Federate);
+
+    let mut world = World {
+        racks,
+        fed: Some(fed),
+        active: fs.n_racks,
+    };
+    kernel::drive(&mut q, &mut world);
+    let t_end = q.now_s();
+
+    let fed = world.fed.take().expect("federator installed above");
+    let racks: Vec<RunOutcome> = world.racks.drain(..).map(|r| r.finish(t_end)).collect();
+    let (fed_log, violations, global_energy_j, rebalances) = fed.finish(&racks);
+    FedOutcome {
+        scenario: fs.name.clone(),
+        racks,
+        fed_log,
+        violations,
+        global_energy_j,
+        global_budget_w: fs.global_budget_w,
+        rebalances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rack_federation_is_clean_and_deterministic() {
+        let fs = FedScenario::base("unit_fed", 17, 2);
+        let a = run_federated(&fs);
+        assert_eq!(a.all_violations(), Vec::new(), "healthy federation");
+        assert_eq!(a.racks.len(), 2);
+        for r in &a.racks {
+            assert_eq!(r.report.jobs_completed as usize, fs.rack.n_jobs);
+        }
+        assert!(a.rebalances > 0, "the budget was rebalanced");
+        assert!(
+            (a.global_energy_j - a.racks_energy_j()).abs() <= 1e-9 * a.racks_energy_j() + 1e-6,
+            "site ledger equals the sum of rack ledgers"
+        );
+        let b = run_federated(&fs);
+        assert_eq!(a.digest(), b.digest(), "same seed → same federated digest");
+    }
+
+    #[test]
+    fn rack_seeds_are_distinct_and_caps_share_the_budget() {
+        let fs = FedScenario::base("unit_fed_seeds", 23, 3);
+        let scs: Vec<_> = (0..3).map(|i| fs.rack_scenario(i)).collect();
+        assert!(scs[0].seed != scs[1].seed && scs[1].seed != scs[2].seed);
+        assert_eq!(scs[0].name, "unit_fed_seeds/rack00");
+        for sc in &scs {
+            assert!((sc.cap_w - fs.global_budget_w / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bridged_power_topics_parse() {
+        assert_eq!(
+            parse_bridged_power("rack07/davide/node12/power/node"),
+            Some((7, 12))
+        );
+        assert_eq!(parse_bridged_power("davide/node12/power/node"), None);
+        assert_eq!(parse_bridged_power("rack07/davide/node12/power"), None);
+        assert_eq!(parse_bridged_power("fed/rack07/cap"), None);
+    }
+}

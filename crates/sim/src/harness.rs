@@ -2,21 +2,49 @@
 //!
 //! One [`run`] builds the full production stack — in-process MQTT
 //! broker, [`ControlPlane`] with its ingest/store/predictor/actuators —
-//! and drives it from a virtual clock: gateways render noisy per-node
-//! power frames from plant ground truth, the scenario's fault script
-//! mangles them (loss, duplication, reordering, clock faults, broker
-//! restart, node death), DVFS commands flow back and reshape the plant.
-//! The [`InvariantChecker`] audits every control period against ground
-//! truth the loop cannot see, and every externally meaningful action
-//! lands in the [`EventLog`], which is bit-identical across reruns of
-//! one seed.
+//! and drives it from the discrete-event kernel in [`crate::kernel`]:
+//! every cause in the simulated world (a fault window taking effect, a
+//! gateway rendering the elapsed window's frames, a held-back frame
+//! landing, a job arriving, one control period of the loop, the plant
+//! integrating, the checker auditing) is an [`EventQueue`] entry
+//! dispatched in `(time, phase class, insertion seq)` order. Gateways
+//! render noisy per-node power frames from plant ground truth, the
+//! scenario's fault script mangles them (loss, duplication, reordering,
+//! clock faults, broker restart, node death), DVFS commands flow back
+//! and reshape the plant. The [`InvariantChecker`] audits every control
+//! period against ground truth the loop cannot see, and every
+//! externally meaningful action lands in the [`EventLog`], which is
+//! bit-identical across reruns of one seed — including bit-identical
+//! to the logs the original lockstep harness produced, a property the
+//! differential test in `tests/fault_injection.rs` pins against the
+//! recorded digests.
+//!
+//! Two scheduling decisions carry the equivalence proof:
+//!
+//! * **Phase classes** reproduce the lockstep intra-tick order (faults →
+//!   gateways → late frames → arrivals → control → plant → audit), and
+//!   the stable seq tie-break reproduces iteration order within each
+//!   phase.
+//! * **Fault windows stay per-tick probes.** Window membership, skew
+//!   accumulation and transition logging are evaluated once per control
+//!   period inside the `Faults` event — not expanded into individual
+//!   open/close events — because the pinned digests encode exactly that
+//!   tick-granular semantics (overlapping windows dedup through one
+//!   `any()` per tick, skew offsets accumulate once per tick). Frame
+//!   delays, arrivals and the control period itself are genuine events.
+//!
+//! A rack is one [`RackSim`]; multi-rack federation (N racks bridged
+//! into a site broker with a global power budget) lives in
+//! [`crate::federation`] and drives the same per-rack state machine
+//! through the same kernel.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use davide_core::rng::Rng;
-use davide_mqtt::{Broker, BrokerObs, PublishFate, QoS};
-use davide_obs::ObsHub;
+use davide_core::time::{SimDuration, SimTime};
+use davide_mqtt::{Broker, BrokerObs, Client, PublishFate, QoS};
+use davide_obs::{ManualClock, ObsHub};
 use davide_predictor::ModelKind;
 use davide_sched::{
     CapSchedule, ControlPlane, ControlPlaneConfig, ControlPlaneObs, ControlPlaneReport, JobId,
@@ -26,10 +54,10 @@ use davide_telemetry::gateway::{power_topic, SampleFrame, FRAME_MAGIC};
 use davide_telemetry::{TsDb, TsDbConfig};
 use parking_lot::Mutex;
 
-use crate::clock::VirtualClock;
 use crate::invariants::{
     CheckerConfig, FinalTruth, InvariantChecker, JobTruth, StoreModel, TickTruth, Violation,
 };
+use crate::kernel::{self, phase, EventHandler, EventQueue};
 use crate::log::{Event, EventLog, FrameFate};
 use crate::scenario::{Fault, Scenario};
 
@@ -81,6 +109,71 @@ pub struct RunOutcome {
     pub obs: ObsHub,
 }
 
+/// The kernel event alphabet: everything that happens in a run, stamped
+/// with the rack it happens to. Phase classes (see [`phase`]) order the
+/// variants within one instant.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SimEvent {
+    /// Fault lifecycle for one rack: per-tick window probe.
+    Faults { rack: usize },
+    /// One rack's gateways render and publish the elapsed window.
+    Gateways { rack: usize },
+    /// A reorder-delayed frame comes due (slot into the delay slab).
+    LateFrame { rack: usize, slot: usize },
+    /// One trace job reaches its submit time.
+    Arrival { rack: usize, idx: usize },
+    /// One control period of a rack's real loop.
+    Control { rack: usize },
+    /// The federator pumps bridges and rebalances the global budget.
+    Federate,
+    /// The federator audits the period globally (after every plant).
+    FedAudit,
+    /// A rack's plant integrates draw over the period just decided.
+    Plant { rack: usize },
+    /// A rack's checker audits the period.
+    Audit { rack: usize },
+}
+
+/// The handler the kernel drives: all racks plus the optional
+/// federator. Single-rack [`run`] is the `fed: None` special case.
+pub(crate) struct World {
+    pub(crate) racks: Vec<RackSim>,
+    pub(crate) fed: Option<crate::federation::Federator>,
+    /// Racks still running; the run halts when it reaches zero.
+    pub(crate) active: usize,
+}
+
+impl EventHandler<SimEvent> for World {
+    fn handle(&mut self, q: &mut EventQueue<SimEvent>, t: SimTime, _class: u8, ev: SimEvent) {
+        match ev {
+            SimEvent::Faults { rack } => self.racks[rack].fault_phase(q, t),
+            SimEvent::Gateways { rack } => self.racks[rack].gateway_phase(q, t),
+            SimEvent::LateFrame { rack, slot } => self.racks[rack].late_frame(q, t, slot),
+            SimEvent::Arrival { rack, idx } => self.racks[rack].arrival(idx),
+            SimEvent::Control { rack } => {
+                if self.racks[rack].control_phase(q, t) {
+                    self.active -= 1;
+                    if self.active == 0 {
+                        q.halt();
+                    }
+                }
+            }
+            SimEvent::Federate => {
+                if let Some(fed) = self.fed.as_mut() {
+                    fed.federate(q, t, &mut self.racks);
+                }
+            }
+            SimEvent::FedAudit => {
+                if let Some(fed) = self.fed.as_mut() {
+                    fed.audit(t, &self.racks);
+                }
+            }
+            SimEvent::Plant { rack } => self.racks[rack].plant_phase(t),
+            SimEvent::Audit { rack } => self.racks[rack].audit_phase(t),
+        }
+    }
+}
+
 /// A frame-loss/duplication rule compiled for the broker fault hook.
 #[derive(Debug, Clone, Copy)]
 struct LossRule {
@@ -92,8 +185,8 @@ struct LossRule {
 }
 
 /// State shared with the broker's fault hook. The hook runs inside
-/// `publish`; the harness sets `t_s` each tick and takes the fate the
-/// hook recorded right after each gateway publish.
+/// `publish`; the harness sets `t_s` before each gateway publish and
+/// takes the fate the hook recorded right after.
 struct HookState {
     rng: Rng,
     t_s: f64,
@@ -101,13 +194,16 @@ struct HookState {
     last: Option<PublishFate>,
 }
 
-/// A reordered frame waiting in the injector's delay line.
+/// A reordered frame parked in the delay slab; its landing instant is
+/// the kernel event, its insertion seq keeps the delay line FIFO.
 struct DelayedFrame {
-    due_s: f64,
     node: u32,
     frame: SampleFrame,
     /// True end of the window the frame measured (freshness truth).
     true_end_s: f64,
+    /// Kernel insertion seq — reused on requeue so a frame held back
+    /// further (broker down, node dead) keeps its original order.
+    seq: u64,
 }
 
 /// A job on the plant: ground truth the control plane cannot see.
@@ -146,198 +242,451 @@ fn parse_power_node(topic: &str) -> Option<u32> {
     node.parse().ok()
 }
 
-/// Execute one scenario to completion and return the outcome. Pure in
-/// the seed: no wall clock, no global state — two calls with an equal
-/// [`Scenario`] return bit-identical event logs.
-pub fn run(sc: &Scenario) -> RunOutcome {
-    run_with_db_config(sc, TsDbConfig::default())
+/// One rack's complete simulation state: the real stack under test
+/// (broker, control plane, observability) plus the synthetic plant,
+/// fault injector, ground-truth ledgers and invariant checker. The
+/// kernel dispatches its phase methods; [`finish`](Self::finish) turns
+/// it into a [`RunOutcome`].
+pub(crate) struct RackSim {
+    rack: usize,
+    sc: Scenario,
+    tick: f64,
+    tick_dur: SimDuration,
+    samples: usize,
+    idle_w: f64,
+
+    pub(crate) broker: Broker,
+    cp: ControlPlane,
+    ctl_watch: Client,
+    gateway: Client,
+    /// Federated runs only: subscribed to `fed/+/cap` on the rack
+    /// broker; cap grants bridged down from the site are applied at the
+    /// head of the control phase. `None` in single-rack runs — zero
+    /// behavioural difference from the lockstep harness.
+    cap_watch: Option<Client>,
+    hook_state: Arc<Mutex<HookState>>,
+    hub: ObsHub,
+    obs_clock: Arc<ManualClock>,
+
+    plant_rng: Rng,
+    inject_rng: Rng,
+    speeds: Vec<f64>,
+    node_draw_w: Vec<f64>,
+    dead: Vec<bool>,
+    clock_offset: Vec<f64>,
+    clock_faulted: Vec<bool>,
+    delivered_until: Vec<f64>,
+    dirty: Vec<Vec<(f64, f64)>>,
+    per_node_energy: Vec<f64>,
+    step_fired: Vec<bool>,
+    plant: Vec<PlantJob>,
+    delay_slab: Vec<Option<DelayedFrame>>,
+    delayed_outstanding: usize,
+    jobs: Vec<JobTruth>,
+    job_index: HashMap<JobId, usize>,
+    by_id: HashMap<JobId, davide_sched::Job>,
+    trace: Vec<davide_sched::Job>,
+    arrivals_pending: usize,
+
+    model: StoreModel,
+    checker: InvariantChecker,
+    log: EventLog,
+
+    pub(crate) broker_down: bool,
+    reconnect_tick: bool,
+    /// The cap currently in force (scenario cap, or the latest applied
+    /// federated grant).
+    cap_now_w: f64,
+    total_energy_j: f64,
+    idle_energy_j: f64,
+    overcap_s: f64,
+    overcap_energy_j: f64,
+    frames_delivered: u64,
+    frames_suppressed: u64,
+
+    /// True aggregate draw over the last advanced period, watts.
+    pub(crate) last_sys_w: f64,
+    /// Busy nodes over the last advanced period.
+    pub(crate) last_busy: usize,
+    /// Instant of the last plant advance — the federator only counts a
+    /// rack's draw for periods the rack actually integrated.
+    pub(crate) advanced_at: Option<SimTime>,
+    done: bool,
+    done_at: Option<f64>,
 }
 
-/// [`run`] with an explicit telemetry-store configuration for the
-/// control plane — the hook the tiered-storage proof uses to show the
-/// event-log digest of every canned scenario is unchanged when the
-/// store seals, compresses and demotes under the loop.
-pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
-    assert!(sc.n_nodes >= 1 && sc.tick_s > 0.0 && sc.sample_dt_s > 0.0);
-    let n = sc.n_nodes as usize;
-    let tick = sc.tick_s;
+impl RackSim {
+    /// Build one rack's full stack for `sc`, exactly as the original
+    /// single-rack harness did (same client names, same RNG stream
+    /// seeds, same config plumbing — the digest contract depends on
+    /// it).
+    pub(crate) fn new(rack: usize, sc: &Scenario, db_cfg: TsDbConfig) -> RackSim {
+        assert!(sc.n_nodes >= 1 && sc.tick_s > 0.0 && sc.sample_dt_s > 0.0);
+        let n = sc.n_nodes as usize;
+        let tick = sc.tick_s;
 
-    // ── Trace and predictor, exactly as the E22 replay builds them. ──
-    let workload = WorkloadConfig {
-        users: 12,
-        mean_interarrival_s: sc.mean_interarrival_s,
-        max_nodes: sc.max_job_nodes.min(sc.n_nodes),
-        mean_walltime_s: sc.mean_walltime_s,
-        ..WorkloadConfig::default()
-    };
-    let mut gen = WorkloadGenerator::new(workload.clone(), sc.seed);
-    let history = gen.trace(sc.n_history);
-    let mut trace = gen.trace(sc.n_jobs);
-    let t_base = trace.first().map(|j| j.submit_s).unwrap_or(0.0);
-    for j in &mut trace {
-        j.submit_s -= t_base;
-    }
-    let base = PowerPredictor::from_kind(ModelKind::linreg(), &history, workload.users as usize);
-    let predictor = OnlinePowerPredictor::new(base, 0.995, 1000.0);
+        // ── Trace and predictor, exactly as the E22 replay builds them. ──
+        let workload = WorkloadConfig {
+            users: 12,
+            mean_interarrival_s: sc.mean_interarrival_s,
+            max_nodes: sc.max_job_nodes.min(sc.n_nodes),
+            mean_walltime_s: sc.mean_walltime_s,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = WorkloadGenerator::new(workload.clone(), sc.seed);
+        let history = gen.trace(sc.n_history);
+        let mut trace = gen.trace(sc.n_jobs);
+        let t_base = trace.first().map(|j| j.submit_s).unwrap_or(0.0);
+        for j in &mut trace {
+            j.submit_s -= t_base;
+        }
+        let base =
+            PowerPredictor::from_kind(ModelKind::linreg(), &history, workload.users as usize);
+        let predictor = OnlinePowerPredictor::new(base, 0.995, 1000.0);
 
-    // ── The real stack under test. ──
-    let mut cfg = ControlPlaneConfig::davide(sc.mode, sc.n_nodes, CapSchedule::constant(sc.cap_w));
-    if sc.disable_stale_fallback {
-        // Regression knob: the loop stops noticing staleness while the
-        // checker keeps auditing against the nominal deadline.
-        cfg.telemetry_deadline_s = 1e18;
-    } else {
-        cfg.telemetry_deadline_s = sc.deadline_s;
-    }
-    let band_w = cfg.band_w;
-    let sustain_s = cfg.sustain_s;
-    let idle_w = cfg.idle_node_power_w;
-    let broker = Broker::new(1 << 16);
-    let db = TsDb::with_config(db_cfg).expect("telemetry store (disk tier open)");
-    let mut cp =
-        ControlPlane::with_db(&broker, cfg, predictor, db).expect("subscribe on fresh broker");
-    // Self-instrumentation is always armed: every stamp reads the
-    // virtual clock, and nothing here draws RNG or touches the event
-    // log, so per-seed digests are exactly what they were without it.
-    let (hub, obs_clock) = ObsHub::manual();
-    broker.set_obs(Some(BrokerObs::new(&hub, Some(&FRAME_MAGIC.to_le_bytes()))));
-    cp.set_obs(ControlPlaneObs::new(&hub));
-    let mut ctl_watch = broker.connect("plant-gateways");
-    ctl_watch
-        .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
-        .expect("subscribe ctl");
-    let gateway = broker.connect("plant-publisher");
+        // ── The real stack under test. ──
+        let mut cfg =
+            ControlPlaneConfig::davide(sc.mode, sc.n_nodes, CapSchedule::constant(sc.cap_w));
+        if sc.disable_stale_fallback {
+            // Regression knob: the loop stops noticing staleness while
+            // the checker keeps auditing against the nominal deadline.
+            cfg.telemetry_deadline_s = 1e18;
+        } else {
+            cfg.telemetry_deadline_s = sc.deadline_s;
+        }
+        let band_w = cfg.band_w;
+        let sustain_s = cfg.sustain_s;
+        let idle_w = cfg.idle_node_power_w;
+        let broker = Broker::new(1 << 16);
+        let db = TsDb::with_config(db_cfg).expect("telemetry store (disk tier open)");
+        let mut cp =
+            ControlPlane::with_db(&broker, cfg, predictor, db).expect("subscribe on fresh broker");
+        // Self-instrumentation is always armed: every stamp reads the
+        // virtual clock, and nothing here draws RNG or touches the event
+        // log, so per-seed digests are exactly what they were without it.
+        let (hub, obs_clock) = ObsHub::manual();
+        broker.set_obs(Some(BrokerObs::new(&hub, Some(&FRAME_MAGIC.to_le_bytes()))));
+        cp.set_obs(ControlPlaneObs::new(&hub));
+        let mut ctl_watch = broker.connect("plant-gateways");
+        ctl_watch
+            .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
+            .expect("subscribe ctl");
+        let gateway = broker.connect("plant-publisher");
 
-    // ── Fault hook: loss and duplication on the gateway→broker hop. ──
-    let rules: Vec<LossRule> = sc
-        .faults
-        .iter()
-        .filter_map(|f| match *f {
-            Fault::FrameLoss {
-                node,
-                p,
-                from_s,
-                until_s,
-            } => Some(LossRule {
-                node,
-                p_drop: p,
-                p_dup: 0.0,
-                from_s,
-                until_s,
-            }),
-            Fault::Duplicate {
-                node,
-                p,
-                from_s,
-                until_s,
-            } => Some(LossRule {
-                node,
-                p_drop: 0.0,
-                p_dup: p,
-                from_s,
-                until_s,
-            }),
-            _ => None,
-        })
-        .collect();
-    let hook_state = Arc::new(Mutex::new(HookState {
-        rng: Rng::seed_from(sc.seed ^ 0xd1b5_4a32_d192_ed03),
-        t_s: 0.0,
-        rules,
-        last: None,
-    }));
-    {
-        let state = Arc::clone(&hook_state);
-        broker.set_fault_hook(Some(Box::new(move |topic: &str| {
-            let mut st = state.lock();
-            let Some(node) = parse_power_node(topic) else {
-                return PublishFate::Deliver;
-            };
-            let t = st.t_s;
-            let mut fate = PublishFate::Deliver;
-            for k in 0..st.rules.len() {
-                let r = st.rules[k];
-                if !window_active(r.from_s, r.until_s, t) || r.node.is_some_and(|rn| rn != node) {
-                    continue;
+        // ── Fault hook: loss and duplication on the gateway→broker hop. ──
+        let rules: Vec<LossRule> = sc
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::FrameLoss {
+                    node,
+                    p,
+                    from_s,
+                    until_s,
+                } => Some(LossRule {
+                    node,
+                    p_drop: p,
+                    p_dup: 0.0,
+                    from_s,
+                    until_s,
+                }),
+                Fault::Duplicate {
+                    node,
+                    p,
+                    from_s,
+                    until_s,
+                } => Some(LossRule {
+                    node,
+                    p_drop: 0.0,
+                    p_dup: p,
+                    from_s,
+                    until_s,
+                }),
+                _ => None,
+            })
+            .collect();
+        let hook_state = Arc::new(Mutex::new(HookState {
+            rng: Rng::seed_from(sc.seed ^ 0xd1b5_4a32_d192_ed03),
+            t_s: 0.0,
+            rules,
+            last: None,
+        }));
+        {
+            let state = Arc::clone(&hook_state);
+            broker.set_fault_hook(Some(Box::new(move |topic: &str| {
+                let mut st = state.lock();
+                let Some(node) = parse_power_node(topic) else {
+                    return PublishFate::Deliver;
+                };
+                let t = st.t_s;
+                let mut fate = PublishFate::Deliver;
+                for k in 0..st.rules.len() {
+                    let r = st.rules[k];
+                    if !window_active(r.from_s, r.until_s, t) || r.node.is_some_and(|rn| rn != node)
+                    {
+                        continue;
+                    }
+                    if r.p_drop > 0.0 && st.rng.chance(r.p_drop) {
+                        fate = PublishFate::Drop;
+                    }
+                    if r.p_dup > 0.0 && st.rng.chance(r.p_dup) && fate == PublishFate::Deliver {
+                        fate = PublishFate::Duplicate;
+                    }
                 }
-                if r.p_drop > 0.0 && st.rng.chance(r.p_drop) {
-                    fate = PublishFate::Drop;
+                st.last = Some(fate);
+                fate
+            })));
+        }
+
+        let model = StoreModel::new(n);
+        let checker = InvariantChecker::new(CheckerConfig {
+            n_nodes: sc.n_nodes,
+            cap_w: sc.cap_w,
+            band_w,
+            sustain_s,
+            deadline_s: sc.deadline_s,
+            cap_grace_s: sc.cap_grace_s,
+            tick_s: tick,
+            noise: sc.noise,
+            sample_dt_s: sc.sample_dt_s,
+        });
+
+        let by_id: HashMap<JobId, davide_sched::Job> =
+            trace.iter().map(|j| (j.id, j.clone())).collect();
+        let samples = (tick / sc.sample_dt_s).round().max(1.0) as usize;
+        let arrivals_pending = trace.len();
+        let step_fired = vec![false; sc.faults.len()];
+
+        RackSim {
+            rack,
+            sc: sc.clone(),
+            tick,
+            tick_dur: SimDuration::from_secs_f64(tick),
+            samples,
+            idle_w,
+            broker,
+            cp,
+            ctl_watch,
+            gateway,
+            cap_watch: None,
+            hook_state,
+            hub,
+            obs_clock,
+            plant_rng: Rng::seed_from(sc.seed ^ 0x9e37_79b9),
+            inject_rng: Rng::seed_from(sc.seed ^ 0xa076_1d64_78bd_642f),
+            speeds: vec![1.0; n],
+            node_draw_w: vec![idle_w; n],
+            dead: vec![false; n],
+            clock_offset: vec![0.0; n],
+            clock_faulted: vec![false; n],
+            delivered_until: vec![f64::NEG_INFINITY; n],
+            dirty: vec![Vec::new(); n],
+            per_node_energy: vec![0.0; n],
+            step_fired,
+            plant: Vec::new(),
+            delay_slab: Vec::new(),
+            delayed_outstanding: 0,
+            jobs: Vec::new(),
+            job_index: HashMap::new(),
+            by_id,
+            trace,
+            arrivals_pending,
+            model,
+            checker,
+            log: EventLog::new(),
+            broker_down: false,
+            reconnect_tick: false,
+            cap_now_w: sc.cap_w,
+            total_energy_j: 0.0,
+            idle_energy_j: 0.0,
+            overcap_s: 0.0,
+            overcap_energy_j: 0.0,
+            frames_delivered: 0,
+            frames_suppressed: 0,
+            last_sys_w: 0.0,
+            last_busy: 0,
+            advanced_at: None,
+            done: false,
+            done_at: None,
+        }
+    }
+
+    /// Arm the federated-cap path: subscribe a rack-broker client to
+    /// the bridged `fed/+/cap` grants. Must run before
+    /// [`bootstrap`](Self::bootstrap).
+    pub(crate) fn enable_federation(&mut self) {
+        let mut cw = self.broker.connect("fed-cap-watch");
+        cw.subscribe("fed/+/cap", QoS::AtMostOnce)
+            .expect("subscribe fed caps");
+        self.cap_watch = Some(cw);
+    }
+
+    /// Seed the kernel with this rack's recurring phase events and its
+    /// whole arrival schedule.
+    pub(crate) fn bootstrap(&self, q: &mut EventQueue<SimEvent>) {
+        let rack = self.rack;
+        q.schedule(SimTime::ZERO, phase::FAULTS, SimEvent::Faults { rack });
+        q.schedule(SimTime::ZERO, phase::GATEWAYS, SimEvent::Gateways { rack });
+        for (idx, j) in self.trace.iter().enumerate() {
+            q.schedule(
+                SimTime::from_secs_f64(j.submit_s),
+                phase::ARRIVAL,
+                SimEvent::Arrival { rack, idx },
+            );
+        }
+        q.schedule(SimTime::ZERO, phase::CONTROL, SimEvent::Control { rack });
+    }
+
+    /// Fault lifecycle at `t`: broker, nodes, clocks — one per-tick
+    /// window probe, semantics identical to the lockstep sweep.
+    fn fault_phase(&mut self, q: &mut EventQueue<SimEvent>, t: SimTime) {
+        if self.done {
+            return;
+        }
+        let t_s = t.as_secs_f64();
+        let t_ns = t.0;
+        self.obs_clock.set(t_s);
+        self.reconnect_tick = false;
+        let n = self.sc.n_nodes as usize;
+
+        let broker_down_now = self.sc.faults.iter().any(|f| {
+            matches!(*f, Fault::BrokerRestart { from_s, until_s } if window_active(from_s, until_s, t_s))
+        });
+        if broker_down_now && !self.broker_down {
+            self.broker_down = true;
+            self.log.push(Event::BrokerDown { t_ns });
+            // Node-agent sessions drop; agents fail safe to nominal
+            // speed until the retained replay restores the limits.
+            self.ctl_watch.disconnect();
+            if let Some(cw) = self.cap_watch.as_mut() {
+                cw.disconnect();
+            }
+            for s in self.speeds.iter_mut() {
+                *s = 1.0;
+            }
+        } else if !broker_down_now && self.broker_down {
+            self.broker_down = false;
+            self.reconnect_tick = true;
+            self.ctl_watch = self.broker.connect("plant-gateways");
+            self.ctl_watch
+                .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
+                .expect("resubscribe ctl");
+            self.log.push(Event::BrokerUp {
+                t_ns,
+                replayed: self.ctl_watch.pending() as u32,
+            });
+            if self.cap_watch.is_some() {
+                // The cap watcher resubscribes too; the retained grant
+                // replays and is re-applied (idempotently) next control
+                // phase.
+                let mut cw = self.broker.connect("fed-cap-watch");
+                cw.subscribe("fed/+/cap", QoS::AtMostOnce)
+                    .expect("resubscribe fed caps");
+                self.cap_watch = Some(cw);
+            }
+        }
+        if self.broker_down {
+            for d in self.dirty.iter_mut() {
+                d.push((t_s - self.tick, t_s + self.tick));
+            }
+        }
+
+        for node in 0..n {
+            let was_dead = self.dead[node];
+            let dead_now = self.sc.faults.iter().any(|f| {
+                matches!(*f, Fault::NodeDeath { node: dn, at_s, revive_s }
+                    if dn as usize == node && window_active(at_s, revive_s, t_s))
+            });
+            self.dead[node] = dead_now;
+            if dead_now && !was_dead {
+                self.log.push(Event::NodeDown {
+                    t_ns,
+                    node: node as u32,
+                });
+            } else if !dead_now && was_dead {
+                self.log.push(Event::NodeUp {
+                    t_ns,
+                    node: node as u32,
+                });
+            }
+            if dead_now {
+                self.dirty[node].push((t_s - self.tick, t_s + self.tick));
+            }
+        }
+
+        for fi in 0..self.sc.faults.len() {
+            match self.sc.faults[fi] {
+                Fault::ClockSkew {
+                    node,
+                    ppm,
+                    from_s,
+                    until_s,
+                } if window_active(from_s, until_s, t_s) => {
+                    let i = node as usize;
+                    self.clock_offset[i] += ppm * 1e-6 * self.tick;
+                    self.clock_faulted[i] = true;
                 }
-                if r.p_dup > 0.0 && st.rng.chance(r.p_dup) && fate == PublishFate::Deliver {
-                    fate = PublishFate::Duplicate;
+                Fault::ClockStep {
+                    node,
+                    offset_s,
+                    at_s,
+                } if t_s >= at_s && !self.step_fired[fi] => {
+                    self.step_fired[fi] = true;
+                    let i = node as usize;
+                    self.clock_offset[i] += offset_s;
+                    self.clock_faulted[i] = true;
+                    self.log.push(Event::ClockStep {
+                        t_ns,
+                        node,
+                        offset_bits: offset_s.to_bits(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for node in 0..n {
+            let skewing = self.sc.faults.iter().any(|f| {
+                matches!(*f, Fault::ClockSkew { node: sn, from_s, until_s, .. }
+                    if sn as usize == node && window_active(from_s, until_s, t_s))
+            });
+            if !skewing && self.clock_offset[node] != 0.0 {
+                // PTP servo pulls the clock back after the fault clears.
+                self.clock_offset[node] *= 0.5;
+                if self.clock_offset[node].abs() < 1e-3 {
+                    self.clock_offset[node] = 0.0;
                 }
             }
-            st.last = Some(fate);
-            fate
-        })));
+            if self.clock_offset[node] != 0.0 {
+                self.dirty[node].push((t_s - self.tick, t_s + self.tick));
+            }
+        }
+
+        q.schedule(
+            t + self.tick_dur,
+            phase::FAULTS,
+            SimEvent::Faults { rack: self.rack },
+        );
     }
 
-    // ── Plant state. ──
-    let mut clock = VirtualClock::new(tick);
-    let mut plant_rng = Rng::seed_from(sc.seed ^ 0x9e37_79b9);
-    let mut inject_rng = Rng::seed_from(sc.seed ^ 0xa076_1d64_78bd_642f);
-    let mut speeds = vec![1.0f64; n];
-    let mut node_draw_w = vec![idle_w; n];
-    let mut dead = vec![false; n];
-    let mut clock_offset = vec![0.0f64; n];
-    let mut clock_faulted = vec![false; n];
-    let mut delivered_until = vec![f64::NEG_INFINITY; n];
-    let mut dirty: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
-    let mut per_node_energy = vec![0.0f64; n];
-    let mut step_fired = vec![false; sc.faults.len()];
-    let mut plant: Vec<PlantJob> = Vec::new();
-    let mut delay_buf: Vec<DelayedFrame> = Vec::new();
-    let mut jobs: Vec<JobTruth> = Vec::new();
-    let mut job_index: HashMap<JobId, usize> = HashMap::new();
-    let by_id: HashMap<JobId, davide_sched::Job> =
-        trace.iter().map(|j| (j.id, j.clone())).collect();
-    let drift = |job: &davide_sched::Job| sc.app_drift[job.app as usize];
-
-    let mut model = StoreModel::new(n);
-    let mut checker = InvariantChecker::new(CheckerConfig {
-        n_nodes: sc.n_nodes,
-        cap_w: sc.cap_w,
-        band_w,
-        sustain_s,
-        deadline_s: sc.deadline_s,
-        cap_grace_s: sc.cap_grace_s,
-        tick_s: tick,
-        noise: sc.noise,
-        sample_dt_s: sc.sample_dt_s,
-    });
-    let mut log = EventLog::new();
-
-    let mut broker_down = false;
-    let mut next_submit = 0usize;
-    let mut total_energy_j = 0.0;
-    let mut idle_energy_j = 0.0;
-    let mut overcap_s = 0.0;
-    let mut overcap_energy_j = 0.0;
-    let mut frames_delivered = 0u64;
-    let mut frames_suppressed = 0u64;
-    let samples = (tick / sc.sample_dt_s).round().max(1.0) as usize;
-
-    // Deliver one frame through the broker, attribute its fate, and
-    // mirror what the store is entitled to absorb.
-    let publish_frame = |t: f64,
-                         node: u32,
-                         frame: &SampleFrame,
-                         true_end_s: f64,
-                         late: bool,
-                         log: &mut EventLog,
-                         model: &mut StoreModel,
-                         delivered_until: &mut [f64],
-                         dirty: &mut [Vec<(f64, f64)>],
-                         frames_delivered: &mut u64,
-                         frames_suppressed: &mut u64| {
-        hook_state.lock().t_s = t;
-        let _ = gateway.publish(
+    /// Deliver one frame through the broker, attribute its fate, and
+    /// mirror what the store is entitled to absorb.
+    fn publish_frame(
+        &mut self,
+        t: f64,
+        node: u32,
+        frame: &SampleFrame,
+        true_end_s: f64,
+        late: bool,
+    ) {
+        self.hook_state.lock().t_s = t;
+        let _ = self.gateway.publish(
             &power_topic(node, "node"),
             frame.encode(),
             QoS::AtMostOnce,
             false,
         );
-        let fate = hook_state
+        let fate = self
+            .hook_state
             .lock()
             .last
             .take()
@@ -354,181 +703,86 @@ pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
             PublishFate::Duplicate => 2,
         };
         for _ in 0..deliveries {
-            model.deliver(node as usize, frame.t0_s, frame.dt_s, &frame.watts);
+            self.model
+                .deliver(node as usize, frame.t0_s, frame.dt_s, &frame.watts);
         }
         if deliveries > 0 {
             let i = node as usize;
-            delivered_until[i] = delivered_until[i].max(true_end_s);
-            *frames_delivered += 1;
+            self.delivered_until[i] = self.delivered_until[i].max(true_end_s);
+            self.frames_delivered += 1;
         } else {
-            *frames_suppressed += 1;
+            self.frames_suppressed += 1;
         }
         if logged != FrameFate::Delivered {
             let span = frame.dt_s * frame.watts.len() as f64;
-            dirty[node as usize].push((true_end_s - span - tick, t + tick));
+            self.dirty[node as usize].push((true_end_s - span - self.tick, t + self.tick));
         }
-        log.push(Event::Frame {
+        self.log.push(Event::Frame {
             t_ns: (t * 1e9).round() as u64,
             node,
             t0_bits: frame.t0_s.to_bits(),
             n: frame.watts.len() as u32,
             fate: logged,
         });
-    };
+    }
 
-    loop {
-        let t = clock.now_s();
-        let t_ns = clock.now_ns();
-        obs_clock.set(t);
-        let mut reconnect_tick = false;
-
-        // ── Fault lifecycle at t: broker, nodes, clocks. ──
-        let broker_down_now = sc.faults.iter().any(|f| {
-            matches!(*f, Fault::BrokerRestart { from_s, until_s } if window_active(from_s, until_s, t))
-        });
-        if broker_down_now && !broker_down {
-            broker_down = true;
-            log.push(Event::BrokerDown { t_ns });
-            // Node-agent sessions drop; agents fail safe to nominal
-            // speed until the retained replay restores the limits.
-            ctl_watch.disconnect();
-            for s in speeds.iter_mut() {
-                *s = 1.0;
-            }
-        } else if !broker_down_now && broker_down {
-            broker_down = false;
-            reconnect_tick = true;
-            ctl_watch = broker.connect("plant-gateways");
-            ctl_watch
-                .subscribe("davide/+/ctl/speed", QoS::AtMostOnce)
-                .expect("resubscribe ctl");
-            log.push(Event::BrokerUp {
-                t_ns,
-                replayed: ctl_watch.pending() as u32,
-            });
+    /// Gateways publish the window `[t − tick, t)`; reorder-delayed
+    /// frames become [`SimEvent::LateFrame`] entries.
+    fn gateway_phase(&mut self, q: &mut EventQueue<SimEvent>, t: SimTime) {
+        if self.done {
+            return;
         }
-        if broker_down {
-            for d in dirty.iter_mut() {
-                d.push((t - tick, t + tick));
-            }
-        }
-
-        for node in 0..n {
-            let was_dead = dead[node];
-            let dead_now = sc.faults.iter().any(|f| {
-                matches!(*f, Fault::NodeDeath { node: dn, at_s, revive_s }
-                    if dn as usize == node && window_active(at_s, revive_s, t))
-            });
-            dead[node] = dead_now;
-            if dead_now && !was_dead {
-                log.push(Event::NodeDown {
-                    t_ns,
-                    node: node as u32,
-                });
-            } else if !dead_now && was_dead {
-                log.push(Event::NodeUp {
-                    t_ns,
-                    node: node as u32,
-                });
-            }
-            if dead_now {
-                dirty[node].push((t - tick, t + tick));
-            }
-        }
-
-        for (fi, f) in sc.faults.iter().enumerate() {
-            match *f {
-                Fault::ClockSkew {
-                    node,
-                    ppm,
-                    from_s,
-                    until_s,
-                } if window_active(from_s, until_s, t) => {
-                    let i = node as usize;
-                    clock_offset[i] += ppm * 1e-6 * tick;
-                    clock_faulted[i] = true;
-                }
-                Fault::ClockStep {
-                    node,
-                    offset_s,
-                    at_s,
-                } if t >= at_s && !step_fired[fi] => {
-                    step_fired[fi] = true;
-                    let i = node as usize;
-                    clock_offset[i] += offset_s;
-                    clock_faulted[i] = true;
-                    log.push(Event::ClockStep {
-                        t_ns,
-                        node,
-                        offset_bits: offset_s.to_bits(),
-                    });
-                }
-                _ => {}
-            }
-        }
-        for node in 0..n {
-            let skewing = sc.faults.iter().any(|f| {
-                matches!(*f, Fault::ClockSkew { node: sn, from_s, until_s, .. }
-                    if sn as usize == node && window_active(from_s, until_s, t))
-            });
-            if !skewing && clock_offset[node] != 0.0 {
-                // PTP servo pulls the clock back after the fault clears.
-                clock_offset[node] *= 0.5;
-                if clock_offset[node].abs() < 1e-3 {
-                    clock_offset[node] = 0.0;
-                }
-            }
-            if clock_offset[node] != 0.0 {
-                dirty[node].push((t - tick, t + tick));
-            }
-        }
-
-        // ── Gateways publish the window [t − tick, t). ──
-        if t > 0.0 {
-            let t0 = t - tick;
-            for node in 0..sc.n_nodes {
+        let t_s = t.as_secs_f64();
+        let t_ns = t.0;
+        if t_s > 0.0 {
+            let t0 = t_s - self.tick;
+            for node in 0..self.sc.n_nodes {
                 let i = node as usize;
-                let suppressed = if dead[i] {
+                let suppressed = if self.dead[i] {
                     Some(FrameFate::Dead)
-                } else if broker_down {
+                } else if self.broker_down {
                     Some(FrameFate::BrokerDown)
-                } else if sc.faults.iter().any(|f| {
+                } else if self.sc.faults.iter().any(|f| {
                     matches!(*f, Fault::Dropout { node: dn, from_s, until_s }
-                        if dn == node && window_active(from_s, until_s, t))
+                        if dn == node && window_active(from_s, until_s, t_s))
                 }) {
                     Some(FrameFate::Dropout)
                 } else {
                     None
                 };
                 if let Some(fate) = suppressed {
-                    frames_suppressed += 1;
-                    dirty[i].push((t0 - tick, t + tick));
-                    log.push(Event::Frame {
+                    self.frames_suppressed += 1;
+                    self.dirty[i].push((t0 - self.tick, t_s + self.tick));
+                    self.log.push(Event::Frame {
                         t_ns,
                         node,
-                        t0_bits: (t0 + clock_offset[i]).to_bits(),
+                        t0_bits: (t0 + self.clock_offset[i]).to_bits(),
                         n: 0,
                         fate,
                     });
                     continue;
                 }
-                let w = node_draw_w[i];
+                let w = self.node_draw_w[i];
+                let noise = self.sc.noise;
+                let samples = self.samples;
+                let rng = &mut self.plant_rng;
                 let watts: Vec<f32> = (0..samples)
                     .map(|_| {
-                        let nz = 1.0 + sc.noise * gauss(&mut plant_rng);
+                        let nz = 1.0 + noise * gauss(rng);
                         (w * nz).max(0.0) as f32
                     })
                     .collect();
                 let frame = SampleFrame {
-                    t0_s: t0 + clock_offset[i],
-                    dt_s: sc.sample_dt_s,
+                    t0_s: t0 + self.clock_offset[i],
+                    dt_s: self.sc.sample_dt_s,
                     watts,
                 };
-                let delayed = sc.faults.iter().any(|f| {
+                let delayed = self.sc.faults.iter().any(|f| {
                     matches!(*f, Fault::Reorder { node: rn, from_s, until_s, .. }
-                        if rn == node && window_active(from_s, until_s, t))
+                        if rn == node && window_active(from_s, until_s, t_s))
                 }) && {
-                    let p = sc
+                    let p = self
+                        .sc
                         .faults
                         .iter()
                         .find_map(|f| match *f {
@@ -538,14 +792,15 @@ pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
                                 from_s,
                                 until_s,
                                 ..
-                            } if rn == node && window_active(from_s, until_s, t) => Some(p),
+                            } if rn == node && window_active(from_s, until_s, t_s) => Some(p),
                             _ => None,
                         })
                         .unwrap_or(0.0);
-                    inject_rng.chance(p)
+                    self.inject_rng.chance(p)
                 };
                 if delayed {
-                    let delay_ticks = sc
+                    let delay_ticks = self
+                        .sc
                         .faults
                         .iter()
                         .find_map(|f| match *f {
@@ -555,95 +810,137 @@ pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
                                 from_s,
                                 until_s,
                                 ..
-                            } if rn == node && window_active(from_s, until_s, t) => {
+                            } if rn == node && window_active(from_s, until_s, t_s) => {
                                 Some(delay_ticks)
                             }
                             _ => None,
                         })
                         .unwrap_or(1);
-                    log.push(Event::Frame {
+                    self.log.push(Event::Frame {
                         t_ns,
                         node,
                         t0_bits: frame.t0_s.to_bits(),
                         n: frame.watts.len() as u32,
                         fate: FrameFate::Delayed,
                     });
-                    dirty[i].push((t0 - tick, t + (delay_ticks as f64 + 1.0) * tick));
-                    delay_buf.push(DelayedFrame {
-                        due_s: t + delay_ticks as f64 * tick,
+                    self.dirty[i]
+                        .push((t0 - self.tick, t_s + (delay_ticks as f64 + 1.0) * self.tick));
+                    let due = t + SimDuration(self.tick_dur.0 * delay_ticks as u64);
+                    let slot = self.delay_slab.len();
+                    let seq = q.schedule(
+                        due,
+                        phase::LATE_FRAME,
+                        SimEvent::LateFrame {
+                            rack: self.rack,
+                            slot,
+                        },
+                    );
+                    self.delay_slab.push(Some(DelayedFrame {
                         node,
                         frame,
-                        true_end_s: t,
-                    });
+                        true_end_s: t_s,
+                        seq,
+                    }));
+                    self.delayed_outstanding += 1;
                     continue;
                 }
-                publish_frame(
-                    t,
-                    node,
-                    &frame,
-                    t,
-                    false,
-                    &mut log,
-                    &mut model,
-                    &mut delivered_until,
-                    &mut dirty,
-                    &mut frames_delivered,
-                    &mut frames_suppressed,
-                );
+                self.publish_frame(t_s, node, &frame, t_s, false);
             }
         }
-        // Due delayed frames land now, out of order (unless the broker
-        // is down, in which case they stay queued at the gateway).
-        if !broker_down {
-            let due: Vec<DelayedFrame> = {
-                let mut held = Vec::new();
-                let mut landing = Vec::new();
-                for df in delay_buf.drain(..) {
-                    if df.due_s <= t && !dead[df.node as usize] {
-                        landing.push(df);
-                    } else {
-                        held.push(df);
-                    }
-                }
-                delay_buf = held;
-                landing
-            };
-            for df in due {
-                publish_frame(
-                    t,
-                    df.node,
-                    &df.frame,
-                    df.true_end_s,
-                    true,
-                    &mut log,
-                    &mut model,
-                    &mut delivered_until,
-                    &mut dirty,
-                    &mut frames_delivered,
-                    &mut frames_suppressed,
-                );
-            }
-        }
+        q.schedule(
+            t + self.tick_dur,
+            phase::GATEWAYS,
+            SimEvent::Gateways { rack: self.rack },
+        );
+    }
 
-        // ── Arrivals. ──
-        while next_submit < trace.len() && trace[next_submit].submit_s <= t {
-            cp.submit(trace[next_submit].clone());
-            next_submit += 1;
+    /// A delayed frame comes due. If the broker is down or the node is
+    /// dead it stays queued at the gateway: the event hops one tick
+    /// forward *keeping its insertion seq*, so the delay line lands in
+    /// FIFO order exactly like the lockstep hold-back buffer.
+    fn late_frame(&mut self, q: &mut EventQueue<SimEvent>, t: SimTime, slot: usize) {
+        let t_s = t.as_secs_f64();
+        let held = {
+            let df = self.delay_slab[slot].as_ref().expect("live delay slot");
+            self.broker_down || self.dead[df.node as usize]
+        };
+        if held {
+            let seq = self.delay_slab[slot].as_ref().expect("live delay slot").seq;
+            q.requeue(
+                t + self.tick_dur,
+                phase::LATE_FRAME,
+                seq,
+                SimEvent::LateFrame {
+                    rack: self.rack,
+                    slot,
+                },
+            );
+            return;
+        }
+        let df = self.delay_slab[slot].take().expect("live delay slot");
+        self.delayed_outstanding -= 1;
+        self.publish_frame(t_s, df.node, &df.frame, df.true_end_s, true);
+    }
+
+    /// One trace job reaches its submit time and enters the queue.
+    fn arrival(&mut self, idx: usize) {
+        self.cp.submit(self.trace[idx].clone());
+        self.arrivals_pending -= 1;
+    }
+
+    /// Apply a federated cap grant: swap the control plane's schedule,
+    /// retune the checker's envelope, log the change. Idempotent for
+    /// repeated grants of the same value (retained replays).
+    fn apply_cap(&mut self, t_ns: u64, w: f64) {
+        if !w.is_finite() || w <= 0.0 || (w - self.cap_now_w).abs() < 1e-9 {
+            return;
+        }
+        self.cap_now_w = w;
+        self.cp.set_cap_schedule(CapSchedule::constant(w));
+        self.checker.set_cap_w(w);
+        self.log.push(Event::CapApplied {
+            t_ns,
+            cap_bits: w.to_bits(),
+        });
+    }
+
+    /// One control period: apply bridged cap grants, collect plant
+    /// completions and death aborts, run the real loop's tick, apply
+    /// DVFS commands, then either finish the rack or schedule the
+    /// plant/audit phases and the next period. Returns `true` when the
+    /// rack just finished.
+    fn control_phase(&mut self, q: &mut EventQueue<SimEvent>, t: SimTime) -> bool {
+        if self.done {
+            return false;
+        }
+        let t_s = t.as_secs_f64();
+        let t_ns = t.0;
+
+        // ── Federated cap grants land first: the control period runs
+        //    under the budget that was in force when it started. ──
+        if self.cap_watch.is_some() {
+            let msgs = self.cap_watch.as_mut().expect("federated").drain();
+            for m in msgs {
+                if let Ok(w) = std::str::from_utf8(&m.payload).unwrap_or("").parse::<f64>() {
+                    self.apply_cap(t_ns, w);
+                }
+            }
         }
 
         // ── Plant completions and death aborts. ──
         let mut completions: Vec<(JobId, f64)> = Vec::new();
+        let mut plant = std::mem::take(&mut self.plant);
         plant.retain(|pj| {
-            let killer = pj.nodes.iter().find(|&&nd| dead[nd as usize]);
+            let killer = pj.nodes.iter().find(|&&nd| self.dead[nd as usize]);
             if let Some(&killer) = killer {
-                completions.push((pj.id, t));
-                let rec = &mut jobs[job_index[&pj.id]];
-                rec.end_s = t;
+                completions.push((pj.id, t_s));
+                let rec = &mut self.jobs[self.job_index[&pj.id]];
+                rec.end_s = t_s;
                 rec.aborted = true;
                 for &nd in &pj.nodes {
-                    speeds[nd as usize] = 1.0;
+                    self.speeds[nd as usize] = 1.0;
                 }
-                log.push(Event::Abort {
+                self.log.push(Event::Abort {
                     t_ns,
                     job: pj.id,
                     node: killer,
@@ -651,48 +948,49 @@ pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
                 return false;
             }
             if pj.remaining_s <= 1e-9 {
-                completions.push((pj.id, t));
-                let rec = &mut jobs[job_index[&pj.id]];
-                rec.end_s = t;
+                completions.push((pj.id, t_s));
+                let rec = &mut self.jobs[self.job_index[&pj.id]];
+                rec.end_s = t_s;
                 for &nd in &pj.nodes {
-                    speeds[nd as usize] = 1.0;
+                    self.speeds[nd as usize] = 1.0;
                 }
-                log.push(Event::Complete { t_ns, job: pj.id });
+                self.log.push(Event::Complete { t_ns, job: pj.id });
                 return false;
             }
             true
         });
+        self.plant = plant;
 
         // ── One control period of the real loop. ──
-        let placements = cp.tick(t, &completions);
+        let placements = self.cp.tick(t_s, &completions);
         for p in &placements {
-            let job = &by_id[&p.job];
-            job_index.insert(p.job, jobs.len());
-            jobs.push(JobTruth {
+            let job = &self.by_id[&p.job];
+            self.job_index.insert(p.job, self.jobs.len());
+            self.jobs.push(JobTruth {
                 id: p.job,
-                start_s: t,
+                start_s: t_s,
                 end_s: f64::NAN,
                 nodes: p.nodes.clone(),
                 energy_j: 0.0,
                 clean: true,
                 aborted: false,
             });
-            log.push(Event::Place {
+            self.log.push(Event::Place {
                 t_ns,
                 job: p.job,
                 nodes: p.nodes.clone(),
             });
-            plant.push(PlantJob {
+            self.plant.push(PlantJob {
                 id: p.job,
                 nodes: p.nodes.clone(),
-                node_w: job.true_power_w * drift(job),
+                node_w: job.true_power_w * self.sc.app_drift[job.app as usize],
                 remaining_s: job.true_runtime_s,
             });
         }
 
         // ── Apply DVFS commands (live, or retained replay on
         //    reconnect). ──
-        for msg in ctl_watch.drain() {
+        for msg in self.ctl_watch.drain() {
             let node = {
                 let mut parts = msg.topic.split('/');
                 parts.next();
@@ -707,155 +1005,204 @@ pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
                     .unwrap_or("")
                     .parse::<f64>(),
             ) {
-                if node < sc.n_nodes {
+                if node < self.sc.n_nodes {
                     let applied = speed.clamp(0.1, 1.0);
-                    speeds[node as usize] = applied;
-                    checker.on_speed(t, node, reconnect_tick);
-                    log.push(Event::Speed {
+                    self.speeds[node as usize] = applied;
+                    self.checker.on_speed(t_s, node, self.reconnect_tick);
+                    self.log.push(Event::Speed {
                         t_ns,
                         node,
                         speed_bits: applied.to_bits(),
-                        replayed: reconnect_tick,
+                        replayed: self.reconnect_tick,
                     });
                 }
             }
         }
 
-        if next_submit >= trace.len()
-            && plant.is_empty()
-            && cp.queue_len() == 0
-            && delay_buf.is_empty()
+        if self.arrivals_pending == 0
+            && self.plant.is_empty()
+            && self.cp.queue_len() == 0
+            && self.delayed_outstanding == 0
         {
-            break;
+            self.done = true;
+            self.done_at = Some(t_s);
+            return true;
         }
 
-        // ── Advance the plant over [t, t + tick). ──
-        for (i, w) in node_draw_w.iter_mut().enumerate() {
-            *w = if dead[i] { 0.0 } else { idle_w };
+        q.schedule(t, phase::PLANT, SimEvent::Plant { rack: self.rack });
+        q.schedule(t, phase::AUDIT, SimEvent::Audit { rack: self.rack });
+        let next = t + self.tick_dur;
+        assert!(
+            next.as_secs_f64() < 30.0 * 86_400.0,
+            "scenario {:?} failed to converge: queue={} plant={}",
+            self.sc.name,
+            self.cp.queue_len(),
+            self.plant.len()
+        );
+        q.schedule(next, phase::CONTROL, SimEvent::Control { rack: self.rack });
+        false
+    }
+
+    /// Advance the plant over `[t, t + tick)`: integrate draw, charge
+    /// the energy ledgers, shrink remaining work.
+    fn plant_phase(&mut self, t: SimTime) {
+        let n = self.sc.n_nodes as usize;
+        for (i, w) in self.node_draw_w.iter_mut().enumerate() {
+            *w = if self.dead[i] { 0.0 } else { self.idle_w };
         }
-        for pj in plant.iter_mut() {
+        for pj in self.plant.iter_mut() {
             let speed = pj
                 .nodes
                 .iter()
-                .map(|&nd| speeds[nd as usize])
+                .map(|&nd| self.speeds[nd as usize])
                 .fold(1.0, f64::min);
             for &nd in &pj.nodes {
-                if !dead[nd as usize] {
-                    node_draw_w[nd as usize] = idle_w + speed * (pj.node_w - idle_w).max(0.0);
+                if !self.dead[nd as usize] {
+                    self.node_draw_w[nd as usize] =
+                        self.idle_w + speed * (pj.node_w - self.idle_w).max(0.0);
                 }
             }
-            pj.remaining_s -= tick * speed;
+            pj.remaining_s -= self.tick * speed;
         }
-        let sys_w: f64 = node_draw_w.iter().sum();
-        total_energy_j += sys_w * tick;
+        let sys_w: f64 = self.node_draw_w.iter().sum();
+        self.total_energy_j += sys_w * self.tick;
         let mut busy_nodes = vec![false; n];
-        for pj in &plant {
+        for pj in &self.plant {
             let job_e: f64 = pj
                 .nodes
                 .iter()
                 .map(|&nd| {
                     busy_nodes[nd as usize] = true;
-                    node_draw_w[nd as usize] * tick
+                    self.node_draw_w[nd as usize] * self.tick
                 })
                 .sum();
-            jobs[job_index[&pj.id]].energy_j += job_e;
+            self.jobs[self.job_index[&pj.id]].energy_j += job_e;
         }
-        for i in 0..n {
-            per_node_energy[i] += node_draw_w[i] * tick;
-            if !busy_nodes[i] {
-                idle_energy_j += node_draw_w[i] * tick;
+        for (i, &busy) in busy_nodes.iter().enumerate() {
+            self.per_node_energy[i] += self.node_draw_w[i] * self.tick;
+            if !busy {
+                self.idle_energy_j += self.node_draw_w[i] * self.tick;
             }
         }
-        if sys_w > sc.cap_w {
-            overcap_s += tick;
-            overcap_energy_j += (sys_w - sc.cap_w) * tick;
+        if sys_w > self.cap_now_w {
+            self.overcap_s += self.tick;
+            self.overcap_energy_j += (sys_w - self.cap_now_w) * self.tick;
         }
+        self.last_sys_w = sys_w;
+        self.last_busy = busy_nodes.iter().filter(|&&b| b).count();
+        self.advanced_at = Some(t);
+    }
 
-        // ── Audit the period. ──
-        checker.on_tick(
-            t,
-            tick,
-            &cp,
+    /// Audit the period just advanced against ground truth.
+    fn audit_phase(&mut self, t: SimTime) {
+        let t_s = t.as_secs_f64();
+        self.checker.on_tick(
+            t_s,
+            self.tick,
+            &self.cp,
             &TickTruth {
-                sys_w,
-                broker_down,
-                delivered_until: &delivered_until,
-                dead: &dead,
-                clock_faulted: &clock_faulted,
+                sys_w: self.last_sys_w,
+                broker_down: self.broker_down,
+                delivered_until: &self.delivered_until,
+                dead: &self.dead,
+                clock_faulted: &self.clock_faulted,
             },
         );
-
-        clock.advance();
-        assert!(
-            clock.now_s() < 30.0 * 86_400.0,
-            "scenario {:?} failed to converge: queue={} plant={}",
-            sc.name,
-            cp.queue_len(),
-            plant.len()
-        );
     }
 
-    let t_end = clock.now_s();
-    // Classify jobs: clean means no fault activity touched any of its
-    // nodes for its whole (slightly widened) window.
-    for j in jobs.iter_mut() {
-        if j.end_s.is_nan() {
-            j.end_s = t_end;
+    /// Close out the rack: classify clean jobs, fix up the report, run
+    /// the end-of-run invariant checks, detach the fault hook.
+    /// `fallback_end_s` is the run's final instant for racks that never
+    /// reached their own termination (federated early halt).
+    pub(crate) fn finish(mut self, fallback_end_s: f64) -> RunOutcome {
+        let t_end = self.done_at.unwrap_or(fallback_end_s);
+        // Classify jobs: clean means no fault activity touched any of
+        // its nodes for its whole (slightly widened) window.
+        for j in self.jobs.iter_mut() {
+            if j.end_s.is_nan() {
+                j.end_s = t_end;
+            }
+            let (a, b) = (j.start_s - self.tick, j.end_s + self.tick);
+            let touched = j.nodes.iter().any(|&nd| {
+                self.dirty[nd as usize]
+                    .iter()
+                    .any(|&(from, until)| from < b && a < until)
+            });
+            j.clean = !touched && !j.aborted;
         }
-        let (a, b) = (j.start_s - tick, j.end_s + tick);
-        let touched = j.nodes.iter().any(|&nd| {
-            dirty[nd as usize]
-                .iter()
-                .any(|&(from, until)| from < b && a < until)
-        });
-        j.clean = !touched && !j.aborted;
+
+        let mut report = self.cp.report();
+        report.total_energy_j = self.total_energy_j;
+        report.overcap_energy_j = self.overcap_energy_j;
+        report.overcap_s = self.overcap_s;
+
+        let truth = GroundTruth {
+            total_energy_j: self.total_energy_j,
+            idle_energy_j: self.idle_energy_j,
+            per_node_energy_j: self.per_node_energy,
+            overcap_s: self.overcap_s,
+            overcap_energy_j: self.overcap_energy_j,
+            aborted_jobs: self.jobs.iter().filter(|j| j.aborted).count() as u64,
+            frames_delivered: self.frames_delivered,
+            frames_suppressed: self.frames_suppressed,
+            makespan_s: t_end,
+            jobs: self.jobs,
+        };
+        let violations = self.checker.finish(
+            &self.cp,
+            &self.broker,
+            &report,
+            &self.model,
+            &FinalTruth {
+                total_energy_j: truth.total_energy_j,
+                per_node_energy_j: &truth.per_node_energy_j,
+                idle_energy_j: truth.idle_energy_j,
+                jobs: &truth.jobs,
+                t_s: t_end,
+            },
+        );
+        // Detach the hook so the broker (shared handles) cannot call
+        // into freed harness state.
+        self.broker.set_fault_hook(None);
+        // Anything still resident in the tracer never completed the
+        // loop: account it as lost at whatever stage it last reached.
+        self.hub.tracer.flush();
+
+        RunOutcome {
+            scenario: self.sc.name.clone(),
+            report,
+            log: self.log,
+            violations,
+            truth,
+            obs: self.hub,
+        }
     }
+}
 
-    let mut report = cp.report();
-    report.total_energy_j = total_energy_j;
-    report.overcap_energy_j = overcap_energy_j;
-    report.overcap_s = overcap_s;
+/// Execute one scenario to completion and return the outcome. Pure in
+/// the seed: no wall clock, no global state — two calls with an equal
+/// [`Scenario`] return bit-identical event logs.
+pub fn run(sc: &Scenario) -> RunOutcome {
+    run_with_db_config(sc, TsDbConfig::default())
+}
 
-    let truth = GroundTruth {
-        total_energy_j,
-        idle_energy_j,
-        per_node_energy_j: per_node_energy,
-        overcap_s,
-        overcap_energy_j,
-        aborted_jobs: jobs.iter().filter(|j| j.aborted).count() as u64,
-        frames_delivered,
-        frames_suppressed,
-        makespan_s: t_end,
-        jobs,
+/// [`run`] with an explicit telemetry-store configuration for the
+/// control plane — the hook the tiered-storage proof uses to show the
+/// event-log digest of every canned scenario is unchanged when the
+/// store seals, compresses and demotes under the loop.
+pub fn run_with_db_config(sc: &Scenario, db_cfg: TsDbConfig) -> RunOutcome {
+    let mut q = EventQueue::new();
+    let rack = RackSim::new(0, sc, db_cfg);
+    rack.bootstrap(&mut q);
+    let mut world = World {
+        racks: vec![rack],
+        fed: None,
+        active: 1,
     };
-    let violations = checker.finish(
-        &cp,
-        &broker,
-        &report,
-        &model,
-        &FinalTruth {
-            total_energy_j: truth.total_energy_j,
-            per_node_energy_j: &truth.per_node_energy_j,
-            idle_energy_j: truth.idle_energy_j,
-            jobs: &truth.jobs,
-            t_s: t_end,
-        },
-    );
-    // Detach the hook so the broker (shared handles) cannot call into
-    // freed harness state.
-    broker.set_fault_hook(None);
-    // Anything still resident in the tracer never completed the loop:
-    // account it as lost at whatever stage it last reached.
-    hub.tracer.flush();
-
-    RunOutcome {
-        scenario: sc.name.clone(),
-        report,
-        log,
-        violations,
-        truth,
-        obs: hub,
-    }
+    kernel::drive(&mut q, &mut world);
+    let t_end = q.now_s();
+    let rack = world.racks.pop().expect("one rack");
+    rack.finish(t_end)
 }
 
 #[cfg(test)]

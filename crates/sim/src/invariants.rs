@@ -220,6 +220,20 @@ impl InvariantChecker {
         self.expected_stale_s
     }
 
+    /// Update the cap the INV-CAP envelope audits against. Federated
+    /// runs call this when a rack applies a new budget grant; the
+    /// overcap streak deliberately survives the change, so a rack
+    /// cannot launder a sustained overcap through a fresh grant — the
+    /// grace window alone absorbs re-convergence.
+    pub fn set_cap_w(&mut self, cap_w: f64) {
+        self.cfg.cap_w = cap_w;
+    }
+
+    /// The cap currently audited against, watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cfg.cap_w
+    }
+
     fn flag(&mut self, invariant: &'static str, t_s: f64, detail: String) {
         self.violations.push(Violation {
             invariant,

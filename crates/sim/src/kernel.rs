@@ -1,0 +1,342 @@
+//! The discrete-event simulation kernel.
+//!
+//! A run is a priority queue of timestamped events, not a lockstep
+//! sweep: every cause in the simulated world — a fault window opening,
+//! a gateway rendering a frame, a delayed frame landing, a job
+//! arriving, one control period of the loop — is an [`EventQueue`]
+//! entry dispatched in deterministic order. The ordering key is
+//!
+//! ```text
+//! (time, phase class, insertion sequence)
+//! ```
+//!
+//! so simultaneous events resolve by *phase* (fault lifecycle before
+//! gateway publishes before late frames before the control step, see
+//! [`phase`]) and, within one phase, by the order they were scheduled.
+//! The sequence tie-break makes the kernel *stable*: two runs that
+//! schedule the same events in the same order dispatch them in the
+//! same order, which is what turns the event log into a bit-identical
+//! per-seed artifact.
+//!
+//! The kernel enforces its own core invariant — dispatch keys never go
+//! backwards — and [`EventQueue::dispatched`]/[`EventQueue::last_key`]
+//! expose enough state for property tests to audit it from outside
+//! (see `tests/federation.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use davide_core::time::SimTime;
+
+/// Phase classes: the deterministic intra-instant dispatch order.
+///
+/// All events stamped with one instant resolve in this class order;
+/// the classes mirror the causal structure of one control period of
+/// the plant (faults act on the world before gateways observe it,
+/// gateways publish before held-back frames land behind them, the
+/// control plane acts on everything delivered, the federator rebalances
+/// on what the control planes did, then the plant integrates and the
+/// checker audits).
+pub mod phase {
+    /// Fault lifecycle: broker outages, node death/revival, clock
+    /// faults take effect.
+    pub const FAULTS: u8 = 0;
+    /// Gateways render and publish the elapsed window's frames.
+    pub const GATEWAYS: u8 = 1;
+    /// Previously delayed frames land, out of order, behind this
+    /// instant's fresh frames.
+    pub const LATE_FRAME: u8 = 2;
+    /// Job arrivals enter the control plane's queue.
+    pub const ARRIVAL: u8 = 3;
+    /// One control period: completions, scheduler tick, DVFS commands
+    /// applied.
+    pub const CONTROL: u8 = 4;
+    /// The federator pumps the rack bridges and (on rebalance
+    /// boundaries) re-splits the global power budget.
+    pub const FEDERATE: u8 = 5;
+    /// The plant integrates draw over the period just decided.
+    pub const PLANT: u8 = 6;
+    /// The invariant checker audits the period against ground truth.
+    pub const AUDIT: u8 = 7;
+}
+
+/// A scheduled entry: the full ordering key plus its payload.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    t: SimTime,
+    class: u8,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl<E> Scheduled<E> {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.t, self.class, self.seq)
+    }
+}
+
+/// The deterministic event queue at the heart of every simulation run.
+///
+/// Events are `(time, phase class, payload)`; [`pop`](Self::pop)
+/// returns them in `(time, class, insertion seq)` order and asserts the
+/// order never regresses. Scheduling into the past — or into an
+/// already-dispatched position of the current instant — panics: a
+/// simulation that does that is broken, not unlucky.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+    dispatched: u64,
+    last_key: Option<(SimTime, u8, u64)>,
+    halted: bool,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            dispatched: 0,
+            last_key: None,
+            halted: false,
+        }
+    }
+
+    /// Current simulated instant (the timestamp of the last dispatched
+    /// event; `t = 0` before the first).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now.as_secs_f64()
+    }
+
+    /// Events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Ordering key of the most recently dispatched event, if any —
+    /// the probe property tests audit monotonicity with.
+    pub fn last_key(&self) -> Option<(SimTime, u8, u64)> {
+        self.last_key
+    }
+
+    /// Events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at `(t, class)`. Returns the insertion
+    /// sequence number (the stable tie-break within the instant), which
+    /// [`requeue`](Self::requeue) can later reuse to keep a deferred
+    /// event's position in its original order.
+    ///
+    /// Panics if `(t, class)` sorts before the event currently being
+    /// dispatched — the kernel refuses to schedule into the past.
+    pub fn schedule(&mut self, t: SimTime, class: u8, payload: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.insert(t, class, seq, payload);
+        seq
+    }
+
+    /// Re-schedule a deferred event at a later `(t, class)` keeping its
+    /// original insertion sequence. This is how an in-order delay line
+    /// is built on a heap: frames that cannot land yet (broker down,
+    /// node dead) hop forward in time but keep their relative order, so
+    /// the eventual landing order is insertion order — exactly what a
+    /// FIFO hold-back buffer would produce.
+    pub fn requeue(&mut self, t: SimTime, class: u8, seq: u64, payload: E) {
+        self.insert(t, class, seq, payload);
+    }
+
+    fn insert(&mut self, t: SimTime, class: u8, seq: u64, payload: E) {
+        let key = (t, class, seq);
+        if let Some(last) = self.last_key {
+            assert!(
+                key > last,
+                "kernel: scheduling into the past ({key:?} ≤ dispatched {last:?})"
+            );
+        }
+        self.heap.push(Reverse(Scheduled {
+            t,
+            class,
+            seq,
+            payload,
+        }));
+    }
+
+    /// Dispatch the next event: advance `now` and return `(t, class,
+    /// payload)`. Returns `None` when the queue is empty or
+    /// [`halt`](Self::halt) was called. Asserts that dispatch keys are
+    /// strictly increasing — the kernel's own out-of-order guard.
+    pub fn pop(&mut self) -> Option<(SimTime, u8, E)> {
+        if self.halted {
+            return None;
+        }
+        let Reverse(ev) = self.heap.pop()?;
+        let key = ev.key();
+        if let Some(last) = self.last_key {
+            assert!(
+                key > last,
+                "kernel dispatched out of order: {key:?} after {last:?}"
+            );
+        }
+        self.last_key = Some(key);
+        self.now = ev.t;
+        self.dispatched += 1;
+        Some((ev.t, ev.class, ev.payload))
+    }
+
+    /// Stop the run: every pending event is discarded and further
+    /// [`pop`](Self::pop)s return `None`. Used by the termination
+    /// check (trace drained, plant idle) to cut the recurring phase
+    /// events that are already scheduled for the next period.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        self.heap.clear();
+    }
+
+    /// True once [`halt`](Self::halt) was called.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// A component that consumes dispatched events and schedules follow-on
+/// ones. The driver loop ([`drive`]) owns the queue; handlers get it
+/// back on every dispatch so they can schedule freely.
+pub trait EventHandler<E> {
+    /// React to one dispatched event.
+    fn handle(&mut self, q: &mut EventQueue<E>, t: SimTime, class: u8, event: E);
+}
+
+/// Run the queue dry: dispatch every event in deterministic order
+/// through `handler` until the queue is empty or halted. Returns the
+/// number of events dispatched.
+pub fn drive<E, H: EventHandler<E>>(q: &mut EventQueue<E>, handler: &mut H) -> u64 {
+    let before = q.dispatched();
+    while let Some((t, class, ev)) = q.pop() {
+        handler.handle(q, t, class, ev);
+    }
+    q.dispatched() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_class_then_seq() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), phase::CONTROL, "late-control");
+        q.schedule(SimTime::from_secs(1), phase::GATEWAYS, "gw-b");
+        q.schedule(SimTime::from_secs(1), phase::FAULTS, "faults");
+        q.schedule(SimTime::from_secs(1), phase::GATEWAYS, "gw-after-b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["faults", "gw-b", "gw-after-b", "late-control"]);
+    }
+
+    #[test]
+    fn same_instant_same_class_preserves_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(3), phase::LATE_FRAME, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn requeue_preserves_original_order_across_a_hop() {
+        // Frame A scheduled first, frame B second, both for t=2. A is
+        // deferred to t=4; C is scheduled fresh at t=4 *before* A's
+        // requeue happens. The delay-line contract: at t=4, A (older
+        // seq) still lands before C.
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        let seq_a = q.schedule(SimTime::from_secs(2), phase::LATE_FRAME, "A");
+        q.schedule(SimTime::from_secs(2), phase::LATE_FRAME, "B");
+        q.schedule(SimTime::from_secs(4), phase::LATE_FRAME, "C");
+        let (_, _, a) = q.pop().unwrap();
+        assert_eq!(a, "A");
+        q.requeue(SimTime::from_secs(4), phase::LATE_FRAME, seq_a, "A");
+        let rest: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(rest, vec!["B", "A", "C"], "A keeps its pre-C position");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), phase::CONTROL, 0);
+        q.pop();
+        q.schedule(SimTime::from_secs(5), phase::CONTROL, 1);
+    }
+
+    #[test]
+    fn halt_discards_pending_events() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), phase::CONTROL, 0);
+        q.schedule(SimTime::from_secs(2), phase::CONTROL, 1);
+        assert!(q.pop().is_some());
+        q.halt();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty() && q.is_halted());
+    }
+
+    #[test]
+    fn drive_runs_a_cascading_handler_to_completion() {
+        struct Chain {
+            fired: Vec<u64>,
+        }
+        impl EventHandler<u64> for Chain {
+            fn handle(&mut self, q: &mut EventQueue<u64>, t: SimTime, _class: u8, ev: u64) {
+                self.fired.push(ev);
+                if ev < 5 {
+                    q.schedule(t + davide_core::time::SimDuration::from_secs(1), 0, ev + 1);
+                }
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0, 0u64);
+        let mut h = Chain { fired: Vec::new() };
+        let n = drive(&mut q, &mut h);
+        assert_eq!(n, 6);
+        assert_eq!(h.fired, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+}

@@ -126,6 +126,25 @@ pub enum Event {
         /// Step size, `f64::to_bits`.
         offset_bits: u64,
     },
+    /// A federated power-budget grant reached this rack's control plane
+    /// and was applied as its new cap. Only federated runs emit this;
+    /// single-rack logs (and their pinned digests) never contain it.
+    CapApplied {
+        /// Virtual time, ns.
+        t_ns: u64,
+        /// Applied cap, watts, `f64::to_bits`.
+        cap_bits: u64,
+    },
+    /// The federator re-split the global budget and granted one rack a
+    /// new cap. Appears in the federation log, not in rack logs.
+    FedRebalance {
+        /// Virtual time, ns.
+        t_ns: u64,
+        /// Granted rack.
+        rack: u32,
+        /// Granted cap, watts, `f64::to_bits`.
+        cap_bits: u64,
+    },
 }
 
 /// Append-only run log with a content digest.

@@ -1,0 +1,101 @@
+//! Property tests over the event kernel and the multi-rack federation.
+//!
+//! Three families, matching the determinism and conservation claims the
+//! harness makes:
+//!
+//! * the kernel dispatches in strictly increasing `(time, class, seq)`
+//!   order and never loses or invents an event, for arbitrary schedules;
+//! * a federated run is a pure function of its seed: same scenario →
+//!   bit-identical rack logs and federation log (one digest);
+//! * the federator's global energy ledger equals the sum of the racks'
+//!   ground-truth ledgers — INV-ENERGY composes across the federation.
+
+use davide_core::time::SimTime;
+use davide_sim::federation::{run_federated, FedScenario};
+use davide_sim::kernel::EventQueue;
+use proptest::prelude::*;
+
+/// A federation small enough to run hundreds of times in a test, big
+/// enough to exercise bridges, rebalancing and termination.
+fn tiny_fed(seed: u64, n_racks: usize) -> FedScenario {
+    let mut fs = FedScenario::base("prop_fed", seed, n_racks);
+    fs.rack.n_jobs = 3;
+    fs.rack.n_history = 120;
+    fs.rack.mean_walltime_s = 400.0;
+    fs.rack.mean_interarrival_s = 80.0;
+    fs
+}
+
+proptest! {
+    /// Arbitrary schedules dispatch monotonically: every pop's full
+    /// `(time, class, seq)` key is strictly greater than the previous
+    /// one, same-key-prefix events come out in insertion order, and
+    /// nothing is lost.
+    #[test]
+    fn kernel_never_dispatches_out_of_timestamp_order(
+        raw in proptest::collection::vec(0u64..10_000, 1..300),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &x) in raw.iter().enumerate() {
+            // Low bits pick the phase class, the rest the instant, so
+            // collisions in both time and class are common.
+            q.schedule(SimTime(x / 8), (x % 8) as u8, i);
+        }
+        let mut popped: Vec<(SimTime, u8, usize)> = Vec::new();
+        let mut prev_key = None;
+        while let Some(ev) = q.pop() {
+            let key = q.last_key().expect("set by pop");
+            if let Some(p) = prev_key {
+                prop_assert!(key > p, "dispatch went backwards: {key:?} after {p:?}");
+            }
+            prev_key = Some(key);
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), raw.len(), "no event lost or invented");
+        prop_assert_eq!(q.dispatched(), raw.len() as u64);
+        // Stability: among events sharing (time, class), payload order
+        // is insertion order.
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                prop_assert!(w[0].2 < w[1].2, "tie broken against insertion order");
+            }
+        }
+    }
+
+    /// A federated run is a pure function of its seed, and the site
+    /// energy ledger conserves against the racks' ground truth.
+    #[test]
+    fn federation_is_seed_stable_and_conserves_energy(
+        seed in 1u64..100_000,
+        n_racks in 2usize..4,
+    ) {
+        let fs = tiny_fed(seed, n_racks);
+        let a = run_federated(&fs);
+        let b = run_federated(&fs);
+        prop_assert_eq!(a.digest(), b.digest(), "seed {seed}: rerun diverged");
+        prop_assert_eq!(a.fed_log.events(), b.fed_log.events());
+        for (ra, rb) in a.racks.iter().zip(&b.racks) {
+            prop_assert_eq!(ra.log.events(), rb.log.events());
+        }
+
+        // Global INV-ENERGY: the federator integrates the same draw the
+        // racks integrate, so the ledgers agree to float roundoff.
+        let racks_j = a.racks_energy_j();
+        prop_assert!(
+            (a.global_energy_j - racks_j).abs() <= 1e-9 * racks_j.abs() + 1e-6,
+            "seed {seed}: site ledger {} J vs Σ racks {racks_j} J",
+            a.global_energy_j
+        );
+        prop_assert!(
+            !a.all_violations().iter().any(|(_, v)| v.invariant == "fed-energy"),
+            "seed {seed}: fed-energy violation on a healthy run"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_federated(&tiny_fed(7, 2));
+    let b = run_federated(&tiny_fed(8, 2));
+    assert_ne!(a.digest(), b.digest(), "reseeding must move the digest");
+}
