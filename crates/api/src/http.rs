@@ -401,6 +401,15 @@ fn serve_connection<S: SeriesRead>(
 fn dispatch<S: SeriesRead>(svc: &QueryService<S>, req: &Request) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => Reply::json(200, serde_json::to_string(&svc.health().to_value())),
+        ("GET", "/v1/trace/grants") => {
+            Reply::json(200, serde_json::to_string(&svc.trace_grants().to_value()))
+        }
+        ("GET", "/v1/obs/metrics") => {
+            Reply::json(200, serde_json::to_string(&svc.obs_metrics().to_value()))
+        }
+        ("GET", "/v1/obs/flight") => {
+            Reply::json(200, serde_json::to_string(&svc.obs_flight().to_value()))
+        }
         ("GET", "/metrics") => Reply {
             status: 200,
             body: svc.metrics_text(),
@@ -423,7 +432,11 @@ fn dispatch<S: SeriesRead>(svc: &QueryService<S>, req: &Request) -> Reply {
             let q = JobProfileRequest::from_value(v)?;
             Ok(serde_json::to_string(&svc.profile_job(&q)?.to_value()))
         }),
-        (_, "/health") | (_, "/metrics") => Reply::method_not_allowed("GET"),
+        (_, "/health")
+        | (_, "/metrics")
+        | (_, "/v1/trace/grants")
+        | (_, "/v1/obs/metrics")
+        | (_, "/v1/obs/flight") => Reply::method_not_allowed("GET"),
         (_, "/v1/query")
         | (_, "/v1/rollup/user")
         | (_, "/v1/rollup/job")

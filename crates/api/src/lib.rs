@@ -18,7 +18,12 @@
 //! * [`http`] — [`ApiServer`], a std-only blocking HTTP/1.1 server
 //!   (thread pool over `TcpListener`, no async runtime) exposing the
 //!   service at `/health`, `/metrics`, `/v1/query`,
-//!   `/v1/rollup/{user,job}` and `/v1/profile/job`. Every JSON body is
+//!   `/v1/rollup/{user,job}`, `/v1/profile/job` and the observability
+//!   surface `/v1/trace/grants`, `/v1/obs/metrics`, `/v1/obs/flight`
+//!   (cap-grant causal traces, the federation-wide counter rollup and
+//!   the per-rack flight rings of attached
+//!   [`ObsHub`](davide_obs::ObsHub)s — see
+//!   [`QueryService::attach_rack_obs`]). Every JSON body is
 //!   produced by the same deterministic serializer the typed layer
 //!   uses, so an HTTP answer is bit-identical to the direct
 //!   [`QueryService`] call it wraps — a property the differential
@@ -39,7 +44,9 @@ pub use client::HttpClient;
 pub use http::{ApiServer, ApiServerConfig, RunningServer};
 pub use service::{CacheStats, JobIndex, JobRecord, QueryService, QueryServiceConfig};
 pub use types::{
-    ApiError, HealthResponse, JobProfileRequest, JobProfileResponse, JobRollupRequest,
-    JobRollupResponse, QueryOp, QueryRequest, QueryResponse, SeriesAnswer, UserRollup,
-    UserRollupRequest, UserRollupResponse, API_VERSION,
+    ApiError, FlightEventDto, GrantEventDto, GrantSpanDto, HealthResponse, JobProfileRequest,
+    JobProfileResponse, JobRollupRequest, JobRollupResponse, LatencyDto, ObsFlightResponse,
+    ObsMetricsResponse, QueryOp, QueryRequest, QueryResponse, RackFlight, RackGrantTrace,
+    SeriesAnswer, TraceGrantsResponse, UserRollup, UserRollupRequest, UserRollupResponse,
+    API_VERSION,
 };

@@ -25,7 +25,9 @@ use std::sync::Arc;
 
 use davide_core::power::PowerTrace;
 use davide_core::time::SimTime;
-use davide_obs::{Counter, Histogram, ObsHub};
+use davide_obs::{
+    rollup_counters, Counter, FlightRecorder, Histogram, MetricsRegistry, ObsHub, GRANT_STAGE_NAMES,
+};
 use davide_sched::accounting::{EnergyLedger, Tariff};
 use davide_sched::simulator::SimOutcome;
 use davide_telemetry::{
@@ -34,9 +36,11 @@ use davide_telemetry::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::types::{
-    ApiError, HealthResponse, JobProfileRequest, JobProfileResponse, JobRollupRequest,
-    JobRollupResponse, PhaseDto, QueryOp, QueryRequest, QueryResponse, SeriesAnswer, SeriesProfile,
-    UserRollup, UserRollupRequest, UserRollupResponse,
+    ApiError, FlightEventDto, GrantEventDto, GrantSpanDto, HealthResponse, JobProfileRequest,
+    JobProfileResponse, JobRollupRequest, JobRollupResponse, LatencyDto, ObsFlightResponse,
+    ObsMetricsResponse, PhaseDto, QueryOp, QueryRequest, QueryResponse, RackFlight, RackGrantTrace,
+    SeriesAnswer, SeriesProfile, TraceGrantsResponse, UserRollup, UserRollupRequest,
+    UserRollupResponse,
 };
 
 /// One finished job's accounting/profiling record.
@@ -245,6 +249,15 @@ impl ApiObs {
     }
 }
 
+/// One attached rack observability source: live handles onto the
+/// rack's registry and flight recorder (shared `Arc`s, so the service
+/// always reads current state).
+struct RackObsSource {
+    name: String,
+    registry: Arc<MetricsRegistry>,
+    flight: Arc<FlightRecorder>,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct QueryServiceConfig {
@@ -288,6 +301,7 @@ pub struct QueryService<S: SeriesRead> {
     stats: Arc<Mutex<CacheStats>>,
     cfg: QueryServiceConfig,
     obs: Arc<ApiObs>,
+    rack_obs: Arc<RwLock<Vec<RackObsSource>>>,
 }
 
 impl<S: SeriesRead> Clone for QueryService<S> {
@@ -300,6 +314,7 @@ impl<S: SeriesRead> Clone for QueryService<S> {
             stats: self.stats.clone(),
             cfg: self.cfg.clone(),
             obs: self.obs.clone(),
+            rack_obs: self.rack_obs.clone(),
         }
     }
 }
@@ -321,6 +336,7 @@ impl<S: SeriesRead> QueryService<S> {
             stats: Arc::new(Mutex::new(CacheStats::default())),
             cfg,
             obs: Arc::new(ApiObs::new(hub)),
+            rack_obs: Arc::new(RwLock::new(Vec::new())),
         }
     }
 
@@ -394,6 +410,129 @@ impl<S: SeriesRead> QueryService<S> {
     /// `/metrics`: the shared registry's Prometheus text exposition.
     pub fn metrics_text(&self) -> String {
         self.obs.hub.registry.render_text()
+    }
+
+    /// Attach one rack's observability surface (its registry and
+    /// flight recorder) under `name`. The grant-trace, metrics-rollup
+    /// and flight endpoints answer from the attached set — and *only*
+    /// from it, so their bodies are a pure function of the racks'
+    /// state, never of the service's own request counters.
+    pub fn attach_rack_obs(&self, name: &str, hub: &ObsHub) {
+        self.rack_obs.write().push(RackObsSource {
+            name: name.to_string(),
+            registry: hub.registry.clone(),
+            flight: hub.flight.clone(),
+        });
+    }
+
+    /// `/v1/trace/grants`: every attached rack's cap-grant causal
+    /// traces — recent spans reassembled from the flight ring, plus
+    /// the grant-to-actuation and end-to-end latency summaries.
+    pub fn trace_grants(&self) -> TraceGrantsResponse {
+        let t = self.obs.hub.clock.now_s();
+        let racks = self
+            .rack_obs
+            .read()
+            .iter()
+            .map(|src| {
+                let mut spans: std::collections::BTreeMap<u64, Vec<GrantEventDto>> =
+                    std::collections::BTreeMap::new();
+                for (_, e) in src.flight.snapshot() {
+                    if GRANT_STAGE_NAMES.contains(&e.kind) {
+                        spans.entry(e.seq).or_default().push(GrantEventDto {
+                            t_ns: e.t_ns,
+                            stage: e.kind.to_string(),
+                            cap_w: f64::from_bits(e.value_bits),
+                        });
+                    }
+                }
+                let lat = |name: &str| {
+                    src.registry
+                        .find_histogram(name)
+                        .map(|h| {
+                            let snap = h.snapshot();
+                            LatencyDto {
+                                count: snap.count,
+                                p50_ns: snap.quantile(0.50),
+                                p99_ns: snap.quantile(0.99),
+                            }
+                        })
+                        .unwrap_or(LatencyDto {
+                            count: 0,
+                            p50_ns: 0,
+                            p99_ns: 0,
+                        })
+                };
+                // `obs_grant_lost_total{last=..}` is one counter per
+                // terminal stage; the wire carries the sum.
+                let lost: u64 = rollup_counters([&*src.registry])
+                    .into_iter()
+                    .filter(|(n, _)| n.starts_with("obs_grant_lost_total"))
+                    .map(|(_, v)| v)
+                    .sum();
+                RackGrantTrace {
+                    rack: src.name.clone(),
+                    spans: spans
+                        .into_iter()
+                        .map(|(seq, events)| GrantSpanDto { seq, events })
+                        .collect(),
+                    apply: lat("obs_grant_apply_ns"),
+                    e2e: lat("obs_grant_e2e_ns"),
+                    completed: src
+                        .registry
+                        .find_counter("obs_grant_completed_total")
+                        .map(|c| c.get())
+                        .unwrap_or(0),
+                    lost,
+                }
+            })
+            .collect();
+        self.observe(t, false);
+        TraceGrantsResponse { racks }
+    }
+
+    /// `/v1/obs/metrics`: the federation-wide rollup — every counter
+    /// summed across the attached racks' registries.
+    pub fn obs_metrics(&self) -> ObsMetricsResponse {
+        let t = self.obs.hub.clock.now_s();
+        let sources = self.rack_obs.read();
+        let resp = ObsMetricsResponse {
+            racks: sources.iter().map(|s| s.name.clone()).collect(),
+            counters: rollup_counters(sources.iter().map(|s| &*s.registry)),
+        };
+        drop(sources);
+        self.observe(t, false);
+        resp
+    }
+
+    /// `/v1/obs/flight`: every attached rack's flight ring, with the
+    /// digest of its deterministic text dump.
+    pub fn obs_flight(&self) -> ObsFlightResponse {
+        let t = self.obs.hub.clock.now_s();
+        let racks = self
+            .rack_obs
+            .read()
+            .iter()
+            .map(|src| RackFlight {
+                rack: src.name.clone(),
+                digest: format!("{:016x}", src.flight.digest()),
+                events: src
+                    .flight
+                    .snapshot()
+                    .into_iter()
+                    .map(|(n, e)| FlightEventDto {
+                        n,
+                        t_ns: e.t_ns,
+                        kind: e.kind.to_string(),
+                        label: e.label.to_string(),
+                        seq: e.seq,
+                        value_bits: e.value_bits,
+                    })
+                    .collect(),
+            })
+            .collect();
+        self.observe(t, false);
+        ObsFlightResponse { racks }
     }
 
     /// `/v1/query`: one aggregate over one series or a filter.

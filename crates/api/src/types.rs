@@ -650,6 +650,232 @@ impl HealthResponse {
     }
 }
 
+/// p50/p99 summary of one latency histogram on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyDto {
+    /// Samples folded into the histogram.
+    pub count: u64,
+    /// Median, nanoseconds (log₂-bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds (log₂-bucket upper bound).
+    pub p99_ns: u64,
+}
+
+impl LatencyDto {
+    fn to_value(self) -> Value {
+        object([
+            ("count", self.count.into()),
+            ("p50_ns", self.p50_ns.into()),
+            ("p99_ns", self.p99_ns.into()),
+        ])
+    }
+}
+
+/// One stage crossing of a cap-grant span on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantEventDto {
+    /// Stamp time, nanoseconds of sim time.
+    pub t_ns: u64,
+    /// Stage name (`fed_split` … `power_crossing`).
+    pub stage: String,
+    /// The grant in force at the stamp, watts.
+    pub cap_w: f64,
+}
+
+impl GrantEventDto {
+    fn to_value(&self) -> Value {
+        object([
+            ("t_ns", self.t_ns.into()),
+            ("stage", self.stage.as_str().into()),
+            ("cap_w", self.cap_w.into()),
+        ])
+    }
+}
+
+/// One cap grant's causal chain on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantSpanDto {
+    /// Grant sequence number (per rack).
+    pub seq: u64,
+    /// Stage crossings in recorder order.
+    pub events: Vec<GrantEventDto>,
+}
+
+impl GrantSpanDto {
+    fn to_value(&self) -> Value {
+        object([
+            ("seq", self.seq.into()),
+            (
+                "events",
+                Value::Array(self.events.iter().map(|e| e.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// One rack's slice of a [`TraceGrantsResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackGrantTrace {
+    /// Attached rack name.
+    pub rack: String,
+    /// Recent grant spans (from the rack's flight ring), seq order.
+    pub spans: Vec<GrantSpanDto>,
+    /// Grant-to-actuation latency (fed split → controller command).
+    pub apply: LatencyDto,
+    /// End-to-end latency (fed split → observed power crossing).
+    pub e2e: LatencyDto,
+    /// Spans that completed the full chain.
+    pub completed: u64,
+    /// Spans evicted or flushed before completing.
+    pub lost: u64,
+}
+
+impl RackGrantTrace {
+    fn to_value(&self) -> Value {
+        object([
+            ("rack", self.rack.as_str().into()),
+            (
+                "spans",
+                Value::Array(self.spans.iter().map(|s| s.to_value()).collect()),
+            ),
+            ("apply", self.apply.to_value()),
+            ("e2e", self.e2e.to_value()),
+            ("completed", self.completed.into()),
+            ("lost", self.lost.into()),
+        ])
+    }
+}
+
+/// `/v1/trace/grants` answer: per-rack cap-grant causal traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGrantsResponse {
+    /// One entry per attached rack, attach order.
+    pub racks: Vec<RackGrantTrace>,
+}
+
+impl TraceGrantsResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            (
+                "racks",
+                Value::Array(self.racks.iter().map(|r| r.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// `/v1/obs/metrics` answer: the federation-wide rollup — every counter
+/// summed across the attached racks' registries (counters are the only
+/// metric kind whose site-level value is the plain sum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsMetricsResponse {
+    /// Attached rack names, attach order.
+    pub racks: Vec<String>,
+    /// `(name, summed value)` in sorted name order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ObsMetricsResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            (
+                "racks",
+                Value::Array(self.racks.iter().map(|r| Value::from(r.as_str())).collect()),
+            ),
+            (
+                "counters",
+                Value::Array(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| {
+                            Value::Array(vec![Value::from(name.as_str()), Value::from(*v)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One flight-recorder event on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEventDto {
+    /// Logical event number (monotonic per recorder).
+    pub n: u64,
+    /// Event time, nanoseconds of sim time.
+    pub t_ns: u64,
+    /// Event kind (`fed_split`, `cap_command`, `violation`, …).
+    pub kind: String,
+    /// Free label (the invariant name for `violation` events).
+    pub label: String,
+    /// Grant sequence number, when the event belongs to a span.
+    pub seq: u64,
+    /// Event payload bits (IEEE-754 bits of the cap/draw value).
+    pub value_bits: u64,
+}
+
+impl FlightEventDto {
+    fn to_value(&self) -> Value {
+        object([
+            ("n", self.n.into()),
+            ("t_ns", self.t_ns.into()),
+            ("kind", self.kind.as_str().into()),
+            ("label", self.label.as_str().into()),
+            ("seq", self.seq.into()),
+            ("value_bits", self.value_bits.into()),
+        ])
+    }
+}
+
+/// One rack's slice of an [`ObsFlightResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackFlight {
+    /// Attached rack name.
+    pub rack: String,
+    /// FNV-64 digest of the recorder's deterministic text dump,
+    /// `%016x`.
+    pub digest: String,
+    /// Ring contents, oldest surviving event first.
+    pub events: Vec<FlightEventDto>,
+}
+
+impl RackFlight {
+    fn to_value(&self) -> Value {
+        object([
+            ("rack", self.rack.as_str().into()),
+            ("digest", self.digest.as_str().into()),
+            (
+                "events",
+                Value::Array(self.events.iter().map(|e| e.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+/// `/v1/obs/flight` answer: every attached rack's flight ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsFlightResponse {
+    /// One entry per attached rack, attach order.
+    pub racks: Vec<RackFlight>,
+}
+
+impl ObsFlightResponse {
+    /// Wire form.
+    pub fn to_value(&self) -> Value {
+        object([
+            ("version", API_VERSION.into()),
+            (
+                "racks",
+                Value::Array(self.racks.iter().map(|r| r.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

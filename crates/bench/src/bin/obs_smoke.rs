@@ -1,11 +1,17 @@
 //! CI observability smoke: run a short instrumented closed-loop replay,
 //! render the metrics exposition, and fail if the obs stack produced an
 //! empty registry, a non-finite sample, or a dead latency histogram.
+//! Then run one small federated scenario twice — tracing disarmed and
+//! armed — and fail unless the digests are bit-identical, grant spans
+//! completed on every rack, and the tracing overhead stays inside the
+//! E29 smoke gate.
 //!
 //! Exit code 0 only when every check holds.
 
 use davide_sched::controlplane::{replay_instrumented, ControlMode, ReplayConfig, ReplayObs};
 use davide_sched::CapSchedule;
+use davide_sim::federation::{run_federated_traced, FedScenario};
+use davide_telemetry::TsDbConfig;
 
 fn main() {
     let mut cfg = ReplayConfig::e22(ControlMode::ClosedLoop, 8, CapSchedule::constant(11_000.0));
@@ -84,6 +90,60 @@ fn main() {
             s.quantile(0.99) as f64 / 1e9
         );
     }
+    // ── Federated grant tracing: digest stability + overhead. ──
+    let mut fs = FedScenario::base("obs_smoke_fed", 41, 2);
+    fs.rack.n_jobs = 6;
+    fs.rack.n_history = 160;
+    let mut base_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let mut base_digest = 0u64;
+    let mut traced = None;
+    for _ in 0..2 {
+        let t = std::time::Instant::now();
+        let out = run_federated_traced(&fs, TsDbConfig::default(), false);
+        base_s = base_s.min(t.elapsed().as_secs_f64());
+        base_digest = out.digest();
+        let t = std::time::Instant::now();
+        let out = run_federated_traced(&fs, TsDbConfig::default(), true);
+        traced_s = traced_s.min(t.elapsed().as_secs_f64());
+        traced = Some(out);
+    }
+    let out = traced.expect("two iterations ran");
+    if out.digest() != base_digest {
+        println!(
+            "tracing perturbed the federated digest: {:#018x} vs {:#018x}",
+            out.digest(),
+            base_digest
+        );
+        failed = true;
+    }
+    for r in &out.racks {
+        let completed = r
+            .obs
+            .registry
+            .find_counter("obs_grant_completed_total")
+            .map(|c| c.get())
+            .unwrap_or(0);
+        if completed == 0 {
+            println!("{}: no grant span completed", r.scenario);
+            failed = true;
+        }
+        if r.obs.flight.pushed() == 0 {
+            println!("{}: flight recorder saw nothing", r.scenario);
+            failed = true;
+        }
+    }
+    // The same ≤5% + absolute-slack shape as E29's gate; the absolute
+    // term dominates at this tiny scenario size and damps CI noise.
+    if traced_s > base_s * 1.05 + 0.25 {
+        println!("tracing overhead over budget: {traced_s:.3}s vs {base_s:.3}s");
+        failed = true;
+    }
+    println!(
+        "fed trace: digest {:#018x}, untraced {base_s:.3}s traced {traced_s:.3}s",
+        out.digest()
+    );
+
     if failed {
         println!("obs-smoke: FAIL");
         std::process::exit(1);

@@ -15,7 +15,8 @@
 
 use crate::experiments::controlplane::SMOKE_ENV;
 use crate::header;
-use davide_sim::federation::{run_federated_with_db_config, FedScenario};
+use davide_obs::rollup_counters;
+use davide_sim::federation::{run_federated_traced, run_federated_with_db_config, FedScenario};
 use davide_telemetry::{TieringConfig, TsDbConfig};
 
 fn smoke() -> bool {
@@ -109,6 +110,128 @@ pub fn e28() {
     );
     println!(
         "digest {:#018x} (bit-identical across re-runs)",
+        out.digest()
+    );
+}
+
+/// E29 — the control-loop flight recorder: cap-grant causal tracing
+/// overhead and grant-to-actuation latency on an E28-shaped federation.
+///
+/// Gates: tracing must cost ≤ 5 % wall clock against the disarmed
+/// baseline (plus a small absolute slack for timer noise), digests must
+/// be bit-identical traced vs untraced, every rack must complete grant
+/// spans, and the grant-to-actuation (fed split → controller command)
+/// and end-to-end (→ observed power crossing) p99 latencies must stay
+/// inside the control-period/rebalance bounds the loop design implies.
+pub fn e29() {
+    header(
+        "e29",
+        "Cap-grant tracing: overhead A/B + grant-to-actuation latency",
+    );
+    let (n_racks, nodes_per_rack, jobs_per_rack) =
+        if smoke() { (3, 30, 500) } else { (8, 45, 900) };
+    let fs = FedScenario::sized("e29", 2027, n_racks, nodes_per_rack, jobs_per_rack);
+    println!(
+        "{n_racks} racks × {nodes_per_rack} nodes, {} jobs, rebalance {:.0}s{}",
+        n_racks * jobs_per_rack,
+        fs.rebalance_s,
+        if smoke() { "  [smoke]" } else { "" }
+    );
+    let db = TsDbConfig {
+        tiering: Some(TieringConfig::default()),
+        ..TsDbConfig::default()
+    };
+
+    // A/B overhead: best-of-2 each way to damp scheduler noise; the
+    // instrumentation differs only in the tracers' atomic early-outs.
+    let mut base_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let mut base_digest = 0u64;
+    let mut traced = None;
+    for _ in 0..2 {
+        let t = std::time::Instant::now();
+        let out = run_federated_traced(&fs, db.clone(), false);
+        base_s = base_s.min(t.elapsed().as_secs_f64());
+        base_digest = out.digest();
+        let t = std::time::Instant::now();
+        let out = run_federated_traced(&fs, db.clone(), true);
+        traced_s = traced_s.min(t.elapsed().as_secs_f64());
+        traced = Some(out);
+    }
+    let out = traced.expect("two iterations ran");
+    println!(
+        "\nuntraced {base_s:.3}s, traced {traced_s:.3}s  (overhead {:+.2}%)",
+        (traced_s / base_s - 1.0) * 100.0
+    );
+
+    println!(
+        "\n{:<12} {:>6} {:>5} {:>10} {:>10} {:>10} {:>10}",
+        "rack", "spans", "lost", "apply_p50", "apply_p99", "e2e_p50", "e2e_p99"
+    );
+    // Latency bounds the loop design implies: a grant publishes on the
+    // federate phase and is drained on the next control period (one
+    // tick); the power crossing must land before the next grant
+    // replaces it (≤ rebalance + tick). Histogram quantiles answer
+    // log₂-bucket upper bounds, so the gates carry a 2× allowance.
+    let apply_gate_ns = 2.0 * 2.0 * fs.rack.tick_s * 1e9;
+    let e2e_gate_ns = 2.0 * (fs.rebalance_s + 2.0 * fs.rack.tick_s) * 1e9;
+    for r in &out.racks {
+        let reg = &r.obs.registry;
+        let completed = reg
+            .find_counter("obs_grant_completed_total")
+            .map(|c| c.get())
+            .unwrap_or(0);
+        let lost: u64 = rollup_counters([&**reg])
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("obs_grant_lost_total"))
+            .map(|(_, v)| v)
+            .sum();
+        let q = |name: &str, q: f64| {
+            reg.find_histogram(name)
+                .map(|h| h.snapshot().quantile(q))
+                .unwrap_or(0)
+        };
+        let (a50, a99) = (q("obs_grant_apply_ns", 0.50), q("obs_grant_apply_ns", 0.99));
+        let (e50, e99) = (q("obs_grant_e2e_ns", 0.50), q("obs_grant_e2e_ns", 0.99));
+        println!(
+            "{:<12} {:>6} {:>5} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s",
+            &r.scenario[r.scenario.len() - 6..],
+            completed,
+            lost,
+            a50 as f64 / 1e9,
+            a99 as f64 / 1e9,
+            e50 as f64 / 1e9,
+            e99 as f64 / 1e9,
+        );
+        assert!(completed > 0, "{}: no grant span completed", r.scenario);
+        assert!(
+            (a99 as f64) <= apply_gate_ns,
+            "{}: apply p99 {a99} ns over the {apply_gate_ns:.0} ns gate",
+            r.scenario
+        );
+        assert!(
+            (e99 as f64) <= e2e_gate_ns,
+            "{}: e2e p99 {e99} ns over the {e2e_gate_ns:.0} ns gate",
+            r.scenario
+        );
+    }
+
+    // ── Gates. ──
+    assert_eq!(
+        out.digest(),
+        base_digest,
+        "tracing must never perturb the event logs"
+    );
+    assert!(
+        out.all_violations().is_empty(),
+        "E29 runs a healthy federation"
+    );
+    assert!(
+        traced_s <= base_s * 1.05 + 0.25,
+        "tracing overhead over budget: {traced_s:.3}s vs {base_s:.3}s baseline"
+    );
+    println!(
+        "\ndigest {:#018x} (traced == untraced), overhead within gate",
         out.digest()
     );
 }

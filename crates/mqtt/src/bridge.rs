@@ -23,6 +23,14 @@ use crate::topic::validate_filter;
 use bytes::Bytes;
 use std::collections::HashMap;
 
+/// Observer called once per message the bridge actually forwards, with
+/// the destination topic, the payload and the retain flag — after
+/// retained-replay deduplication, so a hook sees each distinct state
+/// crossing exactly once. Federation uses this to stamp the
+/// bridge-delivery hop of cap-grant spans without the bridge knowing
+/// anything about spans.
+pub type ForwardHook = Box<dyn FnMut(&str, &Bytes, bool) + Send>;
+
 /// A one-directional bridge pumping matching messages from a source
 /// broker to a destination broker.
 pub struct Bridge {
@@ -46,6 +54,7 @@ pub struct Bridge {
     // sees each retained state exactly once.
     retained_seen: HashMap<String, Bytes>,
     source_connected: bool,
+    forward_hook: Option<ForwardHook>,
 }
 
 impl Bridge {
@@ -77,7 +86,13 @@ impl Bridge {
             topic_cache: HashMap::new(),
             retained_seen: HashMap::new(),
             source_connected: true,
+            forward_hook: None,
         })
+    }
+
+    /// Install (or clear) the per-forward observer; see [`ForwardHook`].
+    pub fn set_forward_hook(&mut self, hook: Option<ForwardHook>) {
+        self.forward_hook = hook;
     }
 
     /// The bridge's configured name (client ids are derived from it).
@@ -163,6 +178,9 @@ impl Bridge {
             };
             // Forward retained flag so site-side late subscribers get
             // status values (e.g. power caps).
+            if let Some(hook) = &mut self.forward_hook {
+                hook(topic, &msg.payload, msg.retain);
+            }
             let _ = self
                 .destination
                 .publish(topic, msg.payload, msg.qos, msg.retain);
@@ -320,6 +338,38 @@ mod tests {
             .unwrap();
         assert_eq!(bridge.pump(), 1);
         assert_eq!(&down.drain().pop().unwrap().payload[..], b"live");
+    }
+
+    #[test]
+    fn forward_hook_sees_deduplicated_forwards_only() {
+        use std::sync::{Arc, Mutex};
+        let rack = Broker::default();
+        let site = Broker::default();
+        let mut bridge = Bridge::connect(&rack, &site, "caps", &["fed/+/cap"], None).unwrap();
+        type Forwards = Vec<(String, Vec<u8>, bool)>;
+        let seen: Arc<Mutex<Forwards>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        bridge.set_forward_hook(Some(Box::new(move |topic, payload, retain| {
+            sink.lock()
+                .unwrap()
+                .push((topic.to_string(), payload.to_vec(), retain));
+        })));
+
+        let fed = rack.connect("federator");
+        fed.publish("fed/rack00/cap", payload("7200 0"), QoS::AtLeastOnce, true)
+            .unwrap();
+        assert_eq!(bridge.pump(), 1);
+        // The retained replay after a restart is deduplicated *before*
+        // the hook: the observer must not see the grant twice.
+        bridge.disconnect_source();
+        bridge.reconnect_source().unwrap();
+        assert_eq!(bridge.pump(), 0);
+
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "fed/rack00/cap");
+        assert_eq!(got[0].1, b"7200 0");
+        assert!(got[0].2);
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   closing a trace folds the stage-to-stage lags into histograms, so
 //!   end-to-end control-loop latency is a measured distribution, not a
 //!   guess.
+//! * [`GrantTracer`] — causal tracing for federation cap grants: the
+//!   federator's budget split, the retained grant publish, the downlink
+//!   bridge hop, the rack's cap-watch drain, the controller command and
+//!   the observed power crossing are stitched into one span per
+//!   (rack, grant seq), folding grant-to-actuation latency into
+//!   histograms.
+//! * [`FlightRecorder`] — a bounded lock-free ring of recent
+//!   control-loop events, snapshotted into a deterministic text dump
+//!   the instant an invariant fires.
 //! * [`SelfTelemetry`] — a bridge that periodically serialises the
 //!   registry into ordinary telemetry samples on the reserved
 //!   `davide/obs/#` topic namespace, published through whatever
@@ -35,12 +44,19 @@
 
 pub mod bridge;
 pub mod clock;
+pub mod flight;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use bridge::{obs_topic, FrameSink, SelfTelemetry, OBS_FILTER, OBS_PREFIX};
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use metrics::{
+    escape_label_value, rollup_counters, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry,
+};
+pub use span::{GrantStage, GrantTracer, GRANT_STAGE_COUNT, GRANT_STAGE_NAMES};
 pub use trace::{frame_trace_id, FrameTracer, Stage};
 
 use std::sync::Arc;
@@ -55,6 +71,12 @@ pub struct ObsHub {
     /// Shared causal frame tracer (registers its own metrics in
     /// `registry`).
     pub tracer: Arc<FrameTracer>,
+    /// Shared cap-grant span tracer (registers its own metrics in
+    /// `registry`).
+    pub span: Arc<GrantTracer>,
+    /// Shared flight recorder for the deployment's recent control-loop
+    /// events.
+    pub flight: Arc<FlightRecorder>,
     /// Injectable time source for stamps taken outside the control
     /// loop's explicit `now` (broker publish, ingest drain).
     pub clock: Arc<dyn Clock>,
@@ -65,11 +87,23 @@ impl ObsHub {
     pub fn new(clock: Arc<dyn Clock>) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(FrameTracer::new(&registry));
+        let span = Arc::new(GrantTracer::new(&registry));
+        let flight = Arc::new(FlightRecorder::default());
         ObsHub {
             registry,
             tracer,
+            span,
+            flight,
             clock,
         }
+    }
+
+    /// Arm or disarm grant tracing and flight recording together (the
+    /// frame tracer and registry stay live). Overhead A/B runs disarm
+    /// one side; digests must be bit-identical either way.
+    pub fn set_tracing_enabled(&self, on: bool) {
+        self.span.set_enabled(on);
+        self.flight.set_enabled(on);
     }
 
     /// A hub over a [`ManualClock`], returned alongside so deterministic

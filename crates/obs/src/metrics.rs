@@ -7,7 +7,8 @@
 //! walks the registry and emits a Prometheus-style text exposition.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -198,6 +199,93 @@ impl HistogramSnapshot {
     }
 }
 
+/// Escape one raw label value for Prometheus text exposition:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`. The registry stores values
+/// raw; [`MetricsRegistry::render_text`] applies this at exposition
+/// time, and renderers that format label values themselves (the query
+/// front-end, the self-telemetry bridge) should do the same.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape the inside of a rendered `{...}` label section. Values were
+/// stored raw, so a `"` is a closing delimiter only when followed by
+/// `,` or the end of the section; everything else inside a value is
+/// content and gets escaped.
+fn escape_label_section(inner: &str) -> String {
+    let chars: Vec<char> = inner.chars().collect();
+    let mut out = String::with_capacity(inner.len());
+    let mut in_value = false;
+    for (i, &c) in chars.iter().enumerate() {
+        if !in_value {
+            out.push(c);
+            if c == '"' {
+                in_value = true;
+            }
+            continue;
+        }
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => match chars.get(i + 1) {
+                None | Some(',') => {
+                    out.push('"');
+                    in_value = false;
+                }
+                _ => out.push_str("\\\""),
+            },
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The exposition form of a stored metric name: label values escaped,
+/// bare names passed through unchanged.
+fn render_name(name: &str) -> Cow<'_, str> {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => {
+            let inner = &name[open + 1..name.len() - 1];
+            let escaped = escape_label_section(inner);
+            if escaped == inner {
+                Cow::Borrowed(name)
+            } else {
+                Cow::Owned(format!("{}{{{escaped}}}", &name[..open]))
+            }
+        }
+        _ => Cow::Borrowed(name),
+    }
+}
+
+/// Federation-wide rollup: sum every *counter* across the given rack
+/// registries, keyed by metric name, in sorted name order. Counters are
+/// the only kind whose site-level value is the plain sum of the rack
+/// values, which makes the rollup deterministic — gauges and histogram
+/// quantiles stay per-rack.
+pub fn rollup_counters<'a>(
+    registries: impl IntoIterator<Item = &'a MetricsRegistry>,
+) -> Vec<(String, u64)> {
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    for r in registries {
+        let g = r.inner.read();
+        for (name, m) in &g.by_name {
+            if let Metric::Counter(c) = m {
+                *sums.entry(name.clone()).or_insert(0) += c.get();
+            }
+        }
+    }
+    sums.into_iter().collect()
+}
+
 #[derive(Clone)]
 enum Metric {
     Counter(Counter),
@@ -334,8 +422,8 @@ impl MetricsRegistry {
                 last_base = base.to_string();
             }
             match metric {
-                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
-                Metric::Gauge(gg) => out.push_str(&format!("{name} {}\n", gg.get())),
+                Metric::Counter(c) => out.push_str(&format!("{} {}\n", render_name(name), c.get())),
+                Metric::Gauge(gg) => out.push_str(&format!("{} {}\n", render_name(name), gg.get())),
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
                     let mut cum = 0u64;
@@ -463,6 +551,58 @@ mod tests {
         assert!(text.contains("mqtt_topic_published{topic=\"b\"} 2\n"));
         assert!(text.contains("# TYPE speed gauge\n"));
         assert!(text.contains("speed 0.5\n"));
+    }
+
+    /// Satellite regression: label values holding `"`, `\n` or `\` must
+    /// render escaped (Prometheus text-format conformance) — a raw
+    /// newline would split the sample line, a raw quote would truncate
+    /// the value.
+    #[test]
+    fn render_text_escapes_label_values() {
+        let r = MetricsRegistry::new();
+        r.counter("mqtt_topic_published{topic=\"a\"b\"}").inc();
+        r.counter("mqtt_topic_published{topic=\"line\nbreak\"}")
+            .inc();
+        r.gauge("speed{node=\"back\\slash\"}").set(0.5);
+        let text = r.render_text();
+        assert!(
+            text.contains("mqtt_topic_published{topic=\"a\\\"b\"} 1\n"),
+            "quote must escape: {text}"
+        );
+        assert!(
+            text.contains("mqtt_topic_published{topic=\"line\\nbreak\"} 1\n"),
+            "newline must escape: {text}"
+        );
+        assert!(
+            text.contains("speed{node=\"back\\\\slash\"} 0.5\n"),
+            "backslash must escape: {text}"
+        );
+        // Every sample stays on exactly one line.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+        assert_eq!(text.matches('\n').count(), text.lines().count());
+        // Clean names render unchanged (borrowed path).
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\nc\\d"), "a\\\"b\\nc\\\\d");
+    }
+
+    #[test]
+    fn rollup_counters_sums_across_registries_sorted() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("jobs_total").add(3);
+        b.counter("jobs_total").add(4);
+        b.counter("aborts_total").inc();
+        a.gauge("cap_w").set(9000.0); // gauges never roll up
+        let rolled = rollup_counters([&a, &b]);
+        assert_eq!(
+            rolled,
+            vec![
+                ("aborts_total".to_string(), 1),
+                ("jobs_total".to_string(), 7)
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Causal spans for federation cap grants.
+//!
+//! A federated deployment's control loop crosses *machines*: the site
+//! federator splits the global budget, publishes a retained
+//! `fed/rackNN/cap` grant, a downlink bridge carries it onto the rack
+//! broker, the rack's cap-watch drains it into the control plane, the
+//! reactive ladder retargets, and — eventually — the observed node
+//! power crosses under the new cap. [`GrantTracer`] follows each grant
+//! through those hops as one span, stitched by the grant sequence
+//! number the federator embeds in the payload (`"<watts> <seq>"`), and
+//! folds the hop-to-hop lags into latency histograms:
+//!
+//! * `obs_grant_stage_ns{from=..,to=..}` — lag between consecutive
+//!   stamped stages;
+//! * `obs_grant_apply_ns` — grant split → controller cap command;
+//! * `obs_grant_e2e_ns` — grant split → observed power crossing (the
+//!   grant-to-actuation latency the paper's reaction-time argument
+//!   turns on);
+//! * `obs_grant_completed_total` / `obs_grant_lost_total{last=..}`.
+//!
+//! One tracer per rack (it lives in the rack's [`ObsHub`]); sequence
+//! numbers are per-rack, so the span id *is* the grant seq. Stamps are
+//! first-write-wins, which makes retained-replay re-deliveries after a
+//! broker restart harmless. Like the frame tracer, all timestamps come
+//! through the hub's injectable clock, so tracing never perturbs
+//! per-seed digests.
+//!
+//! [`ObsHub`]: crate::ObsHub
+
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The hops a cap grant takes from the federator's budget split to an
+/// observed node-power change. Values are stage indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GrantStage {
+    /// The federator computed this rack's share and published the
+    /// retained grant on the site broker.
+    FedSplit = 0,
+    /// The downlink bridge forwarded the grant onto the rack broker.
+    BridgeDeliver = 1,
+    /// The rack's cap-watch subscriber drained the grant.
+    RackReceive = 2,
+    /// The control plane swapped its cap schedule (the ladder and the
+    /// admission envelope now read the new cap).
+    CapCommand = 3,
+    /// The plant's observed system power first measured at or under the
+    /// granted cap — actuation, as the invariant checker would see it.
+    PowerCrossing = 4,
+}
+
+/// Number of grant stages.
+pub const GRANT_STAGE_COUNT: usize = 5;
+
+/// Stage names, indexed by [`GrantStage`] — also the flight-recorder
+/// event kinds for grant events.
+pub const GRANT_STAGE_NAMES: [&str; GRANT_STAGE_COUNT] = [
+    "fed_split",
+    "bridge_deliver",
+    "rack_receive",
+    "cap_command",
+    "power_crossing",
+];
+
+const CAPACITY: usize = 256;
+const PROBE: usize = 16;
+
+/// One in-flight grant span: which stages have stamped, and when.
+#[derive(Clone, Copy)]
+struct Slot {
+    /// Grant sequence number; the span id.
+    seq: u64,
+    /// Bitmask of stamped stages.
+    seen: u8,
+    /// First-write-wins stamp per stage, nanoseconds of hub-clock time.
+    t_ns: [u64; GRANT_STAGE_COUNT],
+    live: bool,
+}
+
+const EMPTY: Slot = Slot {
+    seq: 0,
+    seen: 0,
+    t_ns: [0; GRANT_STAGE_COUNT],
+    live: false,
+};
+
+struct Table {
+    slots: Box<[Slot]>,
+}
+
+/// Span tracer for federation cap grants; see the module docs. Grants
+/// are low-rate (one per rack per rebalance at most), so the table is
+/// small and the per-stamp cost is a short mutex hold.
+pub struct GrantTracer {
+    enabled: AtomicBool,
+    table: Mutex<Table>,
+    stage_lag: [Histogram; GRANT_STAGE_COUNT - 1],
+    apply_ns: Histogram,
+    e2e_ns: Histogram,
+    completed: Counter,
+    lost: [Counter; GRANT_STAGE_COUNT],
+}
+
+impl GrantTracer {
+    /// A tracer registering its metrics in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let stage_lag = std::array::from_fn(|i| {
+            registry.histogram(&format!(
+                "obs_grant_stage_ns{{from=\"{}\",to=\"{}\"}}",
+                GRANT_STAGE_NAMES[i],
+                GRANT_STAGE_NAMES[i + 1]
+            ))
+        });
+        let lost = std::array::from_fn(|i| {
+            registry.counter(&format!(
+                "obs_grant_lost_total{{last=\"{}\"}}",
+                GRANT_STAGE_NAMES[i]
+            ))
+        });
+        GrantTracer {
+            enabled: AtomicBool::new(true),
+            table: Mutex::new(Table {
+                slots: vec![EMPTY; CAPACITY].into_boxed_slice(),
+            }),
+            stage_lag,
+            apply_ns: registry.histogram("obs_grant_apply_ns"),
+            e2e_ns: registry.histogram("obs_grant_e2e_ns"),
+            completed: registry.counter("obs_grant_completed_total"),
+            lost,
+        }
+    }
+
+    /// Disable (or re-enable) stamping; a disabled tracer's methods are
+    /// cheap no-ops. Used by overhead A/B measurements.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether stamping is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn slot_index(&self, table: &mut Table, seq: u64) -> Option<usize> {
+        let mask = CAPACITY - 1;
+        let start = (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) & mask;
+        let mut free = None;
+        for p in 0..PROBE {
+            let i = (start + p) & mask;
+            let s = &table.slots[i];
+            if s.live && s.seq == seq {
+                return Some(i);
+            }
+            if !s.live && free.is_none() {
+                free = Some(i);
+            }
+        }
+        // No resident and no free slot in the probe window: evict the
+        // first resident deterministically, finalizing it as lost.
+        let i = free.unwrap_or(start);
+        if table.slots[i].live {
+            let victim = table.slots[i];
+            self.finalize_lost(&victim);
+        }
+        table.slots[i] = Slot {
+            seq,
+            seen: 0,
+            t_ns: [0; GRANT_STAGE_COUNT],
+            live: true,
+        };
+        Some(i)
+    }
+
+    /// Stamp `stage` on grant `seq` at hub-clock time `now_s` (seconds;
+    /// stored as integer nanoseconds). First write per stage wins.
+    pub fn stamp(&self, seq: u64, stage: GrantStage, now_s: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut g = self.table.lock();
+        let Some(i) = self.slot_index(&mut g, seq) else {
+            return;
+        };
+        let bit = 1u8 << (stage as usize);
+        let s = &mut g.slots[i];
+        if s.seen & bit == 0 {
+            s.seen |= bit;
+            s.t_ns[stage as usize] = (now_s * 1e9).round() as u64;
+        }
+    }
+
+    /// Close grant `seq`: fold its stage lags, apply latency (fed split
+    /// → cap command) and end-to-end latency (fed split → power
+    /// crossing) into the histograms and retire the span.
+    pub fn close(&self, seq: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut g = self.table.lock();
+        let mask = CAPACITY - 1;
+        let start = (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) & mask;
+        for p in 0..PROBE {
+            let i = (start + p) & mask;
+            let s = g.slots[i];
+            if s.live && s.seq == seq {
+                g.slots[i] = EMPTY;
+                drop(g);
+                self.finalize_closed(&s);
+                return;
+            }
+        }
+    }
+
+    /// Finalize every resident span as lost at its furthest stamped
+    /// stage. Call at end of run so interrupted grants are accounted.
+    pub fn flush(&self) {
+        let mut g = self.table.lock();
+        let residents: Vec<Slot> = g.slots.iter().copied().filter(|s| s.live).collect();
+        for s in g.slots.iter_mut() {
+            *s = EMPTY;
+        }
+        drop(g);
+        for s in &residents {
+            self.finalize_lost(s);
+        }
+    }
+
+    fn finalize_closed(&self, s: &Slot) {
+        let mut prev: Option<usize> = None;
+        for stage in 0..GRANT_STAGE_COUNT {
+            if s.seen & (1 << stage) == 0 {
+                continue;
+            }
+            if let Some(p) = prev {
+                // Consecutive stamped stages fold into the edge between
+                // them; a skipped stage attributes the whole lag to the
+                // last observed edge before it.
+                let edge = p.min(GRANT_STAGE_COUNT - 2);
+                self.stage_lag[edge].record(s.t_ns[stage].saturating_sub(s.t_ns[p]));
+            }
+            prev = Some(stage);
+        }
+        let split = GrantStage::FedSplit as usize;
+        let cmd = GrantStage::CapCommand as usize;
+        let cross = GrantStage::PowerCrossing as usize;
+        if s.seen & (1 << split) != 0 {
+            if s.seen & (1 << cmd) != 0 {
+                self.apply_ns
+                    .record(s.t_ns[cmd].saturating_sub(s.t_ns[split]));
+            }
+            if s.seen & (1 << cross) != 0 {
+                self.e2e_ns
+                    .record(s.t_ns[cross].saturating_sub(s.t_ns[split]));
+            }
+        }
+        self.completed.inc();
+    }
+
+    fn finalize_lost(&self, s: &Slot) {
+        let last = (0..GRANT_STAGE_COUNT)
+            .rev()
+            .find(|&i| s.seen & (1 << i) != 0)
+            .unwrap_or(0);
+        self.lost[last].inc();
+    }
+}
+
+impl std::fmt::Debug for GrantTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrantTracer")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_span_records_apply_and_e2e_latency() {
+        let r = MetricsRegistry::new();
+        let t = GrantTracer::new(&r);
+        t.stamp(7, GrantStage::FedSplit, 100.0);
+        t.stamp(7, GrantStage::BridgeDeliver, 100.0);
+        t.stamp(7, GrantStage::RackReceive, 130.0);
+        t.stamp(7, GrantStage::CapCommand, 130.0);
+        t.stamp(7, GrantStage::PowerCrossing, 160.0);
+        t.close(7);
+        assert_eq!(
+            r.find_counter("obs_grant_completed_total").unwrap().get(),
+            1
+        );
+        let apply = r.find_histogram("obs_grant_apply_ns").unwrap().snapshot();
+        assert_eq!(apply.count, 1);
+        assert_eq!(apply.sum, 30_000_000_000);
+        let e2e = r.find_histogram("obs_grant_e2e_ns").unwrap().snapshot();
+        assert_eq!(e2e.sum, 60_000_000_000);
+    }
+
+    #[test]
+    fn first_stamp_wins_over_retained_replay() {
+        let r = MetricsRegistry::new();
+        let t = GrantTracer::new(&r);
+        t.stamp(3, GrantStage::FedSplit, 10.0);
+        t.stamp(3, GrantStage::RackReceive, 40.0);
+        // A broker restart replays the retained grant; the duplicate
+        // stamp must not move the timestamp.
+        t.stamp(3, GrantStage::RackReceive, 70.0);
+        t.stamp(3, GrantStage::PowerCrossing, 50.0);
+        t.close(3);
+        let e2e = r.find_histogram("obs_grant_e2e_ns").unwrap().snapshot();
+        assert_eq!(e2e.sum, 40_000_000_000);
+    }
+
+    #[test]
+    fn flush_accounts_unactuated_grants_as_lost() {
+        let r = MetricsRegistry::new();
+        let t = GrantTracer::new(&r);
+        t.stamp(1, GrantStage::FedSplit, 1.0);
+        t.stamp(1, GrantStage::CapCommand, 2.0);
+        t.stamp(2, GrantStage::FedSplit, 3.0);
+        t.flush();
+        assert_eq!(
+            r.find_counter("obs_grant_lost_total{last=\"cap_command\"}")
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(
+            r.find_counter("obs_grant_lost_total{last=\"fed_split\"}")
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(
+            r.find_counter("obs_grant_completed_total").unwrap().get(),
+            0
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_stamps_nothing() {
+        let r = MetricsRegistry::new();
+        let t = GrantTracer::new(&r);
+        t.set_enabled(false);
+        t.stamp(9, GrantStage::FedSplit, 1.0);
+        t.stamp(9, GrantStage::PowerCrossing, 2.0);
+        t.close(9);
+        t.flush();
+        assert_eq!(
+            r.find_counter("obs_grant_completed_total").unwrap().get(),
+            0
+        );
+        assert!(!t.enabled());
+    }
+}

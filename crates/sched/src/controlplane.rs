@@ -204,6 +204,7 @@ pub struct ControlPlaneObs {
     cap: CapObs,
     ticks: Counter,
     frames: Counter,
+    cap_retargets: Counter,
     samples_stored: Counter,
     samples_stale: Counter,
     predictor_abs_err_w: Histogram,
@@ -222,6 +223,7 @@ impl ControlPlaneObs {
             cap: CapObs::new(r),
             ticks: r.counter("ctl_ticks_total"),
             frames: r.counter("ctl_frames_total"),
+            cap_retargets: r.counter("ctl_cap_retargets_total"),
             samples_stored: r.counter("ctl_samples_stored_total"),
             samples_stale: r.counter("ctl_samples_stale_total"),
             predictor_abs_err_w: r.histogram("ctl_predictor_abs_err_w"),
@@ -459,6 +461,9 @@ impl ControlPlane {
     /// swap takes effect on the next control period.
     pub fn set_cap_schedule(&mut self, cap: CapSchedule) {
         self.cfg.cap = cap;
+        if let Some(obs) = &self.obs {
+            obs.cap_retargets.inc();
+        }
     }
 
     /// The cap the loop is enforcing at `now`, if any.

@@ -35,6 +35,7 @@ use davide_core::rng::Rng;
 use davide_core::time::{SimDuration, SimTime};
 use davide_core::Watts;
 use davide_mqtt::{Bridge, Broker, Client, QoS};
+use davide_obs::{flight, GrantStage};
 use davide_sched::{CapSchedule, ControlPlaneConfig};
 use davide_telemetry::gateway::SampleFrame;
 use davide_telemetry::TsDbConfig;
@@ -227,6 +228,11 @@ pub(crate) struct Federator {
     node_demand_w: Vec<Vec<f64>>,
     /// Grants currently in force, per rack.
     caps_w: Vec<f64>,
+    /// Next grant sequence number per rack: stamped into the grant
+    /// payload so the rack-side span tracer can stitch the causal
+    /// chain. Increments only on actual publishes, so it is as
+    /// deterministic as the rebalance decisions themselves.
+    grant_seq: Vec<u64>,
     tick_s: f64,
     tick_dur: SimDuration,
     rebalance_ns: u64,
@@ -277,16 +283,42 @@ impl Federator {
                 )
                 .expect("uplink filters are static"),
             );
-            downlinks.push(
-                Bridge::connect(
-                    site,
-                    &rack.broker,
-                    &format!("rack{i:02}-down"),
-                    &[&format!("fed/rack{i:02}/cap")],
-                    None,
-                )
-                .expect("downlink filters are static"),
-            );
+            let mut downlink = Bridge::connect(
+                site,
+                &rack.broker,
+                &format!("rack{i:02}-down"),
+                &[&format!("fed/rack{i:02}/cap")],
+                None,
+            )
+            .expect("downlink filters are static");
+            // Span stage 1 (BridgeDeliver): observe each deduplicated
+            // grant forward on its way down to the rack broker. Stamps
+            // go to the *rack's* tracer — the span belongs to the rack
+            // the grant is for — on the rack's manual clock, so traced
+            // and untraced runs stay bit-identical.
+            let span = rack.hub.span.clone();
+            let flight_rec = rack.hub.flight.clone();
+            let clock = rack.hub.clock.clone();
+            downlink.set_forward_hook(Some(Box::new(move |_topic, payload, _retain| {
+                let text = std::str::from_utf8(payload).unwrap_or("");
+                let mut tokens = text.split_whitespace();
+                let Some(w) = tokens.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return;
+                };
+                let Some(seq) = tokens.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return;
+                };
+                let t_s = clock.now_s();
+                span.stamp(seq, GrantStage::BridgeDeliver, t_s);
+                flight_rec.push(
+                    (t_s * 1e9).round() as u64,
+                    flight::kind::BRIDGE_DELIVER,
+                    "",
+                    seq,
+                    w.to_bits(),
+                );
+            })));
+            downlinks.push(downlink);
         }
         let mut watch = site.connect("federator-demand");
         watch
@@ -300,6 +332,7 @@ impl Federator {
             grant,
             node_demand_w: vec![vec![cfg.idle_node_power_w; fs.rack.n_nodes as usize]; racks.len()],
             caps_w: vec![fs.global_budget_w / racks.len() as f64; racks.len()],
+            grant_seq: vec![0; racks.len()],
             tick_s: fs.rack.tick_s,
             tick_dur,
             rebalance_ns,
@@ -390,16 +423,26 @@ impl Federator {
                     continue;
                 }
                 self.caps_w[i] = g.0;
-                // `{}` on f64 is the shortest round-trippable rendering,
-                // so the rack parses back the exact grant bits.
+                let seq = self.grant_seq[i];
+                self.grant_seq[i] += 1;
+                // Payload is `"{grant} {seq}"`: `{}` on f64 is the
+                // shortest round-trippable rendering, so the rack
+                // parses back the exact grant bits; the trailing seq
+                // token stitches the causal span and never enters any
+                // digested event.
                 self.grant
                     .publish(
                         &format!("fed/rack{i:02}/cap"),
-                        Bytes::from(format!("{}", g.0).into_bytes()),
+                        Bytes::from(format!("{} {seq}", g.0).into_bytes()),
                         QoS::AtLeastOnce,
                         true,
                     )
                     .expect("site broker is never down");
+                racks[i].hub.span.stamp(seq, GrantStage::FedSplit, t_s);
+                racks[i]
+                    .hub
+                    .flight
+                    .push(t_ns, flight::kind::FED_SPLIT, "", seq, g.0.to_bits());
                 self.log.push(Event::FedRebalance {
                     t_ns,
                     rack: i as u32,
@@ -509,13 +552,25 @@ pub fn run_federated(fs: &FedScenario) -> FedOutcome {
 /// [`run_federated`] with an explicit per-rack telemetry-store
 /// configuration (each rack's control plane gets its own clone — the
 /// knob E28 uses to run day-long federations under tiered storage).
+/// Grant tracing is armed; digests are bit-identical either way.
 pub fn run_federated_with_db_config(fs: &FedScenario, db_cfg: TsDbConfig) -> FedOutcome {
+    run_federated_traced(fs, db_cfg, true)
+}
+
+/// [`run_federated_with_db_config`] with an explicit tracing switch:
+/// `tracing = false` disarms every rack's grant-span tracer and flight
+/// recorder (the instrumentation's atomic early-outs), which is the
+/// baseline side of E29's overhead A/B. The event logs — and therefore
+/// [`FedOutcome::digest`] — are bit-identical either way; only the obs
+/// registries and flight rings differ.
+pub fn run_federated_traced(fs: &FedScenario, db_cfg: TsDbConfig, tracing: bool) -> FedOutcome {
     assert!(fs.n_racks >= 1, "a federation needs at least one rack");
     let site = Broker::new(1 << 16);
     let racks: Vec<RackSim> = (0..fs.n_racks)
         .map(|i| {
             let mut r = RackSim::new(i, &fs.rack_scenario(i), db_cfg.clone());
             r.enable_federation();
+            r.set_tracing(tracing);
             r
         })
         .collect();
@@ -569,6 +624,47 @@ mod tests {
         );
         let b = run_federated(&fs);
         assert_eq!(a.digest(), b.digest(), "same seed → same federated digest");
+    }
+
+    #[test]
+    fn grant_spans_complete_and_tracing_leaves_digests_unchanged() {
+        let fs = FedScenario::base("unit_fed_trace", 29, 2);
+        let traced = run_federated(&fs);
+        let untraced = run_federated_traced(&fs, TsDbConfig::default(), false);
+        assert_eq!(
+            traced.digest(),
+            untraced.digest(),
+            "tracing never perturbs the event logs"
+        );
+        for r in &traced.racks {
+            let counters = davide_obs::rollup_counters([&*r.obs.registry]);
+            let get = |name: &str| {
+                counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0)
+            };
+            assert!(
+                get("obs_grant_completed_total") > 0,
+                "{}: grant spans reached the power crossing",
+                r.scenario
+            );
+            let kinds: std::collections::BTreeSet<&str> = r
+                .obs
+                .flight
+                .snapshot()
+                .iter()
+                .map(|(_, e)| e.kind)
+                .collect();
+            for stage in davide_obs::GRANT_STAGE_NAMES {
+                assert!(kinds.contains(stage), "{}: flight saw {stage}", r.scenario);
+            }
+        }
+        for r in &untraced.racks {
+            assert_eq!(r.obs.flight.pushed(), 0, "disarmed recorder stays empty");
+            assert_eq!(r.flight_dump, None, "clean run never dumps");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use davide_core::rng::Rng;
 use davide_core::time::{SimDuration, SimTime};
 use davide_mqtt::{Broker, BrokerObs, Client, PublishFate, QoS};
-use davide_obs::{ManualClock, ObsHub};
+use davide_obs::{flight, GrantStage, ManualClock, ObsHub};
 use davide_predictor::ModelKind;
 use davide_sched::{
     CapSchedule, ControlPlane, ControlPlaneConfig, ControlPlaneObs, ControlPlaneReport, JobId,
@@ -107,6 +107,10 @@ pub struct RunOutcome {
     /// rendered exposition is itself bit-identical across reruns of one
     /// seed.
     pub obs: ObsHub,
+    /// The flight-recorder dump captured the instant the invariant
+    /// checker first fired (`None` on a healthy run). Deterministic:
+    /// two same-seed runs produce byte-identical dumps.
+    pub flight_dump: Option<String>,
 }
 
 /// The kernel event alphabet: everything that happens in a run, stamped
@@ -265,8 +269,16 @@ pub(crate) struct RackSim {
     /// behavioural difference from the lockstep harness.
     cap_watch: Option<Client>,
     hook_state: Arc<Mutex<HookState>>,
-    hub: ObsHub,
+    pub(crate) hub: ObsHub,
     obs_clock: Arc<ManualClock>,
+    /// Applied-but-not-yet-actuated grants, `(seq, cap_w)`: the span
+    /// closes when observed system power first measures at or under the
+    /// granted cap. A newer applied grant supersedes the list.
+    pending_grants: Vec<(u64, f64)>,
+    /// Checker violations already copied into the flight recorder.
+    seen_violations: usize,
+    /// Snapshot taken the first time the checker fired.
+    flight_dump: Option<String>,
 
     plant_rng: Rng,
     inject_rng: Rng,
@@ -472,6 +484,9 @@ impl RackSim {
             hook_state,
             hub,
             obs_clock,
+            pending_grants: Vec::new(),
+            seen_violations: 0,
+            flight_dump: None,
             plant_rng: Rng::seed_from(sc.seed ^ 0x9e37_79b9),
             inject_rng: Rng::seed_from(sc.seed ^ 0xa076_1d64_78bd_642f),
             speeds: vec![1.0; n],
@@ -890,10 +905,11 @@ impl RackSim {
 
     /// Apply a federated cap grant: swap the control plane's schedule,
     /// retune the checker's envelope, log the change. Idempotent for
-    /// repeated grants of the same value (retained replays).
-    fn apply_cap(&mut self, t_ns: u64, w: f64) {
+    /// repeated grants of the same value (retained replays); returns
+    /// whether the grant actually took effect.
+    fn apply_cap(&mut self, t_ns: u64, w: f64) -> bool {
         if !w.is_finite() || w <= 0.0 || (w - self.cap_now_w).abs() < 1e-9 {
-            return;
+            return false;
         }
         self.cap_now_w = w;
         self.cp.set_cap_schedule(CapSchedule::constant(w));
@@ -902,6 +918,14 @@ impl RackSim {
             t_ns,
             cap_bits: w.to_bits(),
         });
+        true
+    }
+
+    /// Arm or disarm grant-span tracing and flight recording (the A/B
+    /// knob overhead experiments flip; enabled by default). Digests and
+    /// the event log are identical either way.
+    pub(crate) fn set_tracing(&self, on: bool) {
+        self.hub.set_tracing_enabled(on);
     }
 
     /// One control period: apply bridged cap grants, collect plant
@@ -917,12 +941,38 @@ impl RackSim {
         let t_ns = t.0;
 
         // ── Federated cap grants land first: the control period runs
-        //    under the budget that was in force when it started. ──
+        //    under the budget that was in force when it started. The
+        //    payload is `"<watts> <seq>"`; the first token carries the
+        //    exact bits the federator formatted (so `CapApplied` and
+        //    every digest are unchanged by the seq suffix), the second
+        //    stitches the grant's causal span across racks. ──
         if self.cap_watch.is_some() {
             let msgs = self.cap_watch.as_mut().expect("federated").drain();
             for m in msgs {
-                if let Ok(w) = std::str::from_utf8(&m.payload).unwrap_or("").parse::<f64>() {
-                    self.apply_cap(t_ns, w);
+                let text = std::str::from_utf8(&m.payload).unwrap_or("");
+                let mut tokens = text.split_whitespace();
+                let Some(w) = tokens.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    continue;
+                };
+                let seq = tokens.next().and_then(|v| v.parse::<u64>().ok());
+                if let Some(seq) = seq {
+                    self.hub.span.stamp(seq, GrantStage::RackReceive, t_s);
+                    self.hub
+                        .flight
+                        .push(t_ns, flight::kind::RACK_RECEIVE, "", seq, w.to_bits());
+                }
+                if self.apply_cap(t_ns, w) {
+                    if let Some(seq) = seq {
+                        self.hub.span.stamp(seq, GrantStage::CapCommand, t_s);
+                        self.hub
+                            .flight
+                            .push(t_ns, flight::kind::CAP_COMMAND, "", seq, w.to_bits());
+                        // A newly-commanded grant supersedes anything
+                        // still waiting to actuate: the old spans stay
+                        // resident and flush as lost-at-cap-command.
+                        self.pending_grants.clear();
+                        self.pending_grants.push((seq, w));
+                    }
                 }
             }
         }
@@ -1091,9 +1141,32 @@ impl RackSim {
         self.last_sys_w = sys_w;
         self.last_busy = busy_nodes.iter().filter(|&&b| b).count();
         self.advanced_at = Some(t);
+
+        // ── Grant actuation: the first period whose observed draw sits
+        //    at or under a commanded grant closes that grant's span —
+        //    the causal chain's terminal hop. ──
+        if !self.pending_grants.is_empty() {
+            let t_s = t.as_secs_f64();
+            let t_ns = t.0;
+            let hub = &self.hub;
+            self.pending_grants.retain(|&(seq, cap_w)| {
+                if sys_w <= cap_w {
+                    hub.span.stamp(seq, GrantStage::PowerCrossing, t_s);
+                    hub.span.close(seq);
+                    hub.flight
+                        .push(t_ns, flight::kind::POWER_CROSSING, "", seq, cap_w.to_bits());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
     }
 
-    /// Audit the period just advanced against ground truth.
+    /// Audit the period just advanced against ground truth. New checker
+    /// violations land in the flight recorder, and the *first* one
+    /// snapshots the ring: the dump captures the causal window leading
+    /// up to the trip.
     fn audit_phase(&mut self, t: SimTime) {
         let t_s = t.as_secs_f64();
         self.checker.on_tick(
@@ -1108,6 +1181,28 @@ impl RackSim {
                 clock_faulted: &self.clock_faulted,
             },
         );
+        self.record_new_violations(t.0);
+    }
+
+    /// Copy checker violations found since the last call into the
+    /// flight ring and capture the one-shot dump on the first trip.
+    fn record_new_violations(&mut self, t_ns: u64) {
+        let violations = self.checker.violations();
+        if violations.len() > self.seen_violations {
+            for v in &violations[self.seen_violations..] {
+                self.hub.flight.push(
+                    t_ns,
+                    flight::kind::VIOLATION,
+                    v.invariant,
+                    0,
+                    v.t_s.to_bits(),
+                );
+            }
+            self.seen_violations = violations.len();
+            if self.flight_dump.is_none() && self.hub.flight.enabled() {
+                self.flight_dump = Some(self.hub.flight.dump());
+            }
+        }
     }
 
     /// Close out the rack: classify clean jobs, fix up the report, run
@@ -1136,6 +1231,11 @@ impl RackSim {
         report.overcap_energy_j = self.overcap_energy_j;
         report.overcap_s = self.overcap_s;
 
+        // Mid-run violations the audit phase has not seen yet (e.g. a
+        // converge-spacing trip on the final control period) still
+        // reach the flight recorder before the end-of-run dump.
+        self.record_new_violations((t_end * 1e9).round() as u64);
+
         let truth = GroundTruth {
             total_energy_j: self.total_energy_j,
             idle_energy_j: self.idle_energy_j,
@@ -1161,12 +1261,31 @@ impl RackSim {
                 t_s: t_end,
             },
         );
+        // Violations the end-of-run sweep itself uncovered (energy
+        // ledgers, stale accounting) still trigger a dump: the ring
+        // holds the whole run's tail either way.
+        if violations.len() > self.seen_violations {
+            let t_ns = (t_end * 1e9).round() as u64;
+            for v in &violations[self.seen_violations..] {
+                self.hub.flight.push(
+                    t_ns,
+                    flight::kind::VIOLATION,
+                    v.invariant,
+                    0,
+                    v.t_s.to_bits(),
+                );
+            }
+            if self.flight_dump.is_none() && self.hub.flight.enabled() {
+                self.flight_dump = Some(self.hub.flight.dump());
+            }
+        }
         // Detach the hook so the broker (shared handles) cannot call
         // into freed harness state.
         self.broker.set_fault_hook(None);
-        // Anything still resident in the tracer never completed the
+        // Anything still resident in the tracers never completed its
         // loop: account it as lost at whatever stage it last reached.
         self.hub.tracer.flush();
+        self.hub.span.flush();
 
         RunOutcome {
             scenario: self.sc.name.clone(),
@@ -1175,6 +1294,7 @@ impl RackSim {
             violations,
             truth,
             obs: self.hub,
+            flight_dump: self.flight_dump,
         }
     }
 }

@@ -234,6 +234,13 @@ impl InvariantChecker {
         self.cfg.cap_w
     }
 
+    /// The violations recorded so far, in detection order. Mid-run
+    /// observers (the flight recorder) read this to notice the checker
+    /// firing; [`finish`](Self::finish) still returns the complete list.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
     fn flag(&mut self, invariant: &'static str, t_s: f64, detail: String) {
         self.violations.push(Violation {
             invariant,

@@ -26,12 +26,9 @@
 //!   site broker, a federator splitting one global power budget into
 //!   per-rack cap grants, and global invariants on top of the per-rack
 //!   ones.
-//! * [`clock`] — the deprecated lockstep-era tick clock, kept one
-//!   release for downstream code migrating onto the kernel.
 
 #![warn(missing_docs)]
 
-pub mod clock;
 pub mod federation;
 pub mod harness;
 pub mod invariants;
@@ -39,7 +36,9 @@ pub mod kernel;
 pub mod log;
 pub mod scenario;
 
-pub use federation::{run_federated, run_federated_with_db_config, FedOutcome, FedScenario};
+pub use federation::{
+    run_federated, run_federated_traced, run_federated_with_db_config, FedOutcome, FedScenario,
+};
 pub use harness::{run, run_with_db_config, GroundTruth, RunOutcome};
 pub use invariants::Violation;
 pub use kernel::{EventHandler, EventQueue};

@@ -13,6 +13,7 @@
 use davide_core::time::SimTime;
 use davide_sim::federation::{run_federated, FedScenario};
 use davide_sim::kernel::EventQueue;
+use davide_sim::Fault;
 use proptest::prelude::*;
 
 /// A federation small enough to run hundreds of times in a test, big
@@ -90,6 +91,35 @@ proptest! {
             !a.all_violations().iter().any(|(_, v)| v.invariant == "fed-energy"),
             "seed {seed}: fed-energy violation on a healthy run"
         );
+    }
+}
+
+proptest! {
+    /// Sabotaged federation: disarm the stale-telemetry fallback and
+    /// drop every gateway out mid-run, so INV-STALE reliably fires and
+    /// the flight recorder dumps its ring. The dump is part of the
+    /// determinism contract: two same-seed runs must produce
+    /// byte-identical snapshots, rack by rack.
+    #[test]
+    fn tripped_flight_dumps_are_bit_identical(seed in 1u64..50_000) {
+        let mut fs = tiny_fed(seed, 2);
+        fs.name = "prop_fed_trip".to_string();
+        fs.rack.disable_stale_fallback = true;
+        fs.rack.faults = (0..fs.rack.n_nodes)
+            .map(|node| Fault::Dropout { node, from_s: 30.0, until_s: 1e9 })
+            .collect();
+        let a = run_federated(&fs);
+        let b = run_federated(&fs);
+        prop_assert!(
+            a.racks.iter().any(|r| r.flight_dump.is_some()),
+            "seed {seed}: sabotage tripped no rack's recorder"
+        );
+        for (ra, rb) in a.racks.iter().zip(&b.racks) {
+            prop_assert_eq!(
+                &ra.flight_dump, &rb.flight_dump,
+                "seed {seed}: flight dumps diverged"
+            );
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use davide_api::{
     ApiServer, ApiServerConfig, HttpClient, JobProfileRequest, JobRollupRequest, QueryOp,
     QueryRequest, QueryService, QueryServiceConfig, RunningServer, UserRollupRequest,
 };
-use davide_obs::ObsHub;
+use davide_obs::{flight, GrantStage, ObsHub};
 use davide_sched::{
     simulate, Fcfs, PlacementStrategy, SimConfig, WorkloadConfig, WorkloadGenerator,
 };
@@ -176,6 +176,105 @@ fn every_endpoint_is_bit_identical_to_the_direct_call() {
     assert_eq!(status, 200);
     let direct = fx.svc.profile_job(&req).expect("direct profile");
     assert_eq!(body, serde_json::to_string(&direct.to_value()));
+}
+
+#[test]
+fn observability_endpoints_are_bit_identical_to_the_direct_call() {
+    let fx = fixture();
+
+    // Attach two rack hubs carrying deterministic span, flight and
+    // counter state — the shape a federated harness leaves behind.
+    for rack in 0..2u64 {
+        let (hub, _clock) = ObsHub::manual();
+        let t0 = 100.0 * (rack + 1) as f64;
+        for (k, stage) in [
+            GrantStage::FedSplit,
+            GrantStage::BridgeDeliver,
+            GrantStage::RackReceive,
+            GrantStage::CapCommand,
+            GrantStage::PowerCrossing,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            hub.span.stamp(7, stage, t0 + k as f64);
+        }
+        hub.span.close(7);
+        let cap = 8_000.0 + rack as f64;
+        let t_ns = (t0 * 1e9) as u64;
+        hub.flight
+            .push(t_ns, flight::kind::FED_SPLIT, "", 7, cap.to_bits());
+        hub.flight
+            .push(t_ns + 5, flight::kind::CAP_COMMAND, "", 7, cap.to_bits());
+        hub.flight.push(
+            t_ns + 9,
+            flight::kind::VIOLATION,
+            "INV-CAP",
+            0,
+            t0.to_bits(),
+        );
+        hub.registry.counter("rack_jobs_total").add(3 + rack);
+        fx.svc.attach_rack_obs(&format!("rack{rack:02}"), &hub);
+    }
+
+    let mut c = HttpClient::connect(fx.server.addr()).expect("connect");
+
+    let (status, body) = c.request("GET", "/v1/trace/grants", "").expect("trace");
+    assert_eq!(status, 200);
+    let direct = fx.svc.trace_grants();
+    assert_eq!(body, serde_json::to_string(&direct.to_value()));
+    assert_eq!(direct.racks.len(), 2);
+    assert_eq!(direct.racks[0].completed, 1);
+    assert_eq!(direct.racks[0].spans.len(), 1);
+    assert_eq!(direct.racks[0].spans[0].events.len(), 2);
+
+    let (status, body) = c.request("GET", "/v1/obs/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let direct = fx.svc.obs_metrics();
+    assert_eq!(body, serde_json::to_string(&direct.to_value()));
+    // Federation rollup: counters sum across the attached racks.
+    let jobs = direct
+        .counters
+        .iter()
+        .find(|(n, _)| n == "rack_jobs_total")
+        .expect("rolled up");
+    assert_eq!(jobs.1, 3 + 4);
+
+    let (status, body) = c.request("GET", "/v1/obs/flight", "").expect("flight");
+    assert_eq!(status, 200);
+    let direct = fx.svc.obs_flight();
+    assert_eq!(body, serde_json::to_string(&direct.to_value()));
+    assert_eq!(direct.racks[1].events.len(), 3);
+    assert_eq!(direct.racks[1].events[2].kind, "violation");
+    assert_eq!(direct.racks[1].events[2].label, "INV-CAP");
+
+    // Stability: a second exchange is byte-identical (the service's
+    // own request counters never leak into these bodies).
+    let (_, again) = c.request("GET", "/v1/obs/flight", "").expect("again");
+    assert_eq!(again, body);
+
+    // Wrong method → 405 with the GET allow set.
+    for path in ["/v1/trace/grants", "/v1/obs/metrics", "/v1/obs/flight"] {
+        let raw = format!("POST {path} HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        let resp = raw_exchange(&fx, raw.as_bytes());
+        assert_eq!(status_of(&resp), Some(405), "{path} → {resp:?}");
+        assert!(resp.contains("Allow: GET"), "{resp:?}");
+    }
+}
+
+#[test]
+fn observability_endpoints_answer_empty_without_attached_racks() {
+    let fx = fixture();
+    let mut c = HttpClient::connect(fx.server.addr()).expect("connect");
+    let (status, body) = c.request("GET", "/v1/trace/grants", "").expect("trace");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"racks":[],"version":"v1"}"#);
+    let (status, body) = c.request("GET", "/v1/obs/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"counters":[],"racks":[],"version":"v1"}"#);
+    let (status, body) = c.request("GET", "/v1/obs/flight", "").expect("flight");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"racks":[],"version":"v1"}"#);
 }
 
 #[test]
