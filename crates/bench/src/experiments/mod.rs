@@ -5,6 +5,7 @@ pub mod acquisition;
 pub mod api;
 pub mod applications;
 pub mod controlplane;
+pub mod fanout;
 pub mod federation;
 pub mod ingest;
 pub mod management;

@@ -1,7 +1,7 @@
 //! # davide-bench
 //!
 //! The experiment harness: one function per table/figure-level claim of
-//! the paper (see DESIGN.md §3 for the full index E1–E29, F1, F4), plus
+//! the paper (see DESIGN.md §3 for the full index E1–E30, F1, F4), plus
 //! the criterion micro-benchmarks under `benches/`.
 //!
 //! Run everything with
@@ -14,7 +14,7 @@ pub mod experiments;
 
 /// One experiment: id, title, and the function that prints its report.
 pub struct Experiment {
-    /// Identifier (`e1`…`e29`, `f1`, `f4`).
+    /// Identifier (`e1`…`e30`, `f1`, `f4`).
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
@@ -165,6 +165,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e29",
             title: "Cap-grant tracing: overhead A/B + grant-to-actuation latency",
             run: federation::e29,
+        },
+        Experiment {
+            id: "e30",
+            title: "Sharded broker fan-out (10k subscribers, QoS 1 end-to-end)",
+            run: fanout::e30,
         },
         Experiment {
             id: "f1",

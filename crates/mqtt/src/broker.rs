@@ -7,15 +7,34 @@
 //! a topic-trie subscription store with `+`/`#` wildcards, retained
 //! messages, QoS 0/1 and per-subscriber bounded queues with drop
 //! accounting (a slow profiler must not stall the control agents).
+//!
+//! # Sharding
+//!
+//! The hot publish path is sharded: the topic trie, the retained store
+//! and the subscription entries are split across [`DEFAULT_SHARDS`]
+//! shards keyed by a hash of the topic's first two levels
+//! ([`crate::topic::shard_of_topic`]). Every topic maps to exactly one
+//! shard, so a publish takes exactly one shard lock; publishers on
+//! topics under different node prefixes never contend. Subscription
+//! filters are registered on every shard they can match
+//! ([`crate::topic::filter_shards`]): a per-node filter like
+//! `davide/node03/#` pins one shard, a cross-node wildcard like
+//! `davide/+/power/#` registers on all of them. Fan-out is still
+//! deterministic — for any one topic, all matching entries live on that
+//! topic's shard and are visited in the same trie order as the old
+//! single-lock broker, and the fault hook remains a single global
+//! sequence point consulted once per publish in submission order.
 
 use crate::codec::QoS;
-use crate::topic::{filter_matches, validate_filter, validate_topic, TopicError};
+use crate::topic::{
+    filter_matches, filter_shards, shard_of_topic, validate_filter, validate_topic, TopicError,
+};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use davide_obs::{frame_trace_id, Counter, Gauge, ObsHub, Stage};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// An application message as delivered to subscribers.
@@ -29,6 +48,13 @@ pub struct Message {
     pub qos: QoS,
     /// True when replayed from the retained store.
     pub retain: bool,
+    /// True when this is a QoS 1 redelivery of an unacknowledged
+    /// message (maps to the wire DUP flag).
+    pub dup: bool,
+    /// Broker-assigned packet id when the subscriber has QoS 1
+    /// delivery tracking enabled; the subscriber acknowledges it with
+    /// [`super::client::Client::ack`]. `None` for untracked delivery.
+    pub packet_id: Option<u16>,
 }
 
 /// Broker-side errors.
@@ -57,10 +83,72 @@ impl From<TopicError> for BrokerError {
     }
 }
 
+/// Default QoS 1 in-flight window per subscriber: deliveries beyond it
+/// are downgraded to untracked until acknowledgements free slots.
+pub const DEFAULT_QOS1_WINDOW: usize = 32;
+
+/// Default redelivery attempts before a tracked message is expired.
+pub const DEFAULT_QOS1_RETRIES: u32 = 3;
+
+/// Per-subscriber QoS 1 delivery tracking: the broker-side half of the
+/// PUBACK handshake. Disabled by default (zero overhead on the QoS 0
+/// telemetry path); a subscriber that wants at-least-once opts in via
+/// [`super::client::Client::enable_qos1_tracking`].
+#[derive(Debug, Default)]
+pub(crate) struct Qos1State {
+    enabled: AtomicBool,
+    inner: Mutex<Qos1Inner>,
+}
+
+#[derive(Debug)]
+struct Qos1Inner {
+    next_id: u16,
+    window: usize,
+    max_retries: u32,
+    /// In-flight messages keyed by packet id. A `BTreeMap` so
+    /// redelivery sweeps walk ids in a deterministic order.
+    unacked: BTreeMap<u16, Tracked>,
+}
+
+#[derive(Debug)]
+struct Tracked {
+    msg: Message,
+    retries: u32,
+}
+
+impl Default for Qos1Inner {
+    fn default() -> Self {
+        Qos1Inner {
+            next_id: 1,
+            window: DEFAULT_QOS1_WINDOW,
+            max_retries: DEFAULT_QOS1_RETRIES,
+            unacked: BTreeMap::new(),
+        }
+    }
+}
+
+impl Qos1Inner {
+    /// Next free non-zero packet id (wrapping; skips ids still in
+    /// flight — the window is far below 65535, so this terminates).
+    fn alloc_id(&mut self) -> u16 {
+        loop {
+            let id = self.next_id;
+            self.next_id = if id == u16::MAX { 1 } else { id + 1 };
+            if !self.unacked.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct SubEntry {
     client: u64,
     qos: QoS,
+    /// The subscriber's queue, stored in the trie entry so fan-out
+    /// never has to consult a global client table.
+    sender: Sender<Message>,
+    qos1: Arc<Qos1State>,
 }
 
 /// Subscription trie node: one level of the topic hierarchy.
@@ -119,27 +207,30 @@ impl TrieNode {
         }
     }
 
-    /// Collect `(client, qos)` matches for the topic levels.
-    fn collect(&self, levels: &[&str], skip_wildcards: bool, out: &mut Vec<(u64, QoS)>) {
+    /// Visit every subscription matching the topic levels, in the same
+    /// traversal order the old collect-then-deliver path used:
+    /// `#`-subscriptions at each node first, then exact matches, then
+    /// literal children before the `+` branch.
+    fn for_each_match(&self, levels: &[&str], skip_wildcards: bool, f: &mut impl FnMut(&SubEntry)) {
         // A `parent/#` filter also matches `parent` itself.
         if !skip_wildcards {
             for s in &self.hash_subs {
-                out.push((s.client, s.qos));
+                f(s);
             }
         }
         match levels.split_first() {
             None => {
                 for s in &self.subs {
-                    out.push((s.client, s.qos));
+                    f(s);
                 }
             }
             Some((&level, rest)) => {
                 if let Some(c) = self.children.get(level) {
-                    c.collect(rest, false, out);
+                    c.for_each_match(rest, false, f);
                 }
                 if !skip_wildcards {
                     if let Some(p) = &self.plus {
-                        p.collect(rest, false, out);
+                        p.for_each_match(rest, false, f);
                     }
                 }
             }
@@ -147,22 +238,35 @@ impl TrieNode {
     }
 }
 
-#[derive(Debug)]
-struct ClientState {
-    sender: Sender<Message>,
-    client_id: String,
+/// One shard: the trie and retained slice for topics that hash here,
+/// plus this shard's observability fork. Lock order within a shard is
+/// always obs before state.
+#[derive(Debug, Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    obs: Mutex<Option<BrokerObs>>,
 }
 
 #[derive(Debug, Default)]
-struct BrokerState {
+struct ShardState {
     trie: TrieNode,
-    clients: HashMap<u64, ClientState>,
     retained: HashMap<String, Message>,
+}
+
+/// Connection-level bookkeeping, off the publish hot path: touched only
+/// by connect/disconnect/subscribe and the QoS 1 control surface.
+#[derive(Debug)]
+struct ClientInfo {
+    sender: Sender<Message>,
+    client_id: String,
+    filters: HashSet<String>,
+    qos1: Arc<Qos1State>,
 }
 
 /// Delivery statistics, exposed on the `$SYS` topics of a real broker.
 /// Fault-injection counts (injected drops/dups) live in the metrics
-/// registry via [`BrokerObs`], not here.
+/// registry via [`BrokerObs`], not here. All counters are atomics so
+/// `stats()` reads never race with sharded publishers.
 #[derive(Debug, Default)]
 pub struct BrokerStats {
     /// PUBLISH packets accepted.
@@ -173,6 +277,10 @@ pub struct BrokerStats {
     pub dropped: AtomicU64,
     /// QoS 1 PUBLISHes acknowledged.
     pub acked: AtomicU64,
+    /// QoS 1 tracked messages re-sent with the DUP flag.
+    pub redelivered: AtomicU64,
+    /// QoS 1 tracked messages given up on after `max_retries`.
+    pub expired: AtomicU64,
 }
 
 /// Per-topic delivery instruments, registered lazily on first sight of
@@ -190,7 +298,11 @@ struct TopicObs {
 /// frames — all registered in the [`ObsHub`]'s metrics registry.
 ///
 /// Installed with [`Broker::set_obs`]; brokers without one behave
-/// exactly as before (the hot path checks a mutex-guarded `Option`).
+/// exactly as before (the hot path checks an atomic flag). Internally
+/// the broker holds one fork per shard — the forks share every global
+/// counter (metric registration is idempotent) while each keeps its own
+/// per-topic map, which is safe because a topic maps to exactly one
+/// shard and therefore to exactly one fork.
 pub struct BrokerObs {
     hub: ObsHub,
     /// Payload prefix identifying a telemetry `SampleFrame`; only such
@@ -220,6 +332,22 @@ impl BrokerObs {
             injected_drops: r.counter("mqtt_injected_drops_total"),
             injected_dups: r.counter("mqtt_injected_dups_total"),
             retained_total: r.gauge("mqtt_retained_messages"),
+            per_topic: HashMap::new(),
+        }
+    }
+
+    /// A per-shard sibling: shares every global instrument handle but
+    /// starts with an empty per-topic map of its own.
+    fn fork(&self) -> BrokerObs {
+        BrokerObs {
+            hub: self.hub.clone(),
+            frame_magic: self.frame_magic.clone(),
+            published: self.published.clone(),
+            delivered: self.delivered.clone(),
+            dropped: self.dropped.clone(),
+            injected_drops: self.injected_drops.clone(),
+            injected_dups: self.injected_dups.clone(),
+            retained_total: self.retained_total.clone(),
             per_topic: HashMap::new(),
         }
     }
@@ -307,7 +435,8 @@ pub enum PublishFate {
 
 /// A fault-injection hook consulted once per PUBLISH, before any broker
 /// state is touched. Deterministic harnesses install closures driven by
-/// a seeded RNG.
+/// a seeded RNG. The hook is a single global sequence point even on the
+/// sharded broker: it sees one call per publish, in submission order.
 pub type FaultHook = Box<dyn FnMut(&str) -> PublishFate + Send>;
 
 /// The broker: cheaply cloneable handle, safe to share across threads.
@@ -328,14 +457,18 @@ pub type FaultHook = Box<dyn FnMut(&str) -> PublishFate + Send>;
 /// ```
 #[derive(Clone)]
 pub struct Broker {
-    state: Arc<Mutex<BrokerState>>,
+    shards: Arc<[Shard]>,
+    /// Connection table, off the publish path entirely.
+    clients: Arc<Mutex<HashMap<u64, ClientInfo>>>,
     stats: Arc<BrokerStats>,
-    // Kept outside `state` so a hook can never deadlock against the
-    // broker lock, and so installing one is race-free with publishes.
+    // Kept outside the shards so a hook can never deadlock against a
+    // shard lock, and so the hook sees one global call sequence.
     fault: Arc<Mutex<Option<FaultHook>>>,
-    // Same isolation rationale as `fault`; obs code never touches the
-    // state lock.
-    obs: Arc<Mutex<Option<BrokerObs>>>,
+    fault_installed: Arc<AtomicBool>,
+    obs_installed: Arc<AtomicBool>,
+    /// Retained messages across all shards, maintained under shard
+    /// locks so the obs gauge sees a consistent total.
+    retained_total: Arc<AtomicUsize>,
     next_client: Arc<AtomicU64>,
     queue_depth: usize,
 }
@@ -344,6 +477,11 @@ pub struct Broker {
 /// EG samples (50 kS/s) so a briefly-stalled agent loses nothing.
 pub const DEFAULT_QUEUE_DEPTH: usize = 65_536;
 
+/// Default shard count: enough that the 16 concurrent publishers of the
+/// E30 workload rarely collide, small enough that all-shard wildcard
+/// subscriptions stay cheap to register.
+pub const DEFAULT_SHARDS: usize = 8;
+
 impl Default for Broker {
     fn default() -> Self {
         Self::new(DEFAULT_QUEUE_DEPTH)
@@ -351,39 +489,74 @@ impl Default for Broker {
 }
 
 impl Broker {
-    /// New broker with the given per-subscriber queue depth.
+    /// New broker with the given per-subscriber queue depth and the
+    /// default shard count.
     pub fn new(queue_depth: usize) -> Self {
+        Self::with_shards(queue_depth, DEFAULT_SHARDS)
+    }
+
+    /// New broker with an explicit shard count (1 reproduces the old
+    /// single-lock broker exactly; differential tests rely on this).
+    pub fn with_shards(queue_depth: usize, shards: usize) -> Self {
         assert!(queue_depth > 0);
+        assert!(shards > 0);
+        let shards: Vec<Shard> = (0..shards).map(|_| Shard::default()).collect();
         Broker {
-            state: Arc::new(Mutex::new(BrokerState::default())),
+            shards: shards.into(),
+            clients: Arc::new(Mutex::new(HashMap::new())),
             stats: Arc::new(BrokerStats::default()),
             fault: Arc::new(Mutex::new(None)),
-            obs: Arc::new(Mutex::new(None)),
+            fault_installed: Arc::new(AtomicBool::new(false)),
+            obs_installed: Arc::new(AtomicBool::new(false)),
+            retained_total: Arc::new(AtomicUsize::new(0)),
             next_client: Arc::new(AtomicU64::new(1)),
             queue_depth,
         }
     }
 
+    /// Number of shards the publish path is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Install (or clear) the broker's observability instruments; see
-    /// [`BrokerObs`].
+    /// [`BrokerObs`]. Internally one fork per shard.
     pub fn set_obs(&self, obs: Option<BrokerObs>) {
-        *self.obs.lock() = obs;
+        match obs {
+            Some(o) => {
+                for shard in self.shards.iter().skip(1) {
+                    *shard.obs.lock() = Some(o.fork());
+                }
+                *self.shards[0].obs.lock() = Some(o);
+                self.obs_installed.store(true, Ordering::Release);
+            }
+            None => {
+                self.obs_installed.store(false, Ordering::Release);
+                for shard in self.shards.iter() {
+                    *shard.obs.lock() = None;
+                }
+            }
+        }
     }
 
     /// Install (or clear, with `None`) a fault-injection hook consulted
     /// once per PUBLISH with the topic; see [`PublishFate`]. The hook
     /// runs before the retained store or any subscriber queue is
     /// touched, so a dropped packet leaves no trace beyond the
-    /// [`BrokerStats::injected_drops`] counter.
+    /// injected-drops counter.
     pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        let installed = hook.is_some();
         *self.fault.lock() = hook;
+        self.fault_installed.store(installed, Ordering::Release);
     }
 
     /// The retained payload currently stored for `topic`, if any.
     /// Checkers use this to compare the broker's durable command state
     /// against what the plant actually applied.
     pub fn retained_get(&self, topic: &str) -> Option<Bytes> {
-        self.state
+        let idx = shard_of_topic(topic, self.shards.len());
+        self.shards[idx]
+            .state
             .lock()
             .retained
             .get(topic)
@@ -392,14 +565,29 @@ impl Broker {
 
     /// Connect a client; returns its handle.
     pub fn connect(&self, client_id: impl Into<String>) -> super::client::Client {
+        self.connect_with_depth(client_id, self.queue_depth)
+    }
+
+    /// Connect a client with an explicit queue depth instead of the
+    /// broker default. Queue slots are allocated up front per client,
+    /// so large fan-out populations size them per subscriber class: a
+    /// global-wildcard auditor needs room for every publish in flight,
+    /// an exact-match agent only for its own topic's.
+    pub fn connect_with_depth(
+        &self,
+        client_id: impl Into<String>,
+        queue_depth: usize,
+    ) -> super::client::Client {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = bounded(self.queue_depth);
+        let (tx, rx) = bounded(queue_depth);
         let client_id = client_id.into();
-        self.state.lock().clients.insert(
+        self.clients.lock().insert(
             id,
-            ClientState {
+            ClientInfo {
                 sender: tx,
                 client_id: client_id.clone(),
+                filters: HashSet::new(),
+                qos1: Arc::new(Qos1State::default()),
             },
         );
         super::client::Client::new(self.clone(), id, client_id, rx)
@@ -412,52 +600,80 @@ impl Broker {
 
     /// Number of connected clients.
     pub fn client_count(&self) -> usize {
-        self.state.lock().clients.len()
+        self.clients.lock().len()
     }
 
-    /// Number of retained messages held.
+    /// Number of retained messages held, across all shards.
     pub fn retained_count(&self) -> usize {
-        self.state.lock().retained.len()
+        self.retained_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of live subscriptions (distinct client/filter pairs).
+    pub fn subscription_count(&self) -> usize {
+        self.clients.lock().values().map(|c| c.filters.len()).sum()
     }
 
     pub(crate) fn disconnect(&self, client: u64) {
-        let mut st = self.state.lock();
-        st.clients.remove(&client);
-        st.trie.remove_client(client);
+        self.clients.lock().remove(&client);
+        // Cold path: sweep every shard rather than replaying the
+        // filter list, so stale entries can never survive.
+        for shard in self.shards.iter() {
+            shard.state.lock().trie.remove_client(client);
+        }
     }
 
     pub(crate) fn subscribe(&self, client: u64, filter: &str, qos: QoS) -> Result<(), BrokerError> {
         validate_filter(filter)?;
-        let mut st = self.state.lock();
-        if !st.clients.contains_key(&client) {
-            return Err(BrokerError::UnknownClient(client));
-        }
+        let (sender, qos1) = {
+            let mut cl = self.clients.lock();
+            let info = cl
+                .get_mut(&client)
+                .ok_or(BrokerError::UnknownClient(client))?;
+            info.filters.insert(filter.to_string());
+            (info.sender.clone(), info.qos1.clone())
+        };
         let levels: Vec<&str> = filter.split('/').collect();
-        // Replace any existing subscription by this client on the filter.
-        st.trie.remove(&levels, client);
-        st.trie.insert(&levels, SubEntry { client, qos });
-
+        let n = self.shards.len();
+        // Per shard, the trie update and the retained snapshot happen
+        // under one lock hold, so a concurrent retained publish is
+        // either replayed or live-delivered — never both, since each
+        // topic lives on exactly one shard.
+        let mut matches: Vec<Message> = Vec::new();
+        for idx in filter_shards(filter, n).iter(n) {
+            let mut st = self.shards[idx].state.lock();
+            // Replace any existing subscription by this client on the
+            // filter.
+            st.trie.remove(&levels, client);
+            st.trie.insert(
+                &levels,
+                SubEntry {
+                    client,
+                    qos,
+                    sender: sender.clone(),
+                    qos1: qos1.clone(),
+                },
+            );
+            matches.extend(
+                st.retained
+                    .values()
+                    .filter(|m| filter_matches(filter, &m.topic))
+                    .cloned(),
+            );
+        }
         // Replay retained messages matching the new filter, in topic
-        // order — the map iterates in per-process random order, and
-        // replay order must not leak that nondeterminism to sessions.
-        let mut matches: Vec<Message> = st
-            .retained
-            .values()
-            .filter(|m| filter_matches(filter, &m.topic))
-            .cloned()
-            .collect();
+        // order — the per-shard maps iterate in per-process random
+        // order, and replay order must not leak that nondeterminism to
+        // sessions.
         matches.sort_unstable_by(|a, b| a.topic.cmp(&b.topic));
-        if let Some(cs) = st.clients.get(&client) {
-            for mut m in matches {
-                m.retain = true;
-                m.qos = m.qos.min(qos);
-                match cs.sender.try_send(m) {
-                    Ok(()) => {
-                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
+        for mut m in matches {
+            m.retain = true;
+            m.qos = m.qos.min(qos);
+            match sender.try_send(m) {
+                Ok(()) => {
+                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -466,8 +682,14 @@ impl Broker {
 
     pub(crate) fn unsubscribe(&self, client: u64, filter: &str) -> Result<(), BrokerError> {
         validate_filter(filter)?;
+        if let Some(info) = self.clients.lock().get_mut(&client) {
+            info.filters.remove(filter);
+        }
         let levels: Vec<&str> = filter.split('/').collect();
-        self.state.lock().trie.remove(&levels, client);
+        let n = self.shards.len();
+        for idx in filter_shards(filter, n).iter(n) {
+            self.shards[idx].state.lock().trie.remove(&levels, client);
+        }
         Ok(())
     }
 
@@ -475,7 +697,8 @@ impl Broker {
     ///
     /// For QoS 1 the broker "acknowledges" by bumping the `acked`
     /// counter once the message is safely fanned out — the in-process
-    /// equivalent of PUBACK.
+    /// equivalent of PUBACK. Subscribers that enabled QoS 1 tracking
+    /// additionally get a packet id they must [ack](super::client::Client::ack).
     pub(crate) fn publish(
         &self,
         topic: &str,
@@ -484,50 +707,57 @@ impl Broker {
         retain: bool,
     ) -> Result<usize, BrokerError> {
         validate_topic(topic)?;
+        let shard = &self.shards[shard_of_topic(topic, self.shards.len())];
         self.stats.published.fetch_add(1, Ordering::Relaxed);
-        if let Some(o) = self.obs.lock().as_mut() {
-            o.on_publish(topic, &payload);
+        if self.obs_installed.load(Ordering::Acquire) {
+            if let Some(o) = shard.obs.lock().as_mut() {
+                o.on_publish(topic, &payload);
+            }
         }
 
         // Fault injection: decide the packet's fate before touching any
-        // broker state (the hook lock is never held together with the
-        // state lock).
-        let fate = match self.fault.lock().as_mut() {
-            Some(hook) => hook(topic),
-            None => PublishFate::Deliver,
+        // broker state (the hook lock is never held together with a
+        // shard lock).
+        let fate = if self.fault_installed.load(Ordering::Acquire) {
+            match self.fault.lock().as_mut() {
+                Some(hook) => hook(topic),
+                None => PublishFate::Deliver,
+            }
+        } else {
+            PublishFate::Deliver
         };
         match fate {
             PublishFate::Deliver => {}
             PublishFate::Drop => {
-                if let Some(o) = self.obs.lock().as_mut() {
+                if let Some(o) = shard.obs.lock().as_mut() {
                     o.injected_drops.inc();
                 }
                 return Ok(0);
             }
             PublishFate::Duplicate => {
-                if let Some(o) = self.obs.lock().as_mut() {
+                if let Some(o) = shard.obs.lock().as_mut() {
                     o.injected_dups.inc();
                 }
-                let first = self.fan_out(topic, &payload, qos, retain);
-                self.fan_out(topic, &payload, qos, retain);
+                let first = self.fan_out(shard, topic, &payload, qos, retain);
+                self.fan_out(shard, topic, &payload, qos, retain);
                 return Ok(first);
             }
         }
-        Ok(self.fan_out(topic, &payload, qos, retain))
+        Ok(self.fan_out(shard, topic, &payload, qos, retain))
     }
 
-    /// Publish a batch of non-retained QoS 0 messages with one state-lock
-    /// acquisition for the whole batch.
+    /// Publish a batch of non-retained QoS 0 messages with one
+    /// lock acquisition per run of same-shard topics.
     ///
     /// Per-publish semantics are preserved message by message — topic
     /// validation, `published` stats, [`BrokerObs::on_publish`], the
-    /// fault hook's per-packet fate, delivery counting — but the three
-    /// broker locks (obs, fault, state) are each taken once instead of
-    /// once per message. At the full-rate acquisition scale (36 000
-    /// frames per simulated second from 45 gateways) the per-publish
-    /// lock traffic is a measurable fraction of the fan-in cost; this
-    /// is the EG's bulk path. Messages are fanned out in slice order,
-    /// so inter-batch ordering is exactly what a publish loop produces.
+    /// fault hook's per-packet fate, delivery counting — but lock
+    /// traffic is amortized: the fault hook is consulted once for the
+    /// whole batch, and the obs/state locks are handed off only when
+    /// consecutive messages hash to different shards. An EG batch
+    /// carries one node's frames, which share a topic prefix and
+    /// therefore a shard, so the common case is one lock pair per
+    /// batch. Messages are fanned out in slice order.
     ///
     /// Returns the total number of subscriber deliveries across the
     /// batch. Errors on the first invalid topic, before any message is
@@ -541,28 +771,58 @@ impl Broker {
             .fetch_add(msgs.len() as u64, Ordering::Relaxed);
         // One fault-hook lock: decide every packet's fate up front (the
         // hook must see one call per message, same as the loop form).
-        let fates: Option<Vec<PublishFate>> = {
+        let fates: Option<Vec<PublishFate>> = if self.fault_installed.load(Ordering::Acquire) {
             let mut guard = self.fault.lock();
             guard
                 .as_mut()
                 .map(|hook| msgs.iter().map(|(topic, _)| hook(topic)).collect())
+        } else {
+            None
         };
-        // One obs lock and one state lock for the whole batch (same
-        // state → obs acquisition order as the per-publish path never
-        // holds both, so no ordering hazard is introduced).
-        let mut obs = self.obs.lock();
-        if let Some(o) = obs.as_mut() {
+        let n = self.shards.len();
+        // First pass, matching the old all-publishes-then-deliveries
+        // order observable through the frame tracer: count every
+        // message as published before any is fanned out.
+        if self.obs_installed.load(Ordering::Acquire) {
+            let mut held: Option<(usize, std::sync::MutexGuard<'_, Option<BrokerObs>>)> = None;
             for (topic, payload) in msgs {
-                o.on_publish(topic, payload);
+                let idx = shard_of_topic(topic, n);
+                if held.as_ref().map(|h| h.0) != Some(idx) {
+                    // Release the previous guard before taking the next
+                    // shard's: never hold two shards at once.
+                    drop(held.take());
+                    held = Some((idx, self.shards[idx].obs.lock()));
+                }
+                if let Some(o) = held.as_mut().and_then(|h| h.1.as_mut()) {
+                    o.on_publish(topic, payload);
+                }
             }
         }
-        let mut st = self.state.lock();
+        // Second pass: fan out, handing the shard's obs+state lock pair
+        // off only when the shard changes.
         let mut reached = 0;
-        let mut targets = Vec::new();
+        let mut held: Option<(
+            usize,
+            std::sync::MutexGuard<'_, Option<BrokerObs>>,
+            std::sync::MutexGuard<'_, ShardState>,
+        )> = None;
         for (i, (topic, payload)) in msgs.iter().enumerate() {
+            let idx = shard_of_topic(topic, n);
+            if held.as_ref().map(|h| h.0) != Some(idx) {
+                // Release the previous pair before taking the next
+                // shard's: never hold two shards at once.
+                drop(held.take());
+                let shard = &self.shards[idx];
+                let obs = shard.obs.lock();
+                let st = shard.state.lock();
+                held = Some((idx, obs, st));
+            }
+            let (_, obs_guard, st_guard) = held.as_mut().expect("guard pair just installed");
+            let obs: &mut Option<BrokerObs> = obs_guard;
+            let st: &mut ShardState = st_guard;
             match fates.as_ref().map_or(PublishFate::Deliver, |f| f[i]) {
                 PublishFate::Deliver => {
-                    reached += self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
+                    reached += self.fan_out_locked(st, obs, topic, payload, QoS::AtMostOnce, false);
                 }
                 PublishFate::Drop => {
                     if let Some(o) = obs.as_mut() {
@@ -573,126 +833,242 @@ impl Broker {
                     if let Some(o) = obs.as_mut() {
                         o.injected_dups.inc();
                     }
-                    reached += self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
-                    self.fan_out_locked(&mut st, &mut obs, topic, payload, &mut targets);
+                    reached += self.fan_out_locked(st, obs, topic, payload, QoS::AtMostOnce, false);
+                    self.fan_out_locked(st, obs, topic, payload, QoS::AtMostOnce, false);
                 }
             }
         }
         Ok(reached)
     }
 
-    /// Non-retained QoS 0 fan-out with the state (and obs) locks already
-    /// held — the per-message body of [`Broker::publish_batch`].
-    /// `targets` is caller-owned scratch so the batch loop reuses one
-    /// match buffer.
+    /// One pass of retained-store update + subscriber fan-out on the
+    /// topic's shard.
+    fn fan_out(
+        &self,
+        shard: &Shard,
+        topic: &str,
+        payload: &Bytes,
+        qos: QoS,
+        retain: bool,
+    ) -> usize {
+        // Lock order within a shard: obs, then state (matches
+        // publish_batch).
+        let mut obs_guard = if self.obs_installed.load(Ordering::Acquire) {
+            Some(shard.obs.lock())
+        } else {
+            None
+        };
+        let mut no_obs = None;
+        let obs: &mut Option<BrokerObs> = match obs_guard.as_mut() {
+            Some(g) => g,
+            None => &mut no_obs,
+        };
+        let mut st = shard.state.lock();
+        self.fan_out_locked(&mut st, obs, topic, payload, qos, retain)
+    }
+
+    /// The per-message fan-out body, with the shard's locks held.
     fn fan_out_locked(
         &self,
-        st: &mut BrokerState,
+        st: &mut ShardState,
         obs: &mut Option<BrokerObs>,
         topic: &str,
         payload: &Bytes,
-        targets: &mut Vec<(u64, QoS)>,
+        qos: QoS,
+        retain: bool,
     ) -> usize {
-        let levels: Vec<&str> = topic.split('/').collect();
-        targets.clear();
-        st.trie.collect(&levels, topic.starts_with('$'), targets);
-        let mut reached = 0;
-        for &(client, sub_qos) in targets.iter() {
-            if let Some(cs) = st.clients.get(&client) {
-                let m = Message {
-                    topic: topic.to_string(),
-                    payload: payload.clone(),
-                    qos: QoS::AtMostOnce.min(sub_qos),
-                    retain: false,
-                };
-                match cs.sender.try_send(m) {
-                    Ok(()) => {
-                        reached += 1;
-                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                        if let Some(o) = obs.as_mut() {
-                            o.on_deliver(topic, payload);
-                        }
-                    }
-                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                        if let Some(o) = obs.as_mut() {
-                            o.dropped.inc();
-                        }
-                    }
-                }
-            }
-        }
-        reached
-    }
-
-    /// One pass of retained-store update + subscriber fan-out.
-    fn fan_out(&self, topic: &str, payload: &Bytes, qos: QoS, retain: bool) -> usize {
-        let mut st = self.state.lock();
         if retain {
             if payload.is_empty() {
                 // Empty retained payload clears the retained message.
-                st.retained.remove(topic);
+                if st.retained.remove(topic).is_some() {
+                    self.retained_total.fetch_sub(1, Ordering::Relaxed);
+                }
             } else {
-                st.retained.insert(
+                let prev = st.retained.insert(
                     topic.to_string(),
                     Message {
                         topic: topic.to_string(),
                         payload: payload.clone(),
                         qos,
                         retain: true,
+                        dup: false,
+                        packet_id: None,
                     },
                 );
+                if prev.is_none() {
+                    self.retained_total.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            if let Some(o) = self.obs.lock().as_mut() {
-                o.on_retained(topic, !payload.is_empty(), st.retained.len());
+            if let Some(o) = obs.as_mut() {
+                o.on_retained(
+                    topic,
+                    !payload.is_empty(),
+                    self.retained_total.load(Ordering::Relaxed),
+                );
             }
         }
 
         let levels: Vec<&str> = topic.split('/').collect();
-        let mut targets = Vec::new();
         // $-topics suppress wildcards at the root level only.
         let skip_wild_at_root = topic.starts_with('$');
-        st.trie.collect(&levels, skip_wild_at_root, &mut targets);
         let mut reached = 0;
-        for (client, sub_qos) in targets {
-            if let Some(cs) = st.clients.get(&client) {
+        st.trie
+            .for_each_match(&levels, skip_wild_at_root, &mut |s| {
                 // "Retain as published" (the MQTT 5 RAP behaviour):
                 // live deliveries carry the publisher's retain flag so
                 // bridges can preserve retained state downstream.
-                let m = Message {
+                let mut m = Message {
                     topic: topic.to_string(),
                     payload: payload.clone(),
-                    qos: qos.min(sub_qos),
+                    qos: qos.min(s.qos),
                     retain,
+                    dup: false,
+                    packet_id: None,
                 };
-                match cs.sender.try_send(m) {
+                // QoS 1 delivery tracking: assign a packet id while the
+                // in-flight window has room; past it the delivery degrades
+                // to untracked rather than blocking the publisher.
+                if m.qos == QoS::AtLeastOnce && s.qos1.enabled.load(Ordering::Acquire) {
+                    let mut q = s.qos1.inner.lock();
+                    if q.unacked.len() < q.window {
+                        let id = q.alloc_id();
+                        m.packet_id = Some(id);
+                        q.unacked.insert(
+                            id,
+                            Tracked {
+                                msg: m.clone(),
+                                retries: 0,
+                            },
+                        );
+                    }
+                }
+                match s.sender.try_send(m) {
                     Ok(()) => {
                         reached += 1;
                         self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                        if let Some(o) = self.obs.lock().as_mut() {
+                        if let Some(o) = obs.as_mut() {
                             o.on_deliver(topic, payload);
                         }
                     }
-                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    Err(e) => {
                         self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                        if let Some(o) = self.obs.lock().as_mut() {
+                        if let Some(o) = obs.as_mut() {
                             o.dropped.inc();
+                        }
+                        // A full queue keeps the tracked slot (the
+                        // redelivery sweep will retry); a disconnected
+                        // subscriber releases it.
+                        if let TrySendError::Disconnected(m) = e {
+                            if let Some(id) = m.packet_id {
+                                s.qos1.inner.lock().unacked.remove(&id);
+                            }
                         }
                     }
                 }
-            }
-        }
+            });
         if qos == QoS::AtLeastOnce {
             self.stats.acked.fetch_add(1, Ordering::Relaxed);
         }
         reached
     }
 
+    /// Turn on QoS 1 delivery tracking for a subscriber; see
+    /// [`super::client::Client::enable_qos1_tracking`].
+    pub(crate) fn qos1_enable(&self, client: u64, window: usize, max_retries: u32) -> bool {
+        let cl = self.clients.lock();
+        match cl.get(&client) {
+            Some(info) => {
+                {
+                    let mut q = info.qos1.inner.lock();
+                    q.window = window.max(1);
+                    q.max_retries = max_retries;
+                }
+                info.qos1.enabled.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Acknowledge a tracked delivery; returns whether the id was in
+    /// flight.
+    pub(crate) fn qos1_ack(&self, client: u64, packet_id: u16) -> bool {
+        let cl = self.clients.lock();
+        match cl.get(&client) {
+            Some(info) => info.qos1.inner.lock().unacked.remove(&packet_id).is_some(),
+            None => false,
+        }
+    }
+
+    /// Number of tracked deliveries awaiting acknowledgement.
+    pub(crate) fn qos1_unacked(&self, client: u64) -> usize {
+        let cl = self.clients.lock();
+        match cl.get(&client) {
+            Some(info) => info.qos1.inner.lock().unacked.len(),
+            None => 0,
+        }
+    }
+
+    /// Re-send every unacknowledged tracked message to the subscriber
+    /// with the DUP flag, in packet-id order. Messages past their retry
+    /// budget are expired instead. Returns the number re-sent.
+    pub(crate) fn qos1_redeliver(&self, client: u64) -> usize {
+        let (sender, qos1) = {
+            let cl = self.clients.lock();
+            match cl.get(&client) {
+                Some(info) => (info.sender.clone(), info.qos1.clone()),
+                None => return 0,
+            }
+        };
+        let mut q = qos1.inner.lock();
+        let max = q.max_retries;
+        let ids: Vec<u16> = q.unacked.keys().copied().collect();
+        let mut resent = 0;
+        for id in ids {
+            enum Fate {
+                Kept,
+                Expired,
+                Gone,
+            }
+            let fate = {
+                let t = q.unacked.get_mut(&id).expect("id snapshot just taken");
+                if t.retries >= max {
+                    Fate::Expired
+                } else {
+                    let mut m = t.msg.clone();
+                    m.dup = true;
+                    match sender.try_send(m) {
+                        Ok(()) => {
+                            t.retries += 1;
+                            resent += 1;
+                            self.stats.redelivered.fetch_add(1, Ordering::Relaxed);
+                            Fate::Kept
+                        }
+                        // Queue full: leave the slot untouched for the
+                        // next sweep; no retry is charged.
+                        Err(TrySendError::Full(_)) => Fate::Kept,
+                        Err(TrySendError::Disconnected(_)) => Fate::Gone,
+                    }
+                }
+            };
+            match fate {
+                Fate::Kept => {}
+                Fate::Expired => {
+                    q.unacked.remove(&id);
+                    self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                }
+                Fate::Gone => {
+                    q.unacked.remove(&id);
+                }
+            }
+        }
+        resent
+    }
+
     /// Look up a client's chosen id string (diagnostics).
     pub fn client_name(&self, client: u64) -> Option<String> {
-        self.state
+        self.clients
             .lock()
-            .clients
             .get(&client)
             .map(|c| c.client_id.clone())
     }
@@ -805,8 +1181,10 @@ mod tests {
         let mut sub = broker.connect("agent");
         sub.subscribe("a/#", QoS::AtMostOnce).unwrap();
         assert_eq!(broker.client_count(), 1);
+        assert_eq!(broker.subscription_count(), 1);
         sub.disconnect();
         assert_eq!(broker.client_count(), 0);
+        assert_eq!(broker.subscription_count(), 0);
         let publ = broker.connect("gateway");
         let n = publ
             .publish("a/b", payload("x"), QoS::AtMostOnce, false)
@@ -872,6 +1250,7 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1, "single delivery after re-subscribe");
         assert_eq!(sub.try_recv().unwrap().qos, QoS::AtLeastOnce);
+        assert_eq!(broker.subscription_count(), 1, "one filter, not two");
     }
 
     #[test]
@@ -1116,5 +1495,136 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 1000);
+    }
+
+    /// Run the same single-threaded pub/sub script against two brokers
+    /// and require bit-identical delivery sequences per subscriber.
+    fn delivery_script(broker: &Broker) -> Vec<Vec<Message>> {
+        let mut exact = broker.connect("exact");
+        let mut per_node = broker.connect("per-node");
+        let mut global = broker.connect("global");
+        let publ = broker.connect("gateway");
+        // Retained state laid down before any subscription.
+        publ.publish("davide/node01/cap", payload("1500"), QoS::AtMostOnce, true)
+            .unwrap();
+        publ.publish("davide/node02/cap", payload("1600"), QoS::AtMostOnce, true)
+            .unwrap();
+        exact
+            .subscribe("davide/node01/power/cpu", QoS::AtMostOnce)
+            .unwrap();
+        per_node
+            .subscribe("davide/node01/#", QoS::AtMostOnce)
+            .unwrap();
+        global.subscribe("davide/+/cap", QoS::AtMostOnce).unwrap();
+        global
+            .subscribe("davide/+/power/#", QoS::AtMostOnce)
+            .unwrap();
+        for i in 0..4 {
+            for node in ["node01", "node02", "node03"] {
+                publ.publish(
+                    &format!("davide/{node}/power/cpu"),
+                    payload(&format!("{i}")),
+                    QoS::AtMostOnce,
+                    false,
+                )
+                .unwrap();
+            }
+        }
+        let batch: Vec<(String, Bytes)> = (0..6)
+            .map(|i| (format!("davide/node0{}/power/gpu", i % 3 + 1), payload("b")))
+            .collect();
+        publ.publish_batch(&batch).unwrap();
+        vec![exact.drain(), per_node.drain(), global.drain()]
+    }
+
+    #[test]
+    fn shard_count_does_not_change_delivery() {
+        let single = delivery_script(&Broker::with_shards(1024, 1));
+        for shards in [2, 3, 8] {
+            let sharded = delivery_script(&Broker::with_shards(1024, shards));
+            assert_eq!(single, sharded, "divergence at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn qos1_tracked_delivery_ack_and_redeliver() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("bridge");
+        sub.enable_qos1_tracking(DEFAULT_QOS1_WINDOW, DEFAULT_QOS1_RETRIES);
+        sub.subscribe("davide/site/#", QoS::AtLeastOnce).unwrap();
+        let publ = broker.connect("gateway");
+        publ.publish("davide/site/agg", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        let m = sub.try_recv().unwrap();
+        let id = m.packet_id.expect("tracked delivery carries an id");
+        assert!(!m.dup);
+        assert_eq!(sub.unacked_count(), 1);
+        // Redelivery re-sends the same message with DUP set.
+        assert_eq!(sub.redeliver_unacked(), 1);
+        let dup = sub.try_recv().unwrap();
+        assert!(dup.dup);
+        assert_eq!(dup.packet_id, Some(id));
+        assert_eq!(dup.payload, m.payload);
+        assert_eq!(broker.stats().redelivered.load(Ordering::Relaxed), 1);
+        // A (late) ack clears the slot; nothing left to redeliver.
+        assert!(sub.ack(id));
+        assert_eq!(sub.unacked_count(), 0);
+        assert_eq!(sub.redeliver_unacked(), 0);
+        assert!(!sub.ack(id), "double-ack is a no-op");
+    }
+
+    #[test]
+    fn qos1_window_bounds_in_flight() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("bridge");
+        sub.enable_qos1_tracking(2, DEFAULT_QOS1_RETRIES);
+        sub.subscribe("t/#", QoS::AtLeastOnce).unwrap();
+        let publ = broker.connect("gw");
+        for i in 0..4 {
+            publ.publish(&format!("t/{i}"), payload("x"), QoS::AtLeastOnce, false)
+                .unwrap();
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 4, "overflow degrades, never blocks");
+        let tracked: Vec<_> = got.iter().filter(|m| m.packet_id.is_some()).collect();
+        assert_eq!(tracked.len(), 2, "window caps tracked deliveries");
+        assert_eq!(sub.unacked_count(), 2);
+        // Acking frees slots for new tracked deliveries.
+        for m in tracked {
+            assert!(sub.ack(m.packet_id.unwrap()));
+        }
+        publ.publish("t/5", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        assert!(sub.try_recv().unwrap().packet_id.is_some());
+    }
+
+    #[test]
+    fn qos1_expiry_after_max_retries() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("bridge");
+        sub.enable_qos1_tracking(8, 1);
+        sub.subscribe("t", QoS::AtLeastOnce).unwrap();
+        let publ = broker.connect("gw");
+        publ.publish("t", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        assert_eq!(sub.redeliver_unacked(), 1, "first retry allowed");
+        assert_eq!(sub.redeliver_unacked(), 0, "budget spent: expired");
+        assert_eq!(sub.unacked_count(), 0);
+        assert_eq!(broker.stats().expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn qos0_subscriber_never_tracked() {
+        let broker = Broker::default();
+        let mut sub = broker.connect("agent");
+        sub.enable_qos1_tracking(8, 3);
+        sub.subscribe("t", QoS::AtMostOnce).unwrap();
+        let publ = broker.connect("gw");
+        publ.publish("t", payload("x"), QoS::AtLeastOnce, false)
+            .unwrap();
+        let m = sub.try_recv().unwrap();
+        assert_eq!(m.qos, QoS::AtMostOnce);
+        assert_eq!(m.packet_id, None, "QoS 0 delivery is untracked");
+        assert_eq!(sub.unacked_count(), 0);
     }
 }

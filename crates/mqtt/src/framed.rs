@@ -78,7 +78,14 @@ impl ServerConnection {
     fn handle(&mut self, packet: Packet, out: &mut BytesMut) {
         match (self.state, packet) {
             (ConnState::AwaitingConnect, Packet::Connect { client_id, .. }) => {
-                self.client = Some(self.broker.connect(client_id));
+                let mut client = self.broker.connect(client_id);
+                // Outbound QoS 1 deliveries are tracked broker-side so
+                // their packet ids survive until the wire PUBACK.
+                client.enable_qos1_tracking(
+                    crate::broker::DEFAULT_QOS1_WINDOW,
+                    crate::broker::DEFAULT_QOS1_RETRIES,
+                );
+                self.client = Some(client);
                 self.state = ConnState::Active;
                 encode(
                     &Packet::ConnAck {
@@ -139,35 +146,41 @@ impl ServerConnection {
             (ConnState::Active, Packet::Disconnect) => {
                 self.close();
             }
-            // PUBACKs for our outbound QoS1 deliveries and anything else
-            // are accepted silently (delivery bookkeeping lives in the
-            // in-process queues).
+            // A PUBACK from the wire settles the matching outbound
+            // QoS 1 delivery in the broker's in-flight table.
+            (ConnState::Active, Packet::PubAck { packet_id }) => {
+                if let Some(client) = self.client.as_mut() {
+                    let _ = client.ack(packet_id);
+                }
+            }
             (ConnState::Active, _) => {}
             (ConnState::Closed, _) => {}
         }
     }
 
     /// Encode any queued deliveries for this connection as PUBLISH
-    /// frames (what the server's write loop would send).
+    /// frames (what the server's write loop would send). Tracked QoS 1
+    /// deliveries carry their broker-assigned packet id (and DUP flag
+    /// on redeliveries) and stay in flight until the peer's PUBACK;
+    /// untracked QoS 1 deliveries (in-flight window overflow, retained
+    /// replay) are downgraded to QoS 0 on the wire rather than sent
+    /// with an id nobody is accounting for.
     pub fn poll_outbound(&mut self) -> Vec<u8> {
         let mut out = BytesMut::new();
         if let Some(client) = self.client.as_mut() {
-            let mut next_id = 1u16;
             while let Some(m) = client.try_recv() {
-                let packet_id = if m.qos == QoS::AtLeastOnce {
-                    let id = next_id;
-                    next_id = next_id.wrapping_add(1).max(1);
-                    Some(id)
-                } else {
-                    None
+                let (qos, packet_id) = match (m.qos, m.packet_id) {
+                    (QoS::AtLeastOnce, Some(id)) => (QoS::AtLeastOnce, Some(id)),
+                    (QoS::AtLeastOnce, None) => (QoS::AtMostOnce, None),
+                    (q, _) => (q, None),
                 };
                 encode(
                     &Packet::Publish {
                         topic: m.topic,
                         payload: m.payload,
-                        qos: m.qos,
+                        qos,
                         retain: m.retain,
-                        dup: false,
+                        dup: m.dup,
                         packet_id,
                     },
                     &mut out,
@@ -175,6 +188,24 @@ impl ServerConnection {
             }
         }
         out.to_vec()
+    }
+
+    /// Re-send every outbound QoS 1 delivery still awaiting its wire
+    /// PUBACK, DUP flag set — the server's retransmission-timeout tick.
+    /// Returns the encoded PUBLISH frames (empty when nothing is
+    /// overdue).
+    pub fn retransmit_unacked(&mut self) -> Vec<u8> {
+        if let Some(client) = self.client.as_mut() {
+            if client.redeliver_unacked() > 0 {
+                return self.poll_outbound();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Outbound QoS 1 deliveries not yet acknowledged by the peer.
+    pub fn unacked_outbound(&self) -> usize {
+        self.client.as_ref().map_or(0, |c| c.unacked_count())
     }
 
     fn close(&mut self) {
@@ -294,6 +325,63 @@ mod tests {
         let (ev, resp) = sub_sess.handle(2.0, packets[0].clone());
         assert!(matches!(ev, Some(SessionEvent::Message { .. })));
         assert!(matches!(resp, Some(Packet::PubAck { .. })));
+    }
+
+    #[test]
+    fn unacked_wire_delivery_is_retransmitted_with_dup() {
+        let broker = Broker::default();
+        let mut sub_conn = ServerConnection::accept(&broker);
+        let mut sub_sess = Session::new("sub", 60.0);
+        sub_conn
+            .feed(&raw(&sub_sess.connect_packet(0.0, true)))
+            .unwrap();
+        sub_conn
+            .feed(&raw(&sub_sess.subscribe_packet(vec![(
+                "davide/site/#".into(),
+                QoS::AtLeastOnce,
+            )])))
+            .unwrap();
+
+        let publ = broker.connect("agg");
+        publ.publish(
+            "davide/site/total",
+            Bytes::from_static(b"44"),
+            QoS::AtLeastOnce,
+            false,
+        )
+        .unwrap();
+
+        // First transmission: QoS 1 with a broker-assigned id, no DUP.
+        let first = parse_all(BytesMut::from(&sub_conn.poll_outbound()[..]));
+        let id = match first.as_slice() {
+            [Packet::Publish {
+                qos: QoS::AtLeastOnce,
+                dup: false,
+                packet_id: Some(id),
+                ..
+            }] => *id,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(sub_conn.unacked_outbound(), 1);
+
+        // The peer never acks: the retransmission tick re-sends with
+        // DUP set and the same packet id.
+        let redo = parse_all(BytesMut::from(&sub_conn.retransmit_unacked()[..]));
+        match redo.as_slice() {
+            [Packet::Publish {
+                dup: true,
+                packet_id: Some(re_id),
+                ..
+            }] => assert_eq!(*re_id, id),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The (late) PUBACK settles the slot; nothing left to re-send.
+        let (_, resp) = sub_sess.handle(1.0, redo[0].clone());
+        assert_eq!(resp, Some(Packet::PubAck { packet_id: id }));
+        sub_conn.feed(&raw(&resp.unwrap())).unwrap();
+        assert_eq!(sub_conn.unacked_outbound(), 0);
+        assert!(sub_conn.retransmit_unacked().is_empty());
     }
 
     #[test]

@@ -26,8 +26,11 @@ pub mod session;
 pub mod topic;
 
 pub use bridge::Bridge;
-pub use broker::{Broker, BrokerError, BrokerObs, BrokerStats, FaultHook, Message, PublishFate};
+pub use broker::{
+    Broker, BrokerError, BrokerObs, BrokerStats, FaultHook, Message, PublishFate,
+    DEFAULT_QOS1_RETRIES, DEFAULT_QOS1_WINDOW, DEFAULT_SHARDS,
+};
 pub use client::Client;
 pub use codec::{CodecError, Packet, QoS};
 pub use framed::{ConnState, ServerConnection};
-pub use session::{Session, SessionEvent, SessionObs, SessionState};
+pub use session::{Session, SessionEvent, SessionObs, SessionState, DEFAULT_MAX_IN_FLIGHT};

@@ -12,7 +12,7 @@
 use crate::codec::{Packet, QoS};
 use bytes::Bytes;
 use davide_obs::{Counter, MetricsRegistry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Session lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,18 @@ struct InFlight {
     retries: u32,
 }
 
+/// A QoS 1 publish deferred because the in-flight window was full.
+#[derive(Debug, Clone)]
+struct PendingPublish {
+    topic: String,
+    payload: Bytes,
+    retain: bool,
+}
+
+/// Default bound on unacked QoS 1 publishes per session; publishes past
+/// it queue until PUBACKs free window slots.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
 /// Client-side MQTT session state machine.
 ///
 /// Time is passed in explicitly (`now_s`) so the session is fully
@@ -106,9 +118,13 @@ pub struct Session {
     pub retransmit_after_s: f64,
     /// Give up on a publish after this many retransmissions.
     pub max_retries: u32,
+    /// Bound on unacked QoS 1 publishes; [`Session::try_publish`]
+    /// queues past it.
+    pub max_in_flight: usize,
     state: SessionState,
     next_packet_id: u16,
     in_flight: HashMap<u16, InFlight>,
+    pending: VecDeque<PendingPublish>,
     last_activity_s: f64,
     ping_outstanding: bool,
     obs: Option<SessionObs>,
@@ -122,9 +138,11 @@ impl Session {
             keep_alive_s,
             retransmit_after_s: 5.0,
             max_retries: 3,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             state: SessionState::Connecting,
             next_packet_id: 1,
             in_flight: HashMap::new(),
+            pending: VecDeque::new(),
             last_activity_s: 0.0,
             ping_outstanding: false,
             obs: None,
@@ -144,6 +162,11 @@ impl Session {
     /// Unacked QoS 1 publishes.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// QoS 1 publishes queued behind a full in-flight window.
+    pub fn pending_publish_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// The CONNECT packet opening the session.
@@ -213,6 +236,39 @@ impl Session {
         }
     }
 
+    /// Window-respecting publish: like [`Session::publish_packet`], but
+    /// a QoS 1 publish that would exceed [`Session::max_in_flight`] is
+    /// queued instead and `None` is returned — it goes out later, from
+    /// [`Session::handle`]'s PUBACK response slot or [`Session::poll`],
+    /// once acknowledgements free window slots. QoS 0 publishes are
+    /// never queued.
+    pub fn try_publish(
+        &mut self,
+        now_s: f64,
+        topic: &str,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+    ) -> Option<Packet> {
+        if qos == QoS::AtLeastOnce && self.in_flight.len() >= self.max_in_flight {
+            self.pending.push_back(PendingPublish {
+                topic: topic.to_string(),
+                payload,
+                retain,
+            });
+            return None;
+        }
+        Some(self.publish_packet(now_s, topic, payload, qos, retain))
+    }
+
+    /// Pop the next deferred publish into the in-flight window. Must
+    /// only be called with room in the window.
+    fn next_pending_publish(&mut self, now_s: f64) -> Option<Packet> {
+        let p = self.pending.pop_front()?;
+        debug_assert!(self.in_flight.len() < self.max_in_flight);
+        Some(self.publish_packet(now_s, &p.topic, p.payload, QoS::AtLeastOnce, p.retain))
+    }
+
     /// Consume one inbound packet; returns the event it produced (if
     /// any) and any immediate response packet the spec requires.
     pub fn handle(&mut self, now_s: f64, packet: Packet) -> (Option<SessionEvent>, Option<Packet>) {
@@ -266,7 +322,10 @@ impl Session {
                     if let Some(o) = &self.obs {
                         o.acks.inc();
                     }
-                    (Some(SessionEvent::PublishAcked(packet_id)), None)
+                    // The freed window slot immediately admits the next
+                    // deferred publish, if any.
+                    let next = self.next_pending_publish(now_s);
+                    (Some(SessionEvent::PublishAcked(packet_id)), next)
                 } else {
                     // Duplicate or stale ack: ignore per spec.
                     (None, None)
@@ -325,6 +384,14 @@ impl Session {
                 dup: true,
                 packet_id: Some(id),
             });
+        }
+        // Drain deferred publishes into whatever window room expiries
+        // (or acks handled since the last poll) have opened up.
+        while self.in_flight.len() < self.max_in_flight {
+            match self.next_pending_publish(now_s) {
+                Some(p) => out.push(p),
+                None => break,
+            }
         }
         // Keep-alive.
         if !self.ping_outstanding && now_s - self.last_activity_s >= self.keep_alive_s * 0.75 {
@@ -425,6 +492,106 @@ mod tests {
         let out = s.poll(4.5);
         assert!(out.is_empty());
         assert_eq!(s.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn late_puback_after_dup_retransmit_clears_slot() {
+        let mut s = connected_session();
+        s.retransmit_after_s = 1.0;
+        let pkt = s.publish_packet(0.0, "t", Bytes::from_static(b"p"), QoS::AtLeastOnce, false);
+        let id = match pkt {
+            Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Past the retransmission timeout the publish goes out again,
+        // same packet id, DUP set.
+        let out = s.poll(1.5);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Packet::Publish { dup, packet_id, .. } => {
+                assert!(*dup, "retransmission must set DUP");
+                assert_eq!(*packet_id, Some(id), "same id on retransmit");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.in_flight_count(), 1, "still unacked");
+        // The PUBACK arrives late — after the retransmit — and must
+        // still clear the in-flight slot exactly once.
+        let (ev, resp) = s.handle(2.0, Packet::PubAck { packet_id: id });
+        assert_eq!(ev, Some(SessionEvent::PublishAcked(id)));
+        assert!(resp.is_none());
+        assert_eq!(s.in_flight_count(), 0);
+        // No ghost retransmissions afterwards.
+        assert!(s
+            .poll(10.0)
+            .iter()
+            .all(|p| !matches!(p, Packet::Publish { .. })));
+    }
+
+    #[test]
+    fn in_flight_window_queues_and_drains() {
+        let mut s = connected_session();
+        s.max_in_flight = 2;
+        let p1 = s.try_publish(0.0, "a", Bytes::from_static(b"1"), QoS::AtLeastOnce, false);
+        let p2 = s.try_publish(0.0, "b", Bytes::from_static(b"2"), QoS::AtLeastOnce, false);
+        assert!(p1.is_some() && p2.is_some());
+        // Third exceeds the window: deferred, not sent.
+        let p3 = s.try_publish(0.0, "c", Bytes::from_static(b"3"), QoS::AtLeastOnce, false);
+        assert!(p3.is_none());
+        assert_eq!(s.in_flight_count(), 2);
+        assert_eq!(s.pending_publish_count(), 1);
+        // QoS 0 is never deferred by the window.
+        assert!(s
+            .try_publish(0.0, "q0", Bytes::new(), QoS::AtMostOnce, false)
+            .is_some());
+        // A PUBACK frees a slot and carries the queued publish out.
+        let id1 = match p1.unwrap() {
+            Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } => id,
+            _ => unreachable!(),
+        };
+        let (ev, resp) = s.handle(0.5, Packet::PubAck { packet_id: id1 });
+        assert_eq!(ev, Some(SessionEvent::PublishAcked(id1)));
+        match resp {
+            Some(Packet::Publish {
+                ref topic,
+                dup: false,
+                packet_id: Some(_),
+                ..
+            }) => assert_eq!(topic, "c"),
+            other => panic!("queued publish should ride the ack: {other:?}"),
+        }
+        assert_eq!(s.in_flight_count(), 2);
+        assert_eq!(s.pending_publish_count(), 0);
+    }
+
+    #[test]
+    fn poll_drains_pending_after_expiry() {
+        let mut s = connected_session();
+        s.max_in_flight = 1;
+        s.retransmit_after_s = 1.0;
+        s.max_retries = 0; // first overdue poll expires it
+        let _ = s.try_publish(0.0, "a", Bytes::from_static(b"1"), QoS::AtLeastOnce, false);
+        assert!(s
+            .try_publish(0.0, "b", Bytes::from_static(b"2"), QoS::AtLeastOnce, false)
+            .is_none());
+        // The expiry of "a" makes room; the same poll sends "b".
+        let out = s.poll(2.0);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Packet::Publish { topic, dup, .. } => {
+                assert_eq!(topic, "b");
+                assert!(!dup, "fresh publish, not a retransmission");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.in_flight_count(), 1);
+        assert_eq!(s.pending_publish_count(), 0);
     }
 
     #[test]

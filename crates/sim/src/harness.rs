@@ -369,7 +369,10 @@ impl RackSim {
         let band_w = cfg.band_w;
         let sustain_s = cfg.sustain_s;
         let idle_w = cfg.idle_node_power_w;
-        let broker = Broker::new(1 << 16);
+        let broker = match sc.broker_shards {
+            Some(n) => Broker::with_shards(1 << 16, n),
+            None => Broker::new(1 << 16),
+        };
         let db = TsDb::with_config(db_cfg).expect("telemetry store (disk tier open)");
         let mut cp =
             ControlPlane::with_db(&broker, cfg, predictor, db).expect("subscribe on fresh broker");

@@ -440,3 +440,66 @@ proptest! {
         prop_assert_eq!(s.in_flight_count(), in_flight.len());
     }
 }
+
+fn shard_topic() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[abc]", 1..4).prop_map(|v| v.join("/"))
+}
+
+/// Filters over the same tiny alphabet, with `+` levels and `#` — the
+/// alphabet is small enough that random topic/filter pairs really
+/// collide, wildcard and exact alike. A `#` drawn anywhere but the last
+/// level would be invalid, so it degrades to a literal there.
+fn shard_filter() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[abc+#]", 1..4).prop_map(|v| {
+        let last = v.len() - 1;
+        let levels: Vec<String> = v
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s == "#" && i != last {
+                    "a".to_string()
+                } else {
+                    s
+                }
+            })
+            .collect();
+        levels.join("/")
+    })
+}
+
+proptest! {
+    /// The sharded subscription trie is observationally identical to the
+    /// single-lock one: for arbitrary topic/filter sets (`+`/`#`
+    /// included), every subscriber drains the same message sequence
+    /// whatever the shard count.
+    #[test]
+    fn sharded_broker_matches_like_single(
+        topics in proptest::collection::vec(shard_topic(), 1..12),
+        filters in proptest::collection::vec(shard_filter(), 1..8),
+    ) {
+        use davide::mqtt::{Broker, QoS};
+        let run = |shards: usize| -> Vec<Vec<(String, Vec<u8>)>> {
+            let broker = Broker::with_shards(1024, shards);
+            let mut subs: Vec<_> = filters
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let mut c = broker.connect(format!("s{i}"));
+                    c.subscribe(f, QoS::AtMostOnce).unwrap();
+                    c
+                })
+                .collect();
+            let p = broker.connect("pub");
+            for (j, t) in topics.iter().enumerate() {
+                let _ = p.publish_str(t, &format!("m{j}"));
+            }
+            subs.iter_mut()
+                .map(|c| c.drain().into_iter().map(|m| (m.topic, m.payload.to_vec())).collect())
+                .collect()
+        };
+        let single = run(1);
+        for n in [2usize, 3, 8] {
+            prop_assert_eq!(&single, &run(n), "shard count {}", n);
+        }
+    }
+}
